@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces Fig. 16: speedup of the linked-CSR graph workloads on
+ * larger graphs (|V| = 2^17 .. 2^20, constant average degree) for
+ * Near-L3, Min-Hops and Hybrid-5, normalized to Near-L3, with the
+ * Aff-Alloc L3 miss rate.
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "graph/generators.hh"
+#include "harness/report.hh"
+#include "workloads/graph_workloads.hh"
+
+using namespace affalloc;
+using namespace affalloc::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = harness::quickMode(argc, argv);
+    sim::MachineConfig cfg;
+    harness::printMachineBanner(cfg, "Fig. 16 - graph input scale");
+
+    const std::uint32_t base_scale = quick ? 12 : 17;
+
+    using Runner = std::function<RunResult(const RunConfig &,
+                                           const GraphParams &)>;
+    const std::vector<std::pair<std::string, Runner>> workloads = {
+        {"pr_push", [](const RunConfig &rc, const GraphParams &p) {
+             return runPageRankPush(rc, p);
+         }},
+        {"bfs", [](const RunConfig &rc, const GraphParams &p) {
+             return runBfs(rc, p, defaultBfsStrategy(rc.mode)).run;
+         }},
+        {"sssp", [](const RunConfig &rc, const GraphParams &p) {
+             return runSssp(rc, p);
+         }},
+    };
+
+    std::printf("%-8s %10s | %9s %9s | %10s\n", "wl", "|V|",
+                "Min-Hops", "Hybrid-5", "L3miss(H5)");
+    for (std::uint32_t scale = base_scale; scale < base_scale + 4;
+         ++scale) {
+        std::vector<double> geo_min, geo_hyb;
+        graph::KroneckerParams kp;
+        kp.scale = scale;
+        kp.edgeFactor = 16; // constant average degree while scaling
+        const auto g = graph::kronecker(kp);
+        GraphParams p;
+        p.graph = &g;
+        p.iters = quick ? 2 : 8;
+
+        for (const auto &[name, runner] : workloads) {
+            const auto nl3 =
+                runner(RunConfig::forMode(ExecMode::nearL3), p);
+            RunConfig rc_min = RunConfig::forMode(ExecMode::affAlloc);
+            rc_min.allocOpts.policy = alloc::BankPolicy::minHop;
+            const auto aff_min = runner(rc_min, p);
+            RunConfig rc_hyb = RunConfig::forMode(ExecMode::affAlloc);
+            rc_hyb.allocOpts.policy = alloc::BankPolicy::hybrid;
+            rc_hyb.allocOpts.hybridH = 5;
+            const auto aff_hyb = runner(rc_hyb, p);
+
+            const double sp_min =
+                double(nl3.cycles()) / double(aff_min.cycles());
+            const double sp_hyb =
+                double(nl3.cycles()) / double(aff_hyb.cycles());
+            geo_min.push_back(sp_min);
+            geo_hyb.push_back(sp_hyb);
+            std::printf("%-8s %10llu | %9.2f %9.2f | %9.1f%%%s\n",
+                        name.c_str(),
+                        (unsigned long long)g.numVertices, sp_min,
+                        sp_hyb, 100.0 * aff_hyb.l3MissRate,
+                        nl3.valid && aff_min.valid && aff_hyb.valid
+                            ? ""
+                            : "  INVALID");
+        }
+        std::printf("%-8s %10s | %9.2f %9.2f |\n\n", "geomean", "",
+                    sim::geomean(geo_min), sim::geomean(geo_hyb));
+    }
+    std::printf("Expected shape (paper): benefit persists longer than "
+                "for affine workloads (vertex reuse keeps\nthe miss "
+                "rate < 20%%), degrading gently as the graph outgrows "
+                "the L3.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Fig. 18: the BFS push/pull/switch timeline for each of
+ * the three configurations. For every (configuration, strategy) pair
+ * it prints total cycles and the per-iteration share of execution
+ * time with its direction — the figure's horizontal bars.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "graph/generators.hh"
+#include "harness/report.hh"
+#include "workloads/graph_workloads.hh"
+
+using namespace affalloc;
+using namespace affalloc::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = harness::quickMode(argc, argv);
+    sim::MachineConfig cfg;
+    harness::printMachineBanner(cfg, "Fig. 18 - BFS push vs pull");
+
+    graph::KroneckerParams kp;
+    kp.scale = quick ? 13 : 17;
+    kp.edgeFactor = 16;
+    const auto g = graph::kronecker(kp);
+    GraphParams p;
+    p.graph = &g;
+
+    const std::vector<std::pair<std::string, BfsStrategy>> strategies = {
+        {"Pull", BfsStrategy::pullOnly},
+        {"Push", BfsStrategy::pushOnly},
+        {"Switch(GAP)", BfsStrategy::gapSwitch},
+        {"Switch(Aff)", BfsStrategy::affSwitch},
+    };
+
+    for (ExecMode mode :
+         {ExecMode::inCore, ExecMode::nearL3, ExecMode::affAlloc}) {
+        std::printf("--- %s ---\n", execModeName(mode));
+        for (const auto &[label, strat] : strategies) {
+            const BfsResult res =
+                runBfs(RunConfig::forMode(mode), p, strat);
+            std::printf("%-12s %10llu cycles | ", label.c_str(),
+                        (unsigned long long)res.run.cycles());
+            Cycles prev = 0;
+            for (const auto &it : res.iters) {
+                const double share =
+                    100.0 * double(it.endCycle - prev) /
+                    double(res.run.cycles());
+                std::printf("%c%.0f%% ", it.push ? 'P' : 'L', share);
+                prev = it.endCycle;
+            }
+            std::printf("%s\n", res.run.valid ? "" : " INVALID");
+        }
+        std::printf("\n");
+    }
+    std::printf(
+        "Expected shape (paper): In-Core pulls through the middle "
+        "iterations; the NSC modes can\nafford pushing longer "
+        "(cheap in-place atomics); Aff-Alloc pushes the most "
+        "iterations.\nAt Table 3 scale the extended policy is "
+        "fastest for Aff-Alloc, as in the paper\n(small graphs "
+        "instead favour GAP switching everywhere; see "
+        "EXPERIMENTS.md).\n");
+    return 0;
+}

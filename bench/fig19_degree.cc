@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces Fig. 19: Aff-Alloc speedup vs. average node degree on
+ * synthetic power-law graphs with a fixed edge count. Higher degree
+ * means consecutive edges in a node share destinations' banks more
+ * often, so fine-grained placement pays off more.
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "graph/generators.hh"
+#include "harness/report.hh"
+#include "workloads/graph_workloads.hh"
+
+using namespace affalloc;
+using namespace affalloc::workloads;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = harness::quickMode(argc, argv);
+    sim::MachineConfig cfg;
+    harness::printMachineBanner(cfg, "Fig. 19 - average degree sweep");
+
+    const std::uint64_t total_edges = quick ? 512 * 1024 : 4'000'000;
+
+    using Runner = std::function<RunResult(const RunConfig &,
+                                           const GraphParams &)>;
+    const std::vector<std::pair<std::string, Runner>> workloads = {
+        {"pr_push", [](const RunConfig &rc, const GraphParams &p) {
+             return runPageRankPush(rc, p);
+         }},
+        {"bfs", [](const RunConfig &rc, const GraphParams &p) {
+             return runBfs(rc, p, defaultBfsStrategy(rc.mode)).run;
+         }},
+        {"sssp", [](const RunConfig &rc, const GraphParams &p) {
+             return runSssp(rc, p);
+         }},
+    };
+
+    std::printf("%-8s %6s %10s | %9s %9s\n", "wl", "D", "|V|",
+                "Min-Hops", "Hybrid-5");
+    for (std::uint32_t degree : {4u, 8u, 16u, 32u, 64u, 128u}) {
+        const auto n =
+            static_cast<graph::VertexId>(total_edges / degree);
+        const auto g =
+            graph::powerLaw(n, total_edges, 2.2, 77, /*weighted=*/true);
+        GraphParams p;
+        p.graph = &g;
+        p.iters = quick ? 2 : 8;
+
+        std::vector<double> geo_min, geo_hyb;
+        for (const auto &[name, runner] : workloads) {
+            // Fig. 19 normalizes to the Rnd policy.
+            RunConfig rc_rnd = RunConfig::forMode(ExecMode::affAlloc);
+            rc_rnd.allocOpts.policy = alloc::BankPolicy::random;
+            const auto rnd = runner(rc_rnd, p);
+
+            RunConfig rc_min = RunConfig::forMode(ExecMode::affAlloc);
+            rc_min.allocOpts.policy = alloc::BankPolicy::minHop;
+            const auto min = runner(rc_min, p);
+
+            RunConfig rc_hyb = RunConfig::forMode(ExecMode::affAlloc);
+            rc_hyb.allocOpts.policy = alloc::BankPolicy::hybrid;
+            rc_hyb.allocOpts.hybridH = 5;
+            const auto hyb = runner(rc_hyb, p);
+
+            const double sp_min =
+                double(rnd.cycles()) / double(min.cycles());
+            const double sp_hyb =
+                double(rnd.cycles()) / double(hyb.cycles());
+            geo_min.push_back(sp_min);
+            geo_hyb.push_back(sp_hyb);
+            std::printf("%-8s %6u %10u | %9.2f %9.2f%s\n", name.c_str(),
+                        degree, n, sp_min, sp_hyb,
+                        rnd.valid && min.valid && hyb.valid
+                            ? ""
+                            : "  INVALID");
+        }
+        std::printf("%-8s %6u %10s | %9.2f %9.2f\n\n", "geomean",
+                    degree, "", sim::geomean(geo_min),
+                    sim::geomean(geo_hyb));
+    }
+    std::printf("Expected shape (paper): speedup grows with degree "
+                "(~1.5x at D=4 to ~2.4x at D=128):\nlonger sorted edge "
+                "lists make a node's destinations land in the same or "
+                "nearby banks.\n");
+    return 0;
+}

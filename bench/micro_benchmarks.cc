@@ -1,0 +1,157 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the library's hot paths: the
+ * allocator's affine and irregular fast paths per policy, bank
+ * lookups through the IOT, mesh routing, NoC accounting, and the
+ * cache tag model. These measure the *simulator's own* performance
+ * (host time), complementing the figure benches which report
+ * simulated time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ds/pointer_structs.hh"
+#include "nsc/stream_executor.hh"
+#include "os/sim_os.hh"
+#include "sim/rng.hh"
+#include "workloads/run_context.hh"
+
+using namespace affalloc;
+using workloads::RunConfig;
+using workloads::RunContext;
+
+namespace
+{
+
+RunConfig
+configFor(alloc::BankPolicy policy)
+{
+    RunConfig rc = RunConfig::forMode(ExecMode::affAlloc);
+    rc.allocOpts.policy = policy;
+    return rc;
+}
+
+void
+BM_IrregularAlloc(benchmark::State &state)
+{
+    const auto policy = static_cast<alloc::BankPolicy>(state.range(0));
+    RunContext ctx(configFor(policy));
+    void *anchor = ctx.allocator.allocInterleaved(64 * 64, 64, 0);
+    const void *aff[1] = {anchor};
+    std::vector<void *> live;
+    live.reserve(1 << 20);
+    for (auto _ : state) {
+        live.push_back(ctx.allocator.mallocAff(64, 1, aff));
+        if (live.size() >= (1 << 16)) {
+            state.PauseTiming();
+            for (void *p : live)
+                ctx.allocator.freeAff(p);
+            live.clear();
+            state.ResumeTiming();
+        }
+    }
+    for (void *p : live)
+        ctx.allocator.freeAff(p);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IrregularAlloc)
+    ->Arg(int(alloc::BankPolicy::random))
+    ->Arg(int(alloc::BankPolicy::linear))
+    ->Arg(int(alloc::BankPolicy::minHop))
+    ->Arg(int(alloc::BankPolicy::hybrid));
+
+void
+BM_AffineAlloc(benchmark::State &state)
+{
+    RunContext ctx(configFor(alloc::BankPolicy::hybrid));
+    alloc::AffineArray req;
+    req.elem_size = 4;
+    req.num_elem = 1024;
+    void *first = ctx.allocator.mallocAff(req);
+    req.align_to = first;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ctx.allocator.mallocAff(req));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AffineAlloc);
+
+void
+BM_BankLookup(benchmark::State &state)
+{
+    RunContext ctx(configFor(alloc::BankPolicy::hybrid));
+    void *arr = ctx.allocator.allocInterleaved(1 << 20, 64, 0);
+    const Addr sim = ctx.machine.addressSpace().simAddrOf(arr);
+    Rng rng(5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ctx.machine.bankOfSim(sim + rng.below(1 << 20)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BankLookup);
+
+void
+BM_MeshRoute(benchmark::State &state)
+{
+    noc::Mesh mesh(8, 8);
+    std::vector<noc::LinkId> links;
+    Rng rng(6);
+    for (auto _ : state) {
+        links.clear();
+        mesh.route(TileId(rng.below(64)), TileId(rng.below(64)), links);
+        benchmark::DoNotOptimize(links.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeshRoute);
+
+void
+BM_NetworkSend(benchmark::State &state)
+{
+    sim::MachineConfig cfg;
+    sim::Stats stats;
+    noc::Network net(cfg, stats);
+    Rng rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net.send(TileId(rng.below(64)),
+                                          TileId(rng.below(64)), 64,
+                                          TrafficClass::data));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkSend);
+
+void
+BM_CacheModelAccess(benchmark::State &state)
+{
+    mem::CacheModel cache(1 << 20, 16, 64, /*hashed_index=*/true);
+    Rng rng(8);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.below(1 << 15), false).hit);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheModelAccess);
+
+void
+BM_StreamStep(benchmark::State &state)
+{
+    RunContext ctx(configFor(alloc::BankPolicy::hybrid));
+    void *arr = ctx.allocator.allocInterleaved(1 << 20, 64, 0);
+    const Addr sim = ctx.machine.addressSpace().simAddrOf(arr);
+    ctx.machine.preloadL3Range(sim, 1 << 20);
+    nsc::MigratingStream st(0);
+    ctx.machine.beginEpoch();
+    Rng rng(9);
+    for (auto _ : state) {
+        ctx.exec.streamStep(st, sim + (rng.below(1 << 14)) * 64, 8,
+                            AccessType::read, false);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Domain example: an evolving social graph (§8 "Dynamic Data
+ * Structures"). Edges stream in and churn; because the edge nodes are
+ * allocated through the irregular affinity API at insertion time,
+ * spatial locality is maintained continuously — no repartitioning or
+ * preprocessing pass is ever run. Periodically snapshots the graph
+ * and runs BFS to show the structure stays queryable.
+ */
+
+#include <cstdio>
+
+#include "ds/dynamic_graph.hh"
+#include "graph/reference.hh"
+#include "sim/rng.hh"
+#include "workloads/run_context.hh"
+
+using namespace affalloc;
+using workloads::RunConfig;
+using workloads::RunContext;
+
+namespace
+{
+
+/** Community-structured random edge (social graphs cluster). */
+graph::Edge
+nextEdge(Rng &rng, graph::VertexId n)
+{
+    const auto u = graph::VertexId(rng.below(n));
+    const auto v = graph::VertexId((u + 1 + rng.below(128)) % n);
+    return graph::Edge{u, v, 1};
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr graph::VertexId n = 16 * 1024;
+    std::printf("evolving graph example: %u vertices, streaming "
+                "edges with churn\n\n",
+                n);
+
+    RunContext ctx(RunConfig::forMode(ExecMode::affAlloc));
+
+    // Partitioned per-vertex property array; edge nodes follow it.
+    alloc::AffineArray props_req;
+    props_req.elem_size = 4;
+    props_req.num_elem = n;
+    props_req.partition = true;
+    void *props = ctx.allocator.mallocAff(props_req);
+
+    ds::DynamicGraph g(n, ctx.allocator, props, 4);
+    Rng rng(2026);
+
+    std::printf("%10s %12s %18s %14s\n", "edges", "nodes",
+                "avg node->dst hops", "BFS reachable");
+    for (int phase = 0; phase < 5; ++phase) {
+        // Grow.
+        for (int i = 0; i < 40000; ++i) {
+            const auto e = nextEdge(rng, n);
+            if (e.src != e.dst)
+                g.addEdge(e.src, e.dst);
+        }
+        // Churn: drop a random edge, add a fresh one.
+        for (int i = 0; i < 10000; ++i) {
+            const auto u = graph::VertexId(rng.below(n));
+            if (g.head(u))
+                g.removeEdge(u, g.head(u)->dst(0));
+            const auto e = nextEdge(rng, n);
+            if (e.src != e.dst)
+                g.addEdge(e.src, e.dst);
+        }
+
+        // Snapshot + query: the mutable structure converts to a
+        // static CSR for analytics at any time.
+        const graph::Csr snap = g.toCsr();
+        const auto depths = graph::bfsReference(snap, 0);
+        std::uint64_t reachable = 0;
+        for (auto d : depths)
+            reachable += d != graph::unreachable;
+
+        std::printf("%10llu %12llu %18.2f %13.1f%%\n",
+                    (unsigned long long)g.numEdges(),
+                    (unsigned long long)g.numNodes(),
+                    g.averageNodeToDestDistance(ctx.machine),
+                    100.0 * double(reachable) / n);
+    }
+
+    std::printf("\nLocality (avg hops from each edge node to its "
+                "destinations) stays flat as the graph\nevolves: "
+                "affinity is maintained by construction, not by "
+                "periodic repartitioning.\n");
+    return 0;
+}

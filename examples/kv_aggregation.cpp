@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Domain example: an in-memory key-value join/aggregation operator.
+ * Shows the irregular affinity API directly: a chained hash table
+ * whose bucket array is partitioned across L3 banks and whose chain
+ * nodes are allocated near their bucket heads (malloc_aff with the
+ * bucket slot as the affinity address), so every probe resolves
+ * within one bank. Compares against the plain-heap layout under the
+ * same near-data execution.
+ */
+
+#include <cstdio>
+
+#include "ds/pointer_structs.hh"
+#include "workloads/pointer_workloads.hh"
+
+using namespace affalloc;
+using namespace affalloc::workloads;
+
+int
+main()
+{
+    std::printf("key-value aggregation example: 128k-row build, "
+                "256k-probe join\n\n");
+
+    HashJoinParams p;
+    p.buildRows = 128 * 1024;
+    p.probeRows = 256 * 1024;
+    p.numBuckets = 32 * 1024;
+
+    std::printf("%-24s %12s %14s %10s\n", "configuration", "cycles",
+                "NoC hops", "valid");
+    RunResult base;
+    for (ExecMode mode :
+         {ExecMode::inCore, ExecMode::nearL3, ExecMode::affAlloc}) {
+        const RunResult r = runHashJoin(RunConfig::forMode(mode), p);
+        if (mode == ExecMode::inCore)
+            base = r;
+        std::printf("%-24s %12llu %14llu %10s", execModeName(mode),
+                    (unsigned long long)r.cycles(),
+                    (unsigned long long)r.hops(),
+                    r.valid ? "yes" : "NO");
+        if (mode != ExecMode::inCore) {
+            std::printf("   (%.2fx over In-Core)",
+                        double(base.cycles()) / double(r.cycles()));
+        }
+        std::printf("\n");
+    }
+
+    // Peek at what the allocator actually did: probe one bucket's
+    // chain and show every node landed in the bucket's bank.
+    std::printf("\ninspecting the Aff-Alloc layout of one bucket "
+                "chain:\n");
+    workloads::RunContext ctx(
+        RunConfig::forMode(ExecMode::affAlloc));
+    ds::HashJoinTable table(ctx.allocator, 1024, /*use_affinity=*/true);
+    for (std::uint64_t k = 0; k < 4096; ++k)
+        table.insert(k * 2654435761ULL, k);
+    // Find a bucket with a chain of >= 4 nodes.
+    for (std::uint64_t b = 0; b < table.numBuckets(); ++b) {
+        int len = 0;
+        for (const auto *n = *table.bucketHead(b); n; n = n->next)
+            ++len;
+        if (len < 4)
+            continue;
+        std::printf("  bucket %llu head bank: %u; chain banks:",
+                    (unsigned long long)b,
+                    ctx.machine.bankOfHost(table.bucketHead(b)));
+        for (const auto *n = *table.bucketHead(b); n; n = n->next)
+            std::printf(" %u", ctx.machine.bankOfHost(n));
+        std::printf("\n");
+        break;
+    }
+    std::printf("\nWith affinity allocation the whole chain shares the "
+                "bucket's bank, so a probe is one\nlocal lookup instead "
+                "of a pointer chase across the mesh.\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quickstart: build a machine, allocate three aligned arrays with
+ * malloc_aff, run a near-data vector addition under the three
+ * evaluated modes and print what the layout did to traffic and time.
+ *
+ * This is the paper's Fig. 1/3 scenario end-to-end in ~60 lines of
+ * user code.
+ */
+
+#include <cstdio>
+
+#include "workloads/affine_workloads.hh"
+
+using namespace affalloc;
+using namespace affalloc::workloads;
+
+int
+main()
+{
+    std::printf("affinity-alloc quickstart: C[i] = A[i] + B[i], "
+                "1.5M floats, 8x8 mesh\n\n");
+    std::printf("%-10s %12s %12s %12s %8s\n", "mode", "cycles",
+                "NoC hops", "energy (mJ)", "valid");
+
+    VecAddParams params;
+    RunResult baseline;
+    for (ExecMode mode :
+         {ExecMode::inCore, ExecMode::nearL3, ExecMode::affAlloc}) {
+        RunConfig rc = RunConfig::forMode(mode);
+        VecAddParams p = params;
+        // In-Core / Near-L3 are oblivious to layout: plain heap.
+        // Aff-Alloc conveys affinity through malloc_aff.
+        p.layout = mode == ExecMode::affAlloc ? VecAddLayout::affinity
+                                              : VecAddLayout::heapLinear;
+        const RunResult r = runVecAdd(rc, p);
+        if (mode == ExecMode::inCore)
+            baseline = r;
+        std::printf("%-10s %12llu %12llu %12.3f %8s", execModeName(mode),
+                    (unsigned long long)r.cycles(),
+                    (unsigned long long)r.hops(), r.joules * 1e3,
+                    r.valid ? "yes" : "NO");
+        if (mode != ExecMode::inCore) {
+            std::printf("   (%.2fx speedup, %.0f%% traffic vs In-Core)",
+                        double(baseline.cycles()) / double(r.cycles()),
+                        100.0 * double(r.hops()) /
+                            double(baseline.hops()));
+        }
+        std::printf("\n");
+    }
+    std::printf("\nThe Aff-Alloc run colocated A[i], B[i], C[i] in the "
+                "same L3 bank, so the\noffloaded streams forward zero "
+                "operand data across the mesh.\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Domain example: a two-stage HPC stencil pipeline (heat diffusion
+ * followed by a denoising pass) over the same grid. Demonstrates the
+ * affine affinity API as an application would use it directly:
+ *
+ *  - intra-array row affinity (align_x = row length) so vertical
+ *    stencil neighbours share a bank (Fig. 8(c));
+ *  - inter-array alignment so every operand of an element lives with
+ *    it (Fig. 8(b));
+ *  - introspection of the layout the runtime chose.
+ */
+
+#include <cstdio>
+
+#include "workloads/affine_workloads.hh"
+
+using namespace affalloc;
+using namespace affalloc::workloads;
+
+int
+main()
+{
+    constexpr std::uint64_t rows = 1024;
+    constexpr std::uint64_t cols = 1024;
+    std::printf("stencil pipeline example: %llu x %llu grid, "
+                "diffusion + denoise\n\n",
+                (unsigned long long)rows, (unsigned long long)cols);
+
+    // Stage A: what the allocator decides for this grid.
+    {
+        workloads::RunContext ctx(
+            RunConfig::forMode(ExecMode::affAlloc));
+        alloc::AffineArray grid_req;
+        grid_req.elem_size = sizeof(float);
+        grid_req.num_elem = rows * cols;
+        grid_req.align_x = static_cast<std::int64_t>(cols);
+        auto *grid =
+            static_cast<float *>(ctx.allocator.mallocAff(grid_req));
+
+        alloc::AffineArray coef_req = grid_req;
+        coef_req.align_x = 0;
+        coef_req.align_to = grid;
+        auto *coef =
+            static_cast<float *>(ctx.allocator.mallocAff(coef_req));
+
+        const auto *gi = ctx.allocator.arrayInfo(grid);
+        std::printf("runtime chose a %llu-byte interleaving for the "
+                    "grid;\n  bank(grid[0,0])=%u  bank(grid[1,0])=%u "
+                    "(vertical neighbours colocated)\n"
+                    "  bank(coef[5,7])=%u == bank(grid[5,7])=%u "
+                    "(operands colocated)\n\n",
+                    (unsigned long long)gi->intrlv,
+                    ctx.allocator.bankOfElement(grid, 0),
+                    ctx.allocator.bankOfElement(grid, cols),
+                    ctx.allocator.bankOfElement(coef, 5 * cols + 7),
+                    ctx.allocator.bankOfElement(grid, 5 * cols + 7));
+    }
+
+    // Stage B: run the pipeline under all three modes.
+    std::printf("%-12s %14s %14s %12s %8s\n", "mode", "hotspot cyc",
+                "srad cyc", "total", "valid");
+    Cycles base_total = 0;
+    for (ExecMode mode :
+         {ExecMode::inCore, ExecMode::nearL3, ExecMode::affAlloc}) {
+        HotspotParams hp;
+        hp.rows = rows;
+        hp.cols = cols;
+        hp.iters = 4;
+        const RunResult heat = runHotspot(RunConfig::forMode(mode), hp);
+
+        SradParams sp;
+        sp.rows = rows;
+        sp.cols = cols;
+        sp.iters = 4;
+        const RunResult denoise = runSrad(RunConfig::forMode(mode), sp);
+
+        const Cycles total = heat.cycles() + denoise.cycles();
+        if (mode == ExecMode::inCore)
+            base_total = total;
+        std::printf("%-12s %14llu %14llu %12llu %8s", execModeName(mode),
+                    (unsigned long long)heat.cycles(),
+                    (unsigned long long)denoise.cycles(),
+                    (unsigned long long)total,
+                    heat.valid && denoise.valid ? "yes" : "NO");
+        if (mode != ExecMode::inCore)
+            std::printf("  (%.2fx)", double(base_total) / double(total));
+        std::printf("\n");
+    }
+    std::printf("\nThe affinity-allocated grids keep all five stencil "
+                "operands of each element in one\nbank, so the "
+                "offloaded streams compute without forwarding "
+                "operands across the mesh.\n");
+    return 0;
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerates every figure/table of the paper plus the ablations.
+# Order: light figures first. Pass --quick to each for a smoke run.
+set -e
+for b in fig04_affine_offset fig17_bfs_iters fig14_timeline \
+         fig18_push_pull fig15_affine_scale fig12_overall \
+         fig06_irregular_potential fig19_degree fig13_policy \
+         fig20_real_graphs fig16_graph_scale \
+         ablation_codesign ablation_numbering micro_benchmarks; do
+    echo "################ $b"
+    "$(dirname "$0")/build/bench/$b" "$@"
+    echo
+done

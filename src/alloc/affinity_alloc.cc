@@ -1,0 +1,671 @@
+#include "alloc/affinity_alloc.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <new>
+
+#include "sim/log.hh"
+
+namespace affalloc::alloc
+{
+
+namespace
+{
+
+/** Round up to the next power of two (>= 1). */
+std::uint64_t
+pow2Ceil(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+/** Aligned host buffer (64 B so host lines mirror simulated lines). */
+void *
+newHost(std::size_t bytes)
+{
+    return ::operator new(bytes, std::align_val_t(64));
+}
+
+void
+deleteHost(void *p)
+{
+    ::operator delete(p, std::align_val_t(64));
+}
+
+} // namespace
+
+const char *
+bankPolicyName(BankPolicy p)
+{
+    switch (p) {
+      case BankPolicy::random:
+        return "Rnd";
+      case BankPolicy::linear:
+        return "Lnr";
+      case BankPolicy::minHop:
+        return "Min-Hop";
+      case BankPolicy::hybrid:
+        return "Hybrid";
+      default:
+        return "?";
+    }
+}
+
+AffinityAllocator::AffinityAllocator(nsc::Machine &machine,
+                                     AllocatorOptions opts)
+    : machine_(machine), opts_(opts), rng_(opts.seed),
+      numBanks_(machine.config().numBanks()),
+      lineSize_(machine.config().lineSize),
+      bankLoads_(machine.config().numBanks(), 0)
+{
+    for (auto &pool : freeSlots_)
+        pool.assign(numBanks_, {});
+}
+
+AffinityAllocator::~AffinityAllocator()
+{
+    for (void *p : ownedHost_)
+        deleteHost(p);
+}
+
+// --------------------------------------------------------------- plain
+
+void *
+AffinityAllocator::allocPlain(std::size_t bytes, std::size_t align)
+{
+    void *host = newHost(bytes);
+    ownedHost_.insert(host);
+    const Addr sim = machine_.simOs().heapAlloc(bytes, align);
+    machine_.addressSpace().registerRange(host, bytes, sim);
+    ArrayInfo info;
+    info.simBase = sim;
+    info.bytes = bytes;
+    info.elemSize = 1;
+    info.numElem = bytes;
+    info.intrlv = 0;
+    info.startBank = machine_.bankOfSim(sim);
+    record(host, info);
+    return host;
+}
+
+// ---------------------------------------------------------- pool cores
+
+AffinityAllocator::PoolCut
+AffinityAllocator::poolAllocAligned(std::size_t bytes, int k,
+                                    BankId start_bank)
+{
+    const std::uint64_t intrlv = mem::poolInterleave(k);
+    const std::uint64_t alloc_bytes =
+        (bytes + intrlv - 1) & ~(intrlv - 1);
+
+    // First try to satisfy the request from a freed region of the
+    // same pool (same-interleaving reuse is exactly what the paper's
+    // fragmentation rule permits, §8).
+    auto &regions = freeRegions_[k];
+    Addr off = invalidAddr;
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+        FreeRegion &r = regions[i];
+        Addr cand = (r.offset + intrlv - 1) & ~(intrlv - 1);
+        const BankId cur =
+            static_cast<BankId>((cand / intrlv) % numBanks_);
+        cand += Addr((start_bank + numBanks_ - cur) % numBanks_) *
+                intrlv;
+        if (cand + alloc_bytes > r.offset + r.bytes)
+            continue;
+        // Claim [cand, cand + alloc_bytes); return the leftovers.
+        const FreeRegion tail{cand + alloc_bytes,
+                              r.offset + r.bytes - cand - alloc_bytes};
+        const FreeRegion head{r.offset, cand - r.offset};
+        regions.erase(regions.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+        if (head.bytes >= intrlv)
+            regions.push_back(head);
+        if (tail.bytes >= intrlv)
+            regions.push_back(tail);
+        stats_.freeRegionBytes -=
+            alloc_bytes + (head.bytes < intrlv ? head.bytes : 0) +
+            (tail.bytes < intrlv ? tail.bytes : 0);
+        stats_.regionReuses += 1;
+        off = cand;
+        break;
+    }
+
+    if (off == invalidAddr) {
+        Addr &bump = poolBump_[k];
+        // Align the bump to an interleave-block boundary.
+        off = (bump + intrlv - 1) & ~(intrlv - 1);
+        stats_.alignmentWasteBytes += off - bump;
+        // Advance to a block homed at the requested start bank.
+        const BankId cur =
+            static_cast<BankId>((off / intrlv) % numBanks_);
+        const std::uint32_t skip =
+            (start_bank + numBanks_ - cur) % numBanks_;
+        off += Addr(skip) * intrlv;
+        stats_.alignmentWasteBytes += Addr(skip) * intrlv;
+        machine_.simOs().expandPool(k, off + alloc_bytes);
+        bump = off + alloc_bytes;
+    }
+
+    const Addr sim = machine_.simOs().poolVirtBaseOf(k) + off;
+    void *host = newHost(alloc_bytes);
+    ownedHost_.insert(host);
+    machine_.addressSpace().registerRange(host, alloc_bytes, sim);
+    return PoolCut{host, off, alloc_bytes};
+}
+
+void *
+AffinityAllocator::largeAlloc(std::size_t bytes, std::uint64_t intrlv,
+                              BankId start_bank, bool partitioned,
+                              std::uint64_t chunk_bytes)
+{
+    if (intrlv % mem::pageSize != 0)
+        panic("large interleaving %llu not page aligned",
+              (unsigned long long)intrlv);
+    const std::uint64_t pages_per_block = intrlv / mem::pageSize;
+    const std::uint64_t num_pages = mem::roundUpPage(bytes) / mem::pageSize;
+    std::vector<BankId> banks(num_pages);
+    for (std::uint64_t i = 0; i < num_pages; ++i)
+        banks[i] = static_cast<BankId>(
+            (start_bank + i / pages_per_block) % numBanks_);
+    const Addr sim = machine_.simOs().allocPagesAtBanks(banks);
+
+    const std::uint64_t alloc_bytes = num_pages * mem::pageSize;
+    void *host = newHost(alloc_bytes);
+    ownedHost_.insert(host);
+    machine_.addressSpace().registerRange(host, alloc_bytes, sim);
+
+    (void)partitioned;
+    (void)chunk_bytes;
+    return host;
+}
+
+void *
+AffinityAllocator::allocInterleaved(std::size_t bytes, std::uint64_t intrlv,
+                                    BankId start_bank)
+{
+    if (bytes == 0)
+        fatal("allocInterleaved of zero bytes");
+    void *host = nullptr;
+    ArrayInfo info;
+    const int k = mem::poolIndexFor(intrlv);
+    if (k >= 0) {
+        const PoolCut cut = poolAllocAligned(bytes, k, start_bank);
+        host = cut.host;
+        info.poolIdx = k;
+        info.poolOffset = cut.offset;
+        info.allocBytes = cut.bytes;
+    } else if (intrlv >= mem::pageSize && intrlv % mem::pageSize == 0) {
+        host = largeAlloc(bytes, intrlv, start_bank, false, 0);
+    } else {
+        fatal("unsupported interleaving %llu", (unsigned long long)intrlv);
+    }
+    info.simBase = machine_.addressSpace().simAddrOf(host);
+    info.bytes = bytes;
+    info.elemSize = 1;
+    info.numElem = bytes;
+    info.intrlv = intrlv;
+    info.startBank = start_bank;
+    record(host, info);
+    stats_.affineAllocs += 1;
+    return host;
+}
+
+// ----------------------------------------------------------- affine API
+
+std::uint64_t
+AffinityAllocator::chooseIntraInterleave(std::uint64_t row_bytes) const
+{
+    const auto &mesh_cfg = machine_.config();
+    const std::uint32_t B = numBanks_;
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::uint64_t best = lineSize_;
+
+    auto avg_dist_for_advance = [&](std::uint64_t adv) {
+        double sum = 0.0;
+        for (BankId b = 0; b < B; ++b)
+            sum += machine_.hopsBetween(b, (b + adv) % B);
+        return sum / B;
+    };
+
+    // Sequential accesses also cross block boundaries: finer
+    // interleavings trade vertical (row-offset) distance for more
+    // frequent horizontal crossings. Weight by crossing frequency.
+    auto seq_cost = [&](std::uint64_t intrlv) {
+        return 0.5 * double(lineSize_) / double(intrlv) *
+               avg_dist_for_advance(1);
+    };
+
+    for (int k = 0; k < mem::numInterleavePools; ++k) {
+        const std::uint64_t intrlv = mem::poolInterleave(k);
+        if (row_bytes % intrlv == 0) {
+            // Fine interleaving: rows advance by a fixed bank offset.
+            const std::uint64_t adv = (row_bytes / intrlv) % B;
+            const double cost =
+                avg_dist_for_advance(adv) + seq_cost(intrlv);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = intrlv;
+            }
+        } else if (intrlv % row_bytes == 0) {
+            // §4.2: several rows fit one bank; only 1-in-k row
+            // transitions cross to the next bank. Coarse blocks trade
+            // bank-level parallelism for locality, so they carry a
+            // balance penalty and only win when fine interleavings
+            // are clearly bad.
+            const double k_rows = double(intrlv / row_bytes);
+            const double cost =
+                avg_dist_for_advance(1) / k_rows + 2.5;
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = intrlv;
+            }
+        }
+    }
+    // One or several rows per page-multiple block (large
+    // interleavings served by page remapping), with the same
+    // parallelism penalty.
+    if (row_bytes % mem::pageSize == 0) {
+        for (std::uint64_t m : {1ull, 2ull, 4ull, 8ull}) {
+            const double cost =
+                avg_dist_for_advance(1) / double(m) + 2.5;
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = m * row_bytes;
+            }
+        }
+    }
+    (void)mesh_cfg;
+    return best;
+}
+
+void *
+AffinityAllocator::mallocAff(const AffineArray &req)
+{
+    if (req.num_elem == 0 || req.elem_size <= 0)
+        fatal("mallocAff: empty affine request");
+    const std::uint64_t elem = static_cast<std::uint64_t>(req.elem_size);
+    const std::uint64_t bytes = elem * req.num_elem;
+
+    ArrayInfo info;
+    info.bytes = bytes;
+    info.elemSize = static_cast<std::uint32_t>(elem);
+    info.numElem = req.num_elem;
+
+    void *host = nullptr;
+
+    if (req.partition) {
+        // Fig. 9: distribute the array evenly across all banks.
+        const std::uint64_t chunk_raw =
+            (bytes + numBanks_ - 1) / numBanks_;
+        if (chunk_raw <= mem::maxPoolInterleave) {
+            const std::uint64_t intrlv =
+                pow2Ceil(std::max<std::uint64_t>(chunk_raw, lineSize_));
+            const int kp = mem::poolIndexFor(intrlv);
+            const PoolCut cut = poolAllocAligned(bytes, kp, 0);
+            host = cut.host;
+            info.poolIdx = kp;
+            info.poolOffset = cut.offset;
+            info.allocBytes = cut.bytes;
+            info.intrlv = intrlv;
+            info.chunkBytes = intrlv;
+        } else {
+            const std::uint64_t chunk = mem::roundUpPage(chunk_raw);
+            host = largeAlloc(bytes, chunk, 0, true, chunk);
+            info.intrlv = chunk;
+            info.chunkBytes = chunk;
+        }
+        info.partitioned = true;
+        info.startBank = 0;
+    } else if (req.align_to != nullptr) {
+        // Eq. 2 / Eq. 3: inter-array affinity.
+        const ArrayInfo *ali = arrayInfo(req.align_to);
+        if (!ali || ali->intrlv == 0 || req.align_p <= 0 ||
+            req.align_q <= 0) {
+            warn("mallocAff: align_to target unknown; falling back");
+            stats_.fallbacks += 1;
+            return allocPlain(bytes);
+        }
+        // intrlv_B = (elem_B / elem_A) * (q / p) * intrlv_A, as a
+        // rational to detect inexact cases.
+        const std::uint64_t num =
+            elem * static_cast<std::uint64_t>(req.align_q) * ali->intrlv;
+        const std::uint64_t den =
+            std::uint64_t(ali->elemSize) *
+            static_cast<std::uint64_t>(req.align_p);
+        const std::int64_t off_bytes =
+            req.align_x * std::int64_t(ali->elemSize);
+        if (num % den != 0 ||
+            (req.align_x != 0 &&
+             off_bytes % std::int64_t(ali->intrlv) != 0)) {
+            stats_.fallbacks += 1;
+            return allocPlain(bytes);
+        }
+        const std::uint64_t intrlv = num / den;
+        // align_x may be negative (B[i] aligns to A[i - |x|]); wrap
+        // the start bank modularly.
+        const std::int64_t blocks =
+            off_bytes / std::int64_t(ali->intrlv);
+        const std::int64_t b = std::int64_t(numBanks_);
+        const BankId start = static_cast<BankId>(
+            ((std::int64_t(ali->startBank) + blocks) % b + b) % b);
+        const int k = mem::poolIndexFor(intrlv);
+        if (k >= 0) {
+            const PoolCut cut = poolAllocAligned(bytes, k, start);
+            host = cut.host;
+            info.poolIdx = k;
+            info.poolOffset = cut.offset;
+            info.allocBytes = cut.bytes;
+        } else if (intrlv >= mem::pageSize &&
+                   intrlv % mem::pageSize == 0) {
+            host = largeAlloc(bytes, intrlv, start,
+                              ali->partitioned, intrlv);
+            info.partitioned = ali->partitioned;
+            info.chunkBytes = ali->partitioned ? intrlv : 0;
+        } else {
+            // Unsupported interleaving (e.g. below a line or not a
+            // power of two): the paper's fallback rule.
+            stats_.fallbacks += 1;
+            return allocPlain(bytes);
+        }
+        info.intrlv = intrlv;
+        info.startBank = start;
+    } else if (req.align_x != 0) {
+        // Intra-array affinity: keep A[i] close to A[i + x].
+        const std::uint64_t row_bytes =
+            static_cast<std::uint64_t>(req.align_x) * elem;
+        const std::uint64_t intrlv = chooseIntraInterleave(row_bytes);
+        const int k = mem::poolIndexFor(intrlv);
+        if (k >= 0) {
+            const PoolCut cut = poolAllocAligned(bytes, k, 0);
+            host = cut.host;
+            info.poolIdx = k;
+            info.poolOffset = cut.offset;
+            info.allocBytes = cut.bytes;
+        } else {
+            host = largeAlloc(bytes, intrlv, 0, false, 0);
+        }
+        info.intrlv = intrlv;
+        info.startBank = 0;
+    } else {
+        // Default: finest interleaving (one cache line).
+        const PoolCut cut = poolAllocAligned(bytes, 0, 0);
+        host = cut.host;
+        info.poolIdx = 0;
+        info.poolOffset = cut.offset;
+        info.allocBytes = cut.bytes;
+        info.intrlv = lineSize_;
+        info.startBank = 0;
+    }
+
+    info.simBase = machine_.addressSpace().simAddrOf(host);
+    record(host, info);
+    stats_.affineAllocs += 1;
+    return host;
+}
+
+// -------------------------------------------------------- irregular API
+
+void
+AffinityAllocator::carveStripe(int k)
+{
+    const std::uint64_t intrlv = mem::poolInterleave(k);
+    Addr &bump = poolBump_[k];
+    Addr off = (bump + intrlv - 1) & ~(intrlv - 1);
+    stats_.alignmentWasteBytes += off - bump;
+    const std::uint64_t stripe = intrlv * numBanks_;
+    machine_.simOs().expandPool(k, off + stripe);
+    const Addr sim_base = machine_.simOs().poolVirtBaseOf(k) + off;
+    bump = off + stripe;
+
+    void *host = newHost(stripe);
+    ownedHost_.insert(host);
+    machine_.addressSpace().registerRange(host, stripe, sim_base);
+
+    for (std::uint32_t s = 0; s < numBanks_; ++s) {
+        const Addr sim = sim_base + Addr(s) * intrlv;
+        const BankId bank =
+            static_cast<BankId>(((off / intrlv) + s) % numBanks_);
+        freeSlots_[k][bank].push_back(
+            Slot{static_cast<char *>(host) + Addr(s) * intrlv, sim});
+    }
+}
+
+BankId
+AffinityAllocator::selectBank(const std::vector<BankId> &affinity_banks)
+{
+    switch (opts_.policy) {
+      case BankPolicy::random:
+        return static_cast<BankId>(rng_.below(numBanks_));
+      case BankPolicy::linear:
+        return nextLinear_++ % numBanks_;
+      case BankPolicy::minHop:
+      case BankPolicy::hybrid:
+        break;
+    }
+
+    if (affinity_banks.empty() && opts_.policy == BankPolicy::minHop) {
+        // No affinity information: every bank scores equally under
+        // Min-Hop, so fall back to a random pick instead of always
+        // returning bank 0.
+        return static_cast<BankId>(rng_.below(numBanks_));
+    }
+    const double H =
+        opts_.policy == BankPolicy::minHop ? 0.0 : opts_.hybridH;
+    const double avg_load =
+        static_cast<double>(totalLoad_) / static_cast<double>(numBanks_);
+    double best_score = std::numeric_limits<double>::infinity();
+    BankId best = 0;
+    for (BankId b = 0; b < numBanks_; ++b) {
+        double avg_hops = 0.0;
+        if (!affinity_banks.empty()) {
+            double sum = 0.0;
+            for (BankId a : affinity_banks)
+                sum += machine_.hopsBetween(b, a);
+            avg_hops = sum / static_cast<double>(affinity_banks.size());
+        }
+        double load_term = 0.0;
+        if (avg_load > 0.0) {
+            load_term = H * (static_cast<double>(bankLoads_[b]) /
+                                 avg_load -
+                             1.0);
+        }
+        const double score = avg_hops + load_term; // Eq. 4
+        if (score < best_score) {
+            best_score = score;
+            best = b;
+        }
+    }
+    return best;
+}
+
+void *
+AffinityAllocator::mallocAff(std::size_t size, int num_aff_addrs,
+                             const void *const *aff_addrs)
+{
+    if (size == 0)
+        fatal("mallocAff: zero-size irregular request");
+    if (size > mem::maxPoolInterleave) {
+        warn("mallocAff: irregular size %zu exceeds max interleaving; "
+             "falling back",
+             size);
+        stats_.fallbacks += 1;
+        return allocPlain(size);
+    }
+    const std::uint64_t intrlv =
+        pow2Ceil(std::max<std::uint64_t>(size, lineSize_));
+    const int k = mem::poolIndexFor(intrlv);
+
+    std::vector<BankId> banks;
+    const std::uint32_t limit =
+        std::min<std::uint32_t>(static_cast<std::uint32_t>(
+                                    std::max(num_aff_addrs, 0)),
+                                opts_.maxAffinityAddrs);
+    banks.reserve(limit);
+    for (std::uint32_t i = 0; i < limit; ++i) {
+        if (!aff_addrs[i])
+            continue;
+        const Addr sim = machine_.addressSpace().trySimAddrOf(aff_addrs[i]);
+        if (sim == invalidAddr)
+            continue;
+        banks.push_back(machine_.bankOfSim(sim));
+    }
+
+    const BankId bank = selectBank(banks);
+    auto &list = freeSlots_[k][bank];
+    if (list.empty())
+        carveStripe(k);
+    if (list.empty())
+        panic("carveStripe did not produce a slot for bank %u", bank);
+    const Slot slot = list.back();
+    list.pop_back();
+
+    bankLoads_[bank] += 1;
+    totalLoad_ += 1;
+    irregular_.emplace(slot.host, std::make_pair(k, bank));
+    stats_.irregularAllocs += 1;
+    return slot.host;
+}
+
+void *
+AffinityAllocator::allocSlotAtBank(std::size_t size, BankId bank)
+{
+    if (size == 0 || size > mem::maxPoolInterleave)
+        fatal("allocSlotAtBank: size %zu unsupported", size);
+    if (bank >= numBanks_)
+        fatal("allocSlotAtBank: bank %u out of range", bank);
+    const std::uint64_t intrlv =
+        pow2Ceil(std::max<std::uint64_t>(size, lineSize_));
+    const int k = mem::poolIndexFor(intrlv);
+    auto &list = freeSlots_[k][bank];
+    if (list.empty())
+        carveStripe(k);
+    const Slot slot = list.back();
+    list.pop_back();
+    bankLoads_[bank] += 1;
+    totalLoad_ += 1;
+    irregular_.emplace(slot.host, std::make_pair(k, bank));
+    stats_.irregularAllocs += 1;
+    return slot.host;
+}
+
+// ---------------------------------------------------------------- free
+
+void
+AffinityAllocator::freeAff(void *ptr)
+{
+    if (auto it = irregular_.find(ptr); it != irregular_.end()) {
+        const auto [k, bank] = it->second;
+        const Addr sim = machine_.addressSpace().simAddrOf(ptr);
+        freeSlots_[k][bank].push_back(Slot{ptr, sim});
+        bankLoads_[bank] -= 1;
+        totalLoad_ -= 1;
+        irregular_.erase(it);
+        stats_.frees += 1;
+        return;
+    }
+    if (auto it = arrays_.find(ptr); it != arrays_.end()) {
+        const ArrayInfo info = it->second;
+        machine_.addressSpace().unregisterRange(ptr);
+        arrays_.erase(it);
+        stats_.frees += 1;
+        if (info.poolIdx >= 0) {
+            // Same-interleaving reuse (§8): the region returns to its
+            // pool's free list and the host backing is released.
+            freeRegions_[info.poolIdx].push_back(
+                FreeRegion{info.poolOffset, info.allocBytes});
+            stats_.freeRegionBytes += info.allocBytes;
+            if (ownedHost_.erase(ptr)) {
+                deleteHost(ptr);
+            }
+        }
+        // Heap / page-at-bank allocations keep their host backing
+        // until destruction; their simulated VA is not recycled.
+        return;
+    }
+    fatal("freeAff of unknown pointer %p", ptr);
+}
+
+void *
+AffinityAllocator::reallocAff(void *ptr, std::size_t new_bytes)
+{
+    if (new_bytes == 0)
+        fatal("reallocAff to zero bytes");
+    if (auto it = irregular_.find(ptr); it != irregular_.end()) {
+        const auto [k, bank] = it->second;
+        const std::uint64_t slot_bytes = mem::poolInterleave(k);
+        if (new_bytes <= slot_bytes)
+            return ptr; // fits the existing size class in place
+        // Move within the same bank so existing affinity holds.
+        void *next = allocSlotAtBank(
+            std::min<std::size_t>(new_bytes, mem::maxPoolInterleave),
+            bank);
+        std::memcpy(next, ptr, slot_bytes);
+        freeAff(ptr);
+        return next;
+    }
+    const ArrayInfo *info = arrayInfo(ptr);
+    if (!info)
+        fatal("reallocAff of unknown pointer %p", ptr);
+    const ArrayInfo old = *info;
+    void *next;
+    if (old.intrlv != 0 && mem::poolIndexFor(old.intrlv) >= 0) {
+        // Preserve interleaving and start bank: alignment to/from
+        // other arrays survives the resize.
+        next = allocInterleaved(new_bytes, old.intrlv, old.startBank);
+    } else if (old.intrlv != 0) {
+        next = largeAlloc(new_bytes, old.intrlv, old.startBank,
+                          old.partitioned, old.chunkBytes);
+        ArrayInfo ninfo = old;
+        ninfo.simBase = machine_.addressSpace().simAddrOf(next);
+        ninfo.bytes = new_bytes;
+        ninfo.poolIdx = -1;
+        record(next, ninfo);
+    } else {
+        next = allocPlain(new_bytes);
+    }
+    std::memcpy(next, ptr,
+                std::min<std::uint64_t>(old.bytes, new_bytes));
+    // Update element bookkeeping on the new record.
+    if (ArrayInfo *ninfo =
+            const_cast<ArrayInfo *>(arrayInfo(next))) {
+        ninfo->elemSize = old.elemSize;
+        ninfo->numElem = new_bytes / std::max<std::uint32_t>(
+                                         1, old.elemSize);
+        ninfo->partitioned = old.partitioned;
+        ninfo->chunkBytes = old.chunkBytes;
+    }
+    freeAff(ptr);
+    return next;
+}
+
+// ------------------------------------------------------------ metadata
+
+void
+AffinityAllocator::record(void *host, ArrayInfo info)
+{
+    arrays_[host] = info;
+}
+
+const ArrayInfo *
+AffinityAllocator::arrayInfo(const void *ptr) const
+{
+    auto it = arrays_.find(ptr);
+    return it == arrays_.end() ? nullptr : &it->second;
+}
+
+BankId
+AffinityAllocator::bankOfElement(const void *array,
+                                 std::uint64_t idx) const
+{
+    const ArrayInfo *info = arrayInfo(array);
+    if (!info)
+        fatal("bankOfElement: %p is not a recorded array", array);
+    return machine_.bankOfSim(info->simBase +
+                              idx * std::uint64_t(info->elemSize));
+}
+
+} // namespace affalloc::alloc

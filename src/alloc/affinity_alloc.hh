@@ -1,0 +1,296 @@
+/**
+ * @file
+ * The affinity alloc runtime (§4.2, §5) — the paper's primary
+ * contribution. The application describes *affinity* (which data
+ * should live near which) through two declarative APIs:
+ *
+ *  - the affine API: malloc_aff(AffineArray) with inter-array
+ *    alignment (align_to + align_p/q/x, Eq. 2/3), intra-array row
+ *    affinity, and a partition flag (Fig. 8, Fig. 9);
+ *  - the irregular API: malloc_aff(size, affinity addresses)
+ *    (Fig. 10), with the bank-select policy of Eq. 4 balancing
+ *    affinity against load.
+ *
+ * The runtime lowers these to interleave-pool allocations (via the
+ * simulated OS) and never exposes microarchitectural details to the
+ * application; it learns the topology from the OS at construction.
+ *
+ * Host backing: the library is execution-driven, so every allocation
+ * returns a *real host pointer* the application reads and writes; the
+ * runtime registers the host range against the simulated range it
+ * occupies so the timing model can locate every byte.
+ */
+
+#ifndef AFFALLOC_ALLOC_AFFINITY_ALLOC_HH
+#define AFFALLOC_ALLOC_AFFINITY_ALLOC_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/address.hh"
+#include "nsc/machine.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace affalloc::alloc
+{
+
+/**
+ * Affine allocation request (Fig. 8(a)). Field names keep the paper's
+ * snake_case spelling since this is the public API the paper defines.
+ */
+struct AffineArray
+{
+    /** Element size in bytes. */
+    int elem_size = 4;
+    /** Number of elements. */
+    std::uint64_t num_elem = 0;
+    /** Pointer to the aligned-to affine array (nullptr: none). */
+    const void *align_to = nullptr;
+    /** Alignment ratio numerator: B[i] aligns to A[(p/q)i + x]. */
+    int align_p = 1;
+    /** Alignment ratio denominator. */
+    int align_q = 1;
+    /** Alignment offset x; with align_to == nullptr, a nonzero x
+     *  requests intra-array affinity between A[i] and A[i+x]. */
+    std::int64_t align_x = 0;
+    /** Evenly distribute the array across all banks (Fig. 9). */
+    bool partition = false;
+};
+
+/** Bank selection policy for irregular allocations (§5.2, Fig. 13). */
+enum class BankPolicy : std::uint8_t
+{
+    /** Uniformly random bank (Rnd). */
+    random,
+    /** Round-robin across banks (Lnr). */
+    linear,
+    /** Minimize average hops to affinity addresses (Min-Hop). */
+    minHop,
+    /** Eq. 4: avg_hops + H * (load/avg_load - 1) (Hybrid-H). */
+    hybrid
+};
+
+/** Human-readable policy name (figure labels). */
+const char *bankPolicyName(BankPolicy p);
+
+/** Runtime construction options. */
+struct AllocatorOptions
+{
+    /** Irregular bank-select policy. */
+    BankPolicy policy = BankPolicy::hybrid;
+    /** Load-balance weight H of Eq. 4 (paper default: Hybrid-5). */
+    double hybridH = 5.0;
+    /** Seed for the random policy. */
+    std::uint64_t seed = 7;
+    /** Max affinity addresses considered per allocation (§5.1). */
+    std::uint32_t maxAffinityAddrs = 32;
+};
+
+/** Metadata the runtime records per affine/plain allocation. */
+struct ArrayInfo
+{
+    /** Simulated virtual base address. */
+    Addr simBase = 0;
+    /** Total bytes (possibly padded). */
+    std::uint64_t bytes = 0;
+    /** Element size. */
+    std::uint32_t elemSize = 0;
+    /** Element count. */
+    std::uint64_t numElem = 0;
+    /** Interleaving in bytes (0: default NUCA heap layout). */
+    std::uint64_t intrlv = 0;
+    /** Bank of element 0. */
+    BankId startBank = 0;
+    /** Whether the partition flag produced a per-bank chunking. */
+    bool partitioned = false;
+    /** Bytes of one per-bank chunk when partitioned. */
+    std::uint64_t chunkBytes = 0;
+    /** Pool the array came from (-1: heap or page-at-bank region). */
+    int poolIdx = -1;
+    /** Pool byte offset of the (padded) allocation. */
+    Addr poolOffset = 0;
+    /** Padded pool bytes actually claimed. */
+    std::uint64_t allocBytes = 0;
+};
+
+/** Allocator statistics (fragmentation / fallback accounting). */
+struct AllocStats
+{
+    /** Affine allocations served from pools. */
+    std::uint64_t affineAllocs = 0;
+    /** Irregular allocations served from pools. */
+    std::uint64_t irregularAllocs = 0;
+    /** Allocations that fell back to the plain heap. */
+    std::uint64_t fallbacks = 0;
+    /** Bytes wasted aligning pool bumps to a start bank. */
+    std::uint64_t alignmentWasteBytes = 0;
+    /** Frees returned to pool free lists. */
+    std::uint64_t frees = 0;
+    /** Affine allocations served by reusing freed pool regions. */
+    std::uint64_t regionReuses = 0;
+    /** Bytes currently sitting in pool free regions. */
+    std::uint64_t freeRegionBytes = 0;
+};
+
+/**
+ * The affinity allocator runtime. One instance per simulated process.
+ * Thread-unsafe by design (the simulation is single-threaded).
+ */
+class AffinityAllocator
+{
+  public:
+    /** Bind to a machine (whose OS provides pools and topology). */
+    explicit AffinityAllocator(nsc::Machine &machine,
+                               AllocatorOptions opts = AllocatorOptions{});
+    ~AffinityAllocator();
+
+    AffinityAllocator(const AffinityAllocator &) = delete;
+    AffinityAllocator &operator=(const AffinityAllocator &) = delete;
+
+    // ------------------------------------------------------ public API
+    /**
+     * Affine allocation (Fig. 8(a)). Returns a host pointer of
+     * elem_size * num_elem bytes laid out per the affinity request,
+     * or a plain heap allocation when the constraints cannot be met
+     * exactly (the paper's fallback rule).
+     */
+    void *mallocAff(const AffineArray &request);
+
+    /**
+     * Irregular allocation (Fig. 10): @p size bytes placed close to
+     * the given affinity addresses, subject to load balance. Sizes
+     * are rounded up to a valid interleaving (64 B .. 4 kB); larger
+     * sizes fall back to the plain heap.
+     */
+    void *mallocAff(std::size_t size, int num_aff_addrs,
+                    const void *const *aff_addrs);
+
+    /** Free either kind of affinity allocation (§5.1 free_aff). */
+    void freeAff(void *ptr);
+
+    /**
+     * Resize an affinity allocation (§8's dynamic-structure hook).
+     * The new array keeps the old one's interleaving and start bank
+     * (so existing alignment relationships survive) and its contents
+     * are copied. Irregular slots resize in place when the rounded
+     * size class is unchanged, else move within the same bank.
+     */
+    void *reallocAff(void *ptr, std::size_t new_bytes);
+
+    /** Plain baseline allocation from the conventional heap. */
+    void *allocPlain(std::size_t bytes, std::size_t align = 64);
+
+    // --------------------------------------------------- low-level API
+    /**
+     * Allocate @p bytes from the pool of @p intrlv with element 0 at
+     * @p start_bank. Used by benchmarks that control layout exactly
+     * (Fig. 4's Delta-bank sweep) and internally by mallocAff.
+     */
+    void *allocInterleaved(std::size_t bytes, std::uint64_t intrlv,
+                           BankId start_bank);
+
+    /**
+     * Allocate one irregular slot pinned to an explicit bank,
+     * bypassing the selection policy. Used by limit studies (Fig. 6's
+     * free chunk remapping) and by co-designed structures that
+     * compute placement themselves.
+     */
+    void *allocSlotAtBank(std::size_t size, BankId bank);
+
+    // ------------------------------------------------------ inspection
+    /** Metadata of an allocation starting at @p ptr, or nullptr. */
+    const ArrayInfo *arrayInfo(const void *ptr) const;
+    /** Bank of element @p idx of a recorded array. */
+    BankId bankOfElement(const void *array, std::uint64_t idx) const;
+    /** Current irregular-allocation load per bank (Eq. 4's load). */
+    const std::vector<std::uint64_t> &bankLoads() const
+    {
+        return bankLoads_;
+    }
+    /** Allocator counters. */
+    const AllocStats &allocStats() const { return stats_; }
+    /** The policy in use. */
+    BankPolicy policy() const { return opts_.policy; }
+    /** Hybrid weight in use. */
+    double hybridH() const { return opts_.hybridH; }
+
+    /**
+     * Bank the policy would select for the given affinity banks
+     * (exposed for tests and for data structures that reason about
+     * placement without allocating).
+     */
+    BankId selectBank(const std::vector<BankId> &affinity_banks);
+
+  private:
+    struct Slot
+    {
+        void *host = nullptr;
+        Addr sim = 0;
+    };
+
+    /** Carve one stripe (numBanks slots) of pool @p k into free lists. */
+    void carveStripe(int k);
+    /** One claimed pool region. */
+    struct PoolCut
+    {
+        void *host = nullptr;
+        Addr offset = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    /** Affine pool allocation core (free-region reuse, then bump). */
+    PoolCut poolAllocAligned(std::size_t bytes, int k, BankId start_bank);
+    /** Large page-multiple interleaving via page-at-bank remapping. */
+    void *largeAlloc(std::size_t bytes, std::uint64_t intrlv,
+                     BankId start_bank, bool partitioned,
+                     std::uint64_t chunk_bytes);
+    /** Record an ArrayInfo keyed by host pointer. */
+    void record(void *host, ArrayInfo info);
+    /** Pick the interleaving for an intra-array affinity request. */
+    std::uint64_t chooseIntraInterleave(std::uint64_t row_bytes) const;
+
+    nsc::Machine &machine_;
+    AllocatorOptions opts_;
+    Rng rng_;
+    std::uint32_t numBanks_;
+    std::uint32_t lineSize_;
+
+    /** A freed affine region inside a pool (reusable for the same
+     *  interleaving only — the paper's fragmentation rule, §8). */
+    struct FreeRegion
+    {
+        Addr offset = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    /** Bump offsets per pool (bytes used from each pool segment). */
+    std::array<Addr, mem::numInterleavePools> poolBump_{};
+    /** Freed affine regions per pool, reusable by poolAllocAligned. */
+    std::array<std::vector<FreeRegion>, mem::numInterleavePools>
+        freeRegions_;
+    /** Free slots per pool per bank. */
+    std::array<std::vector<std::vector<Slot>>, mem::numInterleavePools>
+        freeSlots_;
+    /** Host backing buffers owned by the allocator. */
+    std::unordered_set<void *> ownedHost_;
+
+    /** Irregular load per bank. */
+    std::vector<std::uint64_t> bankLoads_;
+    std::uint64_t totalLoad_ = 0;
+    std::uint32_t nextLinear_ = 0;
+
+    /** Metadata for affine/plain allocations keyed by host pointer. */
+    std::unordered_map<const void *, ArrayInfo> arrays_;
+    /** Live irregular slots keyed by host pointer (value: pool idx). */
+    std::unordered_map<const void *, std::pair<int, BankId>> irregular_;
+
+    AllocStats stats_;
+};
+
+} // namespace affalloc::alloc
+
+#endif // AFFALLOC_ALLOC_AFFINITY_ALLOC_HH

@@ -1,0 +1,143 @@
+#include "ds/dynamic_graph.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace affalloc::ds
+{
+
+DynamicGraph::DynamicGraph(graph::VertexId num_vertices,
+                           alloc::AffinityAllocator &allocator,
+                           const void *vertex_array,
+                           std::uint32_t vertex_elem_size,
+                           bool use_affinity)
+    : allocator_(allocator),
+      vertexArray_(static_cast<const char *>(vertex_array)),
+      vertexElemSize_(vertex_elem_size), useAffinity_(use_affinity),
+      numVertices_(num_vertices),
+      edgesPerNode_((64 - sizeof(LinkedCsrNode)) / 4),
+      degrees_(num_vertices, 0)
+{
+    if (!allocator.arrayInfo(vertex_array))
+        fatal("dynamic graph: vertex array is not a recorded allocation");
+    alloc::AffineArray heads_req;
+    heads_req.elem_size = sizeof(LinkedCsrNode *);
+    heads_req.num_elem = num_vertices;
+    heads_req.align_to = vertex_array;
+    heads_ = static_cast<LinkedCsrNode **>(
+        allocator.mallocAff(heads_req));
+    std::fill_n(heads_, num_vertices, nullptr);
+}
+
+DynamicGraph::~DynamicGraph()
+{
+    for (graph::VertexId u = 0; u < numVertices_; ++u) {
+        LinkedCsrNode *n = heads_[u];
+        while (n) {
+            LinkedCsrNode *next = n->next();
+            allocator_.freeAff(n);
+            n = next;
+        }
+    }
+    allocator_.freeAff(heads_);
+}
+
+void
+DynamicGraph::addEdge(graph::VertexId u, graph::VertexId v)
+{
+    if (u >= numVertices_ || v >= numVertices_)
+        fatal("dynamic graph: edge (%u, %u) out of range", u, v);
+    LinkedCsrNode *head = heads_[u];
+    if (!head || head->count() >= edgesPerNode_) {
+        // New head node placed near the destination vertex (and the
+        // chain it will link to).
+        void *raw;
+        if (useAffinity_) {
+            const void *aff[2] = {
+                vertexArray_ + std::uint64_t(v) * vertexElemSize_,
+                head};
+            raw = allocator_.mallocAff(64, head ? 2 : 1, aff);
+        } else {
+            raw = allocator_.mallocAff(64, 0, nullptr);
+        }
+        auto *node = new (raw) LinkedCsrNode;
+        node->setNext(head);
+        heads_[u] = node;
+        head = node;
+        ++numNodes_;
+    }
+    head->payload()[head->count()] = v;
+    head->setCount(head->count() + 1);
+    ++degrees_[u];
+    ++numEdges_;
+}
+
+bool
+DynamicGraph::removeEdge(graph::VertexId u, graph::VertexId v)
+{
+    LinkedCsrNode *head = heads_[u];
+    for (LinkedCsrNode *n = head; n; n = n->next()) {
+        for (std::uint32_t i = 0; i < n->count(); ++i) {
+            if (n->dst(i) != v)
+                continue;
+            // Swap with the last entry of the head node (the chain's
+            // only partially-filled node), then shrink.
+            n->payload()[i] = head->payload()[head->count() - 1];
+            head->setCount(head->count() - 1);
+            if (head->count() == 0) {
+                heads_[u] = head->next();
+                allocator_.freeAff(head);
+                --numNodes_;
+            }
+            --degrees_[u];
+            --numEdges_;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+DynamicGraph::hasEdge(graph::VertexId u, graph::VertexId v) const
+{
+    for (const LinkedCsrNode *n = heads_[u]; n; n = n->next())
+        for (std::uint32_t i = 0; i < n->count(); ++i)
+            if (n->dst(i) == v)
+                return true;
+    return false;
+}
+
+graph::Csr
+DynamicGraph::toCsr() const
+{
+    std::vector<graph::Edge> edges;
+    edges.reserve(numEdges_);
+    for (graph::VertexId u = 0; u < numVertices_; ++u)
+        for (const LinkedCsrNode *n = heads_[u]; n; n = n->next())
+            for (std::uint32_t i = 0; i < n->count(); ++i)
+                edges.push_back(graph::Edge{u, n->dst(i), 1});
+    return graph::buildCsr(numVertices_, std::move(edges), false, false);
+}
+
+double
+DynamicGraph::averageNodeToDestDistance(nsc::Machine &machine) const
+{
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    for (graph::VertexId u = 0; u < numVertices_; ++u) {
+        for (const LinkedCsrNode *n = heads_[u]; n; n = n->next()) {
+            const BankId nb = machine.bankOfHost(n);
+            for (std::uint32_t i = 0; i < n->count(); ++i) {
+                const BankId vb = machine.bankOfHost(
+                    vertexArray_ +
+                    std::uint64_t(n->dst(i)) * vertexElemSize_);
+                sum += machine.hopsBetween(nb, vb);
+                ++count;
+            }
+        }
+    }
+    return count == 0 ? 0.0 : sum / double(count);
+}
+
+} // namespace affalloc::ds

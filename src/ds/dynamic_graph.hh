@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Dynamic (mutable) linked-CSR graph (§8 "Dynamic Data Structures"):
+ * the pointer-based edge representation makes insertion and deletion
+ * natural, and every new edge node is allocated through the irregular
+ * affinity API so locality is maintained as the graph evolves —
+ * without any re-preprocessing.
+ */
+
+#ifndef AFFALLOC_DS_DYNAMIC_GRAPH_HH
+#define AFFALLOC_DS_DYNAMIC_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/affinity_alloc.hh"
+#include "ds/linked_csr.hh"
+#include "graph/csr.hh"
+
+namespace affalloc::ds
+{
+
+/**
+ * A mutable graph over a fixed vertex set. Per-vertex edge chains of
+ * LinkedCsrNode; nodes are allocated/released through the affinity
+ * runtime as edges come and go.
+ */
+class DynamicGraph
+{
+  public:
+    /**
+     * @param vertex_array per-vertex property array the edge nodes
+     *        should stay close to (recorded by @p allocator)
+     * @param vertex_elem_size bytes per element of the array
+     * @param use_affinity false: placement-oblivious baseline
+     */
+    DynamicGraph(graph::VertexId num_vertices,
+                 alloc::AffinityAllocator &allocator,
+                 const void *vertex_array,
+                 std::uint32_t vertex_elem_size,
+                 bool use_affinity = true);
+    ~DynamicGraph();
+
+    DynamicGraph(const DynamicGraph &) = delete;
+    DynamicGraph &operator=(const DynamicGraph &) = delete;
+
+    /** Add the directed edge u -> v. O(1). */
+    void addEdge(graph::VertexId u, graph::VertexId v);
+
+    /**
+     * Remove one occurrence of u -> v (swap-with-last inside the
+     * chain; empty nodes are freed back to the runtime).
+     * @return true if the edge existed.
+     */
+    bool removeEdge(graph::VertexId u, graph::VertexId v);
+
+    /** Whether u -> v currently exists. */
+    bool hasEdge(graph::VertexId u, graph::VertexId v) const;
+
+    /** Current out-degree of @p u. */
+    std::uint32_t degree(graph::VertexId u) const { return degrees_[u]; }
+    /** Total directed edges. */
+    std::uint64_t numEdges() const { return numEdges_; }
+    /** Vertices. */
+    graph::VertexId numVertices() const { return numVertices_; }
+    /** Live edge nodes. */
+    std::uint64_t numNodes() const { return numNodes_; }
+
+    /** First node of u's chain (nullptr when u has no edges). */
+    LinkedCsrNode *head(graph::VertexId u) const { return heads_[u]; }
+
+    /** Snapshot into a static CSR (validation / analytics). */
+    graph::Csr toCsr() const;
+
+    /**
+     * Mean mesh distance from every edge node to its destination
+     * vertices' banks — the locality metric §8 cares about as the
+     * graph evolves.
+     */
+    double averageNodeToDestDistance(nsc::Machine &machine) const;
+
+  private:
+    alloc::AffinityAllocator &allocator_;
+    const char *vertexArray_;
+    std::uint32_t vertexElemSize_;
+    bool useAffinity_;
+    graph::VertexId numVertices_;
+    std::uint32_t edgesPerNode_;
+    LinkedCsrNode **heads_ = nullptr;
+    std::vector<std::uint32_t> degrees_;
+    std::uint64_t numEdges_ = 0;
+    std::uint64_t numNodes_ = 0;
+};
+
+} // namespace affalloc::ds
+
+#endif // AFFALLOC_DS_DYNAMIC_GRAPH_HH

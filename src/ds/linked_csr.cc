@@ -1,0 +1,103 @@
+#include "ds/linked_csr.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace affalloc::ds
+{
+
+LinkedCsr::LinkedCsr(const graph::Csr &g,
+                     alloc::AffinityAllocator &allocator,
+                     const void *vertex_array,
+                     std::uint32_t vertex_elem_size, LinkedCsrOptions opts)
+    : allocator_(allocator), numVertices_(g.numVertices),
+      nodeBytes_(opts.nodeBytes)
+{
+    if (opts.nodeBytes < 64 || (opts.nodeBytes & (opts.nodeBytes - 1)))
+        fatal("linked CSR node size must be a power of two >= 64");
+    if (opts.weighted && g.weights.empty())
+        fatal("weighted linked CSR requires a weighted source graph");
+    const std::uint32_t entry_bytes = opts.weighted ? 8 : 4;
+    // The packed header stores the count in the next pointer's free
+    // alignment bits, which bounds a node at 31 entries.
+    edgesPerNode_ = std::min<std::uint32_t>(
+        (opts.nodeBytes - sizeof(LinkedCsrNode)) / entry_bytes, 31);
+
+    const alloc::ArrayInfo *vinfo = allocator.arrayInfo(vertex_array);
+    if (!vinfo)
+        fatal("linked CSR vertex array is not a recorded allocation");
+
+    // Heads array aligned element-for-element with the vertex
+    // property array so head lookups are local to vertex streams.
+    alloc::AffineArray heads_req;
+    heads_req.elem_size = sizeof(LinkedCsrNode *);
+    heads_req.num_elem = numVertices_;
+    heads_req.align_to = vertex_array;
+    heads_ = static_cast<LinkedCsrNode **>(allocator.mallocAff(heads_req));
+    std::fill_n(heads_, numVertices_, nullptr);
+
+    const auto *vbytes = static_cast<const char *>(vertex_array);
+    std::vector<const void *> aff;
+    aff.reserve(edgesPerNode_);
+
+    for (graph::VertexId v = 0; v < numVertices_; ++v) {
+        LinkedCsrNode *tail = nullptr;
+        const std::uint64_t begin = g.rowOffsets[v];
+        const std::uint64_t end = g.rowOffsets[v + 1];
+        for (std::uint64_t e = begin; e < end; e += edgesPerNode_) {
+            const std::uint32_t n = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(edgesPerNode_, end - e));
+
+            void *raw;
+            if (opts.useAffinity && opts.affinityToOwner) {
+                // Pull-style placement: colocate with the owner.
+                const void *owner =
+                    vbytes + std::uint64_t(v) * vertex_elem_size;
+                raw = allocator.mallocAff(nodeBytes_, 1, &owner);
+            } else if (opts.useAffinity) {
+                // Affinity addresses: the destination vertices'
+                // property slots (sampled to the API's limit).
+                aff.clear();
+                for (std::uint32_t i = 0; i < n; ++i) {
+                    aff.push_back(vbytes + std::uint64_t(g.edges[e + i]) *
+                                               vertex_elem_size);
+                }
+                raw = allocator.mallocAff(nodeBytes_,
+                                          static_cast<int>(aff.size()),
+                                          aff.data());
+            } else {
+                raw = allocator.mallocAff(nodeBytes_, 0, nullptr);
+            }
+
+            auto *node = new (raw) LinkedCsrNode;
+            node->setCount(n);
+            node->setWeighted(opts.weighted);
+            for (std::uint32_t i = 0; i < n; ++i) {
+                if (opts.weighted) {
+                    node->payload()[2 * i] = g.edges[e + i];
+                    node->payload()[2 * i + 1] = g.weights[e + i];
+                } else {
+                    node->payload()[i] = g.edges[e + i];
+                }
+            }
+            if (tail)
+                tail->setNext(node);
+            else
+                heads_[v] = node;
+            tail = node;
+            allNodes_.push_back(node);
+            ++numNodes_;
+        }
+    }
+}
+
+LinkedCsr::~LinkedCsr()
+{
+    for (LinkedCsrNode *n : allNodes_)
+        allocator_.freeAff(n);
+    if (heads_)
+        allocator_.freeAff(heads_);
+}
+
+} // namespace affalloc::ds

@@ -1,0 +1,176 @@
+#include "ds/pointer_structs.hh"
+
+#include "sim/log.hh"
+
+namespace affalloc::ds
+{
+
+// ---------------------------------------------------------- AffinityList
+
+AffinityList::~AffinityList()
+{
+    ListNode *n = head_;
+    while (n) {
+        ListNode *next = n->next;
+        allocator_.freeAff(n);
+        n = next;
+    }
+}
+
+ListNode *
+AffinityList::append(std::uint64_t key, std::uint64_t value)
+{
+    // Fig. 10: allocate the new node near the previous one.
+    const void *aff[1] = {tail_};
+    void *raw;
+    if (!useAffinity_)
+        raw = allocator_.allocPlain(sizeof(ListNode));
+    else if (tail_)
+        raw = allocator_.mallocAff(sizeof(ListNode), 1, aff);
+    else
+        raw = allocator_.mallocAff(sizeof(ListNode), 0, nullptr);
+    auto *node = new (raw) ListNode;
+    node->key = key;
+    node->value = value;
+    node->next = nullptr;
+    if (tail_)
+        tail_->next = node;
+    else
+        head_ = node;
+    tail_ = node;
+    ++size_;
+    return node;
+}
+
+const ListNode *
+AffinityList::find(std::uint64_t key) const
+{
+    for (const ListNode *n = head_; n; n = n->next)
+        if (n->key == key)
+            return n;
+    return nullptr;
+}
+
+// ---------------------------------------------------------- AffinityTree
+
+namespace
+{
+
+void
+freeSubtree(alloc::AffinityAllocator &allocator, TreeNode *n)
+{
+    if (!n)
+        return;
+    freeSubtree(allocator, n->left);
+    freeSubtree(allocator, n->right);
+    allocator.freeAff(n);
+}
+
+} // namespace
+
+AffinityTree::~AffinityTree()
+{
+    freeSubtree(allocator_, root_);
+}
+
+TreeNode *
+AffinityTree::insert(std::uint64_t key, std::uint64_t value)
+{
+    TreeNode *parent = nullptr;
+    TreeNode **slot = &root_;
+    while (*slot) {
+        parent = *slot;
+        slot = key < parent->key ? &parent->left : &parent->right;
+    }
+    const void *aff[1] = {parent};
+    void *raw;
+    if (!useAffinity_)
+        raw = allocator_.allocPlain(sizeof(TreeNode));
+    else if (parent)
+        raw = allocator_.mallocAff(sizeof(TreeNode), 1, aff);
+    else
+        raw = allocator_.mallocAff(sizeof(TreeNode), 0, nullptr);
+    auto *node = new (raw) TreeNode;
+    node->key = key;
+    node->value = value;
+    *slot = node;
+    ++size_;
+    return node;
+}
+
+const TreeNode *
+AffinityTree::find(std::uint64_t key) const
+{
+    const TreeNode *n = root_;
+    while (n && n->key != key)
+        n = key < n->key ? n->left : n->right;
+    return n;
+}
+
+// ---------------------------------------------------------- HashJoinTable
+
+HashJoinTable::HashJoinTable(alloc::AffinityAllocator &allocator,
+                             std::uint64_t num_buckets, bool use_affinity)
+    : allocator_(allocator), numBuckets_(num_buckets),
+      useAffinity_(use_affinity)
+{
+    if (num_buckets == 0 || (num_buckets & (num_buckets - 1)) != 0)
+        fatal("hash table bucket count must be a power of two");
+    int bits = 0;
+    while ((std::uint64_t(1) << bits) < num_buckets)
+        ++bits;
+    shift_ = 64 - bits;
+
+    if (useAffinity_) {
+        alloc::AffineArray req;
+        req.elem_size = sizeof(ListNode *);
+        req.num_elem = numBuckets_;
+        req.partition = true;
+        buckets_ =
+            static_cast<ListNode **>(allocator.mallocAff(req));
+    } else {
+        buckets_ = static_cast<ListNode **>(
+            allocator.allocPlain(numBuckets_ * sizeof(ListNode *)));
+    }
+    for (std::uint64_t b = 0; b < numBuckets_; ++b)
+        buckets_[b] = nullptr;
+}
+
+HashJoinTable::~HashJoinTable()
+{
+    for (ListNode *n : nodes_)
+        allocator_.freeAff(n);
+    allocator_.freeAff(buckets_);
+}
+
+void
+HashJoinTable::insert(std::uint64_t key, std::uint64_t value)
+{
+    const std::uint64_t b = bucketOf(key);
+    void *raw;
+    if (useAffinity_) {
+        // Chain nodes are placed near the bucket-head slot.
+        const void *aff[1] = {&buckets_[b]};
+        raw = allocator_.mallocAff(sizeof(ListNode), 1, aff);
+    } else {
+        raw = allocator_.allocPlain(sizeof(ListNode));
+    }
+    auto *node = new (raw) ListNode;
+    node->key = key;
+    node->value = value;
+    node->next = buckets_[b];
+    buckets_[b] = node;
+    nodes_.push_back(node);
+    ++size_;
+}
+
+const ListNode *
+HashJoinTable::probe(std::uint64_t key) const
+{
+    for (const ListNode *n = buckets_[bucketOf(key)]; n; n = n->next)
+        if (n->key == key)
+            return n;
+    return nullptr;
+}
+
+} // namespace affalloc::ds

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Pointer-based data structures allocated through the irregular
+ * affinity API (§5.1, Fig. 10): singly linked lists, an unbalanced
+ * binary search tree, and a chained hash table for hash joins. Each
+ * node is one 64 B irregular slot; inserts pass the structurally
+ * adjacent node(s) as affinity addresses so the runtime can colocate
+ * chains subject to load balance.
+ */
+
+#ifndef AFFALLOC_DS_POINTER_STRUCTS_HH
+#define AFFALLOC_DS_POINTER_STRUCTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/affinity_alloc.hh"
+
+namespace affalloc::ds
+{
+
+/** Linked-list node (padded to one cache line). */
+struct ListNode
+{
+    ListNode *next = nullptr;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+    char pad[64 - 3 * sizeof(std::uint64_t)];
+};
+static_assert(sizeof(ListNode) == 64);
+
+/**
+ * Singly linked list built with malloc_aff(size, {prev}) exactly as
+ * Fig. 10's linked_list_append.
+ */
+class AffinityList
+{
+  public:
+    /** @param use_affinity false: plain-heap baseline layout. */
+    explicit AffinityList(alloc::AffinityAllocator &allocator,
+                          bool use_affinity = true)
+        : allocator_(allocator), useAffinity_(use_affinity)
+    {}
+    ~AffinityList();
+
+    AffinityList(const AffinityList &) = delete;
+    AffinityList &operator=(const AffinityList &) = delete;
+
+    /** Append a node holding @p key at the tail. */
+    ListNode *append(std::uint64_t key, std::uint64_t value = 0);
+
+    ListNode *head() const { return head_; }
+    std::uint64_t size() const { return size_; }
+
+    /** Find the first node with @p key (host-functional). */
+    const ListNode *find(std::uint64_t key) const;
+
+  private:
+    alloc::AffinityAllocator &allocator_;
+    bool useAffinity_ = true;
+    ListNode *head_ = nullptr;
+    ListNode *tail_ = nullptr;
+    std::uint64_t size_ = 0;
+};
+
+/** Binary search tree node (padded to one cache line). */
+struct TreeNode
+{
+    TreeNode *left = nullptr;
+    TreeNode *right = nullptr;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+    char pad[64 - 2 * sizeof(void *) - 2 * sizeof(std::uint64_t)];
+};
+static_assert(sizeof(TreeNode) == 64);
+
+/**
+ * Unbalanced binary search tree (bin_tree workload: keys inserted in
+ * random order without rebalancing). Inserts pass the parent node as
+ * the affinity address.
+ */
+class AffinityTree
+{
+  public:
+    /** @param use_affinity false: plain-heap baseline layout. */
+    explicit AffinityTree(alloc::AffinityAllocator &allocator,
+                          bool use_affinity = true)
+        : allocator_(allocator), useAffinity_(use_affinity)
+    {}
+    ~AffinityTree();
+
+    AffinityTree(const AffinityTree &) = delete;
+    AffinityTree &operator=(const AffinityTree &) = delete;
+
+    /** Insert @p key (duplicates go right). */
+    TreeNode *insert(std::uint64_t key, std::uint64_t value = 0);
+
+    TreeNode *root() const { return root_; }
+    std::uint64_t size() const { return size_; }
+
+    /** Find a node with @p key (host-functional). */
+    const TreeNode *find(std::uint64_t key) const;
+
+  private:
+    alloc::AffinityAllocator &allocator_;
+    bool useAffinity_ = true;
+    TreeNode *root_ = nullptr;
+    std::uint64_t size_ = 0;
+};
+
+/**
+ * Chained hash table for the hash_join workload. The bucket-head
+ * array is allocated with the affine API (partitioned across banks);
+ * chain nodes are irregular slots with the bucket head slot as the
+ * affinity address, so probing a bucket stays within its bank.
+ */
+class HashJoinTable
+{
+  public:
+    /**
+     * @param num_buckets power of two
+     * @param use_affinity false: plain-heap baseline layout
+     */
+    HashJoinTable(alloc::AffinityAllocator &allocator,
+                  std::uint64_t num_buckets, bool use_affinity);
+    ~HashJoinTable();
+
+    HashJoinTable(const HashJoinTable &) = delete;
+    HashJoinTable &operator=(const HashJoinTable &) = delete;
+
+    /** Insert a (key, value) pair. */
+    void insert(std::uint64_t key, std::uint64_t value);
+
+    /** Probe: returns the matching node or nullptr. */
+    const ListNode *probe(std::uint64_t key) const;
+
+    /** Bucket index of @p key. */
+    std::uint64_t
+    bucketOf(std::uint64_t key) const
+    {
+        // Fibonacci hash.
+        return (key * 0x9e3779b97f4a7c15ULL) >> shift_;
+    }
+    /** Host pointer of bucket @p b's head slot. */
+    ListNode *const *bucketHead(std::uint64_t b) const
+    {
+        return &buckets_[b];
+    }
+    std::uint64_t numBuckets() const { return numBuckets_; }
+    std::uint64_t size() const { return size_; }
+
+  private:
+    alloc::AffinityAllocator &allocator_;
+    std::uint64_t numBuckets_;
+    int shift_;
+    bool useAffinity_;
+    ListNode **buckets_ = nullptr;
+    std::vector<ListNode *> nodes_;
+    std::uint64_t size_ = 0;
+};
+
+} // namespace affalloc::ds
+
+#endif // AFFALLOC_DS_POINTER_STRUCTS_HH

@@ -1,0 +1,146 @@
+#include "ds/spatial_pq.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace affalloc::ds
+{
+
+SpatialPriorityQueue::SpatialPriorityQueue(
+    alloc::AffinityAllocator &allocator, const void *aligned_array,
+    std::uint64_t num_elems, std::uint32_t num_partitions,
+    std::uint32_t capacity_factor)
+    : allocator_(allocator), numElems_(num_elems),
+      numPartitions_(num_partitions)
+{
+    if (num_elems == 0 || num_partitions == 0 || capacity_factor == 0)
+        fatal("spatial priority queue: empty configuration");
+    if (!allocator.arrayInfo(aligned_array))
+        fatal("spatial priority queue: aligned array is not recorded");
+
+    capacity_ = static_cast<std::uint32_t>(
+        (num_elems * capacity_factor + num_partitions - 1) /
+        num_partitions);
+
+    // Heap storage aligned to the partitioned array, exactly like the
+    // FIFO spatial queue's storage (Fig. 9).
+    alloc::AffineArray req;
+    req.elem_size = sizeof(PqEntry);
+    req.num_elem = std::uint64_t(capacity_) * num_partitions;
+    req.align_to = aligned_array;
+    req.align_p = 1;
+    req.align_q = static_cast<int>(capacity_factor);
+    storage_ = static_cast<PqEntry *>(allocator.mallocAff(req));
+    sizes_.assign(num_partitions, 0);
+}
+
+SpatialPriorityQueue::~SpatialPriorityQueue()
+{
+    allocator_.freeAff(storage_);
+}
+
+void
+SpatialPriorityQueue::siftUp(std::uint32_t p, std::uint32_t idx)
+{
+    while (idx > 0) {
+        const std::uint32_t parent = (idx - 1) / 2;
+        if (at(p, parent).priority <= at(p, idx).priority)
+            break;
+        std::swap(at(p, parent), at(p, idx));
+        ++heapMoves_;
+        idx = parent;
+    }
+}
+
+void
+SpatialPriorityQueue::siftDown(std::uint32_t p, std::uint32_t idx)
+{
+    const std::uint32_t n = sizes_[p];
+    while (true) {
+        const std::uint32_t l = 2 * idx + 1;
+        const std::uint32_t r = 2 * idx + 2;
+        std::uint32_t best = idx;
+        if (l < n && at(p, l).priority < at(p, best).priority)
+            best = l;
+        if (r < n && at(p, r).priority < at(p, best).priority)
+            best = r;
+        if (best == idx)
+            break;
+        std::swap(at(p, best), at(p, idx));
+        ++heapMoves_;
+        idx = best;
+    }
+}
+
+void
+SpatialPriorityQueue::push(std::uint32_t id, std::uint32_t priority)
+{
+    const std::uint32_t p = partitionOf(id);
+    if (sizes_[p] >= capacity_) {
+        spills_.push_back(PqEntry{id, priority});
+        ++size_;
+        return;
+    }
+    at(p, sizes_[p]) = PqEntry{id, priority};
+    siftUp(p, sizes_[p]);
+    ++sizes_[p];
+    ++size_;
+}
+
+bool
+SpatialPriorityQueue::popLocal(std::uint32_t p, PqEntry &out)
+{
+    if (sizes_[p] == 0)
+        return false;
+    out = at(p, 0);
+    --sizes_[p];
+    if (sizes_[p] > 0) {
+        at(p, 0) = at(p, sizes_[p]);
+        siftDown(p, 0);
+    }
+    --size_;
+    return true;
+}
+
+bool
+SpatialPriorityQueue::popRelaxed(Rng &rng, PqEntry &out, int samples)
+{
+    if (size_ == 0)
+        return false;
+    // Drain spills eagerly (rare overflow path).
+    if (!spills_.empty()) {
+        auto it = std::min_element(spills_.begin(), spills_.end(),
+                                   [](const PqEntry &a, const PqEntry &b) {
+                                       return a.priority < b.priority;
+                                   });
+        out = *it;
+        spills_.erase(it);
+        --size_;
+        return true;
+    }
+    // MultiQueues: sample sub-queues, pop the best non-empty one.
+    std::uint32_t best = numPartitions_;
+    for (int s = 0; s < samples; ++s) {
+        const std::uint32_t p =
+            static_cast<std::uint32_t>(rng.below(numPartitions_));
+        if (sizes_[p] == 0)
+            continue;
+        if (best == numPartitions_ ||
+            at(p, 0).priority < at(best, 0).priority) {
+            best = p;
+        }
+    }
+    if (best == numPartitions_) {
+        // All samples empty: linear fallback keeps pop total.
+        for (std::uint32_t p = 0; p < numPartitions_; ++p) {
+            if (sizes_[p] != 0) {
+                best = p;
+                break;
+            }
+        }
+    }
+    return popLocal(best, out);
+}
+
+} // namespace affalloc::ds

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Spatially distributed relaxed priority queue (§4.2: "Priority
+ * queues, e.g. MultiQueues, can also be implemented as one queue per
+ * bank"). One binary heap per partition, with storage aligned to a
+ * partitioned array so pushes for partition-local ids are bank-local;
+ * pops follow the MultiQueues discipline (sample a few sub-queues,
+ * take the best), trading strict ordering for locality and
+ * parallelism.
+ */
+
+#ifndef AFFALLOC_DS_SPATIAL_PQ_HH
+#define AFFALLOC_DS_SPATIAL_PQ_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/affinity_alloc.hh"
+#include "sim/rng.hh"
+
+namespace affalloc::ds
+{
+
+/** One (id, priority) entry. */
+struct PqEntry
+{
+    std::uint32_t id = 0;
+    std::uint32_t priority = 0;
+};
+
+/**
+ * The distributed priority queue. Functionally a relaxed min-queue
+ * over ids in [0, num_elems); each id is owned by the partition of
+ * the aligned array that holds its element.
+ */
+class SpatialPriorityQueue
+{
+  public:
+    /**
+     * @param aligned_array the partitioned array the heaps align to
+     * @param num_elems id space size
+     * @param num_partitions sub-queue count (paper: one per bank)
+     * @param capacity_factor per-partition heap capacity multiplier
+     */
+    SpatialPriorityQueue(alloc::AffinityAllocator &allocator,
+                         const void *aligned_array,
+                         std::uint64_t num_elems,
+                         std::uint32_t num_partitions,
+                         std::uint32_t capacity_factor = 2);
+    ~SpatialPriorityQueue();
+
+    SpatialPriorityQueue(const SpatialPriorityQueue &) = delete;
+    SpatialPriorityQueue &operator=(const SpatialPriorityQueue &) =
+        delete;
+
+    /** Partition owning id @p v. */
+    std::uint32_t
+    partitionOf(std::uint32_t v) const
+    {
+        return static_cast<std::uint32_t>(
+            std::uint64_t(v) * numPartitions_ / numElems_);
+    }
+
+    /** Push (id, priority) into id's local sub-heap. */
+    void push(std::uint32_t id, std::uint32_t priority);
+
+    /**
+     * Relaxed pop (MultiQueues): sample @p samples sub-heaps with the
+     * supplied RNG and pop the smallest of their minima. Returns
+     * false when the whole structure is empty.
+     */
+    bool popRelaxed(Rng &rng, PqEntry &out, int samples = 2);
+
+    /** Pop the minimum of one partition; false if it is empty. */
+    bool popLocal(std::uint32_t partition, PqEntry &out);
+
+    /** Total entries across all sub-heaps. */
+    std::uint64_t size() const { return size_; }
+    /** True when no entries remain. */
+    bool empty() const { return size_ == 0; }
+    /** Number of heap-node moves performed (timing proxy). */
+    std::uint64_t heapMoves() const { return heapMoves_; }
+    /** Number of partitions. */
+    std::uint32_t numPartitions() const { return numPartitions_; }
+
+    /** Host pointer of partition @p p's heap storage (timing hook). */
+    const PqEntry *
+    heapStorage(std::uint32_t p) const
+    {
+        return storage_ + std::uint64_t(p) * capacity_;
+    }
+    /** Current entry count of partition @p p. */
+    std::uint32_t heapSize(std::uint32_t p) const { return sizes_[p]; }
+
+  private:
+    void siftUp(std::uint32_t p, std::uint32_t idx);
+    void siftDown(std::uint32_t p, std::uint32_t idx);
+    PqEntry &at(std::uint32_t p, std::uint32_t idx)
+    {
+        return storage_[std::uint64_t(p) * capacity_ + idx];
+    }
+
+    alloc::AffinityAllocator &allocator_;
+    std::uint64_t numElems_;
+    std::uint32_t numPartitions_;
+    std::uint32_t capacity_;
+    PqEntry *storage_ = nullptr;
+    std::vector<std::uint32_t> sizes_;
+    std::vector<PqEntry> spills_; // overflow safety net
+    std::uint64_t size_ = 0;
+    std::uint64_t heapMoves_ = 0;
+};
+
+} // namespace affalloc::ds
+
+#endif // AFFALLOC_DS_SPATIAL_PQ_HH

@@ -1,0 +1,100 @@
+#include "ds/spatial_queue.hh"
+
+#include "sim/log.hh"
+
+namespace affalloc::ds
+{
+
+SpatialQueue::SpatialQueue(alloc::AffinityAllocator &allocator,
+                           const void *aligned_array,
+                           std::uint64_t num_elems,
+                           std::uint32_t num_partitions,
+                           std::uint32_t capacity_factor)
+    : allocator_(allocator), numElems_(num_elems),
+      numPartitions_(num_partitions)
+{
+    if (num_elems == 0 || num_partitions == 0 || capacity_factor == 0)
+        fatal("spatial queue: empty configuration");
+    if (!allocator.arrayInfo(aligned_array))
+        fatal("spatial queue: aligned array is not a recorded allocation");
+
+    capacity_ = static_cast<std::uint32_t>(
+        (num_elems * capacity_factor + num_partitions - 1) /
+        num_partitions);
+
+    // Storage: Q[i] aligns to V[i / capacity_factor] (Fig. 9), i.e.
+    // align_p = 1, align_q = capacity_factor in Eq. 2.
+    alloc::AffineArray q_req;
+    q_req.elem_size = sizeof(std::uint32_t);
+    q_req.num_elem = std::uint64_t(capacity_) * num_partitions;
+    q_req.align_to = aligned_array;
+    q_req.align_p = 1;
+    q_req.align_q = static_cast<int>(capacity_factor);
+    storage_ =
+        static_cast<std::uint32_t *>(allocator.mallocAff(q_req));
+
+    // Tails: one line-padded counter pinned to each partition's bank
+    // (the co-designed structure computes placement itself through
+    // the low-level runtime API).
+    tailSlots_.resize(num_partitions);
+    for (std::uint32_t p = 0; p < num_partitions; ++p) {
+        const std::uint64_t first =
+            std::uint64_t(p) * num_elems / num_partitions;
+        const BankId bank = allocator.bankOfElement(aligned_array, first);
+        tailSlots_[p] =
+            static_cast<std::uint32_t *>(allocator.allocSlotAtBank(
+                64, bank));
+        *tailSlots_[p] = 0;
+    }
+    counts_.assign(num_partitions, 0);
+}
+
+SpatialQueue::~SpatialQueue()
+{
+    for (auto *t : tailSlots_)
+        allocator_.freeAff(t);
+    if (storage_)
+        allocator_.freeAff(storage_);
+}
+
+std::uint32_t
+SpatialQueue::push(std::uint32_t v)
+{
+    const std::uint32_t p = partitionOf(v);
+    std::uint32_t &tail = *tailSlots_[p];
+    if (tail >= capacity_) {
+        spills_.push_back(v);
+        return capacity_;
+    }
+    const std::uint32_t idx = tail++;
+    storage_[std::uint64_t(p) * capacity_ + idx] = v;
+    counts_[p] = tail;
+    return idx;
+}
+
+std::span<const std::uint32_t>
+SpatialQueue::partition(std::uint32_t p) const
+{
+    return {storage_ + std::uint64_t(p) * capacity_, counts_[p]};
+}
+
+std::uint64_t
+SpatialQueue::size() const
+{
+    std::uint64_t total = spills_.size();
+    for (std::uint32_t c : counts_)
+        total += c;
+    return total;
+}
+
+void
+SpatialQueue::clear()
+{
+    for (std::uint32_t p = 0; p < numPartitions_; ++p) {
+        *tailSlots_[p] = 0;
+        counts_[p] = 0;
+    }
+    spills_.clear();
+}
+
+} // namespace affalloc::ds

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Spatially distributed work queue (§4.2, Fig. 9): one sub-queue per
+ * vertex partition, with storage and tail counters aligned to the
+ * partitioned vertex array so pushes from a partition's bank are
+ * local. Replaces the global frontier queue of push-based BFS/SSSP.
+ */
+
+#ifndef AFFALLOC_DS_SPATIAL_QUEUE_HH
+#define AFFALLOC_DS_SPATIAL_QUEUE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "alloc/affinity_alloc.hh"
+#include "sim/types.hh"
+
+namespace affalloc::ds
+{
+
+/**
+ * The distributed queue. Functionally a bag partitioned by element
+ * id; each partition's storage and (line-padded) tail counter live in
+ * the bank owning that partition of the aligned array.
+ */
+class SpatialQueue
+{
+  public:
+    /**
+     * @param aligned_array host pointer of the partitioned array the
+     *        queue aligns to (recorded by @p allocator)
+     * @param num_elems logical id space [0, num_elems)
+     * @param num_partitions sub-queue count (paper: one per bank)
+     * @param capacity_factor per-partition capacity as a multiple of
+     *        num_elems / num_partitions (SSSP re-pushes need > 1)
+     */
+    SpatialQueue(alloc::AffinityAllocator &allocator,
+                 const void *aligned_array, std::uint64_t num_elems,
+                 std::uint32_t num_partitions,
+                 std::uint32_t capacity_factor = 2);
+    ~SpatialQueue();
+
+    SpatialQueue(const SpatialQueue &) = delete;
+    SpatialQueue &operator=(const SpatialQueue &) = delete;
+
+    /** Partition owning id @p v. */
+    std::uint32_t
+    partitionOf(std::uint32_t v) const
+    {
+        return static_cast<std::uint32_t>(
+            std::uint64_t(v) * numPartitions_ / numElems_);
+    }
+
+    /**
+     * Push @p v into its local sub-queue. Returns the slot index
+     * within the partition. Overflow falls back to a (remote) spill
+     * vector — functionally lossless, counted for the caller.
+     */
+    std::uint32_t push(std::uint32_t v);
+
+    /** Elements currently in partition @p p (excluding spills). */
+    std::span<const std::uint32_t> partition(std::uint32_t p) const;
+    /** Spilled elements (overflow); usually empty. */
+    const std::vector<std::uint32_t> &spills() const { return spills_; }
+    /** Total elements across partitions and spills. */
+    std::uint64_t size() const;
+    /** Reset all tails (start of an iteration). */
+    void clear();
+
+    /** Number of partitions. */
+    std::uint32_t numPartitions() const { return numPartitions_; }
+    /** Per-partition capacity. */
+    std::uint32_t capacity() const { return capacity_; }
+
+    // ------------------------------------------------- timing hooks
+    /** Host pointer of slot @p idx of partition @p p. */
+    const std::uint32_t *
+    slotPtr(std::uint32_t p, std::uint32_t idx) const
+    {
+        return storage_ + std::uint64_t(p) * capacity_ + idx;
+    }
+    /** Host pointer of partition @p p's tail counter. */
+    const std::uint32_t *tailPtr(std::uint32_t p) const
+    {
+        return tailSlots_[p];
+    }
+
+  private:
+    alloc::AffinityAllocator &allocator_;
+    std::uint64_t numElems_;
+    std::uint32_t numPartitions_;
+    std::uint32_t capacity_;
+    std::uint32_t *storage_ = nullptr;
+    std::vector<std::uint32_t *> tailSlots_;
+    std::vector<std::uint32_t> counts_;
+    std::vector<std::uint32_t> spills_;
+};
+
+} // namespace affalloc::ds
+
+#endif // AFFALLOC_DS_SPATIAL_QUEUE_HH

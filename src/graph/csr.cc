@@ -1,0 +1,103 @@
+#include "graph/csr.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace affalloc::graph
+{
+
+void
+Csr::validate() const
+{
+    if (rowOffsets.size() != std::size_t(numVertices) + 1)
+        panic("CSR rowOffsets size mismatch");
+    if (rowOffsets.front() != 0 || rowOffsets.back() != edges.size())
+        panic("CSR rowOffsets endpoints inconsistent");
+    for (VertexId v = 0; v < numVertices; ++v)
+        if (rowOffsets[v] > rowOffsets[v + 1])
+            panic("CSR rowOffsets not monotone at vertex %u", v);
+    for (VertexId dst : edges)
+        if (dst >= numVertices)
+            panic("CSR edge destination %u out of range", dst);
+    if (!weights.empty() && weights.size() != edges.size())
+        panic("CSR weights size mismatch");
+}
+
+Csr
+Csr::transpose() const
+{
+    Csr t;
+    t.numVertices = numVertices;
+    t.rowOffsets.assign(std::size_t(numVertices) + 1, 0);
+    for (VertexId dst : edges)
+        ++t.rowOffsets[dst + 1];
+    for (VertexId v = 0; v < numVertices; ++v)
+        t.rowOffsets[v + 1] += t.rowOffsets[v];
+    t.edges.resize(edges.size());
+    if (!weights.empty())
+        t.weights.resize(edges.size());
+    std::vector<std::uint64_t> cursor(t.rowOffsets.begin(),
+                                      t.rowOffsets.end() - 1);
+    for (VertexId src = 0; src < numVertices; ++src) {
+        for (std::uint64_t e = rowOffsets[src]; e < rowOffsets[src + 1];
+             ++e) {
+            const std::uint64_t slot = cursor[edges[e]]++;
+            t.edges[slot] = src;
+            if (!weights.empty())
+                t.weights[slot] = weights[e];
+        }
+    }
+    return t;
+}
+
+Csr
+buildCsr(VertexId num_vertices, std::vector<Edge> edges, bool symmetrize,
+         bool keep_weights)
+{
+    if (symmetrize) {
+        const std::size_t n = edges.size();
+        edges.reserve(n * 2);
+        for (std::size_t i = 0; i < n; ++i)
+            edges.push_back(
+                Edge{edges[i].dst, edges[i].src, edges[i].weight});
+    }
+    // Drop self loops, sort, and dedup (first weight wins).
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [](const Edge &e) {
+                                   return e.src == e.dst;
+                               }),
+                edges.end());
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge &a, const Edge &b) {
+                  return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+              });
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const Edge &a, const Edge &b) {
+                                return a.src == b.src && a.dst == b.dst;
+                            }),
+                edges.end());
+
+    Csr g;
+    g.numVertices = num_vertices;
+    g.rowOffsets.assign(std::size_t(num_vertices) + 1, 0);
+    for (const Edge &e : edges) {
+        if (e.src >= num_vertices || e.dst >= num_vertices)
+            fatal("edge (%u,%u) outside vertex range", e.src, e.dst);
+        ++g.rowOffsets[e.src + 1];
+    }
+    for (VertexId v = 0; v < num_vertices; ++v)
+        g.rowOffsets[v + 1] += g.rowOffsets[v];
+    g.edges.reserve(edges.size());
+    if (keep_weights)
+        g.weights.reserve(edges.size());
+    for (const Edge &e : edges) {
+        g.edges.push_back(e.dst);
+        if (keep_weights)
+            g.weights.push_back(e.weight);
+    }
+    g.validate();
+    return g;
+}
+
+} // namespace affalloc::graph

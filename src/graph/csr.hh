@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Compressed sparse row graph representation (Fig. 11, top) and the
+ * edge-list builder shared by every generator.
+ */
+
+#ifndef AFFALLOC_GRAPH_CSR_HH
+#define AFFALLOC_GRAPH_CSR_HH
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace affalloc::graph
+{
+
+/** Vertex identifier. */
+using VertexId = std::uint32_t;
+
+/** A directed edge with an optional weight. */
+struct Edge
+{
+    VertexId src = 0;
+    VertexId dst = 0;
+    std::uint32_t weight = 1;
+};
+
+/**
+ * Standard CSR: per-vertex index into a single edge array, edges
+ * sorted by source vertex (the common practice §7.2 relies on).
+ */
+struct Csr
+{
+    /** Number of vertices. */
+    VertexId numVertices = 0;
+    /** rowOffsets[v]..rowOffsets[v+1] indexes v's outgoing edges. */
+    std::vector<std::uint64_t> rowOffsets;
+    /** Destination vertex of each edge. */
+    std::vector<VertexId> edges;
+    /** Edge weights; empty when the graph is unweighted. */
+    std::vector<std::uint32_t> weights;
+
+    /** Number of directed edges stored. */
+    std::uint64_t numEdges() const { return edges.size(); }
+    /** Out-degree of @p v. */
+    std::uint32_t
+    degree(VertexId v) const
+    {
+        return static_cast<std::uint32_t>(rowOffsets[v + 1] -
+                                          rowOffsets[v]);
+    }
+    /** Outgoing neighbours of @p v. */
+    std::span<const VertexId>
+    neighbors(VertexId v) const
+    {
+        return {edges.data() + rowOffsets[v],
+                edges.data() + rowOffsets[v + 1]};
+    }
+    /** Average degree. */
+    double
+    averageDegree() const
+    {
+        return numVertices == 0
+                   ? 0.0
+                   : static_cast<double>(numEdges()) / numVertices;
+    }
+
+    /** Structural sanity check; throws on inconsistency. */
+    void validate() const;
+
+    /** The transpose (incoming-edge CSR) for pull-based algorithms. */
+    Csr transpose() const;
+};
+
+/**
+ * Build a CSR from an edge list. Self-loops and duplicate edges are
+ * removed; @p symmetrize adds the reverse of every edge (undirected
+ * graphs a la GAP).
+ */
+Csr buildCsr(VertexId num_vertices, std::vector<Edge> edges,
+             bool symmetrize, bool keep_weights);
+
+} // namespace affalloc::graph
+
+#endif // AFFALLOC_GRAPH_CSR_HH

@@ -1,0 +1,85 @@
+#include "graph/reference.hh"
+
+#include <queue>
+
+#include "sim/log.hh"
+
+namespace affalloc::graph
+{
+
+std::vector<std::int64_t>
+bfsReference(const Csr &g, VertexId source)
+{
+    if (source >= g.numVertices)
+        fatal("BFS source %u out of range", source);
+    std::vector<std::int64_t> depth(g.numVertices, unreachable);
+    std::queue<VertexId> q;
+    depth[source] = 0;
+    q.push(source);
+    while (!q.empty()) {
+        const VertexId u = q.front();
+        q.pop();
+        for (VertexId v : g.neighbors(u)) {
+            if (depth[v] == unreachable) {
+                depth[v] = depth[u] + 1;
+                q.push(v);
+            }
+        }
+    }
+    return depth;
+}
+
+std::vector<std::int64_t>
+ssspReference(const Csr &g, VertexId source)
+{
+    if (source >= g.numVertices)
+        fatal("SSSP source %u out of range", source);
+    if (g.weights.empty())
+        fatal("SSSP requires a weighted graph");
+    std::vector<std::int64_t> dist(g.numVertices, unreachable);
+    using Item = std::pair<std::int64_t, VertexId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[source] = 0;
+    pq.emplace(0, source);
+    while (!pq.empty()) {
+        const auto [d, u] = pq.top();
+        pq.pop();
+        if (d != dist[u])
+            continue;
+        for (std::uint64_t e = g.rowOffsets[u]; e < g.rowOffsets[u + 1];
+             ++e) {
+            const VertexId v = g.edges[e];
+            const std::int64_t nd = d + g.weights[e];
+            if (dist[v] == unreachable || nd < dist[v]) {
+                dist[v] = nd;
+                pq.emplace(nd, v);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<double>
+pageRankReference(const Csr &g, int iterations)
+{
+    constexpr double damping = 0.85;
+    const double base = (1.0 - damping) / g.numVertices;
+    std::vector<double> rank(g.numVertices, 1.0 / g.numVertices);
+    std::vector<double> next(g.numVertices, 0.0);
+    const Csr in = g.transpose();
+    for (int it = 0; it < iterations; ++it) {
+        for (VertexId v = 0; v < g.numVertices; ++v) {
+            double sum = 0.0;
+            for (VertexId u : in.neighbors(v)) {
+                const std::uint32_t deg = g.degree(u);
+                if (deg > 0)
+                    sum += rank[u] / deg;
+            }
+            next[v] = base + damping * sum;
+        }
+        rank.swap(next);
+    }
+    return rank;
+}
+
+} // namespace affalloc::graph

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Reference (host-only, no timing) graph algorithms used to validate
+ * the simulated workloads' functional results.
+ */
+
+#ifndef AFFALLOC_GRAPH_REFERENCE_HH
+#define AFFALLOC_GRAPH_REFERENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace affalloc::graph
+{
+
+/** Distance value for unreachable vertices. */
+inline constexpr std::int64_t unreachable = -1;
+
+/** BFS depths from @p source (unreachable vertices get -1). */
+std::vector<std::int64_t> bfsReference(const Csr &g, VertexId source);
+
+/** Dijkstra shortest-path distances from @p source (-1 unreachable). */
+std::vector<std::int64_t> ssspReference(const Csr &g, VertexId source);
+
+/**
+ * Pull-based PageRank run for a fixed number of iterations with
+ * damping 0.85 (the simulated workloads use the same schedule so
+ * results compare exactly).
+ */
+std::vector<double> pageRankReference(const Csr &g, int iterations);
+
+} // namespace affalloc::graph
+
+#endif // AFFALLOC_GRAPH_REFERENCE_HH

@@ -1,0 +1,185 @@
+#include "harness/report.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "sim/log.hh"
+#include "sim/stats.hh"
+
+namespace affalloc::harness
+{
+
+void
+Comparison::add(const std::string &workload, std::vector<RunResult> runs)
+{
+    if (runs.size() != configLabels_.size())
+        fatal("comparison row '%s' has %zu runs, expected %zu",
+              workload.c_str(), runs.size(), configLabels_.size());
+    rows_.push_back(WorkloadResults{workload, std::move(runs)});
+}
+
+const RunResult &
+Comparison::at(std::size_t w, std::size_t c) const
+{
+    return rows_.at(w).byConfig.at(c);
+}
+
+double
+Comparison::speedup(std::size_t w, std::size_t c,
+                    std::size_t baseline) const
+{
+    return double(at(w, baseline).cycles()) / double(at(w, c).cycles());
+}
+
+double
+Comparison::energyEff(std::size_t w, std::size_t c,
+                      std::size_t baseline) const
+{
+    return at(w, baseline).joules / at(w, c).joules;
+}
+
+double
+Comparison::hopsNorm(std::size_t w, std::size_t c,
+                     std::size_t baseline) const
+{
+    const double base = double(at(w, baseline).hops());
+    return base == 0.0 ? 0.0 : double(at(w, c).hops()) / base;
+}
+
+double
+Comparison::hopsClassNorm(std::size_t w, std::size_t c,
+                          std::size_t baseline, TrafficClass tc) const
+{
+    const double base = double(at(w, baseline).hops());
+    return base == 0.0
+               ? 0.0
+               : double(at(w, c).stats.hops[int(tc)]) / base;
+}
+
+double
+Comparison::geomeanSpeedup(std::size_t c, std::size_t baseline) const
+{
+    std::vector<double> v;
+    for (std::size_t w = 0; w < rows_.size(); ++w)
+        v.push_back(speedup(w, c, baseline));
+    return sim::geomean(v);
+}
+
+double
+Comparison::geomeanEnergyEff(std::size_t c, std::size_t baseline) const
+{
+    std::vector<double> v;
+    for (std::size_t w = 0; w < rows_.size(); ++w)
+        v.push_back(energyEff(w, c, baseline));
+    return sim::geomean(v);
+}
+
+double
+Comparison::meanHops(std::size_t c, std::size_t baseline) const
+{
+    double sum = 0.0;
+    for (std::size_t w = 0; w < rows_.size(); ++w)
+        sum += hopsNorm(w, c, baseline);
+    return rows_.empty() ? 0.0 : sum / double(rows_.size());
+}
+
+bool
+Comparison::allValid() const
+{
+    for (const auto &row : rows_)
+        for (const auto &run : row.byConfig)
+            if (!run.valid)
+                return false;
+    return true;
+}
+
+void
+Comparison::print(const std::string &title, std::size_t speedup_baseline,
+                  std::size_t traffic_baseline) const
+{
+    std::printf("=== %s ===\n", title.c_str());
+
+    // ------------------------------------------------------- speedup
+    std::printf("\nSpeedup (normalized to %s):\n%-12s",
+                configLabels_[speedup_baseline].c_str(), "");
+    for (const auto &row : rows_)
+        std::printf(" %10.10s", row.name.c_str());
+    std::printf(" %10s\n", "geomean");
+    for (std::size_t c = 0; c < configLabels_.size(); ++c) {
+        std::printf("%-12s", configLabels_[c].c_str());
+        for (std::size_t w = 0; w < rows_.size(); ++w)
+            std::printf(" %10.2f", speedup(w, c, speedup_baseline));
+        std::printf(" %10.2f\n", geomeanSpeedup(c, speedup_baseline));
+    }
+
+    // -------------------------------------------------------- energy
+    std::printf("\nEnergy efficiency (normalized to %s):\n%-12s",
+                configLabels_[speedup_baseline].c_str(), "");
+    for (const auto &row : rows_)
+        std::printf(" %10.10s", row.name.c_str());
+    std::printf(" %10s\n", "geomean");
+    for (std::size_t c = 0; c < configLabels_.size(); ++c) {
+        std::printf("%-12s", configLabels_[c].c_str());
+        for (std::size_t w = 0; w < rows_.size(); ++w)
+            std::printf(" %10.2f", energyEff(w, c, speedup_baseline));
+        std::printf(" %10.2f\n", geomeanEnergyEff(c, speedup_baseline));
+    }
+
+    // ------------------------------------------------------- traffic
+    std::printf("\nNoC hops (normalized to %s; "
+                "offload/data/control breakdown):\n%-12s",
+                configLabels_[traffic_baseline].c_str(), "");
+    for (const auto &row : rows_)
+        std::printf(" %16.16s", row.name.c_str());
+    std::printf(" %10s\n", "avg");
+    for (std::size_t c = 0; c < configLabels_.size(); ++c) {
+        std::printf("%-12s", configLabels_[c].c_str());
+        for (std::size_t w = 0; w < rows_.size(); ++w) {
+            std::printf(" %4.2f=%4.2f+%4.2f+%4.2f",
+                        hopsNorm(w, c, traffic_baseline),
+                        hopsClassNorm(w, c, traffic_baseline,
+                                      TrafficClass::offload),
+                        hopsClassNorm(w, c, traffic_baseline,
+                                      TrafficClass::data),
+                        hopsClassNorm(w, c, traffic_baseline,
+                                      TrafficClass::control));
+        }
+        std::printf(" %10.2f\n", meanHops(c, traffic_baseline));
+    }
+
+    // --------------------------------------------------- utilization
+    std::printf("\nNoC utilization:\n");
+    for (std::size_t c = 0; c < configLabels_.size(); ++c) {
+        double sum = 0.0;
+        for (std::size_t w = 0; w < rows_.size(); ++w)
+            sum += at(w, c).nocUtilization;
+        std::printf("%-12s %5.1f%%\n", configLabels_[c].c_str(),
+                    100.0 * sum / double(rows_.size()));
+    }
+
+    std::printf("\nValidation: %s\n\n",
+                allValid() ? "all runs produced correct results"
+                           : "SOME RUNS FAILED VALIDATION");
+}
+
+void
+printMachineBanner(const sim::MachineConfig &cfg,
+                   const std::string &bench_name)
+{
+    std::printf("affinity-alloc reproduction | %s\n", bench_name.c_str());
+    std::printf("---------------- machine (Table 2) ----------------\n"
+                "%s\n"
+                "----------------------------------------------------\n\n",
+                cfg.toString().c_str());
+}
+
+bool
+quickMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            return true;
+    return false;
+}
+
+} // namespace affalloc::harness

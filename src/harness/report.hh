@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure/table reporting: turns collections of RunResults into the
+ * normalized rows the paper's figures plot (speedup, energy
+ * efficiency, NoC hops with per-class breakdown, NoC utilization).
+ */
+
+#ifndef AFFALLOC_HARNESS_REPORT_HH
+#define AFFALLOC_HARNESS_REPORT_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workloads/run_context.hh"
+
+namespace affalloc::harness
+{
+
+using workloads::RunResult;
+
+/** Results for one workload across all compared configurations. */
+struct WorkloadResults
+{
+    std::string name;
+    std::vector<RunResult> byConfig;
+};
+
+/**
+ * A figure-style comparison: N workloads x M configurations with a
+ * chosen speedup baseline and traffic baseline (the paper normalizes
+ * speedup to Near-L3 and traffic to In-Core in Fig. 12).
+ */
+class Comparison
+{
+  public:
+    /** @param config_labels one label per configuration column. */
+    explicit Comparison(std::vector<std::string> config_labels)
+        : configLabels_(std::move(config_labels))
+    {}
+
+    /** Add one workload's results (must match the label count). */
+    void add(const std::string &workload, std::vector<RunResult> runs);
+
+    /** Number of configurations. */
+    std::size_t numConfigs() const { return configLabels_.size(); }
+    /** The collected rows. */
+    const std::vector<WorkloadResults> &rows() const { return rows_; }
+
+    /** Speedup of config @p c on workload @p w over @p baseline. */
+    double speedup(std::size_t w, std::size_t c,
+                   std::size_t baseline) const;
+    /** Energy efficiency of config @p c over @p baseline. */
+    double energyEff(std::size_t w, std::size_t c,
+                     std::size_t baseline) const;
+    /** Total hops of config @p c normalized to @p baseline. */
+    double hopsNorm(std::size_t w, std::size_t c,
+                    std::size_t baseline) const;
+    /** Hops of one traffic class normalized to baseline *total*. */
+    double hopsClassNorm(std::size_t w, std::size_t c,
+                         std::size_t baseline, TrafficClass tc) const;
+
+    /** Geomean of speedups across workloads for config @p c. */
+    double geomeanSpeedup(std::size_t c, std::size_t baseline) const;
+    /** Geomean of energy efficiency across workloads. */
+    double geomeanEnergyEff(std::size_t c, std::size_t baseline) const;
+    /** Arithmetic mean of normalized hops across workloads. */
+    double meanHops(std::size_t c, std::size_t baseline) const;
+
+    /** True if every collected run validated. */
+    bool allValid() const;
+
+    /**
+     * Print the paper-style blocks: a speedup table, an energy table
+     * and a traffic table (with Offload/Data/Control breakdown),
+     * normalized to the given baseline columns.
+     */
+    void print(const std::string &title, std::size_t speedup_baseline,
+               std::size_t traffic_baseline) const;
+
+  private:
+    const RunResult &at(std::size_t w, std::size_t c) const;
+
+    std::vector<std::string> configLabels_;
+    std::vector<WorkloadResults> rows_;
+};
+
+/** Print the Table 2 machine description banner once per bench. */
+void printMachineBanner(const sim::MachineConfig &cfg,
+                        const std::string &bench_name);
+
+/** Parse a --quick flag (smaller inputs for smoke runs). */
+bool quickMode(int argc, char **argv);
+
+} // namespace affalloc::harness
+
+#endif // AFFALLOC_HARNESS_REPORT_HH

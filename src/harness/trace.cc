@@ -1,0 +1,61 @@
+#include "harness/trace.hh"
+
+#include <cstdio>
+
+#include "sim/log.hh"
+
+namespace affalloc::harness
+{
+
+void
+writeTimelineCsv(const workloads::RunResult &run, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open %s for writing", path.c_str());
+    std::fprintf(f, "epoch,end_cycle,phase,min,p25,mean,p75,max\n");
+    for (std::size_t i = 0; i < run.timeline.size(); ++i) {
+        const auto &rec = run.timeline.at(i);
+        const auto bands = sim::Timeline::bands(rec);
+        std::fprintf(f, "%zu,%llu,%s,%.0f,%.0f,%.2f,%.0f,%.0f\n", i,
+                     (unsigned long long)rec.endCycle,
+                     rec.phase.c_str(), bands[0], bands[1], bands[2],
+                     bands[3], bands[4]);
+    }
+    std::fclose(f);
+}
+
+void
+writeComparisonCsv(const Comparison &cmp,
+                   const std::vector<std::string> &config_labels,
+                   const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open %s for writing", path.c_str());
+    std::fprintf(f, "workload,config,cycles,joules,hops,offload_hops,"
+                    "data_hops,control_hops,l3_miss_rate,"
+                    "noc_utilization,valid\n");
+    for (const auto &row : cmp.rows()) {
+        for (std::size_t c = 0; c < row.byConfig.size(); ++c) {
+            const auto &r = row.byConfig[c];
+            std::fprintf(
+                f, "%s,%s,%llu,%.9g,%llu,%llu,%llu,%llu,%.6f,%.6f,%d\n",
+                row.name.c_str(),
+                c < config_labels.size() ? config_labels[c].c_str()
+                                         : "?",
+                (unsigned long long)r.cycles(), r.joules,
+                (unsigned long long)r.hops(),
+                (unsigned long long)r.stats.hops[int(
+                    TrafficClass::offload)],
+                (unsigned long long)r.stats.hops[int(
+                    TrafficClass::data)],
+                (unsigned long long)r.stats.hops[int(
+                    TrafficClass::control)],
+                r.l3MissRate, r.nocUtilization, r.valid ? 1 : 0);
+        }
+    }
+    std::fclose(f);
+}
+
+} // namespace affalloc::harness

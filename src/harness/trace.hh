@@ -1,0 +1,38 @@
+/**
+ * @file
+ * CSV export of run timelines and comparisons, for plotting the
+ * figures outside the terminal (Fig. 14/18 are timeline plots in the
+ * paper; the benches print distilled tables, this writes the raw
+ * series).
+ */
+
+#ifndef AFFALLOC_HARNESS_TRACE_HH
+#define AFFALLOC_HARNESS_TRACE_HH
+
+#include <string>
+
+#include "harness/report.hh"
+
+namespace affalloc::harness
+{
+
+/**
+ * Write a run's epoch timeline as CSV:
+ * epoch,end_cycle,phase,min,p25,mean,p75,max
+ * (the atomic-stream occupancy bands of Fig. 14 per epoch).
+ */
+void writeTimelineCsv(const workloads::RunResult &run,
+                      const std::string &path);
+
+/**
+ * Write a comparison as CSV:
+ * workload,config,cycles,joules,hops,offload_hops,data_hops,
+ * control_hops,l3_miss_rate,noc_utilization,valid
+ */
+void writeComparisonCsv(const Comparison &cmp,
+                        const std::vector<std::string> &config_labels,
+                        const std::string &path);
+
+} // namespace affalloc::harness
+
+#endif // AFFALLOC_HARNESS_TRACE_HH

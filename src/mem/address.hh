@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Simulated address-space layout constants and helpers. The virtual
+ * address space reserves one 1 TB segment per interleave pool plus a
+ * conventional heap segment (2.7% of the 48-bit space, matching the
+ * paper's footnote 3).
+ */
+
+#ifndef AFFALLOC_MEM_ADDRESS_HH
+#define AFFALLOC_MEM_ADDRESS_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace affalloc::mem
+{
+
+/** Simulated page size. */
+inline constexpr Addr pageSize = 4096;
+/** log2(pageSize). */
+inline constexpr int pageShift = 12;
+/** One terabyte: the reservation granule for pools and the heap. */
+inline constexpr Addr terabyte = Addr(1) << 40;
+
+/** Smallest supported interleaving: one cache line (64 B). */
+inline constexpr std::uint32_t minInterleave = 64;
+/** Largest pool interleaving: one page (4 kB). */
+inline constexpr std::uint32_t maxPoolInterleave = 4096;
+/** Number of power-of-two interleave pools: 64 B .. 4 kB. */
+inline constexpr int numInterleavePools = 7;
+
+/** Virtual base of the conventional heap segment. */
+inline constexpr Addr heapVirtBase = Addr(0x100) * terabyte;
+/** Virtual base of interleave pool segments; pool k at +k TB. */
+inline constexpr Addr poolVirtBase = Addr(0x200) * terabyte;
+/** Virtual base of the large-interleave (page-remapped) segment. */
+inline constexpr Addr largeVirtBase = Addr(0x300) * terabyte;
+
+/** Physical base of the heap backing region. */
+inline constexpr Addr heapPhysBase = Addr(0x1) * terabyte;
+/** Physical base of pool backing regions; pool k at +k TB. */
+inline constexpr Addr poolPhysBase = Addr(0x10) * terabyte;
+
+/** Interleaving of pool index k (0 -> 64 B ... 6 -> 4 kB). */
+constexpr std::uint32_t
+poolInterleave(int k)
+{
+    return minInterleave << k;
+}
+
+/** Pool index for an exact power-of-two interleaving, or -1. */
+constexpr int
+poolIndexFor(std::uint64_t intrlv)
+{
+    for (int k = 0; k < numInterleavePools; ++k)
+        if (poolInterleave(k) == intrlv)
+            return k;
+    return -1;
+}
+
+/** Page number containing an address. */
+constexpr Addr pageOf(Addr a) { return a >> pageShift; }
+/** Byte offset within the page. */
+constexpr Addr pageOffset(Addr a) { return a & (pageSize - 1); }
+/** First address of a page number. */
+constexpr Addr pageBase(Addr page) { return page << pageShift; }
+/** Round up to the next page boundary. */
+constexpr Addr
+roundUpPage(Addr a)
+{
+    return (a + pageSize - 1) & ~(pageSize - 1);
+}
+
+/** Line number containing an address for a given line size. */
+constexpr Addr
+lineOf(Addr a, std::uint32_t line_size)
+{
+    return a / line_size;
+}
+
+} // namespace affalloc::mem
+
+#endif // AFFALLOC_MEM_ADDRESS_HH

@@ -1,0 +1,83 @@
+#include "mem/address_space.hh"
+
+#include "sim/log.hh"
+
+namespace affalloc::mem
+{
+
+void
+AddressSpace::registerRange(const void *host_ptr, std::size_t bytes,
+                            Addr sim_start)
+{
+    const auto start = reinterpret_cast<std::uintptr_t>(host_ptr);
+    if (bytes == 0)
+        fatal("cannot register empty host range");
+    HostRange range{start, start + bytes, sim_start};
+    // Reject overlap with the neighbouring ranges.
+    auto next = ranges_.lower_bound(start);
+    if (next != ranges_.end() && next->second.hostStart < range.hostEnd)
+        fatal("host range overlaps an existing registration");
+    if (next != ranges_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->second.hostEnd > start)
+            fatal("host range overlaps an existing registration");
+    }
+    ranges_.emplace(start, range);
+    cached_ = nullptr;
+}
+
+void
+AddressSpace::unregisterRange(const void *host_ptr)
+{
+    const auto start = reinterpret_cast<std::uintptr_t>(host_ptr);
+    if (ranges_.erase(start) == 0)
+        fatal("unregister of unknown host range %p", host_ptr);
+    cached_ = nullptr;
+}
+
+const HostRange *
+AddressSpace::rangeContaining(const void *host_ptr) const
+{
+    const auto p = reinterpret_cast<std::uintptr_t>(host_ptr);
+    if (cached_ && p >= cached_->hostStart && p < cached_->hostEnd)
+        return cached_;
+    auto it = ranges_.upper_bound(p);
+    if (it == ranges_.begin())
+        return nullptr;
+    --it;
+    const HostRange &r = it->second;
+    if (p < r.hostStart || p >= r.hostEnd)
+        return nullptr;
+    cached_ = &r;
+    return &r;
+}
+
+const HostRange *
+AddressSpace::rangeStartingAt(const void *host_ptr) const
+{
+    const auto p = reinterpret_cast<std::uintptr_t>(host_ptr);
+    auto it = ranges_.find(p);
+    return it == ranges_.end() ? nullptr : &it->second;
+}
+
+Addr
+AddressSpace::simAddrOf(const void *host_ptr) const
+{
+    const HostRange *r = rangeContaining(host_ptr);
+    if (!r)
+        fatal("host pointer %p is not in any registered range", host_ptr);
+    const auto p = reinterpret_cast<std::uintptr_t>(host_ptr);
+    return r->simStart + (p - r->hostStart);
+}
+
+Addr
+AddressSpace::trySimAddrOf(const void *host_ptr) const
+{
+    const HostRange *r = rangeContaining(host_ptr);
+    if (!r)
+        return invalidAddr;
+    const auto p = reinterpret_cast<std::uintptr_t>(host_ptr);
+    return r->simStart + (p - r->hostStart);
+}
+
+} // namespace affalloc::mem

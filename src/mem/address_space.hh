@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Host-pointer <-> simulated-virtual-address registry. The library is
+ * execution-driven: workload data lives in real host memory, while
+ * the timing model reasons about simulated addresses. Every
+ * allocation registers its host range against its simulated range so
+ * either direction can be resolved.
+ */
+
+#ifndef AFFALLOC_MEM_ADDRESS_SPACE_HH
+#define AFFALLOC_MEM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <map>
+
+#include "sim/types.hh"
+
+namespace affalloc::mem
+{
+
+/** One registered allocation. */
+struct HostRange
+{
+    /** Host address of the first byte. */
+    std::uintptr_t hostStart = 0;
+    /** One past the last host byte. */
+    std::uintptr_t hostEnd = 0;
+    /** Simulated virtual address of the first byte. */
+    Addr simStart = 0;
+};
+
+/**
+ * Sorted registry of host ranges with a one-entry lookup cache
+ * (consecutive lookups overwhelmingly hit the same array).
+ */
+class AddressSpace
+{
+  public:
+    /** Register a host range backing simulated range @p sim_start. */
+    void registerRange(const void *host_ptr, std::size_t bytes,
+                       Addr sim_start);
+
+    /** Remove the range starting exactly at @p host_ptr. */
+    void unregisterRange(const void *host_ptr);
+
+    /** Simulated address of @p host_ptr; fatal() if unregistered. */
+    Addr simAddrOf(const void *host_ptr) const;
+
+    /** Simulated address, or invalidAddr if unregistered. */
+    Addr trySimAddrOf(const void *host_ptr) const;
+
+    /** The range starting exactly at @p host_ptr, or nullptr. */
+    const HostRange *rangeStartingAt(const void *host_ptr) const;
+
+    /** The range containing @p host_ptr, or nullptr. */
+    const HostRange *rangeContaining(const void *host_ptr) const;
+
+    /** Number of registered ranges. */
+    std::size_t size() const { return ranges_.size(); }
+
+  private:
+    std::map<std::uintptr_t, HostRange> ranges_; // keyed by hostStart
+    mutable const HostRange *cached_ = nullptr;
+};
+
+} // namespace affalloc::mem
+
+#endif // AFFALLOC_MEM_ADDRESS_SPACE_HH

@@ -1,0 +1,84 @@
+#include "mem/cache_model.hh"
+
+#include "sim/log.hh"
+
+namespace affalloc::mem
+{
+
+CacheModel::CacheModel(std::uint64_t size_bytes, std::uint32_t assoc,
+                       std::uint32_t line_size, bool hashed_index)
+    : assoc_(assoc), hashedIndex_(hashed_index)
+{
+    if (assoc == 0 || line_size == 0 || size_bytes == 0)
+        fatal("cache parameters must be nonzero");
+    const std::uint64_t lines = size_bytes / line_size;
+    if (lines % assoc != 0)
+        fatal("cache lines (%llu) not divisible by assoc (%u)",
+              (unsigned long long)lines, assoc);
+    numSets_ = static_cast<std::uint32_t>(lines / assoc);
+    if ((numSets_ & (numSets_ - 1)) != 0)
+        fatal("cache set count must be a power of two (%u)", numSets_);
+    setMask_ = numSets_ - 1;
+    ways_.resize(std::uint64_t(numSets_) * assoc_);
+}
+
+CacheAccessResult
+CacheModel::access(Addr line, bool is_write)
+{
+    CacheAccessResult res;
+    Way *set = &ways_[std::uint64_t(setIndexOf(line)) * assoc_];
+    ++useClock_;
+
+    Way *lru = &set[0];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Way &way = set[w];
+        if (way.line == line) {
+            way.lastUse = useClock_;
+            way.dirty = way.dirty || is_write;
+            res.hit = true;
+            return res;
+        }
+        if (way.line == invalidAddr) {
+            // Prefer an empty way over any valid LRU victim.
+            if (lru->line != invalidAddr || way.lastUse < lru->lastUse)
+                lru = &way;
+        } else if (lru->line != invalidAddr && way.lastUse < lru->lastUse) {
+            lru = &way;
+        }
+    }
+
+    // Miss: fill into the victim way.
+    if (lru->line != invalidAddr) {
+        if (lru->dirty) {
+            res.writeback = true;
+            res.victimLine = lru->line;
+        }
+    } else {
+        ++residentLines_;
+    }
+    lru->line = line;
+    lru->lastUse = useClock_;
+    lru->dirty = is_write;
+    return res;
+}
+
+bool
+CacheModel::contains(Addr line) const
+{
+    const Way *set = &ways_[std::uint64_t(setIndexOf(line)) * assoc_];
+    for (std::uint32_t w = 0; w < assoc_; ++w)
+        if (set[w].line == line)
+            return true;
+    return false;
+}
+
+void
+CacheModel::reset()
+{
+    for (auto &way : ways_)
+        way = Way{};
+    residentLines_ = 0;
+    useClock_ = 0;
+}
+
+} // namespace affalloc::mem

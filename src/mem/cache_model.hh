@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Set-associative LRU cache tag model. Used for the private L1/L2
+ * filters (In-Core mode) and for every shared L3 bank. Tracks tags and
+ * dirty bits only; data lives in host memory (execution-driven).
+ */
+
+#ifndef AFFALLOC_MEM_CACHE_MODEL_HH
+#define AFFALLOC_MEM_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace affalloc::mem
+{
+
+/** Result of a cache probe. */
+struct CacheAccessResult
+{
+    /** True if the line was present. */
+    bool hit = false;
+    /** True if a dirty line was evicted (writeback needed). */
+    bool writeback = false;
+    /** Line address (not byte address) of the evicted dirty line. */
+    Addr victimLine = invalidAddr;
+};
+
+/**
+ * A single set-associative cache with true-LRU replacement. Addresses
+ * are presented as *line numbers* (byte address / line size); the
+ * model is agnostic to line size.
+ */
+class CacheModel
+{
+  public:
+    /**
+     * @param size_bytes total capacity
+     * @param assoc ways per set
+     * @param line_size line size in bytes (for set count only)
+     * @param hashed_index hash the line address into the set index.
+     *        L3 bank slices must use this: bank interleaving strips
+     *        entropy from the low line bits, so modulo indexing would
+     *        alias a bank's lines into a handful of sets (commodity
+     *        LLCs hash their slice index for the same reason).
+     */
+    CacheModel(std::uint64_t size_bytes, std::uint32_t assoc,
+               std::uint32_t line_size, bool hashed_index = false);
+
+    /**
+     * Access @p line (a line number). Allocates on miss, evicting LRU.
+     * Write hits/fills mark the line dirty.
+     */
+    CacheAccessResult access(Addr line, bool is_write);
+
+    /** Probe without modifying state. */
+    bool contains(Addr line) const;
+
+    /** Invalidate everything (workload phase boundaries in tests). */
+    void reset();
+
+    /** Number of sets. */
+    std::uint32_t numSets() const { return numSets_; }
+    /** Ways per set. */
+    std::uint32_t assoc() const { return assoc_; }
+    /** Currently resident lines. */
+    std::uint64_t residentLines() const { return residentLines_; }
+
+  private:
+    struct Way
+    {
+        Addr line = invalidAddr;
+        std::uint64_t lastUse = 0;
+        bool dirty = false;
+    };
+
+    std::uint32_t
+    setIndexOf(Addr line) const
+    {
+        if (!hashedIndex_)
+            return static_cast<std::uint32_t>(line) & setMask_;
+        std::uint64_t z = line * 0x9e3779b97f4a7c15ULL;
+        z ^= z >> 29;
+        return static_cast<std::uint32_t>(z) & setMask_;
+    }
+
+    std::uint32_t assoc_;
+    bool hashedIndex_ = false;
+    std::uint32_t numSets_;
+    std::uint32_t setMask_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t residentLines_ = 0;
+    std::vector<Way> ways_; // numSets_ * assoc_, set-major
+};
+
+} // namespace affalloc::mem
+
+#endif // AFFALLOC_MEM_CACHE_MODEL_HH

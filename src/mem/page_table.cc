@@ -1,0 +1,57 @@
+#include "mem/page_table.hh"
+
+#include "sim/log.hh"
+
+namespace affalloc::mem
+{
+
+void
+PageTable::map(Addr vpage, Addr ppage)
+{
+    auto [it, inserted] = table_.emplace(vpage, ppage);
+    if (!inserted)
+        fatal("virtual page %#lx already mapped", (unsigned long)vpage);
+    (void)it;
+    cachedVpage_ = invalidAddr;
+}
+
+bool
+PageTable::isMapped(Addr vpage) const
+{
+    return table_.count(vpage) != 0;
+}
+
+Addr
+PageTable::translate(Addr vaddr) const
+{
+    const Addr vpage = pageOf(vaddr);
+    if (vpage == cachedVpage_)
+        return pageBase(cachedPpage_) + pageOffset(vaddr);
+    auto it = table_.find(vpage);
+    if (it == table_.end())
+        fatal("access to unmapped virtual address %#lx",
+              (unsigned long)vaddr);
+    cachedVpage_ = vpage;
+    cachedPpage_ = it->second;
+    return pageBase(it->second) + pageOffset(vaddr);
+}
+
+std::optional<Addr>
+PageTable::tryTranslate(Addr vaddr) const
+{
+    const Addr vpage = pageOf(vaddr);
+    auto it = table_.find(vpage);
+    if (it == table_.end())
+        return std::nullopt;
+    return pageBase(it->second) + pageOffset(vaddr);
+}
+
+void
+PageTable::unmap(Addr vpage)
+{
+    if (table_.erase(vpage) == 0)
+        fatal("unmap of unmapped virtual page %#lx", (unsigned long)vpage);
+    cachedVpage_ = invalidAddr;
+}
+
+} // namespace affalloc::mem

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Simulated page table: maps simulated virtual pages to simulated
+ * physical pages. The OS layer installs mappings (contiguous backing
+ * for interleave pools, linear or randomized for the heap); the
+ * memory system translates on every simulated access.
+ */
+
+#ifndef AFFALLOC_MEM_PAGE_TABLE_HH
+#define AFFALLOC_MEM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "mem/address.hh"
+#include "sim/types.hh"
+
+namespace affalloc::mem
+{
+
+/**
+ * Flat single-level page table with a one-entry translation cache
+ * (accesses have strong page locality).
+ */
+class PageTable
+{
+  public:
+    /** Map virtual page @p vpage to physical page @p ppage. */
+    void map(Addr vpage, Addr ppage);
+
+    /** Whether @p vpage is mapped. */
+    bool isMapped(Addr vpage) const;
+
+    /** Translate a virtual address; fatal() on unmapped access. */
+    Addr translate(Addr vaddr) const;
+
+    /** Translate, returning nullopt when unmapped. */
+    std::optional<Addr> tryTranslate(Addr vaddr) const;
+
+    /** Remove a mapping (pool shrink); fatal() if absent. */
+    void unmap(Addr vpage);
+
+    /** Number of mapped pages. */
+    std::size_t size() const { return table_.size(); }
+
+  private:
+    std::unordered_map<Addr, Addr> table_;
+    // Last-translation cache; mutable because translate() is
+    // semantically const.
+    mutable Addr cachedVpage_ = invalidAddr;
+    mutable Addr cachedPpage_ = invalidAddr;
+};
+
+} // namespace affalloc::mem
+
+#endif // AFFALLOC_MEM_PAGE_TABLE_HH

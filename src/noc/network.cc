@@ -1,0 +1,100 @@
+#include "noc/network.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/log.hh"
+
+namespace affalloc::noc
+{
+
+Network::Network(const sim::MachineConfig &cfg, sim::Stats &stats)
+    : cfg_(cfg), stats_(stats), mesh_(cfg.meshX, cfg.meshY),
+      epochLinkFlits_(mesh_.numLinks() + 2 * mesh_.numTiles(), 0),
+      lifetimeLinkFlits_(mesh_.numLinks() + 2 * mesh_.numTiles(), 0)
+{
+}
+
+std::uint32_t
+Network::injectPort(TileId tile) const
+{
+    return mesh_.numLinks() + 2 * tile;
+}
+
+std::uint32_t
+Network::ejectPort(TileId tile) const
+{
+    return mesh_.numLinks() + 2 * tile + 1;
+}
+
+Cycles
+Network::send(TileId src, TileId dst, std::uint32_t bytes, TrafficClass tc)
+{
+    const int c = static_cast<int>(tc);
+    const std::uint32_t hop_count = mesh_.distance(src, dst);
+    const std::uint32_t flits = flitsFor(bytes);
+
+    stats_.messages[c] += 1;
+    stats_.hops[c] += hop_count;
+    stats_.flitHops[c] += std::uint64_t(flits) * hop_count;
+
+    if (hop_count != 0) {
+        chargeRoute(src, dst, flits);
+        // Endpoint local ports: one tile can inject/eject at most one
+        // flit per cycle, which bounds hot endpoints (e.g. a core
+        // sinking every response, or a contended tail-pointer bank).
+        epochLinkFlits_[injectPort(src)] += flits;
+        lifetimeLinkFlits_[injectPort(src)] += flits;
+        epochLinkFlits_[ejectPort(dst)] += flits;
+        lifetimeLinkFlits_[ejectPort(dst)] += flits;
+        epochFlits_ += flits;
+    }
+    // Unloaded latency: route traversal plus serialization of the
+    // remaining flits behind the head flit.
+    return Cycles(hop_count) * cfg_.hopLatency + (flits - 1);
+}
+
+void
+Network::chargeRoute(TileId src, TileId dst, std::uint32_t flits)
+{
+    std::uint32_t x = mesh_.xOf(src);
+    std::uint32_t y = mesh_.yOf(src);
+    const std::uint32_t tx = mesh_.xOf(dst);
+    const std::uint32_t ty = mesh_.yOf(dst);
+    while (x != tx) {
+        const Direction dir = x < tx ? Direction::east : Direction::west;
+        const LinkId link = Mesh::linkOf(mesh_.tileAt(x, y), dir);
+        epochLinkFlits_[link] += flits;
+        lifetimeLinkFlits_[link] += flits;
+        x = x < tx ? x + 1 : x - 1;
+    }
+    while (y != ty) {
+        const Direction dir = y < ty ? Direction::south : Direction::north;
+        const LinkId link = Mesh::linkOf(mesh_.tileAt(x, y), dir);
+        epochLinkFlits_[link] += flits;
+        lifetimeLinkFlits_[link] += flits;
+        y = y < ty ? y + 1 : y - 1;
+    }
+}
+
+std::uint64_t
+Network::maxLinkFlits() const
+{
+    return *std::max_element(epochLinkFlits_.begin(), epochLinkFlits_.end());
+}
+
+std::uint64_t
+Network::totalLinkFlits() const
+{
+    return std::accumulate(epochLinkFlits_.begin(), epochLinkFlits_.end(),
+                           std::uint64_t(0));
+}
+
+void
+Network::resetEpoch()
+{
+    std::fill(epochLinkFlits_.begin(), epochLinkFlits_.end(), 0);
+    epochFlits_ = 0;
+}
+
+} // namespace affalloc::noc

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Flit-accurate accounting model of the mesh interconnect. Messages
+ * charge flits to every directed link on their X-Y route; per-epoch
+ * link occupancy drives the contention term of the timing model and
+ * per-class hop counters drive the paper's traffic figures.
+ */
+
+#ifndef AFFALLOC_NOC_NETWORK_HH
+#define AFFALLOC_NOC_NETWORK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/topology.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace affalloc::noc
+{
+
+/**
+ * The interconnect model. Owns per-link epoch occupancy counters and
+ * writes traffic statistics into a shared Stats block.
+ */
+class Network
+{
+  public:
+    /** Build the network for a machine config, writing into @p stats. */
+    Network(const sim::MachineConfig &cfg, sim::Stats &stats);
+
+    /** The topology in use. */
+    const Mesh &mesh() const { return mesh_; }
+
+    /**
+     * Inject one message of @p bytes payload from @p src to @p dst.
+     * Charges flits to every link of the X-Y route and updates the
+     * per-class counters. Local (src == dst) messages cost no hops.
+     *
+     * @return the unloaded latency of this message in cycles
+     *         (hops x hop latency + serialization).
+     */
+    Cycles send(TileId src, TileId dst, std::uint32_t bytes,
+                TrafficClass tc);
+
+    /** Flits queued on the busiest link during the current epoch. */
+    std::uint64_t maxLinkFlits() const;
+
+    /** Total flits injected during the current epoch. */
+    std::uint64_t epochFlits() const { return epochFlits_; }
+
+    /** Sum of per-link epoch occupancy (for utilization reporting). */
+    std::uint64_t totalLinkFlits() const;
+
+    /** Clear per-epoch link occupancy (call at epoch boundaries). */
+    void resetEpoch();
+
+    /** Number of flits a payload of @p bytes occupies. */
+    std::uint32_t
+    flitsFor(std::uint32_t bytes) const
+    {
+        const std::uint32_t fb = cfg_.flitBytes();
+        return bytes == 0 ? 1 : (bytes + fb - 1) / fb;
+    }
+
+    /** Accumulated per-link flits over the whole run (utilization). */
+    const std::vector<std::uint64_t> &lifetimeLinkFlits() const
+    {
+        return lifetimeLinkFlits_;
+    }
+
+  private:
+    /** Walk the X-Y route charging @p flits to every link. */
+    void chargeRoute(TileId src, TileId dst, std::uint32_t flits);
+
+    /** Index of @p tile's injection (local in) port counter. */
+    std::uint32_t injectPort(TileId tile) const;
+    /** Index of @p tile's ejection (local out) port counter. */
+    std::uint32_t ejectPort(TileId tile) const;
+
+    sim::MachineConfig cfg_;
+    sim::Stats &stats_;
+    Mesh mesh_;
+    /** Per-directed-link (and per local port) flits this epoch. The
+     *  last 2*numTiles entries are the tile injection/ejection ports:
+     *  the router-local interfaces every message crosses at its two
+     *  endpoints, which bound how fast one tile can source or sink
+     *  traffic. */
+    std::vector<std::uint64_t> epochLinkFlits_;
+    /** Per-directed-link flits over the whole run. */
+    std::vector<std::uint64_t> lifetimeLinkFlits_;
+    std::uint64_t epochFlits_ = 0;
+};
+
+} // namespace affalloc::noc
+
+#endif // AFFALLOC_NOC_NETWORK_HH

@@ -1,0 +1,63 @@
+#include "noc/topology.hh"
+
+#include <cstdlib>
+
+#include "sim/log.hh"
+
+namespace affalloc::noc
+{
+
+Mesh::Mesh(std::uint32_t x_dim, std::uint32_t y_dim)
+    : xDim_(x_dim), yDim_(y_dim)
+{
+    if (x_dim == 0 || y_dim == 0)
+        fatal("mesh dimensions must be nonzero (%ux%u)", x_dim, y_dim);
+}
+
+std::uint32_t
+Mesh::distance(TileId a, TileId b) const
+{
+    const int dx = static_cast<int>(xOf(a)) - static_cast<int>(xOf(b));
+    const int dy = static_cast<int>(yOf(a)) - static_cast<int>(yOf(b));
+    return static_cast<std::uint32_t>(std::abs(dx) + std::abs(dy));
+}
+
+void
+Mesh::route(TileId src, TileId dst, std::vector<LinkId> &out) const
+{
+    if (src >= numTiles() || dst >= numTiles())
+        panic("route endpoints out of range (%u -> %u)", src, dst);
+    std::uint32_t x = xOf(src);
+    std::uint32_t y = yOf(src);
+    const std::uint32_t tx = xOf(dst);
+    const std::uint32_t ty = yOf(dst);
+    // X-Y dimension-ordered routing: fully resolve X, then Y.
+    while (x != tx) {
+        const Direction dir = x < tx ? Direction::east : Direction::west;
+        out.push_back(linkOf(tileAt(x, y), dir));
+        x = x < tx ? x + 1 : x - 1;
+    }
+    while (y != ty) {
+        const Direction dir = y < ty ? Direction::south : Direction::north;
+        out.push_back(linkOf(tileAt(x, y), dir));
+        y = y < ty ? y + 1 : y - 1;
+    }
+}
+
+std::vector<TileId>
+Mesh::cornerTiles() const
+{
+    return {tileAt(0, 0), tileAt(xDim_ - 1, 0), tileAt(0, yDim_ - 1),
+            tileAt(xDim_ - 1, yDim_ - 1)};
+}
+
+double
+Mesh::averageDistanceFrom(TileId tile) const
+{
+    double sum = 0.0;
+    for (TileId t = 0; t < numTiles(); ++t)
+        sum += distance(tile, t);
+    return sum / numTiles();
+}
+
+} // namespace affalloc::noc

@@ -1,0 +1,450 @@
+#include "nsc/machine.hh"
+
+#include <algorithm>
+
+#include "mem/address.hh"
+#include "sim/log.hh"
+
+namespace affalloc::nsc
+{
+
+Machine::Machine(const sim::MachineConfig &cfg, os::SimOS &os,
+                 TimingParams tp)
+    : cfg_(cfg), tp_(tp), os_(os), net_(cfg, stats_),
+      mapper_(cfg, os.iot()), dram_(cfg, net_.mesh(), stats_),
+      bankBusy_(cfg.numBanks(), 0.0), coreBusy_(cfg.numTiles(), 0.0),
+      seBusy_(cfg.numBanks(), 0.0), epochAtomics_(cfg.numBanks(), 0)
+{
+    cfg_.validate();
+    // Bank numbering (§4.1): where bank id b physically sits.
+    bankTile_.resize(cfg.numBanks());
+    const auto &mesh = net_.mesh();
+    for (BankId b = 0; b < cfg.numBanks(); ++b) {
+        switch (cfg.bankNumbering) {
+          case sim::BankNumbering::rowMajor:
+            bankTile_[b] = b;
+            break;
+          case sim::BankNumbering::snake: {
+            const std::uint32_t y = b / cfg.meshX;
+            std::uint32_t x = b % cfg.meshX;
+            if (y % 2 == 1)
+                x = cfg.meshX - 1 - x;
+            bankTile_[b] = mesh.tileAt(x, y);
+            break;
+          }
+          case sim::BankNumbering::block2: {
+            const std::uint32_t block = b / 4;
+            const std::uint32_t within = b % 4;
+            const std::uint32_t per_row = cfg.meshX / 2;
+            const std::uint32_t bx = block % per_row;
+            const std::uint32_t by = block / per_row;
+            bankTile_[b] =
+                mesh.tileAt(bx * 2 + within % 2, by * 2 + within / 2);
+            break;
+          }
+        }
+    }
+    l3Banks_.reserve(cfg.numBanks());
+    for (std::uint32_t b = 0; b < cfg.numBanks(); ++b)
+        l3Banks_.emplace_back(cfg.l3BankSizeBytes, cfg.l3Assoc,
+                              cfg.lineSize, /*hashed_index=*/true);
+    l1_.reserve(cfg.numTiles());
+    l2_.reserve(cfg.numTiles());
+    for (std::uint32_t c = 0; c < cfg.numTiles(); ++c) {
+        l1_.emplace_back(cfg.l1SizeBytes, cfg.l1Assoc, cfg.lineSize);
+        l2_.emplace_back(cfg.l2SizeBytes, cfg.l2Assoc, cfg.lineSize);
+        // TLBs track page-number tags: unit "line size" with the
+        // entry count as the capacity.
+        l1Tlb_.emplace_back(cfg.l1TlbEntries, cfg.l1TlbAssoc, 1);
+        l2Tlb_.emplace_back(cfg.l2TlbEntries, 16, 1);
+    }
+    seTlb_.reserve(cfg.numBanks());
+    for (std::uint32_t b = 0; b < cfg.numBanks(); ++b)
+        seTlb_.emplace_back(cfg.seTlbEntries, 16, 1, true);
+}
+
+Cycles
+Machine::coreTranslate(CoreId core, Addr vaddr)
+{
+    // Interleave pools are backed by contiguous physical segments
+    // (direct-segment style, §4.1): translation is a base+offset
+    // range check with no TLB involvement.
+    if (vaddr >= mem::poolVirtBase)
+        return 0;
+    const Addr vpage = mem::pageOf(vaddr);
+    stats_.tlbAccesses += 1;
+    if (l1Tlb_[core].access(vpage, false).hit)
+        return 0;
+    if (l2Tlb_[core].access(vpage, false).hit)
+        return cfg_.tlbLatency;
+    stats_.tlbWalks += 1;
+    return cfg_.tlbLatency + cfg_.tlbWalkLatency;
+}
+
+Cycles
+Machine::seTranslate(BankId bank, Addr vaddr)
+{
+    if (vaddr >= mem::poolVirtBase)
+        return 0; // direct-segment pool translation (§4.1)
+    const Addr vpage = mem::pageOf(vaddr);
+    stats_.tlbAccesses += 1;
+    if (seTlb_[bank].access(vpage, false).hit)
+        return 0;
+    stats_.tlbWalks += 1;
+    return cfg_.tlbLatency + cfg_.tlbWalkLatency;
+}
+
+BankId
+Machine::bankOfSim(Addr vaddr) const
+{
+    const Addr paddr = os_.pageTable().translate(vaddr);
+    return mapper_.bankOf(paddr);
+}
+
+BankId
+Machine::bankOfHost(const void *p) const
+{
+    return bankOfSim(addrSpace_.simAddrOf(p));
+}
+
+std::uint32_t
+Machine::hopsBetween(BankId a, BankId b) const
+{
+    return net_.mesh().distance(bankTile_[a], bankTile_[b]);
+}
+
+void
+Machine::beginEpoch()
+{
+    std::fill(bankBusy_.begin(), bankBusy_.end(), 0.0);
+    std::fill(coreBusy_.begin(), coreBusy_.end(), 0.0);
+    std::fill(seBusy_.begin(), seBusy_.end(), 0.0);
+    std::fill(epochAtomics_.begin(), epochAtomics_.end(), 0u);
+    net_.resetEpoch();
+    dram_.resetEpoch();
+}
+
+Cycles
+Machine::endEpoch(double latency_floor, const std::string &phase)
+{
+    double busiest = latency_floor;
+    busiest = std::max(busiest,
+                       *std::max_element(bankBusy_.begin(), bankBusy_.end()));
+    busiest = std::max(busiest,
+                       *std::max_element(coreBusy_.begin(), coreBusy_.end()));
+    busiest = std::max(busiest,
+                       *std::max_element(seBusy_.begin(), seBusy_.end()));
+    busiest = std::max(busiest, static_cast<double>(net_.maxLinkFlits()));
+    busiest = std::max(busiest, dram_.maxChannelBusy());
+
+    const Cycles duration =
+        static_cast<Cycles>(busiest + tp_.epochOverheadCycles);
+    stats_.cycles += duration;
+    stats_.epochs += 1;
+
+    sim::EpochRecord rec;
+    rec.endCycle = stats_.cycles;
+    rec.atomicStreamsPerBank.assign(epochAtomics_.begin(),
+                                    epochAtomics_.end());
+    rec.phase = phase;
+    timeline_.record(std::move(rec));
+    return duration;
+}
+
+Cycles
+Machine::probeL3Line(BankId home, Addr pline, bool is_write, bool &out_hit)
+{
+    stats_.l3Accesses += 1;
+    bankBusy_[home] += tp_.l3ServiceCycles;
+    const auto res = l3Banks_[home].access(pline, is_write);
+    out_hit = res.hit;
+    Cycles extra = 0;
+    if (!res.hit) {
+        stats_.l3Misses += 1;
+        const std::uint32_t ch = dram_.channelOf(pline);
+        const TileId ctrl = dram_.controllerTile(ch);
+        extra += net_.send(bankTile_[home], ctrl, tp_.controlBytes,
+                           TrafficClass::control);
+        extra += dram_.access(pline, is_write);
+        extra += net_.send(ctrl, bankTile_[home],
+                           cfg_.lineSize + tp_.controlBytes,
+                           TrafficClass::data);
+    }
+    if (res.writeback) {
+        // Dirty victim travels to its DRAM controller off the
+        // critical path.
+        const std::uint32_t ch = dram_.channelOf(res.victimLine);
+        const TileId ctrl = dram_.controllerTile(ch);
+        net_.send(bankTile_[home], ctrl,
+                  cfg_.lineSize + tp_.controlBytes, TrafficClass::data);
+        dram_.access(res.victimLine, true);
+    }
+    return extra;
+}
+
+AccessOutcome
+Machine::coreAccess(CoreId core, Addr vaddr, std::uint32_t bytes,
+                    AccessType type, bool prefetch_friendly)
+{
+    AccessOutcome out;
+    out.servedBy = 1;
+    const Addr first = vaddr / cfg_.lineSize;
+    const Addr last = (vaddr + bytes - 1) / cfg_.lineSize;
+    const bool is_write = type != AccessType::read;
+
+    for (Addr vline = first; vline <= last; ++vline) {
+        coreBusy_[core] += tp_.coreIssueCycles;
+
+        if (type != AccessType::atomic) {
+            // L1 probe (virtually indexed model).
+            stats_.l1Accesses += 1;
+            const auto r1 = l1_[core].access(vline, is_write);
+            if (r1.writeback) {
+                stats_.l2Accesses += 1;
+                l2_[core].access(r1.victimLine, true);
+            }
+            if (r1.hit) {
+                out.latency += cfg_.l1Latency;
+                continue;
+            }
+            stats_.l1Misses += 1;
+
+            // L2 probe.
+            stats_.l2Accesses += 1;
+            const auto r2 = l2_[core].access(vline, is_write);
+            if (r2.hit) {
+                out.latency += cfg_.l1Latency + cfg_.l2Latency;
+                out.servedBy = std::max(out.servedBy, 2);
+                if (r2.writeback) {
+                    // L2 victim writes back to its home L3 bank.
+                    const Addr wb_p =
+                        os_.pageTable().translate(r2.victimLine *
+                                                  cfg_.lineSize);
+                    const BankId wb_home = mapper_.bankOf(wb_p);
+                    net_.send(core, bankTile_[wb_home],
+                              cfg_.lineSize + tp_.controlBytes,
+                              TrafficClass::data);
+                    bool dummy = false;
+                    probeL3Line(wb_home, wb_p / cfg_.lineSize, true,
+                                dummy);
+                }
+                continue;
+            }
+            stats_.l2Misses += 1;
+            if (r2.writeback) {
+                const Addr wb_p = os_.pageTable().translate(
+                    r2.victimLine * cfg_.lineSize);
+                const BankId wb_home = mapper_.bankOf(wb_p);
+                net_.send(core, bankTile_[wb_home],
+                          cfg_.lineSize + tp_.controlBytes,
+                          TrafficClass::data);
+                bool dummy = false;
+                probeL3Line(wb_home, wb_p / cfg_.lineSize, true, dummy);
+            }
+        }
+
+        // Go to the home L3 bank over the NoC; translation happens
+        // here (L1/L2 are virtually indexed in this model).
+        const Cycles tlb_lat = coreTranslate(core, vline * cfg_.lineSize);
+        const Addr paddr = os_.pageTable().translate(vline * cfg_.lineSize);
+        const Addr pline = paddr / cfg_.lineSize;
+        const BankId home = mapper_.bankOf(paddr);
+        out.bank = home;
+
+        Cycles lat = tlb_lat;
+        lat += net_.send(core, bankTile_[home], tp_.controlBytes,
+                         TrafficClass::control);
+        bool hit = false;
+        lat += cfg_.l3Latency;
+        lat += probeL3Line(home, pline, is_write, hit);
+        out.servedBy = std::max(out.servedBy, hit ? 3 : 4);
+
+        if (type == AccessType::atomic) {
+            // RMW performed at the directory/L3; small response plus
+            // an invalidation message to a sharer (coherence cost).
+            stats_.atomicOps += 1;
+            bankBusy_[home] += tp_.atomicExtraCycles;
+            lat += net_.send(bankTile_[home], core, tp_.controlBytes,
+                             TrafficClass::control);
+            net_.send(bankTile_[home], core, tp_.controlBytes,
+                      TrafficClass::control);
+        } else {
+            lat += net_.send(bankTile_[home], core,
+                             cfg_.lineSize + tp_.controlBytes,
+                             TrafficClass::data);
+        }
+        out.latency += cfg_.l1Latency + cfg_.l2Latency + lat;
+        if (!prefetch_friendly) {
+            // Irregular L2 miss: the core can only hide coreMaxMlp of
+            // these, so sustained throughput is latency / MLP.
+            coreBusy_[core] +=
+                double(cfg_.l1Latency + cfg_.l2Latency + lat) /
+                tp_.coreMaxMlp;
+        }
+    }
+    return out;
+}
+
+void
+Machine::coreCompute(CoreId core, double flops)
+{
+    stats_.coreOps += static_cast<std::uint64_t>(flops);
+    coreBusy_[core] += flops / tp_.coreFlopsPerCycle;
+}
+
+AccessOutcome
+Machine::l3StreamAccess(BankId requester, Addr vaddr, std::uint32_t bytes,
+                        AccessType type)
+{
+    AccessOutcome out;
+    out.servedBy = 3;
+    const Addr first = vaddr / cfg_.lineSize;
+    const Addr last = (vaddr + bytes - 1) / cfg_.lineSize;
+    const bool is_write = type != AccessType::read;
+
+    for (Addr vline = first; vline <= last; ++vline) {
+        const Cycles tlb_lat =
+            seTranslate(requester, vline * cfg_.lineSize);
+        const Addr paddr = os_.pageTable().translate(vline * cfg_.lineSize);
+        const Addr pline = paddr / cfg_.lineSize;
+        const BankId home = mapper_.bankOf(paddr);
+        out.bank = home;
+
+        Cycles lat = tlb_lat;
+        const bool remote = home != requester;
+        if (remote) {
+            // Indirect request to the home bank.
+            lat += net_.send(bankTile_[requester], bankTile_[home],
+                             is_write && type != AccessType::atomic
+                                 ? std::min<std::uint32_t>(bytes,
+                                                           cfg_.lineSize) +
+                                       tp_.controlBytes
+                                 : tp_.controlBytes,
+                             type == AccessType::atomic
+                                 ? TrafficClass::control
+                                 : (is_write ? TrafficClass::data
+                                             : TrafficClass::control));
+        }
+        bool hit = false;
+        lat += cfg_.l3Latency;
+        lat += probeL3Line(home, pline, is_write, hit);
+        out.servedBy = std::max(out.servedBy, hit ? 3 : 4);
+
+        if (type == AccessType::atomic) {
+            stats_.atomicOps += 1;
+            bankBusy_[home] += tp_.atomicExtraCycles;
+            noteAtomicStream(home);
+            if (remote) {
+                lat += net_.send(bankTile_[home], bankTile_[requester],
+                                 tp_.controlBytes,
+                                 TrafficClass::control);
+            }
+        } else if (remote) {
+            if (!is_write) {
+                const std::uint32_t resp =
+                    std::min<std::uint32_t>(bytes, cfg_.lineSize);
+                lat += net_.send(bankTile_[home], bankTile_[requester],
+                                 resp + tp_.controlBytes,
+                                 TrafficClass::data);
+            } else {
+                // Write ack.
+                lat += net_.send(bankTile_[home], bankTile_[requester],
+                                 tp_.controlBytes,
+                                 TrafficClass::control);
+            }
+        }
+        out.latency += lat;
+    }
+    return out;
+}
+
+Cycles
+Machine::forwardData(BankId from, BankId to, std::uint32_t bytes)
+{
+    // Streaming a buffered line into/out of the SE's FIFO is cheap
+    // relative to a tag+data bank access.
+    bankBusy_[from] += 0.25;
+    bankBusy_[to] += 0.25;
+    return net_.send(bankTile_[from], bankTile_[to], bytes,
+                     TrafficClass::data);
+}
+
+Cycles
+Machine::migrateStream(BankId from, BankId to)
+{
+    stats_.streamMigrations += 1;
+    return net_.send(bankTile_[from], bankTile_[to], tp_.migrateBytes,
+                     TrafficClass::offload);
+}
+
+Cycles
+Machine::configStream(CoreId core, BankId first_bank)
+{
+    stats_.streamConfigs += 1;
+    return net_.send(core, bankTile_[first_bank], tp_.configBytes,
+                     TrafficClass::offload);
+}
+
+void
+Machine::creditMessage(CoreId core, BankId bank)
+{
+    net_.send(core, bankTile_[bank], tp_.controlBytes,
+              TrafficClass::control);
+}
+
+void
+Machine::seCompute(BankId bank, double flops)
+{
+    stats_.seOps += static_cast<std::uint64_t>(flops);
+    seBusy_[bank] += flops / tp_.seFlopsPerCycle;
+}
+
+void
+Machine::noteAtomicStream(BankId bank)
+{
+    epochAtomics_[bank] += 1;
+}
+
+double
+Machine::nocUtilization() const
+{
+    if (stats_.cycles == 0)
+        return 0.0;
+    const auto &mesh = net_.mesh();
+    const std::uint64_t real_links =
+        2ull * (mesh.xDim() - 1) * mesh.yDim() +
+        2ull * mesh.xDim() * (mesh.yDim() - 1);
+    std::uint64_t flits = 0;
+    const auto &lifetime = net_.lifetimeLinkFlits();
+    // Only mesh links count toward utilization (the tail entries are
+    // the endpoint local ports).
+    for (std::uint32_t l = 0; l < mesh.numLinks(); ++l)
+        flits += lifetime[l];
+    return static_cast<double>(flits) /
+           (static_cast<double>(real_links) *
+            static_cast<double>(stats_.cycles));
+}
+
+void
+Machine::preloadL3Range(Addr sim_base, std::uint64_t bytes)
+{
+    const Addr first = sim_base / cfg_.lineSize;
+    const Addr last = (sim_base + bytes - 1) / cfg_.lineSize;
+    for (Addr vline = first; vline <= last; ++vline) {
+        const Addr vaddr = vline * cfg_.lineSize;
+        const Addr paddr = os_.pageTable().translate(vaddr);
+        const BankId home = mapper_.bankOf(paddr);
+        l3Banks_[home].access(paddr / cfg_.lineSize, false);
+    }
+}
+
+void
+Machine::flushPrivateCaches()
+{
+    for (auto &c : l1_)
+        c.reset();
+    for (auto &c : l2_)
+        c.reset();
+}
+
+} // namespace affalloc::nsc

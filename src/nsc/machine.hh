@@ -1,0 +1,235 @@
+/**
+ * @file
+ * The simulated machine: one object aggregating the mesh network, the
+ * NUCA L3, the private-cache filters, DRAM, and the OS-owned address
+ * translation / IOT. It exposes the *event primitives* that workload
+ * models call (core accesses, stream accesses, forwards, migrations,
+ * atomics) and an epoch-based timing model that converts per-resource
+ * occupancy into simulated cycles.
+ *
+ * Timing model: work proceeds in epochs. Every event charges occupancy
+ * to the resources it uses (L3 banks, SE compute threads, cores, NoC
+ * links, DRAM channels). An epoch's duration is the maximum occupancy
+ * over all resources (the bottleneck), floored by the caller-supplied
+ * critical-path latency (serial dependence chains such as pointer
+ * chasing). This reproduces bandwidth bottlenecks, bank load imbalance
+ * and latency-bound behaviour with one mechanism.
+ */
+
+#ifndef AFFALLOC_NSC_MACHINE_HH
+#define AFFALLOC_NSC_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/address_space.hh"
+#include "mem/bank_mapper.hh"
+#include "mem/cache_model.hh"
+#include "mem/dram.hh"
+#include "noc/network.hh"
+#include "os/sim_os.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace affalloc::nsc
+{
+
+/** Tunable event costs of the timing model. */
+struct TimingParams
+{
+    /** L3 bank occupancy per line access (pipelined tag+data). */
+    double l3ServiceCycles = 0.5;
+    /** Extra L3 bank occupancy for an atomic RMW (serializes). */
+    double atomicExtraCycles = 0.5;
+    /** Core occupancy per issued memory instruction. */
+    double coreIssueCycles = 0.5;
+    /** Flops retired per cycle by a core (SIMD FMA throughput). */
+    double coreFlopsPerCycle = 32.0;
+    /** Flops retired per cycle by a near-stream SMT compute thread. */
+    double seFlopsPerCycle = 32.0;
+    /** Control message payload bytes (requests, credits). */
+    std::uint32_t controlBytes = 16;
+    /** Stream migration message payload bytes. */
+    std::uint32_t migrateBytes = 64;
+    /** Stream configuration message payload bytes. */
+    std::uint32_t configBytes = 96;
+    /** Fixed per-epoch overhead (sync, credit turnaround). */
+    double epochOverheadCycles = 64.0;
+    /** Max memory-level parallelism of one core (ROB/LQ bound). */
+    double coreMaxMlp = 12.0;
+};
+
+/** What happened on a simulated memory access (for callers/tests). */
+struct AccessOutcome
+{
+    /** Total unloaded latency of the access. */
+    Cycles latency = 0;
+    /** Level that served it: 1/2/3 = cache level, 4 = DRAM. */
+    int servedBy = 3;
+    /** Home bank of the line. */
+    BankId bank = 0;
+};
+
+/**
+ * The machine. Constructed per experiment run; owns all hardware
+ * state and statistics. Workload models drive it through the event
+ * primitives, bracketed by beginEpoch()/endEpoch().
+ */
+class Machine
+{
+  public:
+    /** Build a machine over a booted OS. */
+    Machine(const sim::MachineConfig &cfg, os::SimOS &os,
+            TimingParams tp = TimingParams{});
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    // --------------------------------------------------------- accessors
+    const sim::MachineConfig &config() const { return cfg_; }
+    const TimingParams &timing() const { return tp_; }
+    sim::Stats &stats() { return stats_; }
+    const sim::Stats &stats() const { return stats_; }
+    noc::Network &network() { return net_; }
+    os::SimOS &simOs() { return os_; }
+    mem::AddressSpace &addressSpace() { return addrSpace_; }
+    const sim::Timeline &timeline() const { return timeline_; }
+    sim::Timeline &timeline() { return timeline_; }
+    Cycles now() const { return stats_.cycles; }
+
+    // ------------------------------------------------------ bank lookup
+    /** Home bank of a simulated virtual address. */
+    BankId bankOfSim(Addr vaddr) const;
+    /** Home bank of a registered host pointer. */
+    BankId bankOfHost(const void *p) const;
+    /** Mesh tile hosting bank @p b (per the numbering scheme). */
+    TileId tileOfBank(BankId b) const { return bankTile_[b]; }
+    /** Manhattan distance in hops between two banks' tiles. */
+    std::uint32_t hopsBetween(BankId a, BankId b) const;
+
+    // ------------------------------------------------- epoch life-cycle
+    /** Start a new epoch: clears per-epoch occupancy. */
+    void beginEpoch();
+    /**
+     * Close the epoch: duration = max(resource occupancy,
+     * latency_floor) + fixed overhead. Advances simulated time,
+     * records the timeline sample, and returns the duration.
+     */
+    Cycles endEpoch(double latency_floor = 0.0,
+                    const std::string &phase = "");
+
+    // ----------------------------------------------- in-core primitives
+    /**
+     * A load/store/atomic executed by core @p core on simulated
+     * address @p vaddr. Walks L1 -> L2 -> L3 -> DRAM, generating NoC
+     * traffic and occupancy along the way. Spans lines if needed.
+     *
+     * @param prefetch_friendly sequential/strided accesses covered by
+     *        the L1/L2 prefetchers (Table 2): their miss latency is
+     *        hidden, so only issue bandwidth is charged. Irregular
+     *        accesses instead charge latency divided by the core's
+     *        maximum memory-level parallelism (ROB/LQ bound).
+     */
+    AccessOutcome coreAccess(CoreId core, Addr vaddr, std::uint32_t bytes,
+                             AccessType type,
+                             bool prefetch_friendly = false);
+
+    /** Charge @p flops of computation to core @p core. */
+    void coreCompute(CoreId core, double flops);
+
+    // -------------------------------------------- near-stream primitives
+    /**
+     * A stream-engine access issued from bank @p requester to the
+     * home bank of @p vaddr. Local when the line is homed at the
+     * requester (the affinity-alloc goal); otherwise a remote
+     * (indirect) request/response pair is modeled. Misses go to DRAM.
+     */
+    AccessOutcome l3StreamAccess(BankId requester, Addr vaddr,
+                                 std::uint32_t bytes, AccessType type);
+
+    /** Forward @p bytes of operand data from one bank to another. */
+    Cycles forwardData(BankId from, BankId to, std::uint32_t bytes);
+
+    /** Migrate a stream context between banks (offload traffic). */
+    Cycles migrateStream(BankId from, BankId to);
+
+    /** Configure (offload) a stream from a core to its first bank. */
+    Cycles configStream(CoreId core, BankId first_bank);
+
+    /** Coarse-grained credit/sync control message core <-> bank. */
+    void creditMessage(CoreId core, BankId bank);
+
+    /** Charge @p flops of near-stream compute to @p bank's SE thread. */
+    void seCompute(BankId bank, double flops);
+
+    /** Record one active atomic stream at @p bank for the timeline. */
+    void noteAtomicStream(BankId bank);
+
+    // -------------------------------------------------------- utilization
+    /** Average NoC link utilization over the whole run, in [0,1]. */
+    double nocUtilization() const;
+
+    /** Resident lines currently tracked in bank @p b (tests). */
+    const mem::CacheModel &l3Bank(BankId b) const { return l3Banks_.at(b); }
+
+    /** Flush all private caches (phase boundaries between kernels). */
+    void flushPrivateCaches();
+
+    /**
+     * Warm the L3 with a simulated range without charging stats or
+     * occupancy (steady-state experiments skip cold-start DRAM).
+     */
+    void preloadL3Range(Addr sim_base, std::uint64_t bytes);
+
+  private:
+    /**
+     * Probe L3 at the line's home bank; on miss fetch from DRAM
+     * (request + response messages, channel occupancy, writebacks).
+     * Returns the latency beyond the bank access itself.
+     */
+    Cycles probeL3Line(BankId home, Addr pline, bool is_write,
+                       bool &out_hit);
+
+    /**
+     * Core-side address translation: L1 dTLB -> L2 TLB -> page walk
+     * (Table 2 latencies). Returns the added translation latency.
+     */
+    Cycles coreTranslate(CoreId core, Addr vaddr);
+
+    /** SEL3-side translation at bank @p bank's stream-engine TLB. */
+    Cycles seTranslate(BankId bank, Addr vaddr);
+
+    sim::MachineConfig cfg_;
+    TimingParams tp_;
+    os::SimOS &os_;
+    sim::Stats stats_;
+    noc::Network net_;
+    mem::BankMapper mapper_;
+    mem::Dram dram_;
+    mem::AddressSpace addrSpace_;
+
+    /** Bank id -> tile per the configured numbering scheme. */
+    std::vector<TileId> bankTile_;
+
+    std::vector<mem::CacheModel> l3Banks_;
+    std::vector<mem::CacheModel> l1_;
+    std::vector<mem::CacheModel> l2_;
+    // TLBs (Table 2): per-core L1 dTLB + L2 TLB, per-bank SEL3 TLB.
+    // Modeled as set-associative tag stores over virtual page numbers.
+    std::vector<mem::CacheModel> l1Tlb_;
+    std::vector<mem::CacheModel> l2Tlb_;
+    std::vector<mem::CacheModel> seTlb_;
+
+    // Per-epoch occupancy (cycles of busy time per resource).
+    std::vector<double> bankBusy_;
+    std::vector<double> coreBusy_;
+    std::vector<double> seBusy_;
+    std::vector<std::uint32_t> epochAtomics_;
+
+    sim::Timeline timeline_;
+};
+
+} // namespace affalloc::nsc
+
+#endif // AFFALLOC_NSC_MACHINE_HH

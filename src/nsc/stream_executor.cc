@@ -1,0 +1,285 @@
+#include "nsc/stream_executor.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace affalloc::nsc
+{
+
+StreamExecutor::StreamExecutor(Machine &m, ExecMode mode)
+    : machine_(m), mode_(mode)
+{
+}
+
+void
+StreamExecutor::affineKernel(const std::vector<AffineRef> &loads,
+                             const std::vector<AffineRef> &stores,
+                             std::uint64_t num_elems,
+                             double flops_per_elem,
+                             const std::string &phase)
+{
+    if (num_elems == 0)
+        return;
+    const auto &cfg = machine_.config();
+    const std::uint32_t cores = cfg.numTiles();
+    const std::uint32_t line = cfg.lineSize;
+    const std::uint64_t slice = (num_elems + cores - 1) / cores;
+    const std::uint64_t chunk = cfg.epochChunk;
+    const std::uint64_t epochs = (slice + chunk - 1) / chunk;
+
+    const std::size_t n_refs = loads.size() + stores.size();
+
+    auto ref_at = [&](std::size_t r) -> const AffineRef & {
+        return r < loads.size() ? loads[r] : stores[r - loads.size()];
+    };
+
+    // Refs over the same array whose offsets fall within one line of
+    // each other share a dedup slot: the compiler coalesces
+    // unit-offset streams (e.g. the A[i-1]/A[i]/A[i+1] streams of a
+    // stencil) so a line is fetched and forwarded once, not once per
+    // offset. Distant offsets (row stencils' +/-N) remain separate
+    // streams — their traffic is what intra-array affinity targets.
+    std::vector<std::size_t> dedup_slot(n_refs);
+    for (std::size_t r = 0; r < n_refs; ++r) {
+        dedup_slot[r] = r;
+        for (std::size_t q = 0; q < r; ++q) {
+            const AffineRef &a = ref_at(q);
+            const AffineRef &b = ref_at(r);
+            const std::int64_t gap =
+                (b.offsetElems - a.offsetElems) *
+                std::int64_t(b.elemSize);
+            if (a.simBase == b.simBase &&
+                gap > -std::int64_t(line) && gap < std::int64_t(line)) {
+                dedup_slot[r] = dedup_slot[q];
+                break;
+            }
+        }
+    }
+
+    // Per-(core, ref) line/bank tracking across the whole kernel.
+    std::vector<Addr> last_line(cores * n_refs, invalidAddr);
+    std::vector<BankId> cur_bank(cores * n_refs, invalidBank);
+
+    if (offloaded()) {
+        // Each core offloads one stream per array for its slice.
+        for (std::uint32_t c = 0; c < cores; ++c) {
+            const std::uint64_t e0 = std::uint64_t(c) * slice;
+            if (e0 >= num_elems)
+                break;
+            for (std::size_t r = 0; r < n_refs; ++r) {
+                const AffineRef &ref = ref_at(r);
+                const std::int64_t i =
+                    std::clamp<std::int64_t>(std::int64_t(e0) +
+                                                 ref.offsetElems,
+                                             0,
+                                             std::int64_t(num_elems) - 1);
+                const Addr a = ref.simBase + Addr(i) * ref.elemSize;
+                machine_.configStream(c, machine_.bankOfSim(a));
+                cur_bank[c * n_refs + r] = machine_.bankOfSim(a);
+            }
+        }
+    }
+
+    // Unloaded pipeline-fill latency floor of one epoch.
+    const double floor =
+        double(cfg.l3Latency) +
+        double(cfg.hopLatency) * (cfg.meshX + cfg.meshY) / 2.0 +
+        double(cfg.seComputeInitLatency);
+
+    for (std::uint64_t e = 0; e < epochs; ++e) {
+        machine_.beginEpoch();
+        for (std::uint32_t c = 0; c < cores; ++c) {
+            const std::uint64_t s0 = std::uint64_t(c) * slice;
+            const std::uint64_t s1 =
+                std::min<std::uint64_t>(s0 + slice, num_elems);
+            const std::uint64_t e0 = s0 + e * chunk;
+            const std::uint64_t e1 = std::min(e0 + chunk, s1);
+            if (e0 >= e1)
+                continue;
+
+            if (!offloaded()) {
+                // In-core: walk each array's lines through the
+                // private hierarchy; one access per new line
+                // (SIMD-width accesses).
+                for (std::size_t r = 0; r < n_refs; ++r) {
+                    const AffineRef &ref = ref_at(r);
+                    const bool is_store = r >= loads.size();
+                    Addr &ll = last_line[c * n_refs + dedup_slot[r]];
+                    for (std::uint64_t i = e0; i < e1; ++i) {
+                        const std::int64_t j =
+                            std::int64_t(i) + ref.offsetElems;
+                        if (j < 0 || j >= std::int64_t(num_elems))
+                            continue;
+                        const Addr a =
+                            ref.simBase + Addr(j) * ref.elemSize;
+                        const Addr al = a / line;
+                        // Coalesced streams advance monotonically: a
+                        // lagging offset's line was already fetched.
+                        if (ll != invalidAddr && al <= ll)
+                            continue;
+                        ll = al;
+                        machine_.coreAccess(c, a, line,
+                                            is_store ? AccessType::write
+                                                     : AccessType::read,
+                                            /*prefetch_friendly=*/true);
+                    }
+                }
+                machine_.coreCompute(c, flops_per_elem *
+                                            double(e1 - e0));
+                continue;
+            }
+
+            // NSC: compute sits at the bank of the (first) store
+            // stream's current line; loads forward their lines there.
+            const AffineRef &site_ref =
+                stores.empty() ? loads.front() : stores.front();
+            std::uint64_t i = e0;
+            while (i < e1) {
+                const Addr site_addr =
+                    site_ref.simBase + Addr(i) * site_ref.elemSize;
+                const std::uint64_t per_line =
+                    std::max<std::uint64_t>(1, line / site_ref.elemSize);
+                const std::uint64_t group_end = std::min<std::uint64_t>(
+                    e1, (i / per_line + 1) * per_line);
+                const BankId site = machine_.bankOfSim(site_addr);
+
+                for (std::size_t r = 0; r < n_refs; ++r) {
+                    const AffineRef &ref = ref_at(r);
+                    const bool is_store = r >= loads.size();
+                    Addr &ll = last_line[c * n_refs + dedup_slot[r]];
+                    BankId &cb = cur_bank[c * n_refs + r];
+                    for (std::uint64_t g = i; g < group_end; ++g) {
+                        const std::int64_t j =
+                            std::int64_t(g) + ref.offsetElems;
+                        if (j < 0 || j >= std::int64_t(num_elems))
+                            continue;
+                        const Addr a =
+                            ref.simBase + Addr(j) * ref.elemSize;
+                        const Addr al = a / line;
+                        if (ll != invalidAddr && al <= ll)
+                            continue;
+                        ll = al;
+                        const BankId home = machine_.bankOfSim(a);
+                        // Affine streams execute as strided
+                        // sub-streams: every participating bank works
+                        // on its own stripe after one configuration,
+                        // so no per-line migration is paid (only
+                        // irregular streams migrate).
+                        cb = home;
+                        machine_.l3StreamAccess(home, a, line,
+                                                is_store
+                                                    ? AccessType::write
+                                                    : AccessType::read);
+                        if (!is_store && home != site)
+                            machine_.forwardData(home, site, line);
+                    }
+                }
+                machine_.seCompute(site,
+                                   flops_per_elem * double(group_end - i));
+                i = group_end;
+            }
+            // Coarse-grained credits core -> current site.
+            const std::uint64_t credits =
+                (e1 - e0 + creditBatch - 1) / creditBatch;
+            for (std::uint64_t k = 0; k < credits; ++k) {
+                machine_.creditMessage(
+                    c, machine_.bankOfSim(site_ref.simBase +
+                                          Addr(e1 - 1) *
+                                              site_ref.elemSize));
+            }
+        }
+        machine_.endEpoch(floor, phase);
+    }
+}
+
+AccessOutcome
+StreamExecutor::streamStep(MigratingStream &stream, Addr vaddr,
+                           std::uint32_t bytes, AccessType type,
+                           bool sequential)
+{
+    if (!offloaded()) {
+        const AccessOutcome out = machine_.coreAccess(
+            stream.owner_, vaddr, bytes, type, sequential);
+        stream.chain_ += double(out.latency);
+        return out;
+    }
+    const Addr line = vaddr / machine_.config().lineSize;
+    if (line == stream.lastLine_ && type == AccessType::read) {
+        // Served out of the stream's line buffer.
+        AccessOutcome out;
+        out.bank = stream.bank_;
+        out.latency = 0;
+        return out;
+    }
+    const BankId home = machine_.bankOfSim(vaddr);
+    if (stream.bank_ == invalidBank) {
+        stream.chain_ +=
+            double(machine_.configStream(stream.owner_, home));
+        stream.bank_ = home;
+    } else if (home != stream.bank_) {
+        stream.chain_ +=
+            double(machine_.migrateStream(stream.bank_, home));
+        stream.bank_ = home;
+    }
+    const AccessOutcome out =
+        machine_.l3StreamAccess(stream.bank_, vaddr, bytes, type);
+    stream.lastLine_ = line;
+    stream.chain_ += double(out.latency);
+    maybeCredit(stream);
+    return out;
+}
+
+AccessOutcome
+StreamExecutor::indirect(MigratingStream &stream, Addr vaddr,
+                         std::uint32_t bytes, AccessType type)
+{
+    if (!offloaded()) {
+        const AccessOutcome out =
+            machine_.coreAccess(stream.owner_, vaddr, bytes, type);
+        stream.chain_ += double(out.latency);
+        return out;
+    }
+    if (stream.bank_ == invalidBank)
+        panic("indirect from an unconfigured stream");
+    const AccessOutcome out =
+        machine_.l3StreamAccess(stream.bank_, vaddr, bytes, type);
+    stream.chain_ += double(out.latency);
+    maybeCredit(stream);
+    return out;
+}
+
+void
+StreamExecutor::configure(MigratingStream &stream, Addr vaddr)
+{
+    stream.lastLine_ = invalidAddr;
+    if (!offloaded()) {
+        stream.bank_ = invalidBank;
+        return;
+    }
+    const BankId home = machine_.bankOfSim(vaddr);
+    machine_.configStream(stream.owner_, home);
+    stream.bank_ = home;
+}
+
+void
+StreamExecutor::compute(const MigratingStream &stream, double flops)
+{
+    if (offloaded()) {
+        machine_.seCompute(stream.bank_ == invalidBank ? 0 : stream.bank_,
+                           flops);
+    } else {
+        machine_.coreCompute(stream.owner_, flops);
+    }
+}
+
+void
+StreamExecutor::maybeCredit(MigratingStream &stream)
+{
+    if (++stream.sinceCredit_ >= creditBatch) {
+        stream.sinceCredit_ = 0;
+        machine_.creditMessage(stream.owner_, stream.bank_);
+    }
+}
+
+} // namespace affalloc::nsc

@@ -1,0 +1,158 @@
+#include "os/sim_os.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace affalloc::os
+{
+
+namespace
+{
+
+/** Physical base of the page-at-bank backing region. */
+constexpr Addr largePhysBase =
+    mem::poolPhysBase + Addr(mem::numInterleavePools + 1) * mem::terabyte;
+
+/** Heap random-policy physical page span (64 M pages = 256 GB). */
+constexpr Addr heapRandomSpanPages = Addr(1) << 26;
+
+} // namespace
+
+SimOS::SimOS(const sim::MachineConfig &cfg, PagePolicy heap_policy,
+             std::uint64_t seed)
+    : cfg_(cfg), heapPolicy_(heap_policy), rng_(seed),
+      iot_(cfg.iotEntries),
+      nextHeapPpage_(mem::pageOf(mem::heapPhysBase)),
+      nextBankPpage_(cfg.numBanks())
+{
+    cfg_.validate();
+    poolIotIdx_.fill(-1);
+    for (BankId b = 0; b < cfg_.numBanks(); ++b)
+        nextBankPpage_[b] = b;
+}
+
+Addr
+SimOS::heapAlloc(std::size_t bytes, std::size_t align)
+{
+    if (bytes == 0)
+        fatal("heapAlloc of zero bytes");
+    if (align == 0 || (align & (align - 1)) != 0)
+        fatal("heapAlloc alignment must be a power of two");
+    heapBrk_ = (heapBrk_ + align - 1) & ~(Addr(align) - 1);
+    const Addr vaddr = mem::heapVirtBase + heapBrk_;
+    heapBrk_ += bytes;
+    // Back any new pages eagerly.
+    while (heapBacked_ < heapBrk_) {
+        backHeapPage(mem::pageOf(mem::heapVirtBase + heapBacked_));
+        heapBacked_ += mem::pageSize;
+    }
+    return vaddr;
+}
+
+void
+SimOS::backHeapPage(Addr vpage)
+{
+    Addr ppage;
+    if (heapPolicy_ == PagePolicy::linear) {
+        ppage = nextHeapPpage_++;
+    } else {
+        const Addr base = mem::pageOf(mem::heapPhysBase);
+        do {
+            ppage = base + rng_.below(heapRandomSpanPages);
+        } while (!usedHeapPpages_.insert(ppage).second);
+    }
+    pageTable_.map(vpage, ppage);
+    ++backedPages_;
+}
+
+Addr
+SimOS::poolVirtBaseOf(int k) const
+{
+    if (k < 0 || k >= mem::numInterleavePools)
+        panic("pool index %d out of range", k);
+    return mem::poolVirtBase + Addr(k) * mem::terabyte;
+}
+
+Addr
+SimOS::expandPool(int k, Addr min_bytes)
+{
+    if (k < 0 || k >= mem::numInterleavePools)
+        panic("pool index %d out of range", k);
+    const Addr new_brk = mem::roundUpPage(min_bytes);
+    Addr &brk = poolBrk_[k];
+    if (new_brk <= brk)
+        return brk;
+
+    const Addr vbase = poolVirtBaseOf(k);
+    const Addr pbase = mem::poolPhysBase + Addr(k) * mem::terabyte;
+    for (Addr off = brk; off < new_brk; off += mem::pageSize) {
+        pageTable_.map(mem::pageOf(vbase + off), mem::pageOf(pbase + off));
+        ++backedPages_;
+    }
+    brk = new_brk;
+
+    // Keep the pool covered by exactly one IOT entry: install on the
+    // first expansion, grow afterwards (contiguous physical backing is
+    // what makes this possible; see §4.1).
+    if (poolIotIdx_[k] < 0) {
+        poolIotIdx_[k] = static_cast<std::ptrdiff_t>(
+            iot_.insert(pbase, pbase + brk, mem::poolInterleave(k)));
+    } else {
+        iot_.grow(static_cast<std::size_t>(poolIotIdx_[k]), pbase + brk);
+    }
+    return brk;
+}
+
+Addr
+SimOS::nextPagePhysAtBank(BankId bank)
+{
+    if (bank >= cfg_.numBanks())
+        panic("bank %u out of range", bank);
+    const Addr idx = nextBankPpage_[bank];
+    nextBankPpage_[bank] += cfg_.numBanks();
+    largePhysHighWater_ = std::max(largePhysHighWater_, idx + 1);
+    return mem::pageOf(largePhysBase) + idx;
+}
+
+Addr
+SimOS::allocPagesAtBanks(const std::vector<BankId> &banks)
+{
+    if (banks.empty())
+        fatal("allocPagesAtBanks with no pages");
+    const Addr vbase =
+        mem::largeVirtBase + largeBrkPages_ * mem::pageSize;
+    for (std::size_t i = 0; i < banks.size(); ++i) {
+        const Addr ppage = nextPagePhysAtBank(banks[i]);
+        pageTable_.map(mem::pageOf(vbase) + i, ppage);
+        ++backedPages_;
+    }
+    largeBrkPages_ += banks.size();
+
+    // The whole region is one 4 kB-interleaved IOT entry (footnote 4:
+    // large interleavings are tracked as 4 kB in the IOT).
+    const Addr end = largePhysBase + largePhysHighWater_ * mem::pageSize;
+    if (!largeIotInstalled_) {
+        largeIotIdx_ = static_cast<std::ptrdiff_t>(
+            iot_.insert(largePhysBase, end, mem::pageSize));
+        largeIotInstalled_ = true;
+    } else {
+        iot_.grow(static_cast<std::size_t>(largeIotIdx_), end);
+    }
+    return vbase;
+}
+
+Topology
+SimOS::topology() const
+{
+    Topology t;
+    t.meshX = cfg_.meshX;
+    t.meshY = cfg_.meshY;
+    t.numBanks = cfg_.numBanks();
+    t.lineSize = cfg_.lineSize;
+    for (int k = 0; k < mem::numInterleavePools; ++k)
+        t.poolInterleavings.push_back(mem::poolInterleave(k));
+    return t;
+}
+
+} // namespace affalloc::os

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The simulated operating system layer. Responsibilities match §3.3 /
+ * §4.1 of the paper exactly:
+ *
+ *  - reserve one virtual segment per power-of-two interleave pool
+ *    (64 B .. 4 kB) at program start;
+ *  - back pool virtual pages with *contiguous* physical pages on
+ *    demand (direct-segment style), so one IOT entry covers a pool;
+ *  - support large page-aligned interleavings (> 4 kB) by handing out
+ *    virtual pages remapped onto 4 kB-interleaved physical pages at a
+ *    requested bank (footnote 4);
+ *  - manage a conventional heap (linear or randomized page placement)
+ *    for baseline allocations;
+ *  - program the interleave override table;
+ *  - expose the topology to the allocator runtime (and nothing else:
+ *    the OS stays oblivious to data structures and load balance).
+ */
+
+#ifndef AFFALLOC_OS_SIM_OS_HH
+#define AFFALLOC_OS_SIM_OS_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/address.hh"
+#include "mem/iot.hh"
+#include "mem/page_table.hh"
+#include "sim/config.hh"
+#include "sim/rng.hh"
+
+namespace affalloc::os
+{
+
+/** Heap physical page placement policy (Fig. 4's Random config). */
+enum class PagePolicy : std::uint8_t
+{
+    /** Virtual heap pages get consecutive physical pages. */
+    linear,
+    /** Each heap page maps to a pseudo-random physical page. */
+    random
+};
+
+/** Topology information the OS exports to the allocator runtime. */
+struct Topology
+{
+    std::uint32_t meshX = 0;
+    std::uint32_t meshY = 0;
+    std::uint32_t numBanks = 0;
+    std::uint32_t lineSize = 0;
+    /** Pool interleavings available on this machine, ascending. */
+    std::vector<std::uint32_t> poolInterleavings;
+};
+
+/**
+ * The OS. Owns the page table and the IOT; everything above (runtime)
+ * talks to it through brk-style requests, everything below (memory
+ * system) through translate()/IOT lookups.
+ */
+class SimOS
+{
+  public:
+    /** Boot: reserve pool segments and program nothing yet. */
+    explicit SimOS(const sim::MachineConfig &cfg,
+                   PagePolicy heap_policy = PagePolicy::linear,
+                   std::uint64_t seed = 1);
+
+    SimOS(const SimOS &) = delete;
+    SimOS &operator=(const SimOS &) = delete;
+
+    // ------------------------------------------------------------- heap
+    /**
+     * Allocate @p bytes from the conventional heap at @p align
+     * alignment, backing pages immediately. Returns the simulated
+     * virtual address.
+     */
+    Addr heapAlloc(std::size_t bytes, std::size_t align = 64);
+
+    // ------------------------------------------------------------ pools
+    /** Virtual base of interleave pool @p k (0..6). */
+    Addr poolVirtBaseOf(int k) const;
+    /** Current break (bytes backed) of pool @p k. */
+    Addr poolBrkOf(int k) const { return poolBrk_.at(k); }
+    /**
+     * Expand pool @p k so at least @p min_bytes bytes are backed;
+     * physical backing stays contiguous and the pool's IOT entry is
+     * grown (installed on first touch). Returns the new break.
+     */
+    Addr expandPool(int k, Addr min_bytes);
+
+    // -------------------------------------------- large interleavings
+    /**
+     * Allocate @p banks.size() consecutive virtual pages where page i
+     * is homed at bank banks[i], implementing page-aligned
+     * interleavings larger than 4 kB. Returns the first page's
+     * virtual address.
+     */
+    Addr allocPagesAtBanks(const std::vector<BankId> &banks);
+
+    // ---------------------------------------------------------- queries
+    /** Topology description for the runtime. */
+    Topology topology() const;
+    /** The page table (memory system translates through this). */
+    const mem::PageTable &pageTable() const { return pageTable_; }
+    /** The IOT (cache controllers look banks up through this). */
+    const mem::InterleaveOverrideTable &iot() const { return iot_; }
+    /** Mutable IOT access for tests. */
+    mem::InterleaveOverrideTable &iotForTest() { return iot_; }
+    /** Total physical pages backed so far. */
+    std::uint64_t backedPages() const { return backedPages_; }
+
+  private:
+    /** Back one heap virtual page per the heap policy. */
+    void backHeapPage(Addr vpage);
+    /** Physical page index pool for the page-at-bank region. */
+    Addr nextPagePhysAtBank(BankId bank);
+
+    sim::MachineConfig cfg_;
+    PagePolicy heapPolicy_;
+    Rng rng_;
+
+    mem::PageTable pageTable_;
+    mem::InterleaveOverrideTable iot_;
+
+    // Heap state.
+    Addr heapBrk_ = 0;   // bytes allocated from heapVirtBase
+    Addr heapBacked_ = 0; // bytes of heap VA backed so far
+    Addr nextHeapPpage_;
+    std::unordered_set<Addr> usedHeapPpages_; // random policy only
+
+    // Pool state.
+    std::array<Addr, mem::numInterleavePools> poolBrk_{};    // bytes backed
+    std::array<std::ptrdiff_t, mem::numInterleavePools> poolIotIdx_;
+
+    // Page-at-bank region state.
+    Addr largeBrkPages_ = 0; // virtual pages handed out
+    std::vector<Addr> nextBankPpage_; // per-bank next phys page index
+    bool largeIotInstalled_ = false;
+    std::ptrdiff_t largeIotIdx_ = -1;
+    Addr largePhysHighWater_ = 0; // phys pages covered by IOT entry
+
+    std::uint64_t backedPages_ = 0;
+};
+
+} // namespace affalloc::os
+
+#endif // AFFALLOC_OS_SIM_OS_HH

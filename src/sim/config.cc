@@ -1,0 +1,118 @@
+#include "sim/config.hh"
+
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace affalloc::sim
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+std::string
+MachineConfig::toString() const
+{
+    std::ostringstream os;
+    os << "System      " << clockGhz << " GHz, " << meshX << "x" << meshY
+       << " cores\n"
+       << "Core        " << coreIssueWidth << "-issue OOO, " << robEntries
+       << " ROB, " << simdLanes << "-lane SIMD\n"
+       << "L1 D$       " << l1SizeBytes / 1024 << "KB " << l1Assoc
+       << "-way, " << l1Latency << " cy\n"
+       << "Priv. L2 $  " << l2SizeBytes / 1024 << "KB " << l2Assoc
+       << "-way, " << l2Latency << " cy\n"
+       << "Shared L3 $ " << l3BankSizeBytes / 1024 / 1024 << "MB/bank x "
+       << numBanks() << " banks, " << l3Assoc << "-way, " << l3Latency
+       << " cy, static NUCA " << l3DefaultInterleave << "B interleave\n"
+       << "NoC         " << meshX << "x" << meshY << " mesh, " << linkBytes
+       << "B links, " << hopLatency << " cy/hop, X-Y routing\n"
+       << "DRAM        " << dramTotalGBs << " GB/s, " << dramChannels
+       << " channels at corners, " << dramLatency << " cy\n"
+       << "SEcore      " << seCoreStreams << " streams\n"
+       << "SEL3        " << seL3Streams << " streams, "
+       << seComputeInitLatency << " cy compute init\n"
+       << "IOT         " << iotEntries << " regions";
+    return os.str();
+}
+
+const char *
+bankNumberingName(BankNumbering n)
+{
+    switch (n) {
+      case BankNumbering::rowMajor:
+        return "row-major";
+      case BankNumbering::snake:
+        return "snake";
+      case BankNumbering::block2:
+        return "block2x2";
+      default:
+        return "?";
+    }
+}
+
+void
+MachineConfig::validate() const
+{
+    if (meshX == 0 || meshY == 0)
+        fatal("mesh dimensions must be nonzero (%ux%u)", meshX, meshY);
+    if (!isPow2(lineSize))
+        fatal("line size must be a power of two (%u)", lineSize);
+    if (!isPow2(l3DefaultInterleave) || l3DefaultInterleave < lineSize)
+        fatal("default L3 interleave must be a power of two >= line size");
+    if (l1SizeBytes % (l1Assoc * lineSize) != 0)
+        fatal("L1 size must be a multiple of assoc * line size");
+    if (l2SizeBytes % (l2Assoc * lineSize) != 0)
+        fatal("L2 size must be a multiple of assoc * line size");
+    if (l3BankSizeBytes % (l3Assoc * lineSize) != 0)
+        fatal("L3 bank size must be a multiple of assoc * line size");
+    if (dramChannels == 0 || dramChannels > numTiles())
+        fatal("dram channels must be in [1, tiles]");
+    if (epochChunk == 0)
+        fatal("epoch chunk must be nonzero");
+}
+
+} // namespace affalloc::sim
+
+namespace affalloc
+{
+
+const char *
+trafficClassName(TrafficClass tc)
+{
+    switch (tc) {
+      case TrafficClass::control:
+        return "Control";
+      case TrafficClass::data:
+        return "Data";
+      case TrafficClass::offload:
+        return "Offload";
+      default:
+        return "?";
+    }
+}
+
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::inCore:
+        return "In-Core";
+      case ExecMode::nearL3:
+        return "Near-L3";
+      case ExecMode::affAlloc:
+        return "Aff-Alloc";
+      default:
+        return "?";
+    }
+}
+
+} // namespace affalloc

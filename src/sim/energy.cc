@@ -1,0 +1,35 @@
+#include "sim/energy.hh"
+
+namespace affalloc::sim
+{
+
+double
+EnergyModel::dynamicJoules(const Stats &s) const
+{
+    double pj = 0.0;
+    pj += params_.l1AccessPj * static_cast<double>(s.l1Accesses);
+    pj += params_.l2AccessPj * static_cast<double>(s.l2Accesses);
+    pj += params_.l3AccessPj * static_cast<double>(s.l3Accesses);
+    pj += params_.dramPerBytePj * static_cast<double>(s.dramBytes);
+    pj += params_.nocFlitHopPj * static_cast<double>(s.totalFlitHops());
+    pj += params_.coreOpPj * static_cast<double>(s.coreOps);
+    pj += params_.seOpPj * static_cast<double>(s.seOps);
+    pj += params_.atomicPj * static_cast<double>(s.atomicOps);
+    return pj * 1e-12;
+}
+
+double
+EnergyModel::staticJoules(const Stats &s) const
+{
+    const double seconds =
+        static_cast<double>(s.cycles) / (cfg_.clockGhz * 1e9);
+    return params_.staticWatts * seconds;
+}
+
+double
+EnergyModel::totalJoules(const Stats &s) const
+{
+    return dynamicJoules(s) + staticJoules(s);
+}
+
+} // namespace affalloc::sim

@@ -1,0 +1,70 @@
+#include "sim/log.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace affalloc
+{
+
+namespace
+{
+bool quietMode = false;
+} // namespace
+
+namespace detail
+{
+
+std::string
+formatMessage(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (n < 0) {
+        va_end(ap2);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+} // namespace detail
+
+void
+warn(const char *fmt, ...)
+{
+    if (quietMode)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stderr, "warn: ");
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quietMode)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stderr, "info: ");
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+    va_end(ap);
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietMode = quiet;
+}
+
+} // namespace affalloc

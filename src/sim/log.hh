@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal logging / error helpers in the spirit of gem5's logging.hh:
+ * panic() for internal invariant violations, fatal() for user errors,
+ * warn()/inform() for status messages.
+ */
+
+#ifndef AFFALLOC_SIM_LOG_HH
+#define AFFALLOC_SIM_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace affalloc
+{
+
+/** Thrown by panic(); signals a simulator bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    using std::logic_error::logic_error;
+};
+
+/** Thrown by fatal(); signals a user/configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+namespace detail
+{
+
+/** Format a printf-style message into a std::string. */
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/**
+ * Report a condition that indicates a bug in the simulator itself.
+ * Throws PanicError so tests can assert on invariant enforcement.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args &&...args)
+{
+    throw PanicError("panic: " +
+                     detail::formatMessage(fmt, std::forward<Args>(args)...));
+}
+
+/**
+ * Report a condition caused by invalid user input or configuration.
+ * Throws FatalError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args &&...args)
+{
+    throw FatalError("fatal: " +
+                     detail::formatMessage(fmt, std::forward<Args>(args)...));
+}
+
+/** Print a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr; execution continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by benchmarks). */
+void setQuiet(bool quiet);
+
+} // namespace affalloc
+
+#endif // AFFALLOC_SIM_LOG_HH

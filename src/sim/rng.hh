@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. All stochastic
+ * behaviour in the simulator (graph generation, random bank selection,
+ * random page mapping) flows through Rng so every experiment is
+ * reproducible from its seed.
+ */
+
+#ifndef AFFALLOC_SIM_RNG_HH
+#define AFFALLOC_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace affalloc
+{
+
+/**
+ * splitmix64-seeded xoshiro256** generator. Small, fast, and good
+ * enough statistically for workload synthesis.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (default: fixed project seed). */
+    explicit Rng(std::uint64_t seed = 0xaffa110cULL) { reseed(seed); }
+
+    /** Re-seed the generator deterministically. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_)
+            word = splitmix64(x);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free approximation is fine
+        // for workload synthesis (bias < 2^-64 * bound).
+        return static_cast<std::uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    static std::uint64_t
+    rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace affalloc
+
+#endif // AFFALLOC_SIM_RNG_HH

@@ -1,0 +1,139 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace affalloc::sim
+{
+
+std::uint64_t
+Stats::totalHops() const
+{
+    return hops[0] + hops[1] + hops[2];
+}
+
+std::uint64_t
+Stats::totalFlitHops() const
+{
+    return flitHops[0] + flitHops[1] + flitHops[2];
+}
+
+double
+Stats::l3MissRate() const
+{
+    return l3Accesses == 0
+               ? 0.0
+               : static_cast<double>(l3Misses) / static_cast<double>(
+                                                     l3Accesses);
+}
+
+Stats
+operator-(Stats a, const Stats &b)
+{
+    for (int c = 0; c < numTrafficClasses; ++c) {
+        a.messages[c] -= b.messages[c];
+        a.hops[c] -= b.hops[c];
+        a.flitHops[c] -= b.flitHops[c];
+    }
+    a.l1Accesses -= b.l1Accesses;
+    a.l1Misses -= b.l1Misses;
+    a.l2Accesses -= b.l2Accesses;
+    a.l2Misses -= b.l2Misses;
+    a.l3Accesses -= b.l3Accesses;
+    a.l3Misses -= b.l3Misses;
+    a.tlbAccesses -= b.tlbAccesses;
+    a.tlbWalks -= b.tlbWalks;
+    a.dramBytes -= b.dramBytes;
+    a.dramAccesses -= b.dramAccesses;
+    a.coreOps -= b.coreOps;
+    a.seOps -= b.seOps;
+    a.atomicOps -= b.atomicOps;
+    a.streamConfigs -= b.streamConfigs;
+    a.streamMigrations -= b.streamMigrations;
+    a.cycles -= b.cycles;
+    a.epochs -= b.epochs;
+    return a;
+}
+
+Stats &
+Stats::operator+=(const Stats &o)
+{
+    for (int c = 0; c < numTrafficClasses; ++c) {
+        messages[c] += o.messages[c];
+        hops[c] += o.hops[c];
+        flitHops[c] += o.flitHops[c];
+    }
+    l1Accesses += o.l1Accesses;
+    l1Misses += o.l1Misses;
+    l2Accesses += o.l2Accesses;
+    l2Misses += o.l2Misses;
+    l3Accesses += o.l3Accesses;
+    l3Misses += o.l3Misses;
+    tlbAccesses += o.tlbAccesses;
+    tlbWalks += o.tlbWalks;
+    dramBytes += o.dramBytes;
+    dramAccesses += o.dramAccesses;
+    coreOps += o.coreOps;
+    seOps += o.seOps;
+    atomicOps += o.atomicOps;
+    streamConfigs += o.streamConfigs;
+    streamMigrations += o.streamMigrations;
+    cycles += o.cycles;
+    epochs += o.epochs;
+    return *this;
+}
+
+std::string
+Stats::toString() const
+{
+    std::ostringstream os;
+    os << "cycles " << cycles << " epochs " << epochs << "\n";
+    for (int c = 0; c < numTrafficClasses; ++c) {
+        os << trafficClassName(static_cast<TrafficClass>(c)) << ": msgs "
+           << messages[c] << " hops " << hops[c] << " flit-hops "
+           << flitHops[c] << "\n";
+    }
+    os << "L1 " << l1Misses << "/" << l1Accesses << " miss, L2 "
+       << l2Misses << "/" << l2Accesses << " miss, L3 " << l3Misses << "/"
+       << l3Accesses << " miss\n"
+       << "TLB " << tlbWalks << "/" << tlbAccesses << " walks\n"
+       << "DRAM " << dramBytes << " B in " << dramAccesses << " accesses\n"
+       << "core ops " << coreOps << " se ops " << seOps << " atomics "
+       << atomicOps << "\n"
+       << "stream configs " << streamConfigs << " migrations "
+       << streamMigrations;
+    return os.str();
+}
+
+std::array<double, 5>
+Timeline::bands(const EpochRecord &rec)
+{
+    std::array<double, 5> out{0, 0, 0, 0, 0};
+    if (rec.atomicStreamsPerBank.empty())
+        return out;
+    std::vector<std::uint32_t> sorted = rec.atomicStreamsPerBank;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    const double sum = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+    out[0] = sorted.front();
+    out[1] = sorted[n / 4];
+    out[2] = sum / static_cast<double>(n);
+    out[3] = sorted[(3 * n) / 4];
+    out[4] = sorted.back();
+    return out;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += std::log(v);
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+} // namespace affalloc::sim

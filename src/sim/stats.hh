@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Event counters and epoch timelines. Stats are plain additive
+ * counters; figures are produced from Stats snapshots and deltas.
+ */
+
+#ifndef AFFALLOC_SIM_STATS_HH
+#define AFFALLOC_SIM_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace affalloc::sim
+{
+
+/**
+ * Additive event counters for one simulation run. Every field counts
+ * events (not derived rates) so snapshots can be subtracted.
+ */
+struct Stats
+{
+    /** Messages injected, by traffic class. */
+    std::array<std::uint64_t, numTrafficClasses> messages{};
+    /** Message-hops traversed, by traffic class. */
+    std::array<std::uint64_t, numTrafficClasses> hops{};
+    /** Flit-hops (flits x links traversed), by traffic class. */
+    std::array<std::uint64_t, numTrafficClasses> flitHops{};
+
+    /** L1 data cache accesses / misses (In-Core mode only). */
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Misses = 0;
+    /** Private L2 accesses / misses. */
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    /** Shared L3 accesses / misses (all modes). */
+    std::uint64_t l3Accesses = 0;
+    std::uint64_t l3Misses = 0;
+    /** TLB lookups (core-side L1 dTLB + SEL3 TLB). */
+    std::uint64_t tlbAccesses = 0;
+    /** Lookups that missed all TLB levels (page walks). */
+    std::uint64_t tlbWalks = 0;
+
+    /** DRAM traffic in bytes (reads + writebacks). */
+    std::uint64_t dramBytes = 0;
+    /** DRAM accesses (line granularity). */
+    std::uint64_t dramAccesses = 0;
+
+    /** Scalar-op work executed on cores. */
+    std::uint64_t coreOps = 0;
+    /** Scalar-op work executed by near-stream compute at L3. */
+    std::uint64_t seOps = 0;
+    /** Remote atomic operations performed at L3 banks. */
+    std::uint64_t atomicOps = 0;
+
+    /** Stream configuration messages (offload starts). */
+    std::uint64_t streamConfigs = 0;
+    /** Stream migrations between banks. */
+    std::uint64_t streamMigrations = 0;
+
+    /** Total simulated cycles. */
+    Cycles cycles = 0;
+    /** Number of epochs simulated. */
+    std::uint64_t epochs = 0;
+
+    /** All message-hops across classes. */
+    std::uint64_t totalHops() const;
+    /** All flit-hops across classes. */
+    std::uint64_t totalFlitHops() const;
+    /** L3 miss ratio in [0,1]; 0 when no accesses. */
+    double l3MissRate() const;
+
+    /** Element-wise a - b (deltas between snapshots). */
+    friend Stats operator-(Stats a, const Stats &b);
+    /** Element-wise accumulate. */
+    Stats &operator+=(const Stats &o);
+
+    /** Multi-line human-readable dump. */
+    std::string toString() const;
+};
+
+/**
+ * One epoch's observation for timeline figures (Fig. 14 / Fig. 18):
+ * when the epoch ended and how busy each bank's atomic streams were.
+ */
+struct EpochRecord
+{
+    /** Simulated cycle at which this epoch completed. */
+    Cycles endCycle = 0;
+    /** Per-bank count of atomic streams active during the epoch. */
+    std::vector<std::uint32_t> atomicStreamsPerBank;
+    /** Free-form phase label (e.g. "push"/"pull" for Fig. 18). */
+    std::string phase;
+};
+
+/**
+ * Ordered sequence of epoch records plus helpers to compute the
+ * distribution bands (min/25%/avg/75%/max) the paper plots.
+ */
+class Timeline
+{
+  public:
+    /** Append an epoch observation. */
+    void
+    record(EpochRecord rec)
+    {
+        records_.push_back(std::move(rec));
+    }
+
+    /** Whether any epochs were recorded. */
+    bool empty() const { return records_.empty(); }
+    /** Number of recorded epochs. */
+    std::size_t size() const { return records_.size(); }
+    /** Access one record. */
+    const EpochRecord &at(std::size_t i) const { return records_.at(i); }
+    /** All records. */
+    const std::vector<EpochRecord> &records() const { return records_; }
+    /** Drop all records. */
+    void clear() { records_.clear(); }
+
+    /**
+     * Distribution bands over banks for one record: returns
+     * {min, 25th percentile, mean, 75th percentile, max} of the
+     * per-bank atomic stream occupancy, as plotted in Fig. 14.
+     */
+    static std::array<double, 5> bands(const EpochRecord &rec);
+
+  private:
+    std::vector<EpochRecord> records_;
+};
+
+/** Geometric mean of a sequence of positive values; 0 if empty. */
+double geomean(const std::vector<double> &values);
+
+} // namespace affalloc::sim
+
+#endif // AFFALLOC_SIM_STATS_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Affine-layout workloads (Table 3): vector addition (the Fig. 3/4
+ * motivating kernel) and the Rodinia kernels pathfinder, hotspot,
+ * srad and hotspot3D. Each runs functionally on the host and replays
+ * its access pattern through the stream executor under the configured
+ * mode; under Aff-Alloc the arrays are allocated with inter-/intra-
+ * array affinity (Fig. 8), otherwise from the plain heap.
+ */
+
+#ifndef AFFALLOC_WORKLOADS_AFFINE_WORKLOADS_HH
+#define AFFALLOC_WORKLOADS_AFFINE_WORKLOADS_HH
+
+#include <cstdint>
+
+#include "workloads/run_context.hh"
+
+namespace affalloc::workloads
+{
+
+/** How vecadd's arrays are laid out (Fig. 4's sweep). */
+enum class VecAddLayout : std::uint8_t
+{
+    /** All three arrays pool-allocated; C offset by deltaBank. */
+    poolDelta,
+    /** Plain heap, linear pages (the oblivious default). */
+    heapLinear,
+    /** Plain heap, randomized page placement (Fig. 4 "Random"). */
+    heapRandom,
+    /** Affinity-allocated via malloc_aff (what Aff-Alloc does). */
+    affinity
+};
+
+/** Parameters of the vecadd kernel (Table 3-scale by default). */
+struct VecAddParams
+{
+    std::uint64_t n = 1'500'000;
+    VecAddLayout layout = VecAddLayout::affinity;
+    /** Bank offset of C relative to A/B under poolDelta. */
+    std::uint32_t deltaBank = 0;
+    /** Warm the L3 before timing (steady-state studies). */
+    bool preload = true;
+};
+
+/** C[i] = A[i] + B[i]. */
+RunResult runVecAdd(const RunConfig &rc, const VecAddParams &p);
+
+/** Rodinia pathfinder: dynamic programming over a 2D wall. */
+struct PathfinderParams
+{
+    std::uint64_t cols = 1'500'000; // Table 3: 1.5M entries
+    int iters = 8;
+};
+RunResult runPathfinder(const RunConfig &rc, const PathfinderParams &p);
+
+/** Rodinia hotspot: 5-point stencil with a power term. */
+struct HotspotParams
+{
+    std::uint64_t rows = 2048; // Table 3: 2k x 1k
+    std::uint64_t cols = 1024;
+    int iters = 8;
+};
+RunResult runHotspot(const RunConfig &rc, const HotspotParams &p);
+
+/** Rodinia srad: two-pass diffusion stencil. */
+struct SradParams
+{
+    std::uint64_t rows = 1024; // Table 3: 1k x 2k
+    std::uint64_t cols = 2048;
+    int iters = 8;
+};
+RunResult runSrad(const RunConfig &rc, const SradParams &p);
+
+/** Rodinia hotspot3D: 7-point stencil over a 3D grid. */
+struct Hotspot3dParams
+{
+    std::uint64_t nx = 256; // Table 3: 256 x 1k x 8
+    std::uint64_t ny = 1024;
+    std::uint64_t nz = 8;
+    int iters = 8;
+};
+RunResult runHotspot3d(const RunConfig &rc, const Hotspot3dParams &p);
+
+} // namespace affalloc::workloads
+
+#endif // AFFALLOC_WORKLOADS_AFFINE_WORKLOADS_HH

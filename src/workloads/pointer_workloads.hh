@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Pointer-chasing workloads (Table 3): link_list (long list search),
+ * hash_join (chained hash probe) and bin_tree (unbalanced BST
+ * lookups). Under Aff-Alloc the structures allocate through the
+ * irregular affinity API with the configured bank-select policy
+ * (Fig. 10 / Eq. 4); baselines use the plain heap.
+ */
+
+#ifndef AFFALLOC_WORKLOADS_POINTER_WORKLOADS_HH
+#define AFFALLOC_WORKLOADS_POINTER_WORKLOADS_HH
+
+#include <cstdint>
+
+#include "workloads/run_context.hh"
+
+namespace affalloc::workloads
+{
+
+/** link_list parameters (Table 3: 512 nodes/list, 1k lists). */
+struct LinkListParams
+{
+    std::uint32_t numLists = 1000;
+    std::uint32_t nodesPerList = 512;
+    std::uint32_t queriesPerList = 1;
+    std::uint64_t seed = 31;
+};
+RunResult runLinkList(const RunConfig &rc, const LinkListParams &p);
+
+/** hash_join parameters (Table 3: 256k x 512k, hit rate 1/8). */
+struct HashJoinParams
+{
+    std::uint64_t buildRows = 256 * 1024;
+    std::uint64_t probeRows = 512 * 1024;
+    std::uint64_t numBuckets = 64 * 1024; // chains <= 8
+    double hitRate = 1.0 / 8.0;
+    std::uint64_t seed = 32;
+};
+RunResult runHashJoin(const RunConfig &rc, const HashJoinParams &p);
+
+/** bin_tree parameters (Table 3: 128k nodes, 512k lookups). */
+struct BinTreeParams
+{
+    std::uint64_t numNodes = 128 * 1024;
+    std::uint64_t numLookups = 512 * 1024;
+    std::uint64_t seed = 33;
+};
+RunResult runBinTree(const RunConfig &rc, const BinTreeParams &p);
+
+} // namespace affalloc::workloads
+
+#endif // AFFALLOC_WORKLOADS_POINTER_WORKLOADS_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-run wiring shared by every workload: one simulated process with
+ * its OS, machine, allocator and stream executor, plus the result
+ * record benchmarks consume.
+ */
+
+#ifndef AFFALLOC_WORKLOADS_RUN_CONTEXT_HH
+#define AFFALLOC_WORKLOADS_RUN_CONTEXT_HH
+
+#include <memory>
+#include <string>
+
+#include "alloc/affinity_alloc.hh"
+#include "nsc/machine.hh"
+#include "nsc/stream_executor.hh"
+#include "os/sim_os.hh"
+#include "sim/energy.hh"
+
+namespace affalloc::workloads
+{
+
+/** How a run is configured (mode + allocator policy + machine). */
+struct RunConfig
+{
+    ExecMode mode = ExecMode::affAlloc;
+    alloc::AllocatorOptions allocOpts{};
+    os::PagePolicy heapPolicy = os::PagePolicy::linear;
+    sim::MachineConfig machine{};
+
+    /** Convenience: a named baseline/evaluated configuration. */
+    static RunConfig
+    forMode(ExecMode mode)
+    {
+        RunConfig rc;
+        rc.mode = mode;
+        return rc;
+    }
+};
+
+/** The measured outcome of one workload run. */
+struct RunResult
+{
+    std::string workload;
+    std::string label;
+    ExecMode mode = ExecMode::affAlloc;
+    sim::Stats stats;
+    double joules = 0.0;
+    double l3MissRate = 0.0;
+    double nocUtilization = 0.0;
+    bool valid = false;
+    sim::Timeline timeline;
+
+    /** Cycles, the primary metric. */
+    Cycles cycles() const { return stats.cycles; }
+    /** Total NoC message-hops (traffic metric of the figures). */
+    std::uint64_t hops() const { return stats.totalHops(); }
+};
+
+/**
+ * One simulated process. Construction boots the OS and machine;
+ * workloads allocate through `allocator` and emit events through
+ * `exec` / `machine`.
+ */
+struct RunContext
+{
+    RunConfig config;
+    os::SimOS os;
+    nsc::Machine machine;
+    alloc::AffinityAllocator allocator;
+    nsc::StreamExecutor exec;
+
+    explicit RunContext(const RunConfig &rc)
+        : config(rc), os(rc.machine, rc.heapPolicy),
+          machine(rc.machine, os), allocator(machine, rc.allocOpts),
+          exec(machine, rc.mode)
+    {}
+
+    /** Whether streams offload to L3 in this run. */
+    bool offloaded() const { return config.mode != ExecMode::inCore; }
+    /** Whether the affinity allocator drives layout in this run. */
+    bool affinity() const { return config.mode == ExecMode::affAlloc; }
+
+    /** Package the machine's final state into a result record. */
+    RunResult
+    finish(const std::string &workload, bool valid)
+    {
+        RunResult r;
+        r.workload = workload;
+        r.label = execModeName(config.mode);
+        r.mode = config.mode;
+        r.stats = machine.stats();
+        r.joules = sim::EnergyModel(config.machine)
+                       .totalJoules(machine.stats());
+        r.l3MissRate = machine.stats().l3MissRate();
+        r.nocUtilization = machine.nocUtilization();
+        r.valid = valid;
+        r.timeline = machine.timeline();
+        return r;
+    }
+};
+
+} // namespace affalloc::workloads
+
+#endif // AFFALLOC_WORKLOADS_RUN_CONTEXT_HH

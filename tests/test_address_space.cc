@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/address_space.hh"
+#include "sim/log.hh"
+
+using namespace affalloc;
+using mem::AddressSpace;
+
+TEST(AddressSpace, RoundTrip)
+{
+    AddressSpace as;
+    std::vector<char> buf(256);
+    as.registerRange(buf.data(), buf.size(), 0x1000);
+    EXPECT_EQ(as.simAddrOf(buf.data()), 0x1000u);
+    EXPECT_EQ(as.simAddrOf(buf.data() + 100), 0x1064u);
+}
+
+TEST(AddressSpace, UnknownPointerFatal)
+{
+    AddressSpace as;
+    int x = 0;
+    EXPECT_THROW(as.simAddrOf(&x), FatalError);
+    EXPECT_EQ(as.trySimAddrOf(&x), invalidAddr);
+}
+
+TEST(AddressSpace, RejectsOverlap)
+{
+    AddressSpace as;
+    std::vector<char> buf(256);
+    as.registerRange(buf.data(), 256, 0x1000);
+    EXPECT_THROW(as.registerRange(buf.data() + 100, 10, 0x9000),
+                 FatalError);
+}
+
+TEST(AddressSpace, AdjacentRangesAllowed)
+{
+    AddressSpace as;
+    std::vector<char> buf(256);
+    as.registerRange(buf.data(), 128, 0x1000);
+    as.registerRange(buf.data() + 128, 128, 0x8000);
+    EXPECT_EQ(as.simAddrOf(buf.data() + 127), 0x1000u + 127);
+    EXPECT_EQ(as.simAddrOf(buf.data() + 128), 0x8000u);
+}
+
+TEST(AddressSpace, UnregisterRemoves)
+{
+    AddressSpace as;
+    std::vector<char> buf(64);
+    as.registerRange(buf.data(), 64, 0x1000);
+    as.unregisterRange(buf.data());
+    EXPECT_EQ(as.trySimAddrOf(buf.data()), invalidAddr);
+    EXPECT_THROW(as.unregisterRange(buf.data()), FatalError);
+}
+
+TEST(AddressSpace, RangeQueries)
+{
+    AddressSpace as;
+    std::vector<char> buf(64);
+    as.registerRange(buf.data(), 64, 0x1000);
+    EXPECT_NE(as.rangeStartingAt(buf.data()), nullptr);
+    EXPECT_EQ(as.rangeStartingAt(buf.data() + 1), nullptr);
+    EXPECT_NE(as.rangeContaining(buf.data() + 63), nullptr);
+    EXPECT_EQ(as.size(), 1u);
+}
+
+TEST(AddressSpace, EndIsExclusive)
+{
+    AddressSpace as;
+    std::vector<char> buf(128);
+    as.registerRange(buf.data(), 64, 0x1000);
+    EXPECT_EQ(as.trySimAddrOf(buf.data() + 64), invalidAddr);
+}
+
+TEST(AddressSpace, ManyRangesResolveCorrectly)
+{
+    AddressSpace as;
+    std::vector<std::vector<char>> bufs;
+    for (int i = 0; i < 100; ++i)
+        bufs.emplace_back(64);
+    for (int i = 0; i < 100; ++i)
+        as.registerRange(bufs[i].data(), 64, 0x10000 + i * 0x100);
+    for (int i = 99; i >= 0; --i)
+        EXPECT_EQ(as.simAddrOf(bufs[i].data() + 5),
+                  Addr(0x10000 + i * 0x100 + 5));
+}

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "workloads/affine_workloads.hh"
+
+using namespace affalloc;
+using namespace affalloc::workloads;
+
+namespace
+{
+
+/** Small-but-nontrivial sizes so every test runs in milliseconds. */
+PathfinderParams
+smallPathfinder()
+{
+    PathfinderParams p;
+    p.cols = 50'000;
+    p.iters = 4;
+    return p;
+}
+
+HotspotParams
+smallHotspot()
+{
+    // 4 kB rows so the vertical-affinity choice (64 B interleave,
+    // +/-row in the same bank) differs from the heap layout.
+    HotspotParams p;
+    p.rows = 256;
+    p.cols = 1024;
+    p.iters = 4;
+    return p;
+}
+
+} // namespace
+
+TEST(VecAdd, ValidInAllModes)
+{
+    for (ExecMode m :
+         {ExecMode::inCore, ExecMode::nearL3, ExecMode::affAlloc}) {
+        VecAddParams p;
+        p.n = 100'000;
+        p.layout = m == ExecMode::affAlloc ? VecAddLayout::affinity
+                                           : VecAddLayout::heapLinear;
+        const RunResult r = runVecAdd(RunConfig::forMode(m), p);
+        EXPECT_TRUE(r.valid) << execModeName(m);
+        EXPECT_GT(r.cycles(), 0u);
+    }
+}
+
+TEST(VecAdd, AffinityEliminatesDataForwarding)
+{
+    VecAddParams p;
+    p.n = 100'000;
+    p.layout = VecAddLayout::affinity;
+    const RunResult r =
+        runVecAdd(RunConfig::forMode(ExecMode::affAlloc), p);
+    // Aligned arrays: essentially no data-class traffic (small
+    // residue from slice-boundary effects).
+    EXPECT_LT(double(r.stats.hops[int(TrafficClass::data)]),
+              0.05 * double(r.hops()) + 500);
+}
+
+TEST(VecAdd, AlignedBeatsMisaligned)
+{
+    VecAddParams aligned;
+    aligned.n = 100'000;
+    aligned.layout = VecAddLayout::poolDelta;
+    aligned.deltaBank = 0;
+    VecAddParams offset = aligned;
+    offset.deltaBank = 28;
+    const auto rc = RunConfig::forMode(ExecMode::nearL3);
+    EXPECT_LT(runVecAdd(rc, aligned).cycles(),
+              runVecAdd(rc, offset).cycles());
+}
+
+TEST(VecAdd, RandomLayoutBetweenBestAndWorst)
+{
+    const auto rc = RunConfig::forMode(ExecMode::nearL3);
+    VecAddParams p;
+    p.n = 600'000;
+    p.layout = VecAddLayout::poolDelta;
+    p.deltaBank = 0;
+    const auto best = runVecAdd(rc, p);
+    p.deltaBank = 28;
+    const auto worst = runVecAdd(rc, p);
+    p.layout = VecAddLayout::heapRandom;
+    const auto random = runVecAdd(rc, p);
+    EXPECT_GT(random.cycles(), best.cycles());
+    EXPECT_LT(random.cycles(), worst.cycles());
+}
+
+TEST(Pathfinder, ValidInAllModes)
+{
+    for (ExecMode m :
+         {ExecMode::inCore, ExecMode::nearL3, ExecMode::affAlloc}) {
+        const RunResult r =
+            runPathfinder(RunConfig::forMode(m), smallPathfinder());
+        EXPECT_TRUE(r.valid) << execModeName(m);
+    }
+}
+
+TEST(Hotspot, ValidInAllModes)
+{
+    for (ExecMode m :
+         {ExecMode::inCore, ExecMode::nearL3, ExecMode::affAlloc}) {
+        const RunResult r =
+            runHotspot(RunConfig::forMode(m), smallHotspot());
+        EXPECT_TRUE(r.valid) << execModeName(m);
+    }
+}
+
+TEST(Hotspot, AffinityReducesTraffic)
+{
+    const auto nl3 = runHotspot(RunConfig::forMode(ExecMode::nearL3),
+                                smallHotspot());
+    const auto aff = runHotspot(RunConfig::forMode(ExecMode::affAlloc),
+                                smallHotspot());
+    EXPECT_LT(aff.hops(), nl3.hops());
+}
+
+TEST(Srad, ValidInAllModes)
+{
+    SradParams p;
+    p.rows = 128;
+    p.cols = 256;
+    p.iters = 3;
+    for (ExecMode m :
+         {ExecMode::inCore, ExecMode::nearL3, ExecMode::affAlloc}) {
+        const RunResult r = runSrad(RunConfig::forMode(m), p);
+        EXPECT_TRUE(r.valid) << execModeName(m);
+    }
+}
+
+TEST(Hotspot3d, ValidInAllModes)
+{
+    Hotspot3dParams p;
+    p.nx = 64;
+    p.ny = 64;
+    p.nz = 8;
+    p.iters = 3;
+    for (ExecMode m :
+         {ExecMode::inCore, ExecMode::nearL3, ExecMode::affAlloc}) {
+        const RunResult r = runHotspot3d(RunConfig::forMode(m), p);
+        EXPECT_TRUE(r.valid) << execModeName(m);
+    }
+}
+
+TEST(AffineWorkloads, DeterministicCycles)
+{
+    const auto a = runHotspot(RunConfig::forMode(ExecMode::affAlloc),
+                              smallHotspot());
+    const auto b = runHotspot(RunConfig::forMode(ExecMode::affAlloc),
+                              smallHotspot());
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_EQ(a.hops(), b.hops());
+}
+
+TEST(AffineWorkloads, ResultRecordsPopulated)
+{
+    const auto r = runVecAdd(RunConfig::forMode(ExecMode::affAlloc),
+                             VecAddParams{.n = 50'000});
+    EXPECT_EQ(r.workload, "vecadd");
+    EXPECT_EQ(r.mode, ExecMode::affAlloc);
+    EXPECT_GT(r.joules, 0.0);
+    EXPECT_GE(r.nocUtilization, 0.0);
+    EXPECT_LE(r.nocUtilization, 1.0);
+    EXPECT_GT(r.stats.epochs, 0u);
+}

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "mem/bank_mapper.hh"
+
+using namespace affalloc;
+using mem::BankMapper;
+using mem::InterleaveOverrideTable;
+using sim::MachineConfig;
+
+TEST(BankMapper, DefaultStaticNuca1kB)
+{
+    MachineConfig cfg;
+    InterleaveOverrideTable iot;
+    BankMapper mapper(cfg, iot);
+    // Table 2: 1 kB static NUCA interleave.
+    EXPECT_EQ(mapper.bankOf(0), 0u);
+    EXPECT_EQ(mapper.bankOf(1023), 0u);
+    EXPECT_EQ(mapper.bankOf(1024), 1u);
+    EXPECT_EQ(mapper.bankOf(1024ull * 64), 0u);
+    EXPECT_EQ(mapper.bankOf(1024ull * 65), 1u);
+}
+
+TEST(BankMapper, IotOverridesDefault)
+{
+    MachineConfig cfg;
+    InterleaveOverrideTable iot;
+    iot.insert(0x100000, 0x200000, 64);
+    BankMapper mapper(cfg, iot);
+    // Inside the IOT range: 64 B interleave from the range start.
+    EXPECT_EQ(mapper.bankOf(0x100000), 0u);
+    EXPECT_EQ(mapper.bankOf(0x100000 + 64), 1u);
+    EXPECT_EQ(mapper.bankOf(0x100000 + 64 * 64), 0u);
+    // Outside: default hash again.
+    EXPECT_EQ(mapper.bankOf(0x200000),
+              mapper.defaultBankOf(0x200000));
+}
+
+TEST(BankMapper, ConsecutiveLinesSpreadUnderFineInterleave)
+{
+    MachineConfig cfg;
+    InterleaveOverrideTable iot;
+    iot.insert(0, 1 << 20, 64);
+    BankMapper mapper(cfg, iot);
+    // 64 consecutive lines cover all 64 banks exactly once.
+    std::vector<int> seen(64, 0);
+    for (Addr a = 0; a < 64 * 64; a += 64)
+        ++seen[mapper.bankOf(a)];
+    for (int b = 0; b < 64; ++b)
+        EXPECT_EQ(seen[b], 1) << "bank " << b;
+}
+
+TEST(BankMapper, DefaultSpreadsPages)
+{
+    MachineConfig cfg;
+    InterleaveOverrideTable iot;
+    BankMapper mapper(cfg, iot);
+    // 64 MB of physical addresses hit all banks roughly evenly.
+    std::vector<std::uint64_t> count(64, 0);
+    for (Addr a = 0; a < (64ull << 20); a += 1024)
+        ++count[mapper.bankOf(a)];
+    const auto [mn, mx] = std::minmax_element(count.begin(), count.end());
+    EXPECT_GT(*mn, 0u);
+    EXPECT_LT(double(*mx) / double(*mn), 1.01);
+}

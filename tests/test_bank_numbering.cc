@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/affine_workloads.hh"
+
+#include "test_helpers.hh"
+
+using namespace affalloc;
+using sim::BankNumbering;
+using test::MachineFixture;
+using namespace affalloc::workloads;
+
+TEST(BankNumbering, Names)
+{
+    EXPECT_STREQ(sim::bankNumberingName(BankNumbering::rowMajor),
+                 "row-major");
+    EXPECT_STREQ(sim::bankNumberingName(BankNumbering::snake), "snake");
+    EXPECT_STREQ(sim::bankNumberingName(BankNumbering::block2),
+                 "block2x2");
+}
+
+TEST(BankNumbering, RowMajorIsIdentity)
+{
+    sim::MachineConfig cfg;
+    os::SimOS os(cfg);
+    nsc::Machine m(cfg, os);
+    for (BankId b = 0; b < 64; ++b)
+        EXPECT_EQ(m.tileOfBank(b), b);
+}
+
+TEST(BankNumbering, EveryNumberingIsAPermutation)
+{
+    for (BankNumbering n : {BankNumbering::rowMajor,
+                            BankNumbering::snake,
+                            BankNumbering::block2}) {
+        sim::MachineConfig cfg;
+        cfg.bankNumbering = n;
+        os::SimOS os(cfg);
+        nsc::Machine m(cfg, os);
+        std::set<TileId> tiles;
+        for (BankId b = 0; b < 64; ++b)
+            tiles.insert(m.tileOfBank(b));
+        EXPECT_EQ(tiles.size(), 64u) << sim::bankNumberingName(n);
+    }
+}
+
+TEST(BankNumbering, SnakeMakesConsecutiveBanksAdjacent)
+{
+    sim::MachineConfig cfg;
+    cfg.bankNumbering = BankNumbering::snake;
+    os::SimOS os(cfg);
+    nsc::Machine m(cfg, os);
+    // Every consecutive bank pair is exactly one hop apart — the
+    // whole point of boustrophedon numbering (no row-wrap jump).
+    for (BankId b = 0; b + 1 < 64; ++b)
+        EXPECT_EQ(m.hopsBetween(b, b + 1), 1u) << "bank " << b;
+}
+
+TEST(BankNumbering, RowMajorHasRowWrapJumps)
+{
+    sim::MachineConfig cfg;
+    os::SimOS os(cfg);
+    nsc::Machine m(cfg, os);
+    EXPECT_EQ(m.hopsBetween(7, 8), 8u) << "wrap to the next row";
+}
+
+TEST(BankNumbering, Block2KeepsQuadsTogether)
+{
+    sim::MachineConfig cfg;
+    cfg.bankNumbering = BankNumbering::block2;
+    os::SimOS os(cfg);
+    nsc::Machine m(cfg, os);
+    // Banks 0..3 form one 2x2 block: pairwise distance <= 2.
+    for (BankId a = 0; a < 4; ++a)
+        for (BankId b = 0; b < 4; ++b)
+            EXPECT_LE(m.hopsBetween(a, b), 2u);
+}
+
+TEST(BankNumbering, SnakeImprovesNeighbourInterleaving)
+{
+    // A 64 B-interleaved array walks banks in id order; snake
+    // numbering makes that walk physically contiguous, reducing
+    // average consecutive-block distance.
+    auto avg_consecutive = [](BankNumbering n) {
+        sim::MachineConfig cfg;
+        cfg.bankNumbering = n;
+        os::SimOS os(cfg);
+        nsc::Machine m(cfg, os);
+        double sum = 0;
+        for (BankId b = 0; b < 64; ++b)
+            sum += m.hopsBetween(b, (b + 1) % 64);
+        return sum / 64.0;
+    };
+    EXPECT_LT(avg_consecutive(BankNumbering::snake),
+              avg_consecutive(BankNumbering::rowMajor));
+}
+
+TEST(BankNumbering, WorkloadsRunCorrectlyUnderEveryNumbering)
+{
+    for (BankNumbering n : {BankNumbering::rowMajor,
+                            BankNumbering::snake,
+                            BankNumbering::block2}) {
+        RunConfig rc = RunConfig::forMode(ExecMode::affAlloc);
+        rc.machine.bankNumbering = n;
+        VecAddParams p;
+        p.n = 100'000;
+        const auto r = runVecAdd(rc, p);
+        EXPECT_TRUE(r.valid) << sim::bankNumberingName(n);
+        // Aligned arrays stay aligned whatever the numbering.
+        EXPECT_LT(double(r.stats.hops[int(TrafficClass::data)]),
+                  0.05 * double(r.hops()) + 500);
+    }
+}

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_helpers.hh"
+
+using namespace affalloc;
+using alloc::AllocatorOptions;
+using alloc::BankPolicy;
+using test::MachineFixture;
+
+namespace
+{
+
+MachineFixture
+makeFixture(BankPolicy policy, double h = 5.0)
+{
+    AllocatorOptions opts;
+    opts.policy = policy;
+    opts.hybridH = h;
+    return MachineFixture(opts);
+}
+
+} // namespace
+
+TEST(BankPolicy, Names)
+{
+    EXPECT_STREQ(alloc::bankPolicyName(BankPolicy::random), "Rnd");
+    EXPECT_STREQ(alloc::bankPolicyName(BankPolicy::linear), "Lnr");
+    EXPECT_STREQ(alloc::bankPolicyName(BankPolicy::minHop), "Min-Hop");
+    EXPECT_STREQ(alloc::bankPolicyName(BankPolicy::hybrid), "Hybrid");
+}
+
+TEST(BankPolicy, LinearRoundRobins)
+{
+    auto f = makeFixture(BankPolicy::linear);
+    for (BankId expect = 0; expect < 64; ++expect)
+        EXPECT_EQ(f.allocator->selectBank({}), expect);
+    EXPECT_EQ(f.allocator->selectBank({}), 0u); // wraps
+}
+
+TEST(BankPolicy, RandomCoversManyBanks)
+{
+    auto f = makeFixture(BankPolicy::random);
+    std::set<BankId> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(f.allocator->selectBank({}));
+    EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(BankPolicy, MinHopIgnoresLoad)
+{
+    auto f = makeFixture(BankPolicy::minHop);
+    // Pile allocations onto bank 5; min-hop keeps choosing it anyway.
+    void *anchor = f.allocator->allocInterleaved(64 * 64, 64, 0);
+    const void *aff[1] = {static_cast<char *>(anchor) + 5 * 64};
+    for (int i = 0; i < 100; ++i) {
+        void *p = f.allocator->mallocAff(64, 1, aff);
+        EXPECT_EQ(f.machine->bankOfHost(p), 5u);
+    }
+    EXPECT_EQ(f.allocator->bankLoads()[5], 100u);
+}
+
+TEST(BankPolicy, HybridSpillsUnderLoad)
+{
+    // Eq. 4 with H > 0: once a bank is overloaded relative to the
+    // average, a neighbouring bank wins (Fig. 7's n7 spill).
+    auto f = makeFixture(BankPolicy::hybrid, 5.0);
+    void *anchor = f.allocator->allocInterleaved(64 * 64, 64, 0);
+    const void *aff[1] = {static_cast<char *>(anchor) + 9 * 64};
+    std::set<BankId> used;
+    for (int i = 0; i < 200; ++i) {
+        void *p = f.allocator->mallocAff(64, 1, aff);
+        used.insert(f.machine->bankOfHost(p));
+    }
+    EXPECT_GT(used.size(), 1u) << "hybrid should spill off bank 9";
+    // But affinity still matters: the load-weighted mean distance to
+    // bank 9 stays below what a uniform (random) layout would give.
+    double dist_sum = 0.0;
+    for (BankId b = 0; b < 64; ++b)
+        dist_sum += double(f.allocator->bankLoads()[b]) *
+                    f.machine->hopsBetween(b, 9);
+    const double mean_dist = dist_sum / 200.0;
+    double uniform = 0.0;
+    for (BankId b = 0; b < 64; ++b)
+        uniform += f.machine->hopsBetween(b, 9) / 64.0;
+    EXPECT_LT(mean_dist, 0.8 * uniform);
+}
+
+TEST(BankPolicy, HigherHBalancesMore)
+{
+    // Compare max bank load after identical allocation sequences.
+    auto run = [](double h) {
+        auto f = makeFixture(BankPolicy::hybrid, h);
+        void *anchor = f.allocator->allocInterleaved(64 * 64, 64, 0);
+        const void *aff[1] = {static_cast<char *>(anchor) + 20 * 64};
+        for (int i = 0; i < 300; ++i)
+            f.allocator->mallocAff(64, 1, aff);
+        std::uint64_t mx = 0;
+        for (auto l : f.allocator->bankLoads())
+            mx = std::max(mx, l);
+        return mx;
+    };
+    EXPECT_GE(run(1.0), run(7.0));
+}
+
+TEST(BankPolicy, HybridWithoutAffinityBalancesPerfectly)
+{
+    auto f = makeFixture(BankPolicy::hybrid, 5.0);
+    for (int i = 0; i < 640; ++i)
+        f.allocator->mallocAff(64, 0, nullptr);
+    const auto &loads = f.allocator->bankLoads();
+    const auto [mn, mx] = std::minmax_element(loads.begin(), loads.end());
+    EXPECT_EQ(*mn, *mx) << "equal-affinity allocations spread evenly";
+}
+
+TEST(BankPolicy, ScoreFunctionMatchesEq4)
+{
+    // Hand-check Eq. 4: affinity at bank 0, bank 0 has load 1, all
+    // others 0, total 1, H = 5, avg_load = 1/64.
+    // score(0) = 0 + 5*(1/(1/64) - 1) = 5*63 = 315
+    // score(1) = 1 + 5*(0 - 1)        = -4  -> a neighbour must win.
+    auto f = makeFixture(BankPolicy::hybrid, 5.0);
+    void *anchor = f.allocator->allocInterleaved(64 * 64, 64, 0);
+    const void *aff[1] = {anchor};
+    void *p1 = f.allocator->mallocAff(64, 1, aff); // load(0) = 1
+    EXPECT_EQ(f.machine->bankOfHost(p1), 0u);
+    const BankId second = f.allocator->selectBank({0});
+    EXPECT_NE(second, 0u);
+    EXPECT_EQ(f.machine->hopsBetween(second, 0), 1u);
+}

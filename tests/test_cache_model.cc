@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache_model.hh"
+#include "sim/log.hh"
+
+using namespace affalloc;
+using mem::CacheModel;
+
+TEST(CacheModel, MissThenHit)
+{
+    CacheModel c(1024, 2, 64); // 16 lines, 8 sets x 2 ways
+    EXPECT_FALSE(c.access(100, false).hit);
+    EXPECT_TRUE(c.access(100, false).hit);
+}
+
+TEST(CacheModel, LruEviction)
+{
+    CacheModel c(256, 2, 64); // 4 lines, 2 sets x 2 ways
+    // Lines 0, 2, 4 all map to set 0 (line & 1 == 0).
+    c.access(0, false);
+    c.access(2, false);
+    c.access(0, false); // touch 0: line 2 becomes LRU
+    const auto r = c.access(4, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(2));
+    EXPECT_TRUE(c.contains(4));
+}
+
+TEST(CacheModel, DirtyEvictionReportsWriteback)
+{
+    CacheModel c(256, 2, 64);
+    c.access(0, true); // dirty
+    c.access(2, false);
+    const auto r = c.access(4, false); // evicts 0 (LRU, dirty)
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.victimLine, 0u);
+}
+
+TEST(CacheModel, CleanEvictionNoWriteback)
+{
+    CacheModel c(256, 2, 64);
+    c.access(0, false);
+    c.access(2, false);
+    const auto r = c.access(4, false);
+    EXPECT_FALSE(r.writeback);
+}
+
+TEST(CacheModel, WriteHitMarksDirty)
+{
+    CacheModel c(256, 2, 64);
+    c.access(0, false);
+    c.access(0, true); // now dirty
+    c.access(2, false);
+    const auto r = c.access(4, false);
+    EXPECT_TRUE(r.writeback);
+}
+
+TEST(CacheModel, ResidentLinesTracksFills)
+{
+    CacheModel c(64 * 64, 4, 64);
+    for (Addr l = 0; l < 10; ++l)
+        c.access(l, false);
+    EXPECT_EQ(c.residentLines(), 10u);
+    c.access(0, false); // hit: no change
+    EXPECT_EQ(c.residentLines(), 10u);
+}
+
+TEST(CacheModel, ResetEmptiesCache)
+{
+    CacheModel c(1024, 2, 64);
+    c.access(1, true);
+    c.reset();
+    EXPECT_FALSE(c.contains(1));
+    EXPECT_EQ(c.residentLines(), 0u);
+}
+
+TEST(CacheModel, RejectsBadGeometry)
+{
+    EXPECT_THROW(CacheModel(1000, 3, 64), FatalError); // non-pow2 sets
+    EXPECT_THROW(CacheModel(0, 2, 64), FatalError);
+}
+
+TEST(CacheModel, L3BankGeometryMatchesTable2)
+{
+    CacheModel c(1024 * 1024, 16, 64);
+    EXPECT_EQ(c.numSets(), 1024u);
+    EXPECT_EQ(c.assoc(), 16u);
+}
+
+TEST(CacheModel, FullWorkingSetStaysResident)
+{
+    CacheModel c(64 * 1024, 16, 64); // 1024 lines
+    for (Addr l = 0; l < 1024; ++l)
+        c.access(l, false);
+    // Second pass: everything hits (capacity exactly matches).
+    for (Addr l = 0; l < 1024; ++l)
+        EXPECT_TRUE(c.access(l, false).hit);
+}
+
+TEST(CacheModel, OverCapacityWorkingSetThrashes)
+{
+    CacheModel c(64 * 1024, 16, 64); // 1024 lines
+    // 2x capacity streaming with LRU: second pass misses everything.
+    for (Addr l = 0; l < 2048; ++l)
+        c.access(l, false);
+    int hits = 0;
+    for (Addr l = 0; l < 2048; ++l)
+        hits += c.access(l, false).hit;
+    EXPECT_EQ(hits, 0);
+}

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "graph/csr.hh"
+#include "sim/log.hh"
+
+using namespace affalloc;
+using graph::buildCsr;
+using graph::Csr;
+using graph::Edge;
+
+TEST(Csr, BuildSimpleGraph)
+{
+    // Fig. 11's toy graph: 0-1, 0-2, 0-3, 1-0, 2-0, 2-3, 3-0, 3-2.
+    std::vector<Edge> edges = {{0, 1}, {0, 2}, {0, 3}, {2, 3}};
+    const Csr g = buildCsr(4, edges, /*symmetrize=*/true, false);
+    EXPECT_EQ(g.numVertices, 4u);
+    EXPECT_EQ(g.numEdges(), 8u);
+    EXPECT_EQ(g.degree(0), 3u);
+    EXPECT_EQ(g.degree(1), 1u);
+    EXPECT_EQ(g.degree(2), 2u);
+    EXPECT_EQ(g.degree(3), 2u);
+    const auto n0 = g.neighbors(0);
+    EXPECT_EQ(std::vector<graph::VertexId>(n0.begin(), n0.end()),
+              (std::vector<graph::VertexId>{1, 2, 3}));
+}
+
+TEST(Csr, SelfLoopsRemoved)
+{
+    std::vector<Edge> edges = {{0, 0}, {0, 1}, {1, 1}};
+    const Csr g = buildCsr(2, edges, false, false);
+    EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(Csr, DuplicatesRemoved)
+{
+    std::vector<Edge> edges = {{0, 1}, {0, 1}, {0, 1}};
+    const Csr g = buildCsr(2, edges, false, false);
+    EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(Csr, WeightsPreserved)
+{
+    std::vector<Edge> edges = {{0, 1, 7}, {1, 2, 9}};
+    const Csr g = buildCsr(3, edges, false, true);
+    ASSERT_EQ(g.weights.size(), 2u);
+    EXPECT_EQ(g.weights[0], 7u);
+    EXPECT_EQ(g.weights[1], 9u);
+}
+
+TEST(Csr, EdgesSortedBySource)
+{
+    std::vector<Edge> edges = {{2, 0}, {0, 2}, {1, 0}, {0, 1}};
+    const Csr g = buildCsr(3, edges, false, false);
+    for (graph::VertexId v = 0; v < 3; ++v) {
+        for (std::uint64_t e = g.rowOffsets[v]; e < g.rowOffsets[v + 1];
+             ++e) {
+            // All edges in row v belong to v by construction; check
+            // dst ordering within the row.
+            if (e + 1 < g.rowOffsets[v + 1]) {
+                EXPECT_LE(g.edges[e], g.edges[e + 1]);
+            }
+        }
+    }
+}
+
+TEST(Csr, OutOfRangeEdgeIsFatal)
+{
+    std::vector<Edge> edges = {{0, 9}};
+    EXPECT_THROW(buildCsr(2, edges, false, false), FatalError);
+}
+
+TEST(Csr, TransposeReversesEdges)
+{
+    std::vector<Edge> edges = {{0, 1}, {0, 2}, {1, 2}};
+    const Csr g = buildCsr(3, edges, false, false);
+    const Csr t = g.transpose();
+    EXPECT_EQ(t.numEdges(), 3u);
+    EXPECT_EQ(t.degree(0), 0u);
+    EXPECT_EQ(t.degree(1), 1u);
+    EXPECT_EQ(t.degree(2), 2u);
+    EXPECT_EQ(t.neighbors(1)[0], 0u);
+}
+
+TEST(Csr, TransposeKeepsWeights)
+{
+    std::vector<Edge> edges = {{0, 1, 5}, {2, 1, 6}};
+    const Csr g = buildCsr(3, edges, false, true);
+    const Csr t = g.transpose();
+    ASSERT_EQ(t.weights.size(), 2u);
+    // Vertex 1's incoming edges carry the original weights.
+    EXPECT_EQ(t.degree(1), 2u);
+    std::vector<std::uint32_t> w(t.weights.begin() + t.rowOffsets[1],
+                                 t.weights.begin() + t.rowOffsets[2]);
+    std::sort(w.begin(), w.end());
+    EXPECT_EQ(w, (std::vector<std::uint32_t>{5, 6}));
+}
+
+TEST(Csr, AverageDegree)
+{
+    std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+    const Csr g = buildCsr(4, edges, false, false);
+    EXPECT_DOUBLE_EQ(g.averageDegree(), 1.0);
+}
+
+TEST(Csr, SymmetrizeDoublesDistinctEdges)
+{
+    std::vector<Edge> edges = {{0, 1}, {1, 0}, {1, 2}};
+    const Csr g = buildCsr(3, edges, true, false);
+    // {0,1},{1,0} symmetrize to themselves; {1,2} adds {2,1}.
+    EXPECT_EQ(g.numEdges(), 4u);
+}

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+using namespace affalloc;
+using mem::Dram;
+using noc::Mesh;
+using sim::MachineConfig;
+using sim::Stats;
+
+namespace
+{
+
+struct DramFixture
+{
+    MachineConfig cfg;
+    Stats stats;
+    Mesh mesh{8, 8};
+    Dram dram{cfg, mesh, stats};
+};
+
+} // namespace
+
+TEST(Dram, ControllersSitOnCorners)
+{
+    DramFixture f;
+    EXPECT_EQ(f.dram.controllerTile(0), 0u);
+    EXPECT_EQ(f.dram.controllerTile(1), 7u);
+    EXPECT_EQ(f.dram.controllerTile(2), 56u);
+    EXPECT_EQ(f.dram.controllerTile(3), 63u);
+}
+
+TEST(Dram, LinesInterleaveAcrossChannels)
+{
+    DramFixture f;
+    std::array<int, 4> seen{};
+    for (Addr line = 0; line < 100; ++line)
+        ++seen[f.dram.channelOf(line)];
+    EXPECT_EQ(seen[0], 25);
+    EXPECT_EQ(seen[1], 25);
+    EXPECT_EQ(seen[2], 25);
+    EXPECT_EQ(seen[3], 25);
+}
+
+TEST(Dram, AccessCountsBytesAndLatency)
+{
+    DramFixture f;
+    const Cycles lat = f.dram.access(0, false);
+    EXPECT_EQ(lat, f.cfg.dramLatency);
+    EXPECT_EQ(f.stats.dramAccesses, 1u);
+    EXPECT_EQ(f.stats.dramBytes, 64u);
+}
+
+TEST(Dram, OccupancyAccumulatesPerChannel)
+{
+    DramFixture f;
+    // 100 lines on channel 0: busy = 100 * 64 / 3.2 = 2000 cycles.
+    for (int i = 0; i < 100; ++i)
+        f.dram.access(0, false);
+    EXPECT_NEAR(f.dram.maxChannelBusy(), 2000.0, 1e-9);
+    f.dram.resetEpoch();
+    EXPECT_DOUBLE_EQ(f.dram.maxChannelBusy(), 0.0);
+    // Stats survive the epoch reset.
+    EXPECT_EQ(f.stats.dramAccesses, 100u);
+}
+
+TEST(Dram, BalancedTrafficBalancesChannels)
+{
+    DramFixture f;
+    for (Addr line = 0; line < 400; ++line)
+        f.dram.access(line, line % 2 == 0);
+    // All channels equally busy: the max equals one channel's share.
+    EXPECT_NEAR(f.dram.maxChannelBusy(), 100.0 * 64 / 3.2, 1e-9);
+}

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "ds/dynamic_graph.hh"
+#include "graph/generators.hh"
+#include "graph/reference.hh"
+#include "sim/log.hh"
+#include "sim/rng.hh"
+
+#include "test_helpers.hh"
+
+using namespace affalloc;
+using alloc::AffineArray;
+using ds::DynamicGraph;
+using test::MachineFixture;
+
+namespace
+{
+
+void *
+makeVertexArray(MachineFixture &f, graph::VertexId n)
+{
+    AffineArray req;
+    req.elem_size = 4;
+    req.num_elem = n;
+    req.partition = true;
+    return f.allocator->mallocAff(req);
+}
+
+} // namespace
+
+TEST(DynamicGraph, AddAndQueryEdges)
+{
+    MachineFixture f;
+    void *v = makeVertexArray(f, 1024);
+    DynamicGraph g(1024, *f.allocator, v, 4);
+    g.addEdge(1, 2);
+    g.addEdge(1, 3);
+    g.addEdge(5, 1);
+    EXPECT_TRUE(g.hasEdge(1, 2));
+    EXPECT_TRUE(g.hasEdge(5, 1));
+    EXPECT_FALSE(g.hasEdge(2, 1));
+    EXPECT_EQ(g.degree(1), 2u);
+    EXPECT_EQ(g.numEdges(), 3u);
+}
+
+TEST(DynamicGraph, RemoveEdge)
+{
+    MachineFixture f;
+    void *v = makeVertexArray(f, 256);
+    DynamicGraph g(256, *f.allocator, v, 4);
+    for (graph::VertexId d = 0; d < 40; ++d)
+        g.addEdge(7, d);
+    EXPECT_EQ(g.degree(7), 40u);
+    EXPECT_TRUE(g.removeEdge(7, 13));
+    EXPECT_FALSE(g.hasEdge(7, 13));
+    EXPECT_FALSE(g.removeEdge(7, 13));
+    EXPECT_EQ(g.degree(7), 39u);
+    // Everything else intact.
+    for (graph::VertexId d = 0; d < 40; ++d)
+        if (d != 13) {
+            EXPECT_TRUE(g.hasEdge(7, d)) << d;
+        }
+}
+
+TEST(DynamicGraph, NodesRecycleWhenEmptied)
+{
+    MachineFixture f;
+    void *v = makeVertexArray(f, 256);
+    DynamicGraph g(256, *f.allocator, v, 4);
+    for (int i = 0; i < 12; ++i)
+        g.addEdge(3, graph::VertexId(i));
+    EXPECT_EQ(g.numNodes(), 1u);
+    for (int i = 0; i < 12; ++i)
+        EXPECT_TRUE(g.removeEdge(3, graph::VertexId(i)));
+    EXPECT_EQ(g.numNodes(), 0u);
+    EXPECT_EQ(g.head(3), nullptr);
+    EXPECT_EQ(g.numEdges(), 0u);
+}
+
+TEST(DynamicGraph, SnapshotMatchesReference)
+{
+    MachineFixture f;
+    void *v = makeVertexArray(f, 512);
+    DynamicGraph g(512, *f.allocator, v, 4);
+    Rng rng(17);
+    std::set<std::pair<graph::VertexId, graph::VertexId>> truth;
+    for (int i = 0; i < 3000; ++i) {
+        const auto u = graph::VertexId(rng.below(512));
+        const auto w = graph::VertexId(rng.below(512));
+        if (u == w)
+            continue;
+        if (truth.insert({u, w}).second)
+            g.addEdge(u, w);
+    }
+    const graph::Csr snap = g.toCsr();
+    EXPECT_EQ(snap.numEdges(), truth.size());
+    for (const auto &[u, w] : truth) {
+        const auto nbrs = snap.neighbors(u);
+        EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), w));
+    }
+}
+
+TEST(DynamicGraph, ChurnKeepsGraphConsistent)
+{
+    MachineFixture f;
+    void *v = makeVertexArray(f, 256);
+    DynamicGraph g(256, *f.allocator, v, 4);
+    Rng rng(19);
+    std::multiset<std::pair<graph::VertexId, graph::VertexId>> truth;
+    for (int i = 0; i < 5000; ++i) {
+        const auto u = graph::VertexId(rng.below(256));
+        const auto w = graph::VertexId(rng.below(256));
+        if (rng.chance(0.6)) {
+            g.addEdge(u, w);
+            truth.insert({u, w});
+        } else {
+            const bool had = truth.count({u, w}) > 0;
+            EXPECT_EQ(g.removeEdge(u, w), had);
+            if (had)
+                truth.erase(truth.find({u, w}));
+        }
+    }
+    EXPECT_EQ(g.numEdges(), truth.size());
+}
+
+TEST(DynamicGraph, AffinityMaintainedUnderEvolution)
+{
+    // §8: pointer-based dynamic graphs "naturally benefit from the
+    // improved spatial locality... without extra preprocessing."
+    auto locality = [](bool use_aff) {
+        alloc::AllocatorOptions opts;
+        opts.policy = use_aff ? alloc::BankPolicy::hybrid
+                              : alloc::BankPolicy::random;
+        MachineFixture f(opts);
+        void *v = makeVertexArray(f, 4096);
+        DynamicGraph g(4096, *f.allocator, v, 4, use_aff);
+        Rng rng(23);
+        // Community-structured insertions (social graphs cluster):
+        // destinations land near the source's id neighbourhood.
+        auto community_edge = [&](DynamicGraph &dg) {
+            const auto u = graph::VertexId(rng.below(4096));
+            const auto w = graph::VertexId(
+                (u + rng.below(96)) % 4096);
+            if (u != w)
+                dg.addEdge(u, w);
+        };
+        // Evolve: grow, churn, grow again.
+        for (int i = 0; i < 20000; ++i)
+            community_edge(g);
+        for (int i = 0; i < 5000; ++i) {
+            const auto u = graph::VertexId(rng.below(4096));
+            if (g.head(u))
+                g.removeEdge(u, g.head(u)->dst(0));
+            community_edge(g);
+        }
+        return g.averageNodeToDestDistance(*f.machine);
+    };
+    const double aff = locality(true);
+    const double oblivious = locality(false);
+    EXPECT_LT(aff, 0.8 * oblivious)
+        << "affinity placement survives graph evolution";
+}

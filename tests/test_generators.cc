@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hh"
+
+using namespace affalloc;
+using graph::Csr;
+using graph::KroneckerParams;
+
+TEST(Kronecker, SizeMatchesParameters)
+{
+    KroneckerParams p;
+    p.scale = 12;
+    p.edgeFactor = 8;
+    const Csr g = graph::kronecker(p);
+    EXPECT_EQ(g.numVertices, 1u << 12);
+    // Symmetrized and deduped: between edgeFactor*n and 2x that.
+    EXPECT_GT(g.numEdges(), (1u << 12) * 8u / 2);
+    EXPECT_LE(g.numEdges(), (1u << 12) * 16u);
+    g.validate();
+}
+
+TEST(Kronecker, Deterministic)
+{
+    KroneckerParams p;
+    p.scale = 10;
+    p.edgeFactor = 4;
+    const Csr a = graph::kronecker(p);
+    const Csr b = graph::kronecker(p);
+    EXPECT_EQ(a.edges, b.edges);
+    EXPECT_EQ(a.weights, b.weights);
+}
+
+TEST(Kronecker, DifferentSeedsDiffer)
+{
+    KroneckerParams p;
+    p.scale = 10;
+    p.edgeFactor = 4;
+    const Csr a = graph::kronecker(p);
+    p.seed = 999;
+    const Csr b = graph::kronecker(p);
+    EXPECT_NE(a.edges, b.edges);
+}
+
+TEST(Kronecker, WeightsInTable3Range)
+{
+    KroneckerParams p;
+    p.scale = 10;
+    p.edgeFactor = 4;
+    const Csr g = graph::kronecker(p);
+    ASSERT_FALSE(g.weights.empty());
+    for (auto w : g.weights) {
+        EXPECT_GE(w, 1u);
+        EXPECT_LE(w, 255u);
+    }
+}
+
+TEST(Kronecker, SkewedDegreeDistribution)
+{
+    KroneckerParams p;
+    p.scale = 12;
+    p.edgeFactor = 16;
+    const Csr g = graph::kronecker(p);
+    std::uint32_t max_deg = 0;
+    for (graph::VertexId v = 0; v < g.numVertices; ++v)
+        max_deg = std::max(max_deg, g.degree(v));
+    // RMAT hubs dwarf the average.
+    EXPECT_GT(max_deg, 8 * g.averageDegree());
+}
+
+TEST(PowerLaw, TargetsEdgeCount)
+{
+    const Csr g = graph::powerLaw(4096, 64 * 1024, 2.2, 7);
+    // Dedup removes some, but the bulk survives.
+    EXPECT_GT(g.numEdges(), 40u * 1024);
+    EXPECT_LE(g.numEdges(), 64u * 1024);
+    g.validate();
+}
+
+TEST(PowerLaw, SkewIncreasesWithSmallerExponent)
+{
+    const Csr flat = graph::powerLaw(4096, 32 * 1024, 3.5, 7);
+    const Csr skewed = graph::powerLaw(4096, 32 * 1024, 2.0, 7);
+    auto max_degree = [](const Csr &g) {
+        std::uint32_t m = 0;
+        for (graph::VertexId v = 0; v < g.numVertices; ++v)
+            m = std::max(m, g.degree(v));
+        return m;
+    };
+    EXPECT_GT(max_degree(skewed), max_degree(flat));
+}
+
+TEST(RealWorldStandIns, MatchTable4Scale)
+{
+    const Csr tw = graph::twitchLike();
+    EXPECT_EQ(tw.numVertices, 168114u);
+    // Avg degree ~81: allow dedup slack.
+    EXPECT_GT(tw.averageDegree(), 40.0);
+    EXPECT_LT(tw.averageDegree(), 100.0);
+
+    const Csr gp = graph::gplusLike();
+    EXPECT_EQ(gp.numVertices, 107614u);
+    EXPECT_GT(gp.averageDegree(), 60.0);
+    EXPECT_LT(gp.averageDegree(), 150.0);
+    EXPECT_GT(gp.averageDegree(), tw.averageDegree());
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared fixtures for unit tests: a booted OS + machine + allocator
+ * with the paper's default configuration.
+ */
+
+#ifndef AFFALLOC_TESTS_TEST_HELPERS_HH
+#define AFFALLOC_TESTS_TEST_HELPERS_HH
+
+#include <memory>
+
+#include "alloc/affinity_alloc.hh"
+#include "nsc/machine.hh"
+#include "nsc/stream_executor.hh"
+#include "os/sim_os.hh"
+#include "sim/config.hh"
+
+namespace affalloc::test
+{
+
+/** A full machine stack wired together for tests. */
+struct MachineFixture
+{
+    sim::MachineConfig cfg;
+    std::unique_ptr<os::SimOS> os;
+    std::unique_ptr<nsc::Machine> machine;
+    std::unique_ptr<alloc::AffinityAllocator> allocator;
+
+    explicit MachineFixture(
+        alloc::AllocatorOptions opts = alloc::AllocatorOptions{},
+        os::PagePolicy heap_policy = os::PagePolicy::linear)
+    {
+        os = std::make_unique<os::SimOS>(cfg, heap_policy);
+        machine = std::make_unique<nsc::Machine>(cfg, *os);
+        allocator =
+            std::make_unique<alloc::AffinityAllocator>(*machine, opts);
+    }
+};
+
+} // namespace affalloc::test
+
+#endif // AFFALLOC_TESTS_TEST_HELPERS_HH

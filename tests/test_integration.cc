@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Cross-module integration tests: whole-stack invariants that hold
+ * after running complete workloads (IOT budget, stats conservation,
+ * layering guarantees).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ds/pointer_structs.hh"
+#include "graph/generators.hh"
+#include "sim/rng.hh"
+#include "workloads/affine_workloads.hh"
+#include "workloads/graph_workloads.hh"
+#include "workloads/pointer_workloads.hh"
+
+using namespace affalloc;
+using namespace affalloc::workloads;
+
+namespace
+{
+
+/** Invariants every finished run must satisfy. */
+void
+checkStatsInvariants(const RunResult &r)
+{
+    const auto &s = r.stats;
+    EXPECT_LE(s.l1Misses, s.l1Accesses);
+    EXPECT_LE(s.l2Misses, s.l2Accesses);
+    EXPECT_LE(s.l3Misses, s.l3Accesses);
+    // Flit-hops can never be below message-hops (>= 1 flit/message).
+    for (int c = 0; c < numTrafficClasses; ++c)
+        EXPECT_GE(s.flitHops[c], s.hops[c]);
+    // DRAM traffic only comes from misses/writebacks.
+    EXPECT_LE(s.dramAccesses, 2 * s.l3Misses + s.l3Accesses);
+    EXPECT_GT(s.cycles, 0u);
+    EXPECT_GT(s.epochs, 0u);
+    EXPECT_GE(r.nocUtilization, 0.0);
+    EXPECT_LE(r.nocUtilization, 1.0);
+    EXPECT_GT(r.joules, 0.0);
+}
+
+} // namespace
+
+TEST(Integration, FullStackVecAddInvariants)
+{
+    for (ExecMode m :
+         {ExecMode::inCore, ExecMode::nearL3, ExecMode::affAlloc}) {
+        VecAddParams p;
+        p.n = 200'000;
+        p.layout = m == ExecMode::affAlloc ? VecAddLayout::affinity
+                                           : VecAddLayout::heapLinear;
+        const auto r = runVecAdd(RunConfig::forMode(m), p);
+        EXPECT_TRUE(r.valid);
+        checkStatsInvariants(r);
+    }
+}
+
+TEST(Integration, GraphWorkloadInvariants)
+{
+    graph::KroneckerParams kp;
+    kp.scale = 11;
+    kp.edgeFactor = 8;
+    const auto g = graph::kronecker(kp);
+    GraphParams p;
+    p.graph = &g;
+    p.iters = 2;
+    for (ExecMode m :
+         {ExecMode::inCore, ExecMode::nearL3, ExecMode::affAlloc}) {
+        checkStatsInvariants(runPageRankPush(RunConfig::forMode(m), p));
+        checkStatsInvariants(runSssp(RunConfig::forMode(m), p));
+        checkStatsInvariants(
+            runBfs(RunConfig::forMode(m), p, defaultBfsStrategy(m)).run);
+    }
+}
+
+TEST(Integration, IotStaysWithinHardwareBudget)
+{
+    // A full Aff-Alloc graph run exercises pools + partitioned arrays
+    // + page-at-bank regions; the IOT must stay within its 16 entries
+    // (the point of contiguous pool backing, §4.1).
+    graph::KroneckerParams kp;
+    kp.scale = 11;
+    kp.edgeFactor = 8;
+    const auto g = graph::kronecker(kp);
+    GraphParams p;
+    p.graph = &g;
+    p.iters = 2;
+
+    RunContext ctx(RunConfig::forMode(ExecMode::affAlloc));
+    // Run through the public entry point (fresh context inside), then
+    // verify on a context we can inspect by doing the setup directly.
+    (void)runPageRankPush(RunConfig::forMode(ExecMode::affAlloc), p);
+
+    // Inspectable variant: allocate the same structure kinds here.
+    alloc::AffineArray va;
+    va.elem_size = 4;
+    va.num_elem = g.numVertices;
+    va.partition = true;
+    void *v = ctx.allocator.mallocAff(va);
+    for (int i = 0; i < 1000; ++i) {
+        const void *aff[1] = {static_cast<char *>(v) + (i % 64) * 64};
+        ctx.allocator.mallocAff(64, 1, aff);
+    }
+    EXPECT_LE(ctx.os.iot().size(), ctx.config.machine.iotEntries);
+}
+
+TEST(Integration, PoolsBackedContiguously)
+{
+    // After heavy mixed allocation, every pool's physical backing is
+    // still contiguous (the invariant that keeps the IOT at one entry
+    // per pool).
+    RunContext ctx(RunConfig::forMode(ExecMode::affAlloc));
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const std::size_t size = 64u << rng.below(5);
+        ctx.allocator.mallocAff(size, 0, nullptr);
+    }
+    for (int k = 0; k < mem::numInterleavePools; ++k) {
+        const Addr brk = ctx.os.poolBrkOf(k);
+        if (brk == 0)
+            continue;
+        const Addr vbase = ctx.os.poolVirtBaseOf(k);
+        const Addr p0 = ctx.os.pageTable().translate(vbase);
+        for (Addr off = 0; off < brk; off += mem::pageSize) {
+            ASSERT_EQ(ctx.os.pageTable().translate(vbase + off),
+                      p0 + off)
+                << "pool " << k << " offset " << off;
+        }
+    }
+}
+
+TEST(Integration, EnergyAccountingConsistent)
+{
+    VecAddParams p;
+    p.n = 100'000;
+    const auto r =
+        runVecAdd(RunConfig::forMode(ExecMode::affAlloc), p);
+    sim::MachineConfig cfg;
+    sim::EnergyModel model(cfg);
+    EXPECT_NEAR(r.joules, model.totalJoules(r.stats), 1e-12);
+    EXPECT_GT(model.dynamicJoules(r.stats), 0.0);
+    EXPECT_GT(model.staticJoules(r.stats), 0.0);
+}
+
+TEST(Integration, PointerWorkloadsShareOneRuntime)
+{
+    // Multiple co-designed structures in one process must coexist
+    // (shared pools, shared free lists, shared load tracking).
+    RunContext ctx(RunConfig::forMode(ExecMode::affAlloc));
+    ds::AffinityList list(ctx.allocator);
+    ds::AffinityTree tree(ctx.allocator);
+    ds::HashJoinTable table(ctx.allocator, 256, true);
+    Rng rng(4);
+    for (int i = 0; i < 500; ++i) {
+        list.append(rng.next());
+        tree.insert(rng.next());
+        table.insert(rng.next(), i);
+    }
+    EXPECT_EQ(list.size(), 500u);
+    EXPECT_EQ(tree.size(), 500u);
+    EXPECT_EQ(table.size(), 500u);
+    std::uint64_t load = 0;
+    for (auto l : ctx.allocator.bankLoads())
+        load += l;
+    // 500 list nodes + 500 tree nodes + 500 chain nodes (+1 tail-less
+    // structures' slots are affine, not counted).
+    EXPECT_EQ(load, 1500u);
+}
+
+TEST(Integration, TimelineCoversWholeRun)
+{
+    VecAddParams p;
+    p.n = 200'000;
+    const auto r =
+        runVecAdd(RunConfig::forMode(ExecMode::nearL3), p);
+    ASSERT_FALSE(r.timeline.empty());
+    EXPECT_EQ(r.timeline.records().back().endCycle, r.cycles());
+    // Epoch end cycles are strictly increasing.
+    Cycles prev = 0;
+    for (const auto &rec : r.timeline.records()) {
+        EXPECT_GT(rec.endCycle, prev);
+        prev = rec.endCycle;
+    }
+}

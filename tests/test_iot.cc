@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "mem/iot.hh"
+#include "sim/log.hh"
+
+using namespace affalloc;
+using mem::InterleaveOverrideTable;
+using mem::IotEntry;
+
+TEST(Iot, Equation1BankMapping)
+{
+    // bank(paddr) = floor((paddr - start) / intrlv) mod N (Eq. 1).
+    IotEntry e{0x1000, 0x100000, 64};
+    EXPECT_EQ(e.bankOf(0x1000, 64), 0u);
+    EXPECT_EQ(e.bankOf(0x1000 + 63, 64), 0u);
+    EXPECT_EQ(e.bankOf(0x1000 + 64, 64), 1u);
+    EXPECT_EQ(e.bankOf(0x1000 + 64 * 64, 64), 0u); // wraps at N banks
+    EXPECT_EQ(e.bankOf(0x1000 + 64 * 65, 64), 1u);
+}
+
+TEST(Iot, LookupFindsCoveringEntry)
+{
+    InterleaveOverrideTable iot(4);
+    iot.insert(0x1000, 0x2000, 64);
+    iot.insert(0x8000, 0x9000, 4096);
+    EXPECT_EQ(iot.lookup(0x1800)->intrlv, 64u);
+    EXPECT_EQ(iot.lookup(0x8000)->intrlv, 4096u);
+    EXPECT_EQ(iot.lookup(0x3000), nullptr);
+    EXPECT_EQ(iot.lookup(0x2000), nullptr); // end is exclusive
+}
+
+TEST(Iot, CapacityEnforced)
+{
+    InterleaveOverrideTable iot(2);
+    iot.insert(0x0, 0x100, 64);
+    iot.insert(0x200, 0x300, 64);
+    EXPECT_THROW(iot.insert(0x400, 0x500, 64), FatalError);
+}
+
+TEST(Iot, RejectsOverlap)
+{
+    InterleaveOverrideTable iot(4);
+    iot.insert(0x1000, 0x2000, 64);
+    EXPECT_THROW(iot.insert(0x1800, 0x2800, 128), FatalError);
+    EXPECT_THROW(iot.insert(0x0800, 0x1001, 128), FatalError);
+}
+
+TEST(Iot, RejectsBadInterleaving)
+{
+    InterleaveOverrideTable iot(4);
+    EXPECT_THROW(iot.insert(0, 0x100, 32), FatalError);  // below a line
+    EXPECT_THROW(iot.insert(0, 0x100, 96), FatalError);  // not pow2
+    EXPECT_THROW(iot.insert(0x100, 0x100, 64), FatalError); // empty
+}
+
+TEST(Iot, GrowExtendsRange)
+{
+    InterleaveOverrideTable iot(4);
+    const auto idx = iot.insert(0x1000, 0x2000, 64);
+    iot.grow(idx, 0x4000);
+    EXPECT_NE(iot.lookup(0x3fff), nullptr);
+    EXPECT_THROW(iot.grow(idx, 0x1000), FatalError); // shrink forbidden
+}
+
+TEST(Iot, GrowCannotOverlapNeighbour)
+{
+    InterleaveOverrideTable iot(4);
+    const auto a = iot.insert(0x1000, 0x2000, 64);
+    iot.insert(0x3000, 0x4000, 128);
+    EXPECT_THROW(iot.grow(a, 0x3800), FatalError);
+}
+
+TEST(Iot, SixteenEntriesMatchTable2)
+{
+    InterleaveOverrideTable iot; // default capacity
+    EXPECT_EQ(iot.capacity(), 16u);
+}

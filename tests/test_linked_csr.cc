@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "ds/linked_csr.hh"
+#include "graph/generators.hh"
+#include "sim/log.hh"
+
+#include "test_helpers.hh"
+
+using namespace affalloc;
+using alloc::AffineArray;
+using alloc::AllocatorOptions;
+using alloc::BankPolicy;
+using ds::LinkedCsr;
+using ds::LinkedCsrOptions;
+using test::MachineFixture;
+
+namespace
+{
+
+/** Partitioned per-vertex property array for a graph. */
+void *
+makeVertexArray(MachineFixture &f, graph::VertexId n)
+{
+    AffineArray req;
+    req.elem_size = 4;
+    req.num_elem = n;
+    req.partition = true;
+    return f.allocator->mallocAff(req);
+}
+
+graph::Csr
+smallGraph()
+{
+    graph::KroneckerParams p;
+    p.scale = 10;
+    p.edgeFactor = 8;
+    return graph::kronecker(p);
+}
+
+} // namespace
+
+TEST(LinkedCsr, PreservesAllEdges)
+{
+    MachineFixture f;
+    const auto g = smallGraph();
+    void *v = makeVertexArray(f, g.numVertices);
+    LinkedCsr lcsr(g, *f.allocator, v, 4);
+
+    std::uint64_t total = 0;
+    for (graph::VertexId u = 0; u < g.numVertices; ++u) {
+        std::vector<graph::VertexId> got;
+        for (auto *n = lcsr.head(u); n; n = n->next())
+            for (std::uint32_t i = 0; i < n->count(); ++i)
+                got.push_back(n->dst(i));
+        const auto want = g.neighbors(u);
+        ASSERT_EQ(got.size(), want.size()) << "vertex " << u;
+        EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()));
+        total += got.size();
+    }
+    EXPECT_EQ(total, g.numEdges());
+}
+
+TEST(LinkedCsr, WeightedEdgesPreserved)
+{
+    MachineFixture f;
+    const auto g = smallGraph();
+    void *v = makeVertexArray(f, g.numVertices);
+    LinkedCsrOptions opts;
+    opts.weighted = true;
+    LinkedCsr lcsr(g, *f.allocator, v, 4, opts);
+    EXPECT_EQ(lcsr.edgesPerNode(), (64u - 8u) / 8u);
+
+    for (graph::VertexId u = 0; u < 64; ++u) {
+        std::uint64_t e = g.rowOffsets[u];
+        for (auto *n = lcsr.head(u); n; n = n->next()) {
+            for (std::uint32_t i = 0; i < n->count(); ++i, ++e) {
+                EXPECT_EQ(n->dst(i), g.edges[e]);
+                EXPECT_EQ(n->weight(i), g.weights[e]);
+            }
+        }
+        EXPECT_EQ(e, g.rowOffsets[u + 1]);
+    }
+}
+
+TEST(LinkedCsr, NodeCountMatchesCeiling)
+{
+    MachineFixture f;
+    const auto g = smallGraph();
+    void *v = makeVertexArray(f, g.numVertices);
+    LinkedCsr lcsr(g, *f.allocator, v, 4);
+    const std::uint32_t per = lcsr.edgesPerNode();
+    std::uint64_t expect = 0;
+    for (graph::VertexId u = 0; u < g.numVertices; ++u)
+        expect += (g.degree(u) + per - 1) / per;
+    EXPECT_EQ(lcsr.numNodes(), expect);
+}
+
+TEST(LinkedCsr, UnweightedNodeHoldsFourteenEdges)
+{
+    // The paper: "a 64 B cache line can hold 14 edges of 4 B after
+    // the 8 B pointer".
+    MachineFixture f;
+    const auto g = smallGraph();
+    void *v = makeVertexArray(f, g.numVertices);
+    LinkedCsr lcsr(g, *f.allocator, v, 4);
+    EXPECT_EQ(lcsr.edgesPerNode(), 14u);
+}
+
+TEST(LinkedCsr, LargerNodesHoldMoreEdges)
+{
+    MachineFixture f;
+    const auto g = smallGraph();
+    void *v = makeVertexArray(f, g.numVertices);
+    LinkedCsrOptions opts;
+    opts.nodeBytes = 128;
+    LinkedCsr lcsr(g, *f.allocator, v, 4, opts);
+    EXPECT_EQ(lcsr.edgesPerNode(), (128u - 8u) / 4u);
+
+    // Beyond 128 B the packed count field (5 bits) caps a node at 31
+    // entries.
+    LinkedCsrOptions big;
+    big.nodeBytes = 256;
+    LinkedCsr lcsr_big(g, *f.allocator, v, 4, big);
+    EXPECT_EQ(lcsr_big.edgesPerNode(), 31u);
+}
+
+TEST(LinkedCsr, MinHopPlacesNodesNearDestinations)
+{
+    AllocatorOptions aopts;
+    aopts.policy = BankPolicy::minHop;
+    MachineFixture f(aopts);
+    const auto g = smallGraph();
+    void *v = makeVertexArray(f, g.numVertices);
+    LinkedCsr lcsr(g, *f.allocator, v, 4);
+
+    // Average distance from each node to its destinations must be
+    // far below the mesh average (~5.3 hops on 8x8).
+    double sum = 0.0;
+    std::uint64_t cnt = 0;
+    for (graph::VertexId u = 0; u < g.numVertices; ++u) {
+        for (auto *n = lcsr.head(u); n; n = n->next()) {
+            const BankId nb = f.machine->bankOfHost(n);
+            for (std::uint32_t i = 0; i < n->count(); ++i) {
+                const BankId vb = f.allocator->bankOfElement(v, n->dst(i));
+                sum += f.machine->hopsBetween(nb, vb);
+                ++cnt;
+            }
+        }
+    }
+    EXPECT_LT(sum / double(cnt), 2.5);
+}
+
+TEST(LinkedCsr, AffinityBeatsNoAffinityPlacement)
+{
+    auto avg_dist = [](bool use_aff) {
+        AllocatorOptions aopts;
+        aopts.policy = use_aff ? BankPolicy::minHop : BankPolicy::random;
+        MachineFixture f(aopts);
+        const auto g = smallGraph();
+        void *v = makeVertexArray(f, g.numVertices);
+        LinkedCsrOptions opts;
+        opts.useAffinity = use_aff;
+        LinkedCsr lcsr(g, *f.allocator, v, 4, opts);
+        double sum = 0.0;
+        std::uint64_t cnt = 0;
+        for (graph::VertexId u = 0; u < g.numVertices; ++u) {
+            for (auto *n = lcsr.head(u); n; n = n->next()) {
+                const BankId nb = f.machine->bankOfHost(n);
+                for (std::uint32_t i = 0; i < n->count(); ++i) {
+                    sum += f.machine->hopsBetween(
+                        nb, f.allocator->bankOfElement(v, n->dst(i)));
+                    ++cnt;
+                }
+            }
+        }
+        return sum / double(cnt);
+    };
+    EXPECT_LT(avg_dist(true), 0.6 * avg_dist(false));
+}
+
+TEST(LinkedCsr, RejectsBadNodeSize)
+{
+    MachineFixture f;
+    const auto g = smallGraph();
+    void *v = makeVertexArray(f, g.numVertices);
+    LinkedCsrOptions opts;
+    opts.nodeBytes = 100;
+    EXPECT_THROW(LinkedCsr(g, *f.allocator, v, 4, opts), FatalError);
+}
+
+TEST(LinkedCsr, RequiresRecordedVertexArray)
+{
+    MachineFixture f;
+    const auto g = smallGraph();
+    int dummy;
+    EXPECT_THROW(LinkedCsr(g, *f.allocator, &dummy, 4), FatalError);
+}

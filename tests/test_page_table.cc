@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "mem/page_table.hh"
+#include "sim/log.hh"
+
+using namespace affalloc;
+using mem::PageTable;
+
+TEST(PageTable, TranslatePreservesOffset)
+{
+    PageTable pt;
+    pt.map(0x100, 0x200);
+    EXPECT_EQ(pt.translate(mem::pageBase(0x100) + 123),
+              mem::pageBase(0x200) + 123);
+}
+
+TEST(PageTable, UnmappedAccessIsFatal)
+{
+    PageTable pt;
+    EXPECT_THROW(pt.translate(0x1234), FatalError);
+}
+
+TEST(PageTable, TryTranslateReturnsNullopt)
+{
+    PageTable pt;
+    EXPECT_FALSE(pt.tryTranslate(0x1234).has_value());
+    pt.map(0, 7);
+    EXPECT_EQ(pt.tryTranslate(42).value(), mem::pageBase(7) + 42);
+}
+
+TEST(PageTable, DoubleMapIsFatal)
+{
+    PageTable pt;
+    pt.map(1, 2);
+    EXPECT_THROW(pt.map(1, 3), FatalError);
+}
+
+TEST(PageTable, UnmapRemovesMapping)
+{
+    PageTable pt;
+    pt.map(1, 2);
+    pt.unmap(1);
+    EXPECT_FALSE(pt.isMapped(1));
+    EXPECT_THROW(pt.unmap(1), FatalError);
+}
+
+TEST(PageTable, CacheInvalidatedByRemap)
+{
+    PageTable pt;
+    pt.map(1, 2);
+    // Prime the translation cache.
+    EXPECT_EQ(pt.translate(mem::pageBase(1)), mem::pageBase(2));
+    pt.unmap(1);
+    pt.map(1, 9);
+    EXPECT_EQ(pt.translate(mem::pageBase(1)), mem::pageBase(9));
+}
+
+TEST(PageTable, ManyMappings)
+{
+    PageTable pt;
+    for (Addr v = 0; v < 1000; ++v)
+        pt.map(v, 1000 + v);
+    EXPECT_EQ(pt.size(), 1000u);
+    for (Addr v = 0; v < 1000; ++v)
+        EXPECT_EQ(pt.translate(mem::pageBase(v)), mem::pageBase(1000 + v));
+}
+
+TEST(AddressHelpers, PoolConstants)
+{
+    EXPECT_EQ(mem::poolInterleave(0), 64u);
+    EXPECT_EQ(mem::poolInterleave(6), 4096u);
+    EXPECT_EQ(mem::poolIndexFor(64), 0);
+    EXPECT_EQ(mem::poolIndexFor(4096), 6);
+    EXPECT_EQ(mem::poolIndexFor(96), -1);
+    EXPECT_EQ(mem::poolIndexFor(8192), -1);
+}
+
+TEST(AddressHelpers, PageRounding)
+{
+    EXPECT_EQ(mem::roundUpPage(0), 0u);
+    EXPECT_EQ(mem::roundUpPage(1), 4096u);
+    EXPECT_EQ(mem::roundUpPage(4096), 4096u);
+    EXPECT_EQ(mem::roundUpPage(4097), 8192u);
+}

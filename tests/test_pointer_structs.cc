@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ds/pointer_structs.hh"
+#include <functional>
+
+#include "sim/log.hh"
+#include "sim/rng.hh"
+
+#include "test_helpers.hh"
+
+using namespace affalloc;
+using alloc::AllocatorOptions;
+using alloc::BankPolicy;
+using ds::AffinityList;
+using ds::AffinityTree;
+using ds::HashJoinTable;
+using test::MachineFixture;
+
+// ------------------------------------------------------------ list
+
+TEST(AffinityList, AppendAndFind)
+{
+    MachineFixture f;
+    AffinityList list(*f.allocator);
+    for (std::uint64_t k = 0; k < 100; ++k)
+        list.append(k * 3, k);
+    EXPECT_EQ(list.size(), 100u);
+    const auto *n = list.find(99);
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->value, 33u);
+    EXPECT_EQ(list.find(1000), nullptr);
+}
+
+TEST(AffinityList, OrderPreserved)
+{
+    MachineFixture f;
+    AffinityList list(*f.allocator);
+    for (std::uint64_t k = 0; k < 10; ++k)
+        list.append(k);
+    std::uint64_t expect = 0;
+    for (const auto *n = list.head(); n; n = n->next)
+        EXPECT_EQ(n->key, expect++);
+    EXPECT_EQ(expect, 10u);
+}
+
+TEST(AffinityList, MinHopColocatesChain)
+{
+    AllocatorOptions opts;
+    opts.policy = BankPolicy::minHop;
+    MachineFixture f(opts);
+    AffinityList list(*f.allocator);
+    for (std::uint64_t k = 0; k < 64; ++k)
+        list.append(k);
+    // Every node ends up in the first node's bank: zero chase hops.
+    const BankId b0 = f.machine->bankOfHost(list.head());
+    for (const auto *n = list.head(); n; n = n->next)
+        EXPECT_EQ(f.machine->bankOfHost(n), b0);
+}
+
+TEST(AffinityList, HybridKeepsChainNearby)
+{
+    AllocatorOptions opts;
+    opts.policy = BankPolicy::hybrid;
+    opts.hybridH = 5.0;
+    MachineFixture f(opts);
+    AffinityList list(*f.allocator);
+    for (std::uint64_t k = 0; k < 512; ++k)
+        list.append(k);
+    double hop_sum = 0;
+    std::uint64_t links = 0;
+    for (const auto *n = list.head(); n && n->next; n = n->next) {
+        hop_sum += f.machine->hopsBetween(f.machine->bankOfHost(n),
+                                          f.machine->bankOfHost(n->next));
+        ++links;
+    }
+    EXPECT_LT(hop_sum / double(links), 2.0)
+        << "hybrid chains should average well below mesh diameter";
+}
+
+// ------------------------------------------------------------ tree
+
+TEST(AffinityTree, InsertAndFind)
+{
+    MachineFixture f;
+    AffinityTree tree(*f.allocator);
+    const std::uint64_t keys[] = {50, 25, 75, 10, 60, 90, 55};
+    for (auto k : keys)
+        tree.insert(k, k * 2);
+    EXPECT_EQ(tree.size(), 7u);
+    for (auto k : keys) {
+        const auto *n = tree.find(k);
+        ASSERT_NE(n, nullptr);
+        EXPECT_EQ(n->value, k * 2);
+    }
+    EXPECT_EQ(tree.find(42), nullptr);
+}
+
+TEST(AffinityTree, BstInvariantHolds)
+{
+    MachineFixture f;
+    Rng rng(3);
+    AffinityTree tree(*f.allocator);
+    for (int i = 0; i < 500; ++i)
+        tree.insert(rng.below(1 << 20));
+    // In-order traversal is sorted.
+    std::vector<std::uint64_t> keys;
+    std::function<void(const ds::TreeNode *)> walk =
+        [&](const ds::TreeNode *n) {
+            if (!n)
+                return;
+            walk(n->left);
+            keys.push_back(n->key);
+            walk(n->right);
+        };
+    walk(tree.root());
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    EXPECT_EQ(keys.size(), tree.size());
+}
+
+TEST(AffinityTree, MinHopCollapsesToOneBank)
+{
+    AllocatorOptions opts;
+    opts.policy = BankPolicy::minHop;
+    MachineFixture f(opts);
+    AffinityTree tree(*f.allocator);
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i)
+        tree.insert(rng.next());
+    // The pathological Min-Hop layout (§7.1): the whole tree lands in
+    // a single bank.
+    std::set<BankId> banks;
+    std::function<void(const ds::TreeNode *)> walk =
+        [&](const ds::TreeNode *n) {
+            if (!n)
+                return;
+            banks.insert(f.machine->bankOfHost(n));
+            walk(n->left);
+            walk(n->right);
+        };
+    walk(tree.root());
+    EXPECT_EQ(banks.size(), 1u);
+}
+
+TEST(AffinityTree, HybridSpreadsTree)
+{
+    AllocatorOptions opts;
+    opts.policy = BankPolicy::hybrid;
+    opts.hybridH = 5.0;
+    MachineFixture f(opts);
+    AffinityTree tree(*f.allocator);
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i)
+        tree.insert(rng.next());
+    const auto &loads = f.allocator->bankLoads();
+    const auto mx = *std::max_element(loads.begin(), loads.end());
+    EXPECT_LT(mx, 2000u / 8) << "hybrid avoids single-bank pileup";
+}
+
+// ------------------------------------------------------------ hash
+
+TEST(HashJoin, InsertProbe)
+{
+    MachineFixture f;
+    HashJoinTable table(*f.allocator, 1 << 10, true);
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        table.insert(k * 7919, k);
+    EXPECT_EQ(table.size(), 1000u);
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        const auto *n = table.probe(k * 7919);
+        ASSERT_NE(n, nullptr);
+        EXPECT_EQ(n->value, k);
+    }
+    EXPECT_EQ(table.probe(13), nullptr);
+}
+
+TEST(HashJoin, RejectsNonPow2Buckets)
+{
+    MachineFixture f;
+    EXPECT_THROW(HashJoinTable(*f.allocator, 1000, true), FatalError);
+}
+
+TEST(HashJoin, AffinityKeepsChainsInBucketBank)
+{
+    AllocatorOptions opts;
+    opts.policy = BankPolicy::minHop;
+    MachineFixture f(opts);
+    HashJoinTable table(*f.allocator, 1 << 12, true);
+    Rng rng(11);
+    for (int i = 0; i < 4000; ++i)
+        table.insert(rng.next(), i);
+    // Sample buckets: every chain node shares the bucket head's bank.
+    for (std::uint64_t b = 0; b < table.numBuckets(); b += 97) {
+        const BankId hb = f.machine->bankOfHost(table.bucketHead(b));
+        for (const auto *n = *table.bucketHead(b); n; n = n->next)
+            EXPECT_EQ(f.machine->bankOfHost(n), hb);
+    }
+}
+
+TEST(HashJoin, PlainBaselineWorksFunctionally)
+{
+    MachineFixture f;
+    HashJoinTable table(*f.allocator, 1 << 8, false);
+    for (std::uint64_t k = 0; k < 100; ++k)
+        table.insert(k, k + 1);
+    for (std::uint64_t k = 0; k < 100; ++k)
+        EXPECT_EQ(table.probe(k)->value, k + 1);
+}

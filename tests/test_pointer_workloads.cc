@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "workloads/pointer_workloads.hh"
+
+using namespace affalloc;
+using namespace affalloc::workloads;
+
+namespace
+{
+
+LinkListParams
+smallLists()
+{
+    LinkListParams p;
+    p.numLists = 256;
+    p.nodesPerList = 256;
+    return p;
+}
+
+HashJoinParams
+smallJoin()
+{
+    HashJoinParams p;
+    p.buildRows = 16 * 1024;
+    p.probeRows = 32 * 1024;
+    p.numBuckets = 4 * 1024;
+    return p;
+}
+
+BinTreeParams
+smallTree()
+{
+    BinTreeParams p;
+    p.numNodes = 8 * 1024;
+    p.numLookups = 16 * 1024;
+    return p;
+}
+
+} // namespace
+
+TEST(LinkList, ValidInAllModes)
+{
+    for (ExecMode m :
+         {ExecMode::inCore, ExecMode::nearL3, ExecMode::affAlloc}) {
+        const RunResult r = runLinkList(RunConfig::forMode(m),
+                                        smallLists());
+        EXPECT_TRUE(r.valid) << execModeName(m);
+    }
+}
+
+TEST(LinkList, OffloadingBeatsInCoreChasing)
+{
+    const auto core =
+        runLinkList(RunConfig::forMode(ExecMode::inCore), smallLists());
+    const auto nsc =
+        runLinkList(RunConfig::forMode(ExecMode::nearL3), smallLists());
+    EXPECT_LT(nsc.cycles(), core.cycles())
+        << "NDC pointer chasing avoids the core round trip";
+}
+
+TEST(LinkList, AffinityCutsMigrationTraffic)
+{
+    const auto nl3 =
+        runLinkList(RunConfig::forMode(ExecMode::nearL3), smallLists());
+    const auto aff = runLinkList(RunConfig::forMode(ExecMode::affAlloc),
+                                 smallLists());
+    EXPECT_LT(aff.stats.hops[int(TrafficClass::offload)],
+              nl3.stats.hops[int(TrafficClass::offload)] + 1);
+    EXPECT_LT(aff.hops(), nl3.hops());
+}
+
+TEST(HashJoin, ValidInAllModes)
+{
+    for (ExecMode m :
+         {ExecMode::inCore, ExecMode::nearL3, ExecMode::affAlloc}) {
+        const RunResult r =
+            runHashJoin(RunConfig::forMode(m), smallJoin());
+        EXPECT_TRUE(r.valid) << execModeName(m);
+    }
+}
+
+TEST(HashJoin, AffinityWins)
+{
+    const auto nl3 =
+        runHashJoin(RunConfig::forMode(ExecMode::nearL3), smallJoin());
+    const auto aff = runHashJoin(RunConfig::forMode(ExecMode::affAlloc),
+                                 smallJoin());
+    EXPECT_LT(aff.cycles(), nl3.cycles());
+    EXPECT_LT(double(aff.hops()), 0.6 * double(nl3.hops()));
+}
+
+TEST(BinTree, ValidInAllModes)
+{
+    for (ExecMode m :
+         {ExecMode::inCore, ExecMode::nearL3, ExecMode::affAlloc}) {
+        const RunResult r = runBinTree(RunConfig::forMode(m),
+                                       smallTree());
+        EXPECT_TRUE(r.valid) << execModeName(m);
+    }
+}
+
+TEST(BinTree, MinHopIsPathological)
+{
+    // §7.1: Min-Hop allocates the whole tree into one bank, crushing
+    // bank-level parallelism; Hybrid-5 avoids it.
+    RunConfig rc_min = RunConfig::forMode(ExecMode::affAlloc);
+    rc_min.allocOpts.policy = alloc::BankPolicy::minHop;
+    const auto min = runBinTree(rc_min, smallTree());
+
+    RunConfig rc_hyb = RunConfig::forMode(ExecMode::affAlloc);
+    rc_hyb.allocOpts.policy = alloc::BankPolicy::hybrid;
+    rc_hyb.allocOpts.hybridH = 5.0;
+    const auto hyb = runBinTree(rc_hyb, smallTree());
+
+    EXPECT_GT(min.cycles(), 3 * hyb.cycles());
+    EXPECT_TRUE(min.valid);
+    EXPECT_TRUE(hyb.valid);
+}
+
+TEST(PointerWorkloads, LnrBeatsRndOnSequentialLists)
+{
+    // §7.1: linear allocation places consecutive list nodes on
+    // neighbouring banks, shortening chases relative to random.
+    RunConfig rc_rnd = RunConfig::forMode(ExecMode::affAlloc);
+    rc_rnd.allocOpts.policy = alloc::BankPolicy::random;
+    RunConfig rc_lnr = RunConfig::forMode(ExecMode::affAlloc);
+    rc_lnr.allocOpts.policy = alloc::BankPolicy::linear;
+    const auto rnd = runLinkList(rc_rnd, smallLists());
+    const auto lnr = runLinkList(rc_lnr, smallLists());
+    EXPECT_LT(lnr.stats.totalHops(), rnd.stats.totalHops());
+}
+
+TEST(PointerWorkloads, Deterministic)
+{
+    const auto a =
+        runBinTree(RunConfig::forMode(ExecMode::affAlloc), smallTree());
+    const auto b =
+        runBinTree(RunConfig::forMode(ExecMode::affAlloc), smallTree());
+    EXPECT_EQ(a.cycles(), b.cycles());
+}

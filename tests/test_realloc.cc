@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sim/log.hh"
+
+#include "test_helpers.hh"
+
+using namespace affalloc;
+using alloc::AffineArray;
+using test::MachineFixture;
+
+TEST(Realloc, AffineGrowPreservesContentsAndLayout)
+{
+    MachineFixture f;
+    AffineArray req;
+    req.elem_size = 4;
+    req.num_elem = 4096;
+    auto *a = static_cast<std::uint32_t *>(f.allocator->mallocAff(req));
+    for (std::uint32_t i = 0; i < 4096; ++i)
+        a[i] = i * 3;
+    const auto old_info = *f.allocator->arrayInfo(a);
+
+    auto *b = static_cast<std::uint32_t *>(
+        f.allocator->reallocAff(a, 8192 * 4));
+    const auto *ninfo = f.allocator->arrayInfo(b);
+    ASSERT_NE(ninfo, nullptr);
+    EXPECT_EQ(ninfo->intrlv, old_info.intrlv);
+    EXPECT_EQ(ninfo->startBank, old_info.startBank);
+    for (std::uint32_t i = 0; i < 4096; ++i)
+        EXPECT_EQ(b[i], i * 3);
+    // The new array's bank layout matches the old one element-wise.
+    for (std::uint32_t i = 0; i < 4096; i += 97) {
+        EXPECT_EQ(f.machine->bankOfSim(ninfo->simBase + i * 4),
+                  BankId((old_info.startBank + (i * 4) / ninfo->intrlv) %
+                         64));
+    }
+}
+
+TEST(Realloc, AffineShrinkKeepsPrefix)
+{
+    MachineFixture f;
+    AffineArray req;
+    req.elem_size = 8;
+    req.num_elem = 1024;
+    auto *a = static_cast<std::uint64_t *>(f.allocator->mallocAff(req));
+    for (std::uint64_t i = 0; i < 1024; ++i)
+        a[i] = ~i;
+    auto *b = static_cast<std::uint64_t *>(
+        f.allocator->reallocAff(a, 256 * 8));
+    for (std::uint64_t i = 0; i < 256; ++i)
+        EXPECT_EQ(b[i], ~i);
+}
+
+TEST(Realloc, IrregularInPlaceWhenFits)
+{
+    MachineFixture f;
+    void *p = f.allocator->mallocAff(24, 0, nullptr);
+    std::memset(p, 0x5a, 24);
+    void *q = f.allocator->reallocAff(p, 48); // still one 64 B slot
+    EXPECT_EQ(p, q);
+}
+
+TEST(Realloc, IrregularMoveStaysInBank)
+{
+    MachineFixture f;
+    void *p = f.allocator->allocSlotAtBank(64, 23);
+    std::memset(p, 0x77, 64);
+    void *q = f.allocator->reallocAff(p, 128);
+    EXPECT_NE(p, q);
+    EXPECT_EQ(f.machine->bankOfHost(q), 23u);
+    EXPECT_EQ(static_cast<unsigned char *>(q)[63], 0x77);
+    f.allocator->freeAff(q);
+}
+
+TEST(Realloc, UnknownPointerFatal)
+{
+    MachineFixture f;
+    int x;
+    EXPECT_THROW(f.allocator->reallocAff(&x, 64), FatalError);
+}
+
+// --------------------------------------------------------- free regions
+
+TEST(FreeRegions, FreedAffineRegionIsReused)
+{
+    MachineFixture f;
+    void *a = f.allocator->allocInterleaved(64 * 256, 64, 0);
+    void *b = f.allocator->allocInterleaved(64 * 256, 64, 0);
+    (void)b;
+    const Addr sim_a = f.allocator->arrayInfo(a)->simBase;
+    f.allocator->freeAff(a);
+    EXPECT_GT(f.allocator->allocStats().freeRegionBytes, 0u);
+    // Same interleaving + same start bank: the freed region wins.
+    void *c = f.allocator->allocInterleaved(64 * 256, 64, 0);
+    EXPECT_EQ(f.allocator->arrayInfo(c)->simBase, sim_a);
+    EXPECT_EQ(f.allocator->allocStats().regionReuses, 1u);
+}
+
+TEST(FreeRegions, PartialReuseSplitsRegion)
+{
+    MachineFixture f;
+    void *a = f.allocator->allocInterleaved(64 * 256, 64, 0);
+    const Addr sim_a = f.allocator->arrayInfo(a)->simBase;
+    f.allocator->freeAff(a);
+    // A smaller allocation carves the front; a second takes the rest.
+    void *c = f.allocator->allocInterleaved(64 * 64, 64, 0);
+    EXPECT_EQ(f.allocator->arrayInfo(c)->simBase, sim_a);
+    void *d = f.allocator->allocInterleaved(64 * 64, 64, 0);
+    EXPECT_EQ(f.allocator->arrayInfo(d)->simBase, sim_a + 64 * 64);
+    EXPECT_EQ(f.allocator->allocStats().regionReuses, 2u);
+}
+
+TEST(FreeRegions, DifferentStartBankCanStillReuse)
+{
+    MachineFixture f;
+    void *a = f.allocator->allocInterleaved(64 * 256, 64, 0);
+    f.allocator->freeAff(a);
+    // Start bank 5: reuse is possible by skipping 5 blocks into the
+    // freed region.
+    void *c = f.allocator->allocInterleaved(64 * 64, 64, 5);
+    EXPECT_EQ(f.machine->bankOfHost(c), 5u);
+    EXPECT_EQ(f.allocator->allocStats().regionReuses, 1u);
+}
+
+TEST(FreeRegions, PoolDoesNotGrowWhenRecycling)
+{
+    MachineFixture f;
+    void *a = f.allocator->allocInterleaved(64 * 1024, 64, 0);
+    f.allocator->freeAff(a);
+    const Addr brk_before = f.machine->simOs().poolBrkOf(0);
+    // Churn: repeated same-size allocations reuse the region instead
+    // of expanding the pool.
+    for (int i = 0; i < 20; ++i) {
+        void *p = f.allocator->allocInterleaved(64 * 1024, 64, 0);
+        f.allocator->freeAff(p);
+    }
+    EXPECT_EQ(f.machine->simOs().poolBrkOf(0), brk_before);
+}
+
+TEST(FreeRegions, AccountingBalances)
+{
+    MachineFixture f;
+    void *a = f.allocator->allocInterleaved(64 * 128, 64, 0);
+    f.allocator->freeAff(a);
+    const auto bytes = f.allocator->allocStats().freeRegionBytes;
+    EXPECT_EQ(bytes, 64u * 128);
+    void *b = f.allocator->allocInterleaved(64 * 128, 64, 0);
+    (void)b;
+    EXPECT_EQ(f.allocator->allocStats().freeRegionBytes, 0u);
+}

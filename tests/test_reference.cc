@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hh"
+#include "graph/reference.hh"
+#include "sim/log.hh"
+
+using namespace affalloc;
+using namespace affalloc::graph;
+
+namespace
+{
+
+Csr
+diamond()
+{
+    //   0 -> 1 -> 3
+    //   0 -> 2 -> 3, weights make 0->2->3 shorter.
+    std::vector<Edge> edges = {
+        {0, 1, 10}, {1, 3, 10}, {0, 2, 1}, {2, 3, 1}};
+    return buildCsr(4, edges, false, true);
+}
+
+} // namespace
+
+TEST(Bfs, DepthsOnDiamond)
+{
+    const auto d = bfsReference(diamond(), 0);
+    EXPECT_EQ(d[0], 0);
+    EXPECT_EQ(d[1], 1);
+    EXPECT_EQ(d[2], 1);
+    EXPECT_EQ(d[3], 2);
+}
+
+TEST(Bfs, UnreachableMarked)
+{
+    std::vector<Edge> edges = {{0, 1}};
+    const Csr g = buildCsr(3, edges, false, false);
+    const auto d = bfsReference(g, 0);
+    EXPECT_EQ(d[2], unreachable);
+}
+
+TEST(Bfs, BadSourceFatal)
+{
+    EXPECT_THROW(bfsReference(diamond(), 99), FatalError);
+}
+
+TEST(Sssp, PicksShorterWeightedPath)
+{
+    const auto d = ssspReference(diamond(), 0);
+    EXPECT_EQ(d[3], 2); // via 0->2->3
+    EXPECT_EQ(d[1], 10);
+}
+
+TEST(Sssp, RequiresWeights)
+{
+    std::vector<Edge> edges = {{0, 1}};
+    const Csr g = buildCsr(2, edges, false, false);
+    EXPECT_THROW(ssspReference(g, 0), FatalError);
+}
+
+TEST(Sssp, AgreesWithBfsOnUnitWeights)
+{
+    KroneckerParams p;
+    p.scale = 10;
+    p.edgeFactor = 8;
+    p.minWeight = 1;
+    p.maxWeight = 1;
+    const Csr g = kronecker(p);
+    const auto bd = bfsReference(g, 0);
+    const auto sd = ssspReference(g, 0);
+    for (VertexId v = 0; v < g.numVertices; ++v)
+        EXPECT_EQ(bd[v], sd[v]) << "vertex " << v;
+}
+
+TEST(PageRank, SumsToOne)
+{
+    KroneckerParams p;
+    p.scale = 10;
+    p.edgeFactor = 8;
+    const Csr g = kronecker(p);
+    const auto pr = pageRankReference(g, 8);
+    double sum = 0.0;
+    for (double r : pr)
+        sum += r;
+    // Dangling vertices leak a little mass; tolerance is loose.
+    EXPECT_NEAR(sum, 1.0, 0.2);
+}
+
+TEST(PageRank, HubsRankHigher)
+{
+    // Star: everything points at vertex 0.
+    std::vector<Edge> edges;
+    for (VertexId v = 1; v < 32; ++v)
+        edges.push_back({v, 0});
+    const Csr g = buildCsr(32, edges, false, false);
+    const auto pr = pageRankReference(g, 10);
+    for (VertexId v = 1; v < 32; ++v)
+        EXPECT_GT(pr[0], pr[v]);
+}
+
+TEST(PageRank, DeterministicIterationCount)
+{
+    KroneckerParams p;
+    p.scale = 8;
+    p.edgeFactor = 4;
+    const Csr g = kronecker(p);
+    const auto a = pageRankReference(g, 8);
+    const auto b = pageRankReference(g, 8);
+    EXPECT_EQ(a, b);
+}

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "harness/report.hh"
+#include "sim/log.hh"
+
+using namespace affalloc;
+using harness::Comparison;
+using workloads::RunResult;
+
+namespace
+{
+
+RunResult
+makeRun(Cycles cycles, std::uint64_t hops_control,
+        std::uint64_t hops_data, double joules, bool valid = true)
+{
+    RunResult r;
+    r.stats.cycles = cycles;
+    r.stats.hops[int(TrafficClass::control)] = hops_control;
+    r.stats.hops[int(TrafficClass::data)] = hops_data;
+    r.joules = joules;
+    r.valid = valid;
+    return r;
+}
+
+} // namespace
+
+TEST(Comparison, SpeedupAndEnergy)
+{
+    Comparison cmp({"base", "fast"});
+    cmp.add("w", {makeRun(1000, 10, 10, 2.0), makeRun(250, 5, 5, 0.5)});
+    EXPECT_DOUBLE_EQ(cmp.speedup(0, 1, 0), 4.0);
+    EXPECT_DOUBLE_EQ(cmp.speedup(0, 0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(cmp.energyEff(0, 1, 0), 4.0);
+}
+
+TEST(Comparison, HopsNormalization)
+{
+    Comparison cmp({"base", "better"});
+    cmp.add("w", {makeRun(100, 60, 40, 1.0), makeRun(100, 30, 20, 1.0)});
+    EXPECT_DOUBLE_EQ(cmp.hopsNorm(0, 1, 0), 0.5);
+    EXPECT_DOUBLE_EQ(
+        cmp.hopsClassNorm(0, 1, 0, TrafficClass::control), 0.3);
+    EXPECT_DOUBLE_EQ(cmp.hopsClassNorm(0, 1, 0, TrafficClass::data),
+                     0.2);
+}
+
+TEST(Comparison, GeomeanAcrossWorkloads)
+{
+    Comparison cmp({"base", "fast"});
+    cmp.add("a", {makeRun(100, 1, 1, 1.0), makeRun(25, 1, 1, 1.0)});
+    cmp.add("b", {makeRun(100, 1, 1, 1.0), makeRun(100, 1, 1, 1.0)});
+    // geomean(4, 1) = 2.
+    EXPECT_DOUBLE_EQ(cmp.geomeanSpeedup(1, 0), 2.0);
+}
+
+TEST(Comparison, MeanHops)
+{
+    Comparison cmp({"base", "x"});
+    cmp.add("a", {makeRun(1, 10, 0, 1.0), makeRun(1, 5, 0, 1.0)});
+    cmp.add("b", {makeRun(1, 10, 0, 1.0), makeRun(1, 15, 0, 1.0)});
+    EXPECT_DOUBLE_EQ(cmp.meanHops(1, 0), 1.0); // (0.5 + 1.5) / 2
+}
+
+TEST(Comparison, ValidityTracking)
+{
+    Comparison cmp({"only"});
+    cmp.add("a", {makeRun(1, 1, 1, 1.0, true)});
+    EXPECT_TRUE(cmp.allValid());
+    cmp.add("b", {makeRun(1, 1, 1, 1.0, false)});
+    EXPECT_FALSE(cmp.allValid());
+}
+
+TEST(Comparison, RowSizeMismatchFatal)
+{
+    Comparison cmp({"a", "b"});
+    EXPECT_THROW(cmp.add("w", {makeRun(1, 1, 1, 1.0)}), FatalError);
+}
+
+TEST(Comparison, PrintDoesNotCrash)
+{
+    Comparison cmp({"In-Core", "Aff"});
+    cmp.add("w1", {makeRun(100, 10, 10, 1.0), makeRun(50, 5, 5, 0.5)});
+    cmp.add("w2", {makeRun(200, 20, 0, 2.0), makeRun(40, 2, 2, 0.4)});
+    EXPECT_NO_THROW(cmp.print("test", 0, 0));
+}
+
+TEST(QuickMode, ParsesFlag)
+{
+    char prog[] = "bench";
+    char flag[] = "--quick";
+    char *with_flag[] = {prog, flag};
+    char *without[] = {prog};
+    EXPECT_TRUE(harness::quickMode(2, with_flag));
+    EXPECT_FALSE(harness::quickMode(1, without));
+}

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hh"
+
+using affalloc::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.below(64);
+        EXPECT_LT(v, 64u);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 5000; ++i)
+        seen.insert(rng.below(16));
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.between(1, 255);
+        ASSERT_GE(v, 1);
+        ASSERT_LE(v, 255);
+        saw_lo |= v == 1;
+        saw_hi |= v == 255;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ReseedReproduces)
+{
+    Rng rng(5);
+    const auto first = rng.next();
+    rng.next();
+    rng.reseed(5);
+    EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "mem/bank_mapper.hh"
+#include "os/sim_os.hh"
+#include "sim/log.hh"
+
+using namespace affalloc;
+using os::PagePolicy;
+using os::SimOS;
+using sim::MachineConfig;
+
+TEST(SimOs, HeapAllocBacksPages)
+{
+    MachineConfig cfg;
+    SimOS os(cfg);
+    const Addr a = os.heapAlloc(10000);
+    EXPECT_EQ(a, mem::heapVirtBase);
+    // Pages covering the allocation translate successfully.
+    EXPECT_NO_THROW(os.pageTable().translate(a));
+    EXPECT_NO_THROW(os.pageTable().translate(a + 9999));
+    EXPECT_GE(os.backedPages(), 3u);
+}
+
+TEST(SimOs, HeapAllocAlignment)
+{
+    MachineConfig cfg;
+    SimOS os(cfg);
+    os.heapAlloc(3);
+    const Addr b = os.heapAlloc(8, 4096);
+    EXPECT_EQ(b % 4096, 0u);
+}
+
+TEST(SimOs, LinearHeapIsPhysicallyContiguous)
+{
+    MachineConfig cfg;
+    SimOS os(cfg, PagePolicy::linear);
+    const Addr a = os.heapAlloc(3 * mem::pageSize);
+    const Addr p0 = os.pageTable().translate(a);
+    const Addr p1 = os.pageTable().translate(a + mem::pageSize);
+    EXPECT_EQ(p1, p0 + mem::pageSize);
+}
+
+TEST(SimOs, RandomHeapScattersPages)
+{
+    MachineConfig cfg;
+    SimOS os(cfg, PagePolicy::random, 99);
+    const Addr a = os.heapAlloc(64 * mem::pageSize);
+    int contiguous = 0;
+    for (int i = 0; i + 1 < 64; ++i) {
+        const Addr p0 = os.pageTable().translate(a + i * mem::pageSize);
+        const Addr p1 =
+            os.pageTable().translate(a + (i + 1) * mem::pageSize);
+        contiguous += (p1 == p0 + mem::pageSize);
+    }
+    EXPECT_LT(contiguous, 4);
+}
+
+TEST(SimOs, PoolExpansionInstallsSingleIotEntry)
+{
+    MachineConfig cfg;
+    SimOS os(cfg);
+    os.expandPool(0, 10 * mem::pageSize);
+    EXPECT_EQ(os.iot().size(), 1u);
+    os.expandPool(0, 100 * mem::pageSize);
+    EXPECT_EQ(os.iot().size(), 1u); // grown, not duplicated
+    os.expandPool(3, mem::pageSize);
+    EXPECT_EQ(os.iot().size(), 2u);
+}
+
+TEST(SimOs, PoolBackingIsContiguous)
+{
+    MachineConfig cfg;
+    SimOS os(cfg);
+    os.expandPool(2, 8 * mem::pageSize);
+    const Addr vbase = os.poolVirtBaseOf(2);
+    const Addr p0 = os.pageTable().translate(vbase);
+    for (int i = 1; i < 8; ++i) {
+        EXPECT_EQ(os.pageTable().translate(vbase + i * mem::pageSize),
+                  p0 + Addr(i) * mem::pageSize);
+    }
+}
+
+TEST(SimOs, PoolAddressesMapToExpectedBanks)
+{
+    MachineConfig cfg;
+    SimOS os(cfg);
+    os.expandPool(0, mem::pageSize); // 64 B pool
+    mem::BankMapper mapper(cfg, os.iot());
+    const Addr vbase = os.poolVirtBaseOf(0);
+    for (int i = 0; i < 63; ++i) {
+        const Addr p = os.pageTable().translate(vbase + i * 64);
+        EXPECT_EQ(mapper.bankOf(p), BankId(i)) << "line " << i;
+    }
+}
+
+TEST(SimOs, ExpandPoolIdempotent)
+{
+    MachineConfig cfg;
+    SimOS os(cfg);
+    const Addr brk1 = os.expandPool(1, 100);
+    const Addr brk2 = os.expandPool(1, 50);
+    EXPECT_EQ(brk1, brk2);
+    EXPECT_EQ(os.poolBrkOf(1), brk1);
+}
+
+TEST(SimOs, PagesAtBanksLandOnRequestedBanks)
+{
+    MachineConfig cfg;
+    SimOS os(cfg);
+    mem::BankMapper mapper(cfg, os.iot());
+    const std::vector<BankId> want = {5, 5, 17, 63, 0};
+    const Addr vbase = os.allocPagesAtBanks(want);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        const Addr p =
+            os.pageTable().translate(vbase + i * mem::pageSize);
+        EXPECT_EQ(mapper.bankOf(p), want[i]) << "page " << i;
+    }
+}
+
+TEST(SimOs, PagesAtBanksKeepOneIotEntry)
+{
+    MachineConfig cfg;
+    SimOS os(cfg);
+    os.allocPagesAtBanks({1, 2, 3});
+    const auto before = os.iot().size();
+    os.allocPagesAtBanks({7, 8});
+    EXPECT_EQ(os.iot().size(), before);
+}
+
+TEST(SimOs, TopologyReflectsConfig)
+{
+    MachineConfig cfg;
+    SimOS os(cfg);
+    const auto topo = os.topology();
+    EXPECT_EQ(topo.meshX, 8u);
+    EXPECT_EQ(topo.numBanks, 64u);
+    EXPECT_EQ(topo.lineSize, 64u);
+    ASSERT_EQ(topo.poolInterleavings.size(), 7u);
+    EXPECT_EQ(topo.poolInterleavings.front(), 64u);
+    EXPECT_EQ(topo.poolInterleavings.back(), 4096u);
+}
+
+TEST(SimOs, BadPoolIndexPanics)
+{
+    MachineConfig cfg;
+    SimOS os(cfg);
+    EXPECT_THROW(os.expandPool(7, 1), PanicError);
+    EXPECT_THROW(os.poolVirtBaseOf(-1), PanicError);
+}

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ds/spatial_pq.hh"
+
+#include "test_helpers.hh"
+
+using namespace affalloc;
+using alloc::AffineArray;
+using ds::PqEntry;
+using ds::SpatialPriorityQueue;
+using test::MachineFixture;
+
+namespace
+{
+
+void *
+makePartitionedArray(test::MachineFixture &f, std::uint64_t n)
+{
+    AffineArray req;
+    req.elem_size = 4;
+    req.num_elem = n;
+    req.partition = true;
+    return f.allocator->mallocAff(req);
+}
+
+} // namespace
+
+TEST(SpatialPq, PushPopLocalOrdering)
+{
+    MachineFixture f;
+    const std::uint64_t n = 1 << 14;
+    void *v = makePartitionedArray(f, n);
+    SpatialPriorityQueue pq(*f.allocator, v, n, 64);
+    // All ids in partition 0, scrambled priorities.
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        pq.push(std::uint32_t(i), std::uint32_t(rng.below(1000)));
+    PqEntry prev{0, 0};
+    PqEntry e;
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(pq.popLocal(0, e));
+        if (i > 0) {
+            EXPECT_GE(e.priority, prev.priority)
+                << "local pops are exactly ordered";
+        }
+        prev = e;
+    }
+    EXPECT_TRUE(pq.empty());
+}
+
+TEST(SpatialPq, RelaxedPopDrainsEverything)
+{
+    MachineFixture f;
+    const std::uint64_t n = 1 << 14;
+    void *v = makePartitionedArray(f, n);
+    SpatialPriorityQueue pq(*f.allocator, v, n, 64);
+    Rng rng(2);
+    std::multiset<std::uint32_t> expect;
+    for (int i = 0; i < 2000; ++i) {
+        const auto id = std::uint32_t(rng.below(n));
+        const auto prio = std::uint32_t(rng.below(100000));
+        pq.push(id, prio);
+        expect.insert(prio);
+    }
+    std::multiset<std::uint32_t> got;
+    PqEntry e;
+    Rng pop_rng(3);
+    while (pq.popRelaxed(pop_rng, e))
+        got.insert(e.priority);
+    EXPECT_EQ(got, expect) << "relaxed pops lose nothing";
+}
+
+TEST(SpatialPq, RelaxedPopIsApproximatelyOrdered)
+{
+    MachineFixture f;
+    const std::uint64_t n = 1 << 14;
+    void *v = makePartitionedArray(f, n);
+    SpatialPriorityQueue pq(*f.allocator, v, n, 64);
+    Rng rng(5);
+    for (int i = 0; i < 5000; ++i)
+        pq.push(std::uint32_t(rng.below(n)),
+                std::uint32_t(rng.below(1 << 20)));
+    // Count inversions in the popped sequence: MultiQueues relaxes
+    // order but should remain far from random.
+    Rng pop_rng(6);
+    PqEntry e;
+    std::vector<std::uint32_t> seq;
+    while (pq.popRelaxed(pop_rng, e, 4))
+        seq.push_back(e.priority);
+    std::uint64_t inversions = 0;
+    for (std::size_t i = 1; i < seq.size(); ++i)
+        inversions += seq[i] < seq[i - 1];
+    EXPECT_LT(inversions, seq.size() / 2)
+        << "mostly ascending priority order";
+}
+
+TEST(SpatialPq, StorageIsBankAligned)
+{
+    MachineFixture f;
+    const std::uint64_t n = 1 << 16;
+    void *v = makePartitionedArray(f, n);
+    SpatialPriorityQueue pq(*f.allocator, v, n, 64);
+    // Partition p's heap storage lives in partition p's bank.
+    for (std::uint32_t p = 0; p < 64; p += 7) {
+        const std::uint64_t first = std::uint64_t(p) * n / 64;
+        EXPECT_EQ(f.machine->bankOfHost(pq.heapStorage(p)),
+                  f.allocator->bankOfElement(v, first))
+            << "partition " << p;
+    }
+}
+
+TEST(SpatialPq, PartitionRouting)
+{
+    MachineFixture f;
+    const std::uint64_t n = 6400;
+    void *v = makePartitionedArray(f, n);
+    SpatialPriorityQueue pq(*f.allocator, v, n, 64);
+    pq.push(0, 5);
+    pq.push(std::uint32_t(n - 1), 7);
+    EXPECT_EQ(pq.heapSize(0), 1u);
+    EXPECT_EQ(pq.heapSize(63), 1u);
+    EXPECT_EQ(pq.size(), 2u);
+}
+
+TEST(SpatialPq, OverflowSpillsSafely)
+{
+    MachineFixture f;
+    const std::uint64_t n = 640;
+    void *v = makePartitionedArray(f, n);
+    SpatialPriorityQueue pq(*f.allocator, v, n, 64,
+                            /*capacity_factor=*/1);
+    // Hammer one partition far beyond its capacity.
+    for (int i = 0; i < 200; ++i)
+        pq.push(0, std::uint32_t(200 - i));
+    EXPECT_EQ(pq.size(), 200u);
+    PqEntry e;
+    Rng rng(9);
+    int drained = 0;
+    while (pq.popRelaxed(rng, e))
+        ++drained;
+    EXPECT_EQ(drained, 200);
+}

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "ds/spatial_queue.hh"
+#include "test_helpers.hh"
+
+using namespace affalloc;
+using alloc::AffineArray;
+using ds::SpatialQueue;
+using test::MachineFixture;
+
+namespace
+{
+
+void *
+makePartitionedArray(MachineFixture &f, std::uint64_t n)
+{
+    AffineArray req;
+    req.elem_size = 4;
+    req.num_elem = n;
+    req.partition = true;
+    return f.allocator->mallocAff(req);
+}
+
+} // namespace
+
+TEST(SpatialQueue, PushRoutesToOwningPartition)
+{
+    MachineFixture f;
+    const std::uint64_t n = 1 << 16;
+    void *v = makePartitionedArray(f, n);
+    SpatialQueue q(*f.allocator, v, n, 64);
+    q.push(0);
+    q.push(static_cast<std::uint32_t>(n - 1));
+    q.push(static_cast<std::uint32_t>(n / 2));
+    EXPECT_EQ(q.partition(0).size(), 1u);
+    EXPECT_EQ(q.partition(63).size(), 1u);
+    EXPECT_EQ(q.partition(32).size(), 1u);
+    EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(SpatialQueue, AllElementsRecoverable)
+{
+    MachineFixture f;
+    const std::uint64_t n = 4096;
+    void *v = makePartitionedArray(f, n);
+    SpatialQueue q(*f.allocator, v, n, 64);
+    for (std::uint32_t i = 0; i < n; i += 3)
+        q.push(i);
+    std::set<std::uint32_t> got;
+    for (std::uint32_t p = 0; p < 64; ++p)
+        for (std::uint32_t x : q.partition(p))
+            got.insert(x);
+    EXPECT_EQ(got.size(), (n + 2) / 3);
+    EXPECT_TRUE(got.count(0));
+    EXPECT_TRUE(got.count(4095));
+}
+
+TEST(SpatialQueue, ClearResets)
+{
+    MachineFixture f;
+    const std::uint64_t n = 4096;
+    void *v = makePartitionedArray(f, n);
+    SpatialQueue q(*f.allocator, v, n, 64);
+    for (std::uint32_t i = 0; i < 100; ++i)
+        q.push(i);
+    q.clear();
+    EXPECT_EQ(q.size(), 0u);
+    for (std::uint32_t p = 0; p < 64; ++p)
+        EXPECT_TRUE(q.partition(p).empty());
+}
+
+TEST(SpatialQueue, TailsLiveInPartitionBanks)
+{
+    MachineFixture f;
+    const std::uint64_t n = 1 << 16;
+    void *v = makePartitionedArray(f, n);
+    SpatialQueue q(*f.allocator, v, n, 64);
+    for (std::uint32_t p = 0; p < 64; ++p) {
+        const std::uint64_t first = std::uint64_t(p) * n / 64;
+        EXPECT_EQ(f.machine->bankOfHost(q.tailPtr(p)),
+                  f.allocator->bankOfElement(v, first))
+            << "partition " << p;
+    }
+}
+
+TEST(SpatialQueue, StorageAlignedWithPartitions)
+{
+    MachineFixture f;
+    const std::uint64_t n = 1 << 16;
+    void *v = makePartitionedArray(f, n);
+    SpatialQueue q(*f.allocator, v, n, 64, /*capacity_factor=*/2);
+    // Slot 0 of each partition is in the partition's bank (pushes are
+    // local — the whole point of the structure).
+    for (std::uint32_t p = 0; p < 64; ++p) {
+        const std::uint64_t first = std::uint64_t(p) * n / 64;
+        EXPECT_EQ(f.machine->bankOfHost(q.slotPtr(p, 0)),
+                  f.allocator->bankOfElement(v, first))
+            << "partition " << p;
+    }
+}
+
+TEST(SpatialQueue, OverflowSpills)
+{
+    MachineFixture f;
+    const std::uint64_t n = 1 << 12;
+    void *v = makePartitionedArray(f, n);
+    SpatialQueue q(*f.allocator, v, n, 64, /*capacity_factor=*/1);
+    // Push partition 0's id repeatedly beyond its capacity.
+    const std::uint32_t cap = q.capacity();
+    for (std::uint32_t i = 0; i < cap + 5; ++i)
+        q.push(0);
+    EXPECT_EQ(q.spills().size(), 5u);
+    EXPECT_EQ(q.size(), std::uint64_t(cap) + 5);
+}
+
+TEST(SpatialQueue, FewerPartitionsThanBanksSupported)
+{
+    MachineFixture f;
+    const std::uint64_t n = 1 << 12;
+    void *v = makePartitionedArray(f, n);
+    SpatialQueue q(*f.allocator, v, n, 16);
+    for (std::uint32_t i = 0; i < 256; ++i)
+        q.push(i * 13 % n);
+    EXPECT_EQ(q.size(), 256u);
+}

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+using namespace affalloc;
+using sim::EpochRecord;
+using sim::Stats;
+using sim::Timeline;
+
+TEST(Stats, DefaultsAreZero)
+{
+    Stats s;
+    EXPECT_EQ(s.totalHops(), 0u);
+    EXPECT_EQ(s.totalFlitHops(), 0u);
+    EXPECT_DOUBLE_EQ(s.l3MissRate(), 0.0);
+}
+
+TEST(Stats, SubtractionGivesDeltas)
+{
+    Stats a;
+    a.l3Accesses = 100;
+    a.l3Misses = 30;
+    a.cycles = 1000;
+    a.hops[0] = 5;
+    Stats b;
+    b.l3Accesses = 40;
+    b.l3Misses = 10;
+    b.cycles = 400;
+    b.hops[0] = 2;
+    const Stats d = a - b;
+    EXPECT_EQ(d.l3Accesses, 60u);
+    EXPECT_EQ(d.l3Misses, 20u);
+    EXPECT_EQ(d.cycles, 600u);
+    EXPECT_EQ(d.hops[0], 3u);
+}
+
+TEST(Stats, AccumulateAddsEverything)
+{
+    Stats a, b;
+    a.dramBytes = 10;
+    b.dramBytes = 32;
+    a.flitHops[1] = 7;
+    b.flitHops[1] = 3;
+    a += b;
+    EXPECT_EQ(a.dramBytes, 42u);
+    EXPECT_EQ(a.flitHops[1], 10u);
+}
+
+TEST(Stats, MissRate)
+{
+    Stats s;
+    s.l3Accesses = 200;
+    s.l3Misses = 50;
+    EXPECT_DOUBLE_EQ(s.l3MissRate(), 0.25);
+}
+
+TEST(Stats, ToStringContainsCounters)
+{
+    Stats s;
+    s.cycles = 12345;
+    EXPECT_NE(s.toString().find("12345"), std::string::npos);
+}
+
+TEST(Timeline, BandsOfUniformDistribution)
+{
+    EpochRecord rec;
+    rec.atomicStreamsPerBank.assign(64, 4);
+    const auto b = Timeline::bands(rec);
+    EXPECT_DOUBLE_EQ(b[0], 4.0);
+    EXPECT_DOUBLE_EQ(b[2], 4.0);
+    EXPECT_DOUBLE_EQ(b[4], 4.0);
+}
+
+TEST(Timeline, BandsOfSkewedDistribution)
+{
+    EpochRecord rec;
+    rec.atomicStreamsPerBank.assign(64, 0);
+    rec.atomicStreamsPerBank[0] = 64;
+    const auto b = Timeline::bands(rec);
+    EXPECT_DOUBLE_EQ(b[0], 0.0);  // min
+    EXPECT_DOUBLE_EQ(b[2], 1.0);  // mean
+    EXPECT_DOUBLE_EQ(b[4], 64.0); // max
+}
+
+TEST(Timeline, RecordsInOrder)
+{
+    Timeline t;
+    EXPECT_TRUE(t.empty());
+    t.record(EpochRecord{100, {}, "a"});
+    t.record(EpochRecord{200, {}, "b"});
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.at(0).endCycle, 100u);
+    EXPECT_EQ(t.at(1).phase, "b");
+    t.clear();
+    EXPECT_TRUE(t.empty());
+}
+
+TEST(Geomean, MatchesHandComputation)
+{
+    EXPECT_DOUBLE_EQ(sim::geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(sim::geomean({1.0, 2.0, 4.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(sim::geomean({}), 0.0);
+}

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "sim/log.hh"
+
+#include "test_helpers.hh"
+
+using namespace affalloc;
+using nsc::AffineRef;
+using nsc::MigratingStream;
+using nsc::StreamExecutor;
+using test::MachineFixture;
+
+namespace
+{
+
+/** Allocate three aligned arrays for a vecadd-shaped kernel. */
+struct VecAddSetup
+{
+    void *a;
+    void *b;
+    void *c;
+    std::uint64_t n = 1 << 15;
+
+    explicit VecAddSetup(MachineFixture &f, BankId delta = 0)
+    {
+        a = f.allocator->allocInterleaved(n * 4, 64, 0);
+        b = f.allocator->allocInterleaved(n * 4, 64, 0);
+        c = f.allocator->allocInterleaved(n * 4, 64, delta);
+        for (void *p : {a, b, c}) {
+            const auto *info = f.allocator->arrayInfo(p);
+            f.machine->preloadL3Range(info->simBase, info->bytes);
+        }
+    }
+};
+
+AffineRef
+refOf(MachineFixture &f, void *p, std::int64_t offset = 0)
+{
+    return AffineRef{f.allocator->arrayInfo(p)->simBase, 4, offset};
+}
+
+} // namespace
+
+TEST(StreamExecutor, AlignedNscKernelHasNoDataForwarding)
+{
+    MachineFixture f;
+    VecAddSetup v(f);
+    StreamExecutor exec(*f.machine, ExecMode::nearL3);
+    exec.affineKernel({refOf(f, v.a), refOf(f, v.b)}, {refOf(f, v.c)},
+                      v.n, 1.0);
+    const auto &s = f.machine->stats();
+    EXPECT_EQ(s.hops[int(TrafficClass::data)], 0u)
+        << "perfectly aligned arrays forward zero data";
+    EXPECT_GT(s.seOps, 0u);
+    EXPECT_EQ(s.coreOps, 0u);
+    EXPECT_GT(s.cycles, 0u);
+}
+
+TEST(StreamExecutor, MisalignedNscKernelForwardsOperands)
+{
+    MachineFixture f;
+    VecAddSetup v(f, /*delta=*/8);
+    StreamExecutor exec(*f.machine, ExecMode::nearL3);
+    exec.affineKernel({refOf(f, v.a), refOf(f, v.b)}, {refOf(f, v.c)},
+                      v.n, 1.0);
+    const auto &s = f.machine->stats();
+    EXPECT_GT(s.hops[int(TrafficClass::data)], 0u);
+}
+
+TEST(StreamExecutor, BiggerOffsetCostsMoreTraffic)
+{
+    // On the row-major 8x8 mesh a bank offset of +8 is one row (1
+    // hop) while +28 is 3 rows plus 4 columns (~7 hops on average).
+    std::uint64_t hops[2];
+    int i = 0;
+    for (BankId delta : {8u, 28u}) {
+        MachineFixture f;
+        VecAddSetup v(f, delta);
+        StreamExecutor exec(*f.machine, ExecMode::nearL3);
+        exec.affineKernel({refOf(f, v.a), refOf(f, v.b)},
+                          {refOf(f, v.c)}, v.n, 1.0);
+        hops[i++] = f.machine->stats().hops[int(TrafficClass::data)];
+    }
+    EXPECT_LT(hops[0], hops[1]);
+}
+
+TEST(StreamExecutor, InCoreModeUsesCores)
+{
+    MachineFixture f;
+    VecAddSetup v(f);
+    StreamExecutor exec(*f.machine, ExecMode::inCore);
+    exec.affineKernel({refOf(f, v.a), refOf(f, v.b)}, {refOf(f, v.c)},
+                      v.n, 1.0);
+    const auto &s = f.machine->stats();
+    EXPECT_GT(s.coreOps, 0u);
+    EXPECT_EQ(s.seOps, 0u);
+    EXPECT_GT(s.l1Accesses, 0u);
+    EXPECT_EQ(s.streamMigrations, 0u);
+}
+
+TEST(StreamExecutor, NscBeatsInCoreOnAlignedVecAdd)
+{
+    Cycles cycles[2];
+    int i = 0;
+    for (ExecMode mode : {ExecMode::inCore, ExecMode::nearL3}) {
+        MachineFixture f;
+        VecAddSetup v(f);
+        StreamExecutor exec(*f.machine, mode);
+        exec.affineKernel({refOf(f, v.a), refOf(f, v.b)},
+                          {refOf(f, v.c)}, v.n, 1.0);
+        cycles[i++] = f.machine->stats().cycles;
+    }
+    EXPECT_GT(cycles[0], cycles[1])
+        << "offloaded aligned vecadd must beat in-core";
+}
+
+TEST(StreamExecutor, StencilOffsetsSkipOutOfRange)
+{
+    MachineFixture f;
+    VecAddSetup v(f);
+    StreamExecutor exec(*f.machine, ExecMode::nearL3);
+    // i-1 / i+1 accesses clamp at the borders without crashing.
+    exec.affineKernel({refOf(f, v.a, -1), refOf(f, v.a, +1)},
+                      {refOf(f, v.c)}, v.n, 2.0);
+    EXPECT_GT(f.machine->stats().l3Accesses, 0u);
+}
+
+TEST(StreamExecutor, StreamStepMigratesAcrossBanks)
+{
+    MachineFixture f;
+    void *arr = f.allocator->allocInterleaved(64 * 64, 64, 0);
+    const Addr sim = f.allocator->arrayInfo(arr)->simBase;
+    f.machine->preloadL3Range(sim, 64 * 64);
+    StreamExecutor exec(*f.machine, ExecMode::nearL3);
+    f.machine->beginEpoch();
+    MigratingStream st(0);
+    exec.configure(st, sim);
+    EXPECT_EQ(st.currentBank(), 0u);
+    exec.streamStep(st, sim, 8, AccessType::read);
+    EXPECT_EQ(f.machine->stats().streamMigrations, 0u);
+    exec.streamStep(st, sim + 64, 8, AccessType::read); // next bank
+    EXPECT_EQ(st.currentBank(), 1u);
+    EXPECT_EQ(f.machine->stats().streamMigrations, 1u);
+    EXPECT_GT(st.chainLatency(), 0.0);
+}
+
+TEST(StreamExecutor, StreamBufferDedupsSameLine)
+{
+    MachineFixture f;
+    void *arr = f.allocator->allocInterleaved(4096, 64, 0);
+    const Addr sim = f.allocator->arrayInfo(arr)->simBase;
+    f.machine->preloadL3Range(sim, 4096);
+    StreamExecutor exec(*f.machine, ExecMode::nearL3);
+    f.machine->beginEpoch();
+    MigratingStream st(0);
+    exec.configure(st, sim);
+    exec.streamStep(st, sim, 8, AccessType::read);
+    const auto before = f.machine->stats().l3Accesses;
+    exec.streamStep(st, sim + 8, 8, AccessType::read); // same line
+    EXPECT_EQ(f.machine->stats().l3Accesses, before);
+}
+
+TEST(StreamExecutor, IndirectFromStreamCountsControlTraffic)
+{
+    MachineFixture f;
+    void *arr = f.allocator->allocInterleaved(64 * 64, 64, 0);
+    const Addr sim = f.allocator->arrayInfo(arr)->simBase;
+    f.machine->preloadL3Range(sim, 64 * 64);
+    StreamExecutor exec(*f.machine, ExecMode::nearL3);
+    f.machine->beginEpoch();
+    MigratingStream st(0);
+    exec.configure(st, sim);
+    const auto snap = f.machine->stats();
+    exec.indirect(st, sim + 10 * 64, 4, AccessType::atomic);
+    const auto d = f.machine->stats() - snap;
+    EXPECT_EQ(d.atomicOps, 1u);
+    const std::uint64_t dist = f.machine->hopsBetween(0, 10);
+    EXPECT_EQ(d.hops[int(TrafficClass::control)], 2 * dist)
+        << "request + response to bank 10's tile";
+}
+
+TEST(StreamExecutor, InCoreStreamStepUsesCaches)
+{
+    MachineFixture f;
+    void *arr = f.allocator->allocPlain(4096);
+    const Addr sim = f.machine->addressSpace().simAddrOf(arr);
+    StreamExecutor exec(*f.machine, ExecMode::inCore);
+    f.machine->beginEpoch();
+    MigratingStream st(3);
+    exec.configure(st, sim);
+    exec.streamStep(st, sim, 8, AccessType::read);
+    EXPECT_EQ(f.machine->stats().l1Accesses, 1u);
+    EXPECT_EQ(f.machine->stats().streamConfigs, 0u);
+}
+
+TEST(StreamExecutor, ChainLatencyAccumulatesAndResets)
+{
+    MachineFixture f;
+    void *arr = f.allocator->allocInterleaved(64 * 64, 64, 0);
+    const Addr sim = f.allocator->arrayInfo(arr)->simBase;
+    f.machine->preloadL3Range(sim, 64 * 64);
+    StreamExecutor exec(*f.machine, ExecMode::nearL3);
+    f.machine->beginEpoch();
+    MigratingStream st(0);
+    exec.configure(st, sim);
+    for (int i = 0; i < 8; ++i)
+        exec.streamStep(st, sim + i * 64, 8, AccessType::read);
+    const double chain = st.chainLatency();
+    EXPECT_GT(chain, 0.0);
+    st.resetChain();
+    EXPECT_DOUBLE_EQ(st.chainLatency(), 0.0);
+}

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/trace.hh"
+#include "sim/log.hh"
+#include "workloads/affine_workloads.hh"
+
+using namespace affalloc;
+using namespace affalloc::workloads;
+
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+struct TempFile
+{
+    std::string path;
+    explicit TempFile(const char *name)
+        : path(std::string(::testing::TempDir()) + name)
+    {}
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+} // namespace
+
+TEST(Trace, TimelineCsvHasOneRowPerEpoch)
+{
+    VecAddParams p;
+    p.n = 100'000;
+    const auto r = runVecAdd(RunConfig::forMode(ExecMode::affAlloc), p);
+    TempFile tmp("timeline.csv");
+    harness::writeTimelineCsv(r, tmp.path);
+    const std::string csv = slurp(tmp.path);
+    // Header + one line per epoch.
+    const auto lines = std::count(csv.begin(), csv.end(), '\n');
+    EXPECT_EQ(std::size_t(lines), r.timeline.size() + 1);
+    EXPECT_NE(csv.find("epoch,end_cycle,phase"), std::string::npos);
+}
+
+TEST(Trace, ComparisonCsvRoundTrips)
+{
+    harness::Comparison cmp({"a", "b"});
+    RunResult r1;
+    r1.stats.cycles = 123;
+    r1.joules = 0.5;
+    r1.valid = true;
+    RunResult r2;
+    r2.stats.cycles = 456;
+    r2.stats.hops[int(TrafficClass::data)] = 99;
+    r2.valid = false;
+    cmp.add("wl", {r1, r2});
+    TempFile tmp("cmp.csv");
+    harness::writeComparisonCsv(cmp, {"a", "b"}, tmp.path);
+    const std::string csv = slurp(tmp.path);
+    EXPECT_NE(csv.find("wl,a,123"), std::string::npos);
+    EXPECT_NE(csv.find("wl,b,456"), std::string::npos);
+    EXPECT_NE(csv.find(",99,"), std::string::npos);
+    // Valid flags round-trip.
+    EXPECT_NE(csv.find(",1\n"), std::string::npos);
+    EXPECT_NE(csv.find(",0\n"), std::string::npos);
+}
+
+TEST(Trace, UnwritablePathIsFatal)
+{
+    harness::Comparison cmp({"x"});
+    EXPECT_THROW(harness::writeComparisonCsv(
+                     cmp, {"x"}, "/nonexistent-dir/foo.csv"),
+                 FatalError);
+}

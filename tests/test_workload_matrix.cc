@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Cross-product property sweep: every workload must produce correct
+ * results and sane statistics under every (mode x policy x bank
+ * numbering) combination. Small inputs keep the whole matrix fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/generators.hh"
+#include "workloads/affine_workloads.hh"
+#include "workloads/graph_workloads.hh"
+#include "workloads/pointer_workloads.hh"
+
+using namespace affalloc;
+using namespace affalloc::workloads;
+
+namespace
+{
+
+const graph::Csr &
+matrixGraph()
+{
+    static const graph::Csr g = [] {
+        graph::KroneckerParams p;
+        p.scale = 10;
+        p.edgeFactor = 8;
+        return graph::kronecker(p);
+    }();
+    return g;
+}
+
+using Combo = std::tuple<ExecMode, alloc::BankPolicy,
+                         sim::BankNumbering>;
+
+RunConfig
+configOf(const Combo &combo)
+{
+    RunConfig rc = RunConfig::forMode(std::get<0>(combo));
+    rc.allocOpts.policy = std::get<1>(combo);
+    rc.allocOpts.hybridH = 5.0;
+    rc.machine.bankNumbering = std::get<2>(combo);
+    return rc;
+}
+
+class WorkloadMatrix : public ::testing::TestWithParam<Combo>
+{
+};
+
+std::string
+comboName(const ::testing::TestParamInfo<Combo> &info)
+{
+    std::string name = execModeName(std::get<0>(info.param));
+    name += "_";
+    name += alloc::bankPolicyName(std::get<1>(info.param));
+    name += "_";
+    name += sim::bankNumberingName(std::get<2>(info.param));
+    for (char &c : name) {
+        if (c == '-')
+            c = '_';
+    }
+    return name;
+}
+
+} // namespace
+
+TEST_P(WorkloadMatrix, AffineWorkloadsValid)
+{
+    const RunConfig rc = configOf(GetParam());
+    VecAddParams vp;
+    vp.n = 30'000;
+    vp.layout = rc.mode == ExecMode::affAlloc ? VecAddLayout::affinity
+                                              : VecAddLayout::heapLinear;
+    EXPECT_TRUE(runVecAdd(rc, vp).valid);
+    HotspotParams hp;
+    hp.rows = 64;
+    hp.cols = 256;
+    hp.iters = 2;
+    EXPECT_TRUE(runHotspot(rc, hp).valid);
+}
+
+TEST_P(WorkloadMatrix, GraphWorkloadsValid)
+{
+    const RunConfig rc = configOf(GetParam());
+    GraphParams p;
+    p.graph = &matrixGraph();
+    p.iters = 2;
+    EXPECT_TRUE(runPageRankPush(rc, p).valid);
+    EXPECT_TRUE(runSssp(rc, p).valid);
+    EXPECT_TRUE(runBfs(rc, p, defaultBfsStrategy(rc.mode)).run.valid);
+}
+
+TEST_P(WorkloadMatrix, PointerWorkloadsValid)
+{
+    const RunConfig rc = configOf(GetParam());
+    LinkListParams lp;
+    lp.numLists = 64;
+    lp.nodesPerList = 32;
+    EXPECT_TRUE(runLinkList(rc, lp).valid);
+    BinTreeParams bp;
+    bp.numNodes = 2048;
+    bp.numLookups = 4096;
+    EXPECT_TRUE(runBinTree(rc, bp).valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, WorkloadMatrix,
+    ::testing::Combine(
+        ::testing::Values(ExecMode::inCore, ExecMode::nearL3,
+                          ExecMode::affAlloc),
+        ::testing::Values(alloc::BankPolicy::random,
+                          alloc::BankPolicy::hybrid),
+        ::testing::Values(sim::BankNumbering::rowMajor,
+                          sim::BankNumbering::snake,
+                          sim::BankNumbering::block2)),
+    comboName);

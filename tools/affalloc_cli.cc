@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Command-line explorer for the affinity-alloc library. Lets a user
+ * run any workload under any configuration and inspect layouts
+ * without writing code:
+ *
+ *   affalloc_cli topo [--numbering snake]
+ *   affalloc_cli layout --intrlv 64 --bytes 8192 [--start-bank 5]
+ *   affalloc_cli run <workload> [--mode aff|near|core]
+ *                    [--policy rnd|lnr|minhop|hybrid] [--h 5]
+ *                    [--numbering rowmajor|snake|block2]
+ *                    [--scale 14] [--iters 4] [--csv out.csv]
+ *
+ * Workloads: vecadd pathfinder hotspot srad hotspot3d pr_push pr_pull
+ *            bfs sssp sssp_pq link_list hash_join bin_tree
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "graph/generators.hh"
+#include "harness/report.hh"
+#include "harness/trace.hh"
+#include "workloads/affine_workloads.hh"
+#include "workloads/graph_workloads.hh"
+#include "workloads/pointer_workloads.hh"
+
+using namespace affalloc;
+using namespace affalloc::workloads;
+
+namespace
+{
+
+struct Options
+{
+    std::string command;
+    std::string workload;
+    ExecMode mode = ExecMode::affAlloc;
+    alloc::BankPolicy policy = alloc::BankPolicy::hybrid;
+    double h = 5.0;
+    sim::BankNumbering numbering = sim::BankNumbering::rowMajor;
+    std::uint32_t scale = 14;
+    int iters = 4;
+    std::uint64_t intrlv = 64;
+    std::uint64_t bytes = 4096;
+    BankId startBank = 0;
+    std::string csv;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: affalloc_cli topo|layout|run [options]\n"
+                 "  run <workload> --mode aff|near|core --policy "
+                 "rnd|lnr|minhop|hybrid --h N\n"
+                 "      --numbering rowmajor|snake|block2 --scale N "
+                 "--iters N --csv FILE\n"
+                 "  layout --intrlv BYTES --bytes BYTES --start-bank N\n");
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    if (argc < 2)
+        usage();
+    o.command = argv[1];
+    int i = 2;
+    if (o.command == "run") {
+        if (argc < 3)
+            usage();
+        o.workload = argv[2];
+        i = 3;
+    }
+    auto next = [&](const char *what) -> std::string {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", what);
+            usage();
+        }
+        return argv[++i];
+    };
+    for (; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--mode") {
+            const std::string v = next("--mode");
+            o.mode = v == "core" ? ExecMode::inCore
+                     : v == "near" ? ExecMode::nearL3
+                                   : ExecMode::affAlloc;
+        } else if (a == "--policy") {
+            const std::string v = next("--policy");
+            o.policy = v == "rnd"      ? alloc::BankPolicy::random
+                       : v == "lnr"    ? alloc::BankPolicy::linear
+                       : v == "minhop" ? alloc::BankPolicy::minHop
+                                       : alloc::BankPolicy::hybrid;
+        } else if (a == "--h") {
+            o.h = std::atof(next("--h").c_str());
+        } else if (a == "--numbering") {
+            const std::string v = next("--numbering");
+            o.numbering = v == "snake"    ? sim::BankNumbering::snake
+                          : v == "block2" ? sim::BankNumbering::block2
+                                          : sim::BankNumbering::rowMajor;
+        } else if (a == "--scale") {
+            o.scale = std::uint32_t(std::atoi(next("--scale").c_str()));
+        } else if (a == "--iters") {
+            o.iters = std::atoi(next("--iters").c_str());
+        } else if (a == "--intrlv") {
+            o.intrlv = std::strtoull(next("--intrlv").c_str(), nullptr, 0);
+        } else if (a == "--bytes") {
+            o.bytes = std::strtoull(next("--bytes").c_str(), nullptr, 0);
+        } else if (a == "--start-bank") {
+            o.startBank =
+                BankId(std::atoi(next("--start-bank").c_str()));
+        } else if (a == "--csv") {
+            o.csv = next("--csv");
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            usage();
+        }
+    }
+    return o;
+}
+
+int
+cmdTopo(const Options &o)
+{
+    sim::MachineConfig cfg;
+    cfg.bankNumbering = o.numbering;
+    os::SimOS sim_os(cfg);
+    nsc::Machine machine(cfg, sim_os);
+    std::printf("%s\n\nbank -> tile map (%s numbering):\n",
+                cfg.toString().c_str(),
+                sim::bankNumberingName(o.numbering));
+    for (std::uint32_t y = 0; y < cfg.meshY; ++y) {
+        for (std::uint32_t x = 0; x < cfg.meshX; ++x) {
+            // Find the bank homed at this tile.
+            const TileId tile = y * cfg.meshX + x;
+            BankId bank = 0;
+            for (BankId b = 0; b < cfg.numBanks(); ++b) {
+                if (machine.tileOfBank(b) == tile) {
+                    bank = b;
+                    break;
+                }
+            }
+            std::printf("%4u", bank);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int
+cmdLayout(const Options &o)
+{
+    RunContext ctx(RunConfig::forMode(ExecMode::affAlloc));
+    char *p = static_cast<char *>(
+        ctx.allocator.allocInterleaved(o.bytes, o.intrlv, o.startBank));
+    std::printf("allocated %llu bytes at interleave %llu, start bank "
+                "%u\nblock -> bank:\n",
+                (unsigned long long)o.bytes,
+                (unsigned long long)o.intrlv, o.startBank);
+    const std::uint64_t blocks = (o.bytes + o.intrlv - 1) / o.intrlv;
+    for (std::uint64_t b = 0; b < blocks && b < 128; ++b) {
+        std::printf("%4u", ctx.machine.bankOfHost(p + b * o.intrlv));
+        if ((b + 1) % 16 == 0)
+            std::printf("\n");
+    }
+    std::printf("\n");
+    return 0;
+}
+
+int
+cmdRun(const Options &o)
+{
+    RunConfig rc = RunConfig::forMode(o.mode);
+    rc.allocOpts.policy = o.policy;
+    rc.allocOpts.hybridH = o.h;
+    rc.machine.bankNumbering = o.numbering;
+
+    RunResult result;
+    if (o.workload == "vecadd") {
+        VecAddParams p;
+        p.layout = o.mode == ExecMode::affAlloc
+                       ? VecAddLayout::affinity
+                       : VecAddLayout::heapLinear;
+        result = runVecAdd(rc, p);
+    } else if (o.workload == "pathfinder") {
+        PathfinderParams p;
+        p.iters = o.iters;
+        result = runPathfinder(rc, p);
+    } else if (o.workload == "hotspot") {
+        HotspotParams p;
+        p.iters = o.iters;
+        result = runHotspot(rc, p);
+    } else if (o.workload == "srad") {
+        SradParams p;
+        p.iters = o.iters;
+        result = runSrad(rc, p);
+    } else if (o.workload == "hotspot3d") {
+        Hotspot3dParams p;
+        p.iters = o.iters;
+        result = runHotspot3d(rc, p);
+    } else if (o.workload == "link_list") {
+        result = runLinkList(rc, LinkListParams{});
+    } else if (o.workload == "hash_join") {
+        result = runHashJoin(rc, HashJoinParams{});
+    } else if (o.workload == "bin_tree") {
+        result = runBinTree(rc, BinTreeParams{});
+    } else {
+        graph::KroneckerParams kp;
+        kp.scale = o.scale;
+        kp.edgeFactor = 16;
+        const auto g = graph::kronecker(kp);
+        GraphParams p;
+        p.graph = &g;
+        p.iters = o.iters;
+        if (o.workload == "pr_push")
+            result = runPageRankPush(rc, p);
+        else if (o.workload == "pr_pull")
+            result = runPageRankPull(rc, p);
+        else if (o.workload == "bfs")
+            result = runBfs(rc, p, defaultBfsStrategy(o.mode)).run;
+        else if (o.workload == "sssp")
+            result = runSssp(rc, p);
+        else if (o.workload == "sssp_pq")
+            result = runSsspPq(rc, p);
+        else {
+            std::fprintf(stderr, "unknown workload '%s'\n",
+                         o.workload.c_str());
+            usage();
+        }
+    }
+
+    std::printf("workload   %s\nconfig     %s / %s",
+                result.workload.c_str(), execModeName(o.mode),
+                alloc::bankPolicyName(o.policy));
+    if (o.policy == alloc::BankPolicy::hybrid)
+        std::printf("-%g", o.h);
+    std::printf(" / %s\n", sim::bankNumberingName(o.numbering));
+    std::printf("cycles     %llu\nenergy     %.6f J\nNoC hops   %llu "
+                "(offload %llu, data %llu, control %llu)\n"
+                "L3 miss    %.2f%%\nNoC util   %.1f%%\nvalid      %s\n",
+                (unsigned long long)result.cycles(), result.joules,
+                (unsigned long long)result.hops(),
+                (unsigned long long)result.stats.hops[int(
+                    TrafficClass::offload)],
+                (unsigned long long)result.stats.hops[int(
+                    TrafficClass::data)],
+                (unsigned long long)result.stats.hops[int(
+                    TrafficClass::control)],
+                100.0 * result.l3MissRate,
+                100.0 * result.nocUtilization,
+                result.valid ? "yes" : "NO");
+    if (!o.csv.empty()) {
+        harness::writeTimelineCsv(result, o.csv);
+        std::printf("timeline   written to %s\n", o.csv.c_str());
+    }
+    return result.valid ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+    if (o.command == "topo")
+        return cmdTopo(o);
+    if (o.command == "layout")
+        return cmdLayout(o);
+    if (o.command == "run")
+        return cmdRun(o);
+    usage();
+}
