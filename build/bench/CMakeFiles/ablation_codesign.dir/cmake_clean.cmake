@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_codesign.dir/ablation_codesign.cc.o"
+  "CMakeFiles/ablation_codesign.dir/ablation_codesign.cc.o.d"
+  "ablation_codesign"
+  "ablation_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_numbering.dir/ablation_numbering.cc.o"
+  "CMakeFiles/ablation_numbering.dir/ablation_numbering.cc.o.d"
+  "ablation_numbering"
+  "ablation_numbering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_numbering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

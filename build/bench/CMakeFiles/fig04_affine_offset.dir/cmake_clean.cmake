@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_affine_offset.dir/fig04_affine_offset.cc.o"
+  "CMakeFiles/fig04_affine_offset.dir/fig04_affine_offset.cc.o.d"
+  "fig04_affine_offset"
+  "fig04_affine_offset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_affine_offset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_irregular_potential.dir/fig06_irregular_potential.cc.o"
+  "CMakeFiles/fig06_irregular_potential.dir/fig06_irregular_potential.cc.o.d"
+  "fig06_irregular_potential"
+  "fig06_irregular_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_irregular_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_timeline.dir/fig14_timeline.cc.o"
+  "CMakeFiles/fig14_timeline.dir/fig14_timeline.cc.o.d"
+  "fig14_timeline"
+  "fig14_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

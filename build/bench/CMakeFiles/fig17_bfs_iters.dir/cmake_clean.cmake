@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_bfs_iters.dir/fig17_bfs_iters.cc.o"
+  "CMakeFiles/fig17_bfs_iters.dir/fig17_bfs_iters.cc.o.d"
+  "fig17_bfs_iters"
+  "fig17_bfs_iters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_bfs_iters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

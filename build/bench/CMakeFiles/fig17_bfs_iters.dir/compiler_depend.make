@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig17_bfs_iters.
+# This may be replaced when dependencies are built.

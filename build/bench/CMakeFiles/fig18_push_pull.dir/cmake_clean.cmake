@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_push_pull.dir/fig18_push_pull.cc.o"
+  "CMakeFiles/fig18_push_pull.dir/fig18_push_pull.cc.o.d"
+  "fig18_push_pull"
+  "fig18_push_pull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_push_pull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_degree.dir/fig19_degree.cc.o"
+  "CMakeFiles/fig19_degree.dir/fig19_degree.cc.o.d"
+  "fig19_degree"
+  "fig19_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

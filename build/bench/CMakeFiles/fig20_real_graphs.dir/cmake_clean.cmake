@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_real_graphs.dir/fig20_real_graphs.cc.o"
+  "CMakeFiles/fig20_real_graphs.dir/fig20_real_graphs.cc.o.d"
+  "fig20_real_graphs"
+  "fig20_real_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_real_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

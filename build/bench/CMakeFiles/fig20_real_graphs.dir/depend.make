@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_real_graphs.
+# This may be replaced when dependencies are built.

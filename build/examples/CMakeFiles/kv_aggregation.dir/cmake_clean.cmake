@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_aggregation.dir/kv_aggregation.cpp.o"
+  "CMakeFiles/kv_aggregation.dir/kv_aggregation.cpp.o.d"
+  "kv_aggregation"
+  "kv_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affalloc_alloc.dir/affinity_alloc.cc.o"
+  "CMakeFiles/affalloc_alloc.dir/affinity_alloc.cc.o.d"
+  "libaffalloc_alloc.a"
+  "libaffalloc_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affalloc_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

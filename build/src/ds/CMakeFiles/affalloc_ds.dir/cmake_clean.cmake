@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affalloc_ds.dir/dynamic_graph.cc.o"
+  "CMakeFiles/affalloc_ds.dir/dynamic_graph.cc.o.d"
+  "CMakeFiles/affalloc_ds.dir/linked_csr.cc.o"
+  "CMakeFiles/affalloc_ds.dir/linked_csr.cc.o.d"
+  "CMakeFiles/affalloc_ds.dir/pointer_structs.cc.o"
+  "CMakeFiles/affalloc_ds.dir/pointer_structs.cc.o.d"
+  "CMakeFiles/affalloc_ds.dir/spatial_pq.cc.o"
+  "CMakeFiles/affalloc_ds.dir/spatial_pq.cc.o.d"
+  "CMakeFiles/affalloc_ds.dir/spatial_queue.cc.o"
+  "CMakeFiles/affalloc_ds.dir/spatial_queue.cc.o.d"
+  "libaffalloc_ds.a"
+  "libaffalloc_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affalloc_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affalloc_graph.dir/csr.cc.o"
+  "CMakeFiles/affalloc_graph.dir/csr.cc.o.d"
+  "CMakeFiles/affalloc_graph.dir/generators.cc.o"
+  "CMakeFiles/affalloc_graph.dir/generators.cc.o.d"
+  "CMakeFiles/affalloc_graph.dir/reference.cc.o"
+  "CMakeFiles/affalloc_graph.dir/reference.cc.o.d"
+  "libaffalloc_graph.a"
+  "libaffalloc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affalloc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affalloc_harness.dir/report.cc.o"
+  "CMakeFiles/affalloc_harness.dir/report.cc.o.d"
+  "CMakeFiles/affalloc_harness.dir/trace.cc.o"
+  "CMakeFiles/affalloc_harness.dir/trace.cc.o.d"
+  "libaffalloc_harness.a"
+  "libaffalloc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affalloc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affalloc_mem.dir/address_space.cc.o"
+  "CMakeFiles/affalloc_mem.dir/address_space.cc.o.d"
+  "CMakeFiles/affalloc_mem.dir/cache_model.cc.o"
+  "CMakeFiles/affalloc_mem.dir/cache_model.cc.o.d"
+  "CMakeFiles/affalloc_mem.dir/dram.cc.o"
+  "CMakeFiles/affalloc_mem.dir/dram.cc.o.d"
+  "CMakeFiles/affalloc_mem.dir/iot.cc.o"
+  "CMakeFiles/affalloc_mem.dir/iot.cc.o.d"
+  "CMakeFiles/affalloc_mem.dir/page_table.cc.o"
+  "CMakeFiles/affalloc_mem.dir/page_table.cc.o.d"
+  "libaffalloc_mem.a"
+  "libaffalloc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affalloc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affalloc_noc.dir/network.cc.o"
+  "CMakeFiles/affalloc_noc.dir/network.cc.o.d"
+  "CMakeFiles/affalloc_noc.dir/topology.cc.o"
+  "CMakeFiles/affalloc_noc.dir/topology.cc.o.d"
+  "libaffalloc_noc.a"
+  "libaffalloc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affalloc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nsc/machine.cc" "src/nsc/CMakeFiles/affalloc_nsc.dir/machine.cc.o" "gcc" "src/nsc/CMakeFiles/affalloc_nsc.dir/machine.cc.o.d"
+  "/root/repo/src/nsc/stream_executor.cc" "src/nsc/CMakeFiles/affalloc_nsc.dir/stream_executor.cc.o" "gcc" "src/nsc/CMakeFiles/affalloc_nsc.dir/stream_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/affalloc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/affalloc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/affalloc_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/affalloc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affalloc_nsc.dir/machine.cc.o"
+  "CMakeFiles/affalloc_nsc.dir/machine.cc.o.d"
+  "CMakeFiles/affalloc_nsc.dir/stream_executor.cc.o"
+  "CMakeFiles/affalloc_nsc.dir/stream_executor.cc.o.d"
+  "libaffalloc_nsc.a"
+  "libaffalloc_nsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affalloc_nsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

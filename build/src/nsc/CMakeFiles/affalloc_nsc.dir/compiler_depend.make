@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for affalloc_nsc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/sim_os.cc" "src/os/CMakeFiles/affalloc_os.dir/sim_os.cc.o" "gcc" "src/os/CMakeFiles/affalloc_os.dir/sim_os.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/affalloc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/affalloc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/affalloc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affalloc_os.dir/sim_os.cc.o"
+  "CMakeFiles/affalloc_os.dir/sim_os.cc.o.d"
+  "libaffalloc_os.a"
+  "libaffalloc_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affalloc_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

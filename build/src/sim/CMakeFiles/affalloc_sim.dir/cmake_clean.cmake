@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affalloc_sim.dir/config.cc.o"
+  "CMakeFiles/affalloc_sim.dir/config.cc.o.d"
+  "CMakeFiles/affalloc_sim.dir/energy.cc.o"
+  "CMakeFiles/affalloc_sim.dir/energy.cc.o.d"
+  "CMakeFiles/affalloc_sim.dir/log.cc.o"
+  "CMakeFiles/affalloc_sim.dir/log.cc.o.d"
+  "CMakeFiles/affalloc_sim.dir/stats.cc.o"
+  "CMakeFiles/affalloc_sim.dir/stats.cc.o.d"
+  "libaffalloc_sim.a"
+  "libaffalloc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affalloc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

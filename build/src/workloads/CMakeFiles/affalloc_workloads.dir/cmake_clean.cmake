@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affalloc_workloads.dir/affine_workloads.cc.o"
+  "CMakeFiles/affalloc_workloads.dir/affine_workloads.cc.o.d"
+  "CMakeFiles/affalloc_workloads.dir/graph_workloads.cc.o"
+  "CMakeFiles/affalloc_workloads.dir/graph_workloads.cc.o.d"
+  "CMakeFiles/affalloc_workloads.dir/pointer_workloads.cc.o"
+  "CMakeFiles/affalloc_workloads.dir/pointer_workloads.cc.o.d"
+  "libaffalloc_workloads.a"
+  "libaffalloc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affalloc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

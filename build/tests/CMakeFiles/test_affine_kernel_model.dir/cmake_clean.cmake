@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_affine_kernel_model.dir/test_affine_kernel_model.cc.o"
+  "CMakeFiles/test_affine_kernel_model.dir/test_affine_kernel_model.cc.o.d"
+  "test_affine_kernel_model"
+  "test_affine_kernel_model.pdb"
+  "test_affine_kernel_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_affine_kernel_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_affinity_alloc.dir/test_affinity_alloc.cc.o"
+  "CMakeFiles/test_affinity_alloc.dir/test_affinity_alloc.cc.o.d"
+  "test_affinity_alloc"
+  "test_affinity_alloc.pdb"
+  "test_affinity_alloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_affinity_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bank_mapper.dir/test_bank_mapper.cc.o"
+  "CMakeFiles/test_bank_mapper.dir/test_bank_mapper.cc.o.d"
+  "test_bank_mapper"
+  "test_bank_mapper.pdb"
+  "test_bank_mapper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bank_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bank_numbering.dir/test_bank_numbering.cc.o"
+  "CMakeFiles/test_bank_numbering.dir/test_bank_numbering.cc.o.d"
+  "test_bank_numbering"
+  "test_bank_numbering.pdb"
+  "test_bank_numbering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bank_numbering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bank_policy.dir/test_bank_policy.cc.o"
+  "CMakeFiles/test_bank_policy.dir/test_bank_policy.cc.o.d"
+  "test_bank_policy"
+  "test_bank_policy.pdb"
+  "test_bank_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bank_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

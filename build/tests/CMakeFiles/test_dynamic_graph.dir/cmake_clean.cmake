@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_graph.dir/test_dynamic_graph.cc.o"
+  "CMakeFiles/test_dynamic_graph.dir/test_dynamic_graph.cc.o.d"
+  "test_dynamic_graph"
+  "test_dynamic_graph.pdb"
+  "test_dynamic_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_workloads.dir/test_graph_workloads.cc.o"
+  "CMakeFiles/test_graph_workloads.dir/test_graph_workloads.cc.o.d"
+  "test_graph_workloads"
+  "test_graph_workloads.pdb"
+  "test_graph_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iot.dir/test_iot.cc.o"
+  "CMakeFiles/test_iot.dir/test_iot.cc.o.d"
+  "test_iot"
+  "test_iot.pdb"
+  "test_iot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linked_csr.dir/test_linked_csr.cc.o"
+  "CMakeFiles/test_linked_csr.dir/test_linked_csr.cc.o.d"
+  "test_linked_csr"
+  "test_linked_csr.pdb"
+  "test_linked_csr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linked_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pointer_structs.dir/test_pointer_structs.cc.o"
+  "CMakeFiles/test_pointer_structs.dir/test_pointer_structs.cc.o.d"
+  "test_pointer_structs"
+  "test_pointer_structs.pdb"
+  "test_pointer_structs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pointer_structs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_realloc.dir/test_realloc.cc.o"
+  "CMakeFiles/test_realloc.dir/test_realloc.cc.o.d"
+  "test_realloc"
+  "test_realloc.pdb"
+  "test_realloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_realloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spatial_pq.dir/test_spatial_pq.cc.o"
+  "CMakeFiles/test_spatial_pq.dir/test_spatial_pq.cc.o.d"
+  "test_spatial_pq"
+  "test_spatial_pq.pdb"
+  "test_spatial_pq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spatial_pq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spatial_queue.dir/test_spatial_queue.cc.o"
+  "CMakeFiles/test_spatial_queue.dir/test_spatial_queue.cc.o.d"
+  "test_spatial_queue"
+  "test_spatial_queue.pdb"
+  "test_spatial_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spatial_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_executor.dir/test_stream_executor.cc.o"
+  "CMakeFiles/test_stream_executor.dir/test_stream_executor.cc.o.d"
+  "test_stream_executor"
+  "test_stream_executor.pdb"
+  "test_stream_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_matrix.dir/test_workload_matrix.cc.o"
+  "CMakeFiles/test_workload_matrix.dir/test_workload_matrix.cc.o.d"
+  "test_workload_matrix"
+  "test_workload_matrix.pdb"
+  "test_workload_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

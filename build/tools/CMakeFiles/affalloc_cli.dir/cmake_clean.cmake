@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affalloc_cli.dir/affalloc_cli.cc.o"
+  "CMakeFiles/affalloc_cli.dir/affalloc_cli.cc.o.d"
+  "affalloc_cli"
+  "affalloc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affalloc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affalloc_sweep.dir/affalloc_sweep.cc.o"
+  "CMakeFiles/affalloc_sweep.dir/affalloc_sweep.cc.o.d"
+  "affalloc_sweep"
+  "affalloc_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affalloc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
