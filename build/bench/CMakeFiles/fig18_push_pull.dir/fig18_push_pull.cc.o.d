@@ -218,12 +218,13 @@ bench/CMakeFiles/fig18_push_pull.dir/fig18_push_pull.cc.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/sim/../mem/bank_mapper.hh \
  /root/repo/src/sim/../mem/iot.hh /usr/include/c++/12/optional \
- /root/repo/src/sim/../sim/config.hh \
+ /root/repo/src/sim/../sim/config.hh /root/repo/src/sim/../sim/fault.hh \
+ /root/repo/src/sim/../sim/rng.hh \
  /root/repo/src/sim/../mem/cache_model.hh \
  /root/repo/src/sim/../mem/dram.hh /root/repo/src/sim/../noc/topology.hh \
  /root/repo/src/sim/../sim/stats.hh /root/repo/src/sim/../noc/network.hh \
  /root/repo/src/sim/../os/sim_os.hh \
- /root/repo/src/sim/../mem/page_table.hh /root/repo/src/sim/../sim/rng.hh \
+ /root/repo/src/sim/../mem/page_table.hh \
  /root/repo/src/sim/../nsc/stream_executor.hh \
  /root/repo/src/sim/../sim/energy.hh \
  /root/repo/src/sim/../workloads/graph_workloads.hh

@@ -214,10 +214,10 @@ src/ds/CMakeFiles/affalloc_ds.dir/spatial_queue.cc.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/sim/../mem/bank_mapper.hh \
  /root/repo/src/sim/../mem/iot.hh /usr/include/c++/12/optional \
- /root/repo/src/sim/../sim/config.hh \
+ /root/repo/src/sim/../sim/config.hh /root/repo/src/sim/../sim/fault.hh \
+ /root/repo/src/sim/../sim/rng.hh \
  /root/repo/src/sim/../mem/cache_model.hh \
  /root/repo/src/sim/../mem/dram.hh /root/repo/src/sim/../noc/topology.hh \
  /root/repo/src/sim/../sim/stats.hh /root/repo/src/sim/../noc/network.hh \
  /root/repo/src/sim/../os/sim_os.hh \
- /root/repo/src/sim/../mem/page_table.hh /root/repo/src/sim/../sim/rng.hh \
- /root/repo/src/sim/../sim/log.hh
+ /root/repo/src/sim/../mem/page_table.hh /root/repo/src/sim/../sim/log.hh

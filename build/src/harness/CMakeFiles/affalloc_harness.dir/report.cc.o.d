@@ -213,14 +213,22 @@ src/harness/CMakeFiles/affalloc_harness.dir/report.cc.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/sim/../mem/bank_mapper.hh \
  /root/repo/src/sim/../mem/iot.hh /usr/include/c++/12/optional \
- /root/repo/src/sim/../sim/config.hh \
+ /root/repo/src/sim/../sim/config.hh /root/repo/src/sim/../sim/fault.hh \
+ /root/repo/src/sim/../sim/rng.hh \
  /root/repo/src/sim/../mem/cache_model.hh \
  /root/repo/src/sim/../mem/dram.hh /root/repo/src/sim/../noc/topology.hh \
  /root/repo/src/sim/../sim/stats.hh /root/repo/src/sim/../noc/network.hh \
  /root/repo/src/sim/../os/sim_os.hh \
- /root/repo/src/sim/../mem/page_table.hh /root/repo/src/sim/../sim/rng.hh \
+ /root/repo/src/sim/../mem/page_table.hh \
  /root/repo/src/sim/../nsc/stream_executor.hh \
- /root/repo/src/sim/../sim/energy.hh /usr/include/c++/12/cmath \
+ /root/repo/src/sim/../sim/energy.hh /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

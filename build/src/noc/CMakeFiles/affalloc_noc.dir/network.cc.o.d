@@ -123,7 +123,8 @@ src/noc/CMakeFiles/affalloc_noc.dir/network.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/sim/../sim/config.hh /root/repo/src/sim/../sim/stats.hh \
+ /root/repo/src/sim/../sim/config.hh /root/repo/src/sim/../sim/fault.hh \
+ /root/repo/src/sim/../sim/rng.hh /root/repo/src/sim/../sim/stats.hh \
  /usr/include/c++/12/array /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \

@@ -206,7 +206,8 @@ src/nsc/CMakeFiles/affalloc_nsc.dir/stream_executor.cc.o: \
  /root/repo/src/sim/../mem/bank_mapper.hh \
  /root/repo/src/sim/../mem/iot.hh /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/sim/../sim/config.hh \
+ /root/repo/src/sim/../sim/config.hh /root/repo/src/sim/../sim/fault.hh \
+ /root/repo/src/sim/../sim/rng.hh \
  /root/repo/src/sim/../mem/cache_model.hh \
  /root/repo/src/sim/../mem/dram.hh /root/repo/src/sim/../noc/topology.hh \
  /root/repo/src/sim/../sim/stats.hh /usr/include/c++/12/array \
@@ -217,8 +218,7 @@ src/nsc/CMakeFiles/affalloc_nsc.dir/stream_executor.cc.o: \
  /root/repo/src/sim/../mem/address.hh \
  /root/repo/src/sim/../mem/page_table.hh \
  /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/sim/../sim/rng.hh /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \

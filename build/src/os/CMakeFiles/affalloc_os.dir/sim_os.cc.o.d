@@ -139,8 +139,9 @@ src/os/CMakeFiles/affalloc_os.dir/sim_os.cc.o: \
  /root/repo/src/sim/../mem/page_table.hh \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/sim/../sim/config.hh /root/repo/src/sim/../sim/rng.hh \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/sim/../sim/config.hh /root/repo/src/sim/../sim/fault.hh \
+ /root/repo/src/sim/../sim/rng.hh /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \

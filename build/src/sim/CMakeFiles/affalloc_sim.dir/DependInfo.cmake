@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/affalloc_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/affalloc_sim.dir/config.cc.o.d"
   "/root/repo/src/sim/energy.cc" "src/sim/CMakeFiles/affalloc_sim.dir/energy.cc.o" "gcc" "src/sim/CMakeFiles/affalloc_sim.dir/energy.cc.o.d"
+  "/root/repo/src/sim/fault.cc" "src/sim/CMakeFiles/affalloc_sim.dir/fault.cc.o" "gcc" "src/sim/CMakeFiles/affalloc_sim.dir/fault.cc.o.d"
   "/root/repo/src/sim/log.cc" "src/sim/CMakeFiles/affalloc_sim.dir/log.cc.o" "gcc" "src/sim/CMakeFiles/affalloc_sim.dir/log.cc.o.d"
   "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/affalloc_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/affalloc_sim.dir/stats.cc.o.d"
   )

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/affalloc_sim.dir/config.cc.o.d"
   "CMakeFiles/affalloc_sim.dir/energy.cc.o"
   "CMakeFiles/affalloc_sim.dir/energy.cc.o.d"
+  "CMakeFiles/affalloc_sim.dir/fault.cc.o"
+  "CMakeFiles/affalloc_sim.dir/fault.cc.o.d"
   "CMakeFiles/affalloc_sim.dir/log.cc.o"
   "CMakeFiles/affalloc_sim.dir/log.cc.o.d"
   "CMakeFiles/affalloc_sim.dir/stats.cc.o"

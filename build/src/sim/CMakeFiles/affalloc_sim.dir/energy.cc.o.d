@@ -119,9 +119,10 @@ src/sim/CMakeFiles/affalloc_sim.dir/energy.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/sim/../sim/types.hh /root/repo/src/sim/../sim/stats.hh \
- /usr/include/c++/12/array /usr/include/c++/12/vector \
+ /root/repo/src/sim/../sim/fault.hh /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/sim/../sim/rng.hh \
+ /root/repo/src/sim/../sim/types.hh /root/repo/src/sim/../sim/stats.hh \
+ /usr/include/c++/12/array

@@ -214,12 +214,13 @@ src/workloads/CMakeFiles/affalloc_workloads.dir/pointer_workloads.cc.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/sim/../mem/bank_mapper.hh \
  /root/repo/src/sim/../mem/iot.hh /usr/include/c++/12/optional \
- /root/repo/src/sim/../sim/config.hh \
+ /root/repo/src/sim/../sim/config.hh /root/repo/src/sim/../sim/fault.hh \
+ /root/repo/src/sim/../sim/rng.hh \
  /root/repo/src/sim/../mem/cache_model.hh \
  /root/repo/src/sim/../mem/dram.hh /root/repo/src/sim/../noc/topology.hh \
  /root/repo/src/sim/../sim/stats.hh /root/repo/src/sim/../noc/network.hh \
  /root/repo/src/sim/../os/sim_os.hh \
- /root/repo/src/sim/../mem/page_table.hh /root/repo/src/sim/../sim/rng.hh \
+ /root/repo/src/sim/../mem/page_table.hh \
  /root/repo/src/sim/../nsc/stream_executor.hh \
  /root/repo/src/sim/../sim/energy.hh /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \

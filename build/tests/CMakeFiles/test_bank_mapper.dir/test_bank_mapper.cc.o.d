@@ -295,4 +295,5 @@ tests/CMakeFiles/test_bank_mapper.dir/test_bank_mapper.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/sim/../mem/bank_mapper.hh \
  /root/repo/src/sim/../mem/iot.hh /root/repo/src/sim/../sim/types.hh \
- /root/repo/src/sim/../sim/config.hh
+ /root/repo/src/sim/../sim/config.hh /root/repo/src/sim/../sim/fault.hh \
+ /root/repo/src/sim/../sim/rng.hh

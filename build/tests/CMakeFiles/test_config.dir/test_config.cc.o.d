@@ -293,5 +293,6 @@ tests/CMakeFiles/test_config.dir/test_config.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/sim/../sim/config.hh /root/repo/src/sim/../sim/types.hh \
+ /root/repo/src/sim/../sim/config.hh /root/repo/src/sim/../sim/fault.hh \
+ /root/repo/src/sim/../sim/rng.hh /root/repo/src/sim/../sim/types.hh \
  /root/repo/src/sim/../sim/log.hh

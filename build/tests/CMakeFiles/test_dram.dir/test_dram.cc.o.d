@@ -295,4 +295,5 @@ tests/CMakeFiles/test_dram.dir/test_dram.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/sim/../mem/dram.hh /root/repo/src/sim/../noc/topology.hh \
  /root/repo/src/sim/../sim/types.hh /root/repo/src/sim/../sim/config.hh \
+ /root/repo/src/sim/../sim/fault.hh /root/repo/src/sim/../sim/rng.hh \
  /root/repo/src/sim/../sim/stats.hh

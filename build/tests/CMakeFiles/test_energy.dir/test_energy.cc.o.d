@@ -294,4 +294,5 @@ tests/CMakeFiles/test_energy.dir/test_energy.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/sim/../sim/energy.hh /root/repo/src/sim/../sim/config.hh \
+ /root/repo/src/sim/../sim/fault.hh /root/repo/src/sim/../sim/rng.hh \
  /root/repo/src/sim/../sim/types.hh /root/repo/src/sim/../sim/stats.hh

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_paths.dir/test_error_paths.cc.o"
+  "CMakeFiles/test_error_paths.dir/test_error_paths.cc.o.d"
+  "test_error_paths"
+  "test_error_paths.pdb"
+  "test_error_paths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

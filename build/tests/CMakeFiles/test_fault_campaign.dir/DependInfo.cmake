@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fault_campaign.cc" "tests/CMakeFiles/test_fault_campaign.dir/test_fault_campaign.cc.o" "gcc" "tests/CMakeFiles/test_fault_campaign.dir/test_fault_campaign.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/affalloc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/affalloc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ds/CMakeFiles/affalloc_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/affalloc_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nsc/CMakeFiles/affalloc_nsc.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/affalloc_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/affalloc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/affalloc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/affalloc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/affalloc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

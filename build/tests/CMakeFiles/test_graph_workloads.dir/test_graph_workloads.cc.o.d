@@ -305,10 +305,11 @@ tests/CMakeFiles/test_graph_workloads.dir/test_graph_workloads.cc.o: \
  /root/repo/src/sim/../mem/address_space.hh \
  /root/repo/src/sim/../mem/bank_mapper.hh \
  /root/repo/src/sim/../mem/iot.hh /root/repo/src/sim/../sim/config.hh \
+ /root/repo/src/sim/../sim/fault.hh /root/repo/src/sim/../sim/rng.hh \
  /root/repo/src/sim/../mem/cache_model.hh \
  /root/repo/src/sim/../mem/dram.hh /root/repo/src/sim/../noc/topology.hh \
  /root/repo/src/sim/../sim/stats.hh /root/repo/src/sim/../noc/network.hh \
  /root/repo/src/sim/../os/sim_os.hh \
- /root/repo/src/sim/../mem/page_table.hh /root/repo/src/sim/../sim/rng.hh \
+ /root/repo/src/sim/../mem/page_table.hh \
  /root/repo/src/sim/../nsc/stream_executor.hh \
  /root/repo/src/sim/../sim/energy.hh

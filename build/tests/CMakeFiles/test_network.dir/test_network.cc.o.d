@@ -295,4 +295,5 @@ tests/CMakeFiles/test_network.dir/test_network.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/sim/../noc/network.hh \
  /root/repo/src/sim/../noc/topology.hh /root/repo/src/sim/../sim/types.hh \
- /root/repo/src/sim/../sim/config.hh /root/repo/src/sim/../sim/stats.hh
+ /root/repo/src/sim/../sim/config.hh /root/repo/src/sim/../sim/fault.hh \
+ /root/repo/src/sim/../sim/rng.hh /root/repo/src/sim/../sim/stats.hh

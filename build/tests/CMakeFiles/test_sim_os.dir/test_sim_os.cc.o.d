@@ -295,9 +295,9 @@ tests/CMakeFiles/test_sim_os.dir/test_sim_os.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/sim/../mem/bank_mapper.hh \
  /root/repo/src/sim/../mem/iot.hh /root/repo/src/sim/../sim/types.hh \
- /root/repo/src/sim/../sim/config.hh /root/repo/src/sim/../os/sim_os.hh \
+ /root/repo/src/sim/../sim/config.hh /root/repo/src/sim/../sim/fault.hh \
+ /root/repo/src/sim/../sim/rng.hh /root/repo/src/sim/../os/sim_os.hh \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/sim/../mem/address.hh \
- /root/repo/src/sim/../mem/page_table.hh /root/repo/src/sim/../sim/rng.hh \
- /root/repo/src/sim/../sim/log.hh
+ /root/repo/src/sim/../mem/page_table.hh /root/repo/src/sim/../sim/log.hh

@@ -60,6 +60,9 @@ AffinityAllocator::AffinityAllocator(nsc::Machine &machine,
     : machine_(machine), opts_(opts), rng_(opts.seed),
       numBanks_(machine.config().numBanks()),
       lineSize_(machine.config().lineSize),
+      poolCapacity_(machine.config().poolCapacityBytes != 0
+                        ? machine.config().poolCapacityBytes
+                        : mem::terabyte),
       bankLoads_(machine.config().numBanks(), 0)
 {
     for (auto &pool : freeSlots_)
@@ -135,19 +138,26 @@ AffinityAllocator::poolAllocAligned(std::size_t bytes, int k,
     }
 
     if (off == invalidAddr) {
-        Addr &bump = poolBump_[k];
+        const Addr bump = poolBump_[k];
         // Align the bump to an interleave-block boundary.
-        off = (bump + intrlv - 1) & ~(intrlv - 1);
-        stats_.alignmentWasteBytes += off - bump;
+        Addr cand = (bump + intrlv - 1) & ~(intrlv - 1);
+        const Addr align_waste = cand - bump;
         // Advance to a block homed at the requested start bank.
         const BankId cur =
-            static_cast<BankId>((off / intrlv) % numBanks_);
+            static_cast<BankId>((cand / intrlv) % numBanks_);
         const std::uint32_t skip =
             (start_bank + numBanks_ - cur) % numBanks_;
-        off += Addr(skip) * intrlv;
-        stats_.alignmentWasteBytes += Addr(skip) * intrlv;
-        machine_.simOs().expandPool(k, off + alloc_bytes);
-        bump = off + alloc_bytes;
+        cand += Addr(skip) * intrlv;
+        if (cand + alloc_bytes > poolCapacity_) {
+            // Pool exhausted: report failure without mutating any
+            // state so the caller can degrade to another pool or the
+            // conventional heap.
+            return PoolCut{};
+        }
+        stats_.alignmentWasteBytes += align_waste + Addr(skip) * intrlv;
+        machine_.simOs().expandPool(k, cand + alloc_bytes);
+        poolBump_[k] = cand + alloc_bytes;
+        off = cand;
     }
 
     const Addr sim = machine_.simOs().poolVirtBaseOf(k) + off;
@@ -155,6 +165,43 @@ AffinityAllocator::poolAllocAligned(std::size_t bytes, int k,
     ownedHost_.insert(host);
     machine_.addressSpace().registerRange(host, alloc_bytes, sim);
     return PoolCut{host, off, alloc_bytes};
+}
+
+AffinityAllocator::PoolCut
+AffinityAllocator::poolAllocFallback(std::size_t bytes, int &k,
+                                     BankId start_bank)
+{
+    PoolCut cut = poolAllocAligned(bytes, k, start_bank);
+    if (cut.host != nullptr)
+        return cut;
+    // Requested pool exhausted: degrade to finer interleavings (the
+    // affinity relationship weakens but data still spreads across
+    // banks and stays in pools).
+    for (int f = k - 1; f >= 0; --f) {
+        cut = poolAllocAligned(bytes, f, start_bank);
+        if (cut.host != nullptr) {
+            warn("pool %d exhausted; degraded allocation of %zu bytes "
+                 "to pool %d",
+                 k, bytes, f);
+            machine_.stats().allocFallbacks += 1;
+            stats_.fallbacks += 1;
+            k = f;
+            return cut;
+        }
+    }
+    return PoolCut{};
+}
+
+BankId
+AffinityAllocator::nthLiveBank(std::uint32_t n) const
+{
+    const sim::FaultPlan &plan = machine_.faultPlan();
+    for (BankId b = 0; b < numBanks_; ++b) {
+        if (plan.bankLive(b) && n-- == 0)
+            return b;
+    }
+    // Unreachable: the fault plan always keeps at least one bank live.
+    return 0;
 }
 
 void *
@@ -194,6 +241,13 @@ AffinityAllocator::allocInterleaved(std::size_t bytes, std::uint64_t intrlv,
     const int k = mem::poolIndexFor(intrlv);
     if (k >= 0) {
         const PoolCut cut = poolAllocAligned(bytes, k, start_bank);
+        if (cut.host == nullptr) {
+            fatal("allocInterleaved: pool %d (%llu B interleave) "
+                  "exhausted (capacity %llu bytes); use mallocAff for "
+                  "graceful fallback",
+                  k, (unsigned long long)intrlv,
+                  (unsigned long long)poolCapacity_);
+        }
         host = cut.host;
         info.poolIdx = k;
         info.poolOffset = cut.offset;
@@ -304,14 +358,21 @@ AffinityAllocator::mallocAff(const AffineArray &req)
         if (chunk_raw <= mem::maxPoolInterleave) {
             const std::uint64_t intrlv =
                 pow2Ceil(std::max<std::uint64_t>(chunk_raw, lineSize_));
-            const int kp = mem::poolIndexFor(intrlv);
-            const PoolCut cut = poolAllocAligned(bytes, kp, 0);
+            int kp = mem::poolIndexFor(intrlv);
+            const PoolCut cut = poolAllocFallback(bytes, kp, 0);
+            if (cut.host == nullptr) {
+                warn("mallocAff: pools exhausted; partitioned request "
+                     "degraded to the conventional heap");
+                machine_.stats().allocFallbacks += 1;
+                stats_.fallbacks += 1;
+                return allocPlain(bytes);
+            }
             host = cut.host;
             info.poolIdx = kp;
             info.poolOffset = cut.offset;
             info.allocBytes = cut.bytes;
-            info.intrlv = intrlv;
-            info.chunkBytes = intrlv;
+            info.intrlv = mem::poolInterleave(kp);
+            info.chunkBytes = info.intrlv;
         } else {
             const std::uint64_t chunk = mem::roundUpPage(chunk_raw);
             host = largeAlloc(bytes, chunk, 0, true, chunk);
@@ -352,52 +413,76 @@ AffinityAllocator::mallocAff(const AffineArray &req)
         const std::int64_t b = std::int64_t(numBanks_);
         const BankId start = static_cast<BankId>(
             ((std::int64_t(ali->startBank) + blocks) % b + b) % b);
-        const int k = mem::poolIndexFor(intrlv);
+        int k = mem::poolIndexFor(intrlv);
         if (k >= 0) {
-            const PoolCut cut = poolAllocAligned(bytes, k, start);
+            const PoolCut cut = poolAllocFallback(bytes, k, start);
+            if (cut.host == nullptr) {
+                warn("mallocAff: pools exhausted; aligned request "
+                     "degraded to the conventional heap");
+                machine_.stats().allocFallbacks += 1;
+                stats_.fallbacks += 1;
+                return allocPlain(bytes);
+            }
             host = cut.host;
             info.poolIdx = k;
             info.poolOffset = cut.offset;
             info.allocBytes = cut.bytes;
+            info.intrlv = mem::poolInterleave(k);
         } else if (intrlv >= mem::pageSize &&
                    intrlv % mem::pageSize == 0) {
             host = largeAlloc(bytes, intrlv, start,
                               ali->partitioned, intrlv);
             info.partitioned = ali->partitioned;
             info.chunkBytes = ali->partitioned ? intrlv : 0;
+            info.intrlv = intrlv;
         } else {
             // Unsupported interleaving (e.g. below a line or not a
             // power of two): the paper's fallback rule.
             stats_.fallbacks += 1;
             return allocPlain(bytes);
         }
-        info.intrlv = intrlv;
         info.startBank = start;
     } else if (req.align_x != 0) {
         // Intra-array affinity: keep A[i] close to A[i + x].
         const std::uint64_t row_bytes =
             static_cast<std::uint64_t>(req.align_x) * elem;
         const std::uint64_t intrlv = chooseIntraInterleave(row_bytes);
-        const int k = mem::poolIndexFor(intrlv);
+        int k = mem::poolIndexFor(intrlv);
         if (k >= 0) {
-            const PoolCut cut = poolAllocAligned(bytes, k, 0);
+            const PoolCut cut = poolAllocFallback(bytes, k, 0);
+            if (cut.host == nullptr) {
+                warn("mallocAff: pools exhausted; intra-affinity "
+                     "request degraded to the conventional heap");
+                machine_.stats().allocFallbacks += 1;
+                stats_.fallbacks += 1;
+                return allocPlain(bytes);
+            }
             host = cut.host;
             info.poolIdx = k;
             info.poolOffset = cut.offset;
             info.allocBytes = cut.bytes;
+            info.intrlv = mem::poolInterleave(k);
         } else {
             host = largeAlloc(bytes, intrlv, 0, false, 0);
+            info.intrlv = intrlv;
         }
-        info.intrlv = intrlv;
         info.startBank = 0;
     } else {
         // Default: finest interleaving (one cache line).
-        const PoolCut cut = poolAllocAligned(bytes, 0, 0);
+        int k = 0;
+        const PoolCut cut = poolAllocFallback(bytes, k, 0);
+        if (cut.host == nullptr) {
+            warn("mallocAff: pools exhausted; default request degraded "
+                 "to the conventional heap");
+            machine_.stats().allocFallbacks += 1;
+            stats_.fallbacks += 1;
+            return allocPlain(bytes);
+        }
         host = cut.host;
-        info.poolIdx = 0;
+        info.poolIdx = k;
         info.poolOffset = cut.offset;
         info.allocBytes = cut.bytes;
-        info.intrlv = lineSize_;
+        info.intrlv = mem::poolInterleave(k);
         info.startBank = 0;
     }
 
@@ -409,17 +494,19 @@ AffinityAllocator::mallocAff(const AffineArray &req)
 
 // -------------------------------------------------------- irregular API
 
-void
+bool
 AffinityAllocator::carveStripe(int k)
 {
     const std::uint64_t intrlv = mem::poolInterleave(k);
-    Addr &bump = poolBump_[k];
-    Addr off = (bump + intrlv - 1) & ~(intrlv - 1);
-    stats_.alignmentWasteBytes += off - bump;
+    const Addr bump = poolBump_[k];
+    const Addr off = (bump + intrlv - 1) & ~(intrlv - 1);
     const std::uint64_t stripe = intrlv * numBanks_;
+    if (off + stripe > poolCapacity_)
+        return false;
+    stats_.alignmentWasteBytes += off - bump;
     machine_.simOs().expandPool(k, off + stripe);
     const Addr sim_base = machine_.simOs().poolVirtBaseOf(k) + off;
-    bump = off + stripe;
+    poolBump_[k] = off + stripe;
 
     void *host = newHost(stripe);
     ownedHost_.insert(host);
@@ -427,21 +514,37 @@ AffinityAllocator::carveStripe(int k)
 
     for (std::uint32_t s = 0; s < numBanks_; ++s) {
         const Addr sim = sim_base + Addr(s) * intrlv;
-        const BankId bank =
-            static_cast<BankId>(((off / intrlv) + s) % numBanks_);
+        // Key the slot by its *served* bank: lines homed at an
+        // offline bank are redirected to the spare, so the slot
+        // belongs on the spare's free list.
+        const BankId bank = machine_.bankOfSim(sim);
         freeSlots_[k][bank].push_back(
             Slot{static_cast<char *>(host) + Addr(s) * intrlv, sim});
     }
+    return true;
 }
 
 BankId
 AffinityAllocator::selectBank(const std::vector<BankId> &affinity_banks)
 {
+    // Offline banks are never selected; the healthy path is kept
+    // draw-for-draw identical to a machine without the fault
+    // subsystem (zero overhead when disabled).
+    const sim::FaultPlan &plan = machine_.faultPlan();
+    const bool degraded = plan.numOfflineBanks() > 0;
+
     switch (opts_.policy) {
       case BankPolicy::random:
-        return static_cast<BankId>(rng_.below(numBanks_));
-      case BankPolicy::linear:
-        return nextLinear_++ % numBanks_;
+        if (!degraded)
+            return static_cast<BankId>(rng_.below(numBanks_));
+        return nthLiveBank(static_cast<std::uint32_t>(
+            rng_.below(plan.numLiveBanks())));
+      case BankPolicy::linear: {
+        BankId b = nextLinear_++ % numBanks_;
+        while (degraded && !plan.bankLive(b))
+            b = nextLinear_++ % numBanks_;
+        return b;
+      }
       case BankPolicy::minHop:
       case BankPolicy::hybrid:
         break;
@@ -451,15 +554,20 @@ AffinityAllocator::selectBank(const std::vector<BankId> &affinity_banks)
         // No affinity information: every bank scores equally under
         // Min-Hop, so fall back to a random pick instead of always
         // returning bank 0.
-        return static_cast<BankId>(rng_.below(numBanks_));
+        if (!degraded)
+            return static_cast<BankId>(rng_.below(numBanks_));
+        return nthLiveBank(static_cast<std::uint32_t>(
+            rng_.below(plan.numLiveBanks())));
     }
     const double H =
         opts_.policy == BankPolicy::minHop ? 0.0 : opts_.hybridH;
     const double avg_load =
         static_cast<double>(totalLoad_) / static_cast<double>(numBanks_);
     double best_score = std::numeric_limits<double>::infinity();
-    BankId best = 0;
+    BankId best = degraded ? plan.redirect(0) : 0;
     for (BankId b = 0; b < numBanks_; ++b) {
+        if (degraded && !plan.bankLive(b))
+            continue; // Eq. 4 skips offline banks
         double avg_hops = 0.0;
         if (!affinity_banks.empty()) {
             double sum = 0.0;
@@ -515,19 +623,34 @@ AffinityAllocator::mallocAff(std::size_t size, int num_aff_addrs,
     }
 
     const BankId bank = selectBank(banks);
-    auto &list = freeSlots_[k][bank];
-    if (list.empty())
-        carveStripe(k);
-    if (list.empty())
-        panic("carveStripe did not produce a slot for bank %u", bank);
-    const Slot slot = list.back();
-    list.pop_back();
-
-    bankLoads_[bank] += 1;
-    totalLoad_ += 1;
-    irregular_.emplace(slot.host, std::make_pair(k, bank));
-    stats_.irregularAllocs += 1;
-    return slot.host;
+    // Graceful degradation: when the requested size class's pool is
+    // exhausted, place the object in a coarser pool (the slot is
+    // bigger than needed but keeps its bank affinity) before giving
+    // up and using the conventional heap.
+    for (int kk = k; kk < mem::numInterleavePools; ++kk) {
+        auto &list = freeSlots_[kk][bank];
+        if (list.empty() && !carveStripe(kk))
+            continue; // this pool is at capacity; try a coarser one
+        if (list.empty())
+            panic("carveStripe did not produce a slot for bank %u", bank);
+        const Slot slot = list.back();
+        list.pop_back();
+        if (kk != k) {
+            machine_.stats().allocFallbacks += 1;
+            stats_.fallbacks += 1;
+        }
+        bankLoads_[bank] += 1;
+        totalLoad_ += 1;
+        irregular_.emplace(slot.host, std::make_pair(kk, bank));
+        stats_.irregularAllocs += 1;
+        return slot.host;
+    }
+    warn("mallocAff: every irregular pool >= %zu bytes exhausted; "
+         "falling back to the conventional heap",
+         size);
+    machine_.stats().allocFallbacks += 1;
+    stats_.fallbacks += 1;
+    return allocPlain(size);
 }
 
 void *
@@ -537,12 +660,22 @@ AffinityAllocator::allocSlotAtBank(std::size_t size, BankId bank)
         fatal("allocSlotAtBank: size %zu unsupported", size);
     if (bank >= numBanks_)
         fatal("allocSlotAtBank: bank %u out of range", bank);
+    const sim::FaultPlan &plan = machine_.faultPlan();
+    if (!plan.bankLive(bank)) {
+        // The requested bank is offline: its spare serves its lines,
+        // so the slot lands there (counted as a degraded placement).
+        bank = plan.redirect(bank);
+        machine_.stats().allocFallbacks += 1;
+        stats_.fallbacks += 1;
+    }
     const std::uint64_t intrlv =
         pow2Ceil(std::max<std::uint64_t>(size, lineSize_));
     const int k = mem::poolIndexFor(intrlv);
     auto &list = freeSlots_[k][bank];
-    if (list.empty())
-        carveStripe(k);
+    if (list.empty() && !carveStripe(k))
+        fatal("allocSlotAtBank: pool %d exhausted (capacity %llu "
+              "bytes)",
+              k, (unsigned long long)poolCapacity_);
     const Slot slot = list.back();
     list.pop_back();
     bankLoads_[bank] += 1;
@@ -560,7 +693,13 @@ AffinityAllocator::freeAff(void *ptr)
     if (auto it = irregular_.find(ptr); it != irregular_.end()) {
         const auto [k, bank] = it->second;
         const Addr sim = machine_.addressSpace().simAddrOf(ptr);
-        freeSlots_[k][bank].push_back(Slot{ptr, sim});
+        // Return the slot to the free list of the bank that actually
+        // serves it now — if the stored bank went offline since the
+        // allocation, that is its spare.
+        const sim::FaultPlan &plan = machine_.faultPlan();
+        const BankId home =
+            plan.bankLive(bank) ? bank : plan.redirect(bank);
+        freeSlots_[k][home].push_back(Slot{ptr, sim});
         bankLoads_[bank] -= 1;
         totalLoad_ -= 1;
         irregular_.erase(it);
@@ -640,6 +779,47 @@ AffinityAllocator::reallocAff(void *ptr, std::size_t new_bytes)
     }
     freeAff(ptr);
     return next;
+}
+
+std::vector<std::pair<void *, void *>>
+AffinityAllocator::migrateVictims()
+{
+    const sim::FaultPlan &plan = machine_.faultPlan();
+    std::vector<std::pair<void *, void *>> moved;
+    if (plan.numOfflineBanks() == 0)
+        return moved;
+
+    // Collect first: the migration below mutates irregular_.
+    struct Victim
+    {
+        void *host;
+        int k;
+        BankId bank;
+    };
+    std::vector<Victim> victims;
+    for (const auto &[host, kb] : irregular_) {
+        if (!plan.bankLive(kb.second))
+            victims.push_back(
+                Victim{const_cast<void *>(host), kb.first, kb.second});
+    }
+
+    for (const Victim &v : victims) {
+        const std::uint64_t slot_bytes = mem::poolInterleave(v.k);
+        // Re-run the selection policy seeded with the dead bank's
+        // spare (the bank already serving the victim's lines), so the
+        // replacement stays close while load balance has a say.
+        const BankId spare = plan.redirect(v.bank);
+        const BankId nb = selectBank({spare});
+        void *next = allocSlotAtBank(slot_bytes, nb);
+        std::memcpy(next, v.host, slot_bytes);
+        // The data physically moves spare -> new bank.
+        machine_.forwardData(spare, machine_.bankOfHost(next),
+                             static_cast<std::uint32_t>(slot_bytes));
+        freeAff(v.host);
+        machine_.stats().victimMigrations += 1;
+        moved.emplace_back(v.host, next);
+    }
+    return moved;
 }
 
 // ------------------------------------------------------------ metadata

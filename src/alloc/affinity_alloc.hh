@@ -181,6 +181,17 @@ class AffinityAllocator
      */
     void *reallocAff(void *ptr, std::size_t new_bytes);
 
+    /**
+     * Migrate irregular slots stranded on offline banks: each victim
+     * is realloc'd to a live bank picked by the selection policy
+     * (seeded with the dead bank's spare), its contents copied, and
+     * its migration traffic charged to the machine. Returns
+     * (old host pointer, new host pointer) pairs so callers can patch
+     * their own references; old pointers are freed. Call after
+     * Machine::injectBankFault() to restore affinity.
+     */
+    std::vector<std::pair<void *, void *>> migrateVictims();
+
     /** Plain baseline allocation from the conventional heap. */
     void *allocPlain(std::size_t bytes, std::size_t align = 64);
 
@@ -232,8 +243,13 @@ class AffinityAllocator
         Addr sim = 0;
     };
 
-    /** Carve one stripe (numBanks slots) of pool @p k into free lists. */
-    void carveStripe(int k);
+    /**
+     * Carve one stripe (numBanks slots) of pool @p k into free
+     * lists, keyed by each slot's live home bank (offline banks'
+     * slots land at their spare). Returns false when the pool is at
+     * capacity (the caller must degrade).
+     */
+    bool carveStripe(int k);
     /** One claimed pool region. */
     struct PoolCut
     {
@@ -242,8 +258,23 @@ class AffinityAllocator
         std::uint64_t bytes = 0;
     };
 
-    /** Affine pool allocation core (free-region reuse, then bump). */
+    /**
+     * Affine pool allocation core (free-region reuse, then bump).
+     * Returns an empty cut (null host) when pool @p k is at capacity;
+     * no allocator state is mutated in that case.
+     */
     PoolCut poolAllocAligned(std::size_t bytes, int k, BankId start_bank);
+    /**
+     * poolAllocAligned with graceful degradation: on exhaustion of
+     * pool @p k, retries finer interleavings (k-1 .. 0), counting an
+     * allocFallback and updating @p k to the pool actually used.
+     * Returns an empty cut only when every pool is exhausted (the
+     * caller then falls back to the conventional heap).
+     */
+    PoolCut poolAllocFallback(std::size_t bytes, int &k,
+                              BankId start_bank);
+    /** The @p n-th live bank in numbering order (fault degradation). */
+    BankId nthLiveBank(std::uint32_t n) const;
     /** Large page-multiple interleaving via page-at-bank remapping. */
     void *largeAlloc(std::size_t bytes, std::uint64_t intrlv,
                      BankId start_bank, bool partitioned,
@@ -258,6 +289,8 @@ class AffinityAllocator
     Rng rng_;
     std::uint32_t numBanks_;
     std::uint32_t lineSize_;
+    /** Usable bytes per pool segment (config; 1 TB when unset). */
+    std::uint64_t poolCapacity_;
 
     /** A freed affine region inside a pool (reusable for the same
      *  interleaving only — the paper's fragmentation rule, §8). */

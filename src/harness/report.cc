@@ -1,5 +1,6 @@
 #include "harness/report.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -145,6 +146,52 @@ Comparison::print(const std::string &title, std::size_t speedup_baseline,
                                       TrafficClass::control));
         }
         std::printf(" %10.2f\n", meanHops(c, traffic_baseline));
+    }
+
+    // --------------------------------------------------- degradation
+    // Printed only when some run actually degraded, so healthy
+    // reports are unchanged.
+    bool any_degraded = false;
+    for (const auto &row : rows_) {
+        for (const auto &run : row.byConfig) {
+            const sim::Stats &s = run.stats;
+            if (s.offlineBanks || s.offloadRetries || s.offloadFallbacks ||
+                s.allocFallbacks || s.victimMigrations ||
+                s.degradedLinkFlits) {
+                any_degraded = true;
+                break;
+            }
+        }
+        if (any_degraded)
+            break;
+    }
+    if (any_degraded) {
+        std::printf("\nDegradation (faults absorbed per config; "
+                    "offline banks are the max across workloads):\n");
+        std::printf("%-12s %8s %8s %8s %8s %8s %12s\n", "",
+                    "offl.bk", "retries", "offl.fb", "alloc.fb",
+                    "migr", "degr.flits");
+        for (std::size_t c = 0; c < configLabels_.size(); ++c) {
+            std::uint64_t offline = 0, retries = 0, offl_fb = 0,
+                          alloc_fb = 0, migr = 0, degr = 0;
+            for (std::size_t w = 0; w < rows_.size(); ++w) {
+                const sim::Stats &s = at(w, c).stats;
+                offline = std::max(offline, s.offlineBanks);
+                retries += s.offloadRetries;
+                offl_fb += s.offloadFallbacks;
+                alloc_fb += s.allocFallbacks;
+                migr += s.victimMigrations;
+                degr += s.degradedLinkFlits;
+            }
+            std::printf("%-12s %8llu %8llu %8llu %8llu %8llu %12llu\n",
+                        configLabels_[c].c_str(),
+                        (unsigned long long)offline,
+                        (unsigned long long)retries,
+                        (unsigned long long)offl_fb,
+                        (unsigned long long)alloc_fb,
+                        (unsigned long long)migr,
+                        (unsigned long long)degr);
+        }
     }
 
     // --------------------------------------------------- utilization

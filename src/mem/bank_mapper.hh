@@ -12,6 +12,7 @@
 
 #include "mem/iot.hh"
 #include "sim/config.hh"
+#include "sim/fault.hh"
 
 namespace affalloc::mem
 {
@@ -25,20 +26,29 @@ namespace affalloc::mem
 class BankMapper
 {
   public:
-    /** Build for a machine; the IOT is owned externally (by the OS). */
+    /**
+     * Build for a machine; the IOT is owned externally (by the OS),
+     * as is the optional fault plan (lines homed at an offline bank
+     * are served by its spare).
+     */
     BankMapper(const sim::MachineConfig &cfg,
-               const InterleaveOverrideTable &iot)
+               const InterleaveOverrideTable &iot,
+               const sim::FaultPlan *faults = nullptr)
         : numBanks_(cfg.numBanks()),
-          defaultInterleave_(cfg.l3DefaultInterleave), iot_(iot)
+          defaultInterleave_(cfg.l3DefaultInterleave), iot_(iot),
+          faults_(faults)
     {}
 
     /** Home L3 bank of physical address @p paddr. */
     BankId
     bankOf(Addr paddr) const
     {
+        BankId b;
         if (const IotEntry *e = iot_.lookup(paddr))
-            return e->bankOf(paddr, numBanks_);
-        return defaultBankOf(paddr);
+            b = e->bankOf(paddr, numBanks_);
+        else
+            b = defaultBankOf(paddr);
+        return faults_ ? faults_->redirect(b) : b;
     }
 
     /** Baseline static-NUCA mapping (ignoring the IOT). */
@@ -60,6 +70,7 @@ class BankMapper
     std::uint32_t numBanks_;
     std::uint32_t defaultInterleave_;
     const InterleaveOverrideTable &iot_;
+    const sim::FaultPlan *faults_ = nullptr;
 };
 
 } // namespace affalloc::mem

@@ -55,6 +55,21 @@ Network::send(TileId src, TileId dst, std::uint32_t bytes, TrafficClass tc)
 }
 
 void
+Network::chargeLink(LinkId link, std::uint32_t flits)
+{
+    std::uint64_t charged = flits;
+    if (faults_ != nullptr) {
+        const std::uint32_t mult = faults_->linkFlitMultiplier(link);
+        if (mult > 1) {
+            charged = std::uint64_t(flits) * mult;
+            stats_.degradedLinkFlits += charged - flits;
+        }
+    }
+    epochLinkFlits_[link] += charged;
+    lifetimeLinkFlits_[link] += charged;
+}
+
+void
 Network::chargeRoute(TileId src, TileId dst, std::uint32_t flits)
 {
     std::uint32_t x = mesh_.xOf(src);
@@ -63,16 +78,12 @@ Network::chargeRoute(TileId src, TileId dst, std::uint32_t flits)
     const std::uint32_t ty = mesh_.yOf(dst);
     while (x != tx) {
         const Direction dir = x < tx ? Direction::east : Direction::west;
-        const LinkId link = Mesh::linkOf(mesh_.tileAt(x, y), dir);
-        epochLinkFlits_[link] += flits;
-        lifetimeLinkFlits_[link] += flits;
+        chargeLink(Mesh::linkOf(mesh_.tileAt(x, y), dir), flits);
         x = x < tx ? x + 1 : x - 1;
     }
     while (y != ty) {
         const Direction dir = y < ty ? Direction::south : Direction::north;
-        const LinkId link = Mesh::linkOf(mesh_.tileAt(x, y), dir);
-        epochLinkFlits_[link] += flits;
-        lifetimeLinkFlits_[link] += flits;
+        chargeLink(Mesh::linkOf(mesh_.tileAt(x, y), dir), flits);
         y = y < ty ? y + 1 : y - 1;
     }
 }

@@ -14,6 +14,7 @@
 
 #include "noc/topology.hh"
 #include "sim/config.hh"
+#include "sim/fault.hh"
 #include "sim/stats.hh"
 
 namespace affalloc::noc
@@ -31,6 +32,12 @@ class Network
 
     /** The topology in use. */
     const Mesh &mesh() const { return mesh_; }
+
+    /**
+     * Attach a fault plan; degraded links occupy proportionally more
+     * flit-cycles per message. Pass nullptr to detach.
+     */
+    void setFaultPlan(const sim::FaultPlan *plan) { faults_ = plan; }
 
     /**
      * Inject one message of @p bytes payload from @p src to @p dst.
@@ -72,6 +79,8 @@ class Network
   private:
     /** Walk the X-Y route charging @p flits to every link. */
     void chargeRoute(TileId src, TileId dst, std::uint32_t flits);
+    /** Charge one link, applying any degraded-link multiplier. */
+    void chargeLink(LinkId link, std::uint32_t flits);
 
     /** Index of @p tile's injection (local in) port counter. */
     std::uint32_t injectPort(TileId tile) const;
@@ -81,6 +90,8 @@ class Network
     sim::MachineConfig cfg_;
     sim::Stats &stats_;
     Mesh mesh_;
+    /** Optional fault plan (not owned); degraded-link multipliers. */
+    const sim::FaultPlan *faults_ = nullptr;
     /** Per-directed-link (and per local port) flits this epoch. The
      *  last 2*numTiles entries are the tile injection/ejection ports:
      *  the router-local interfaces every message crosses at its two

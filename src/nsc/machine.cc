@@ -8,14 +8,45 @@
 namespace affalloc::nsc
 {
 
+void
+TimingParams::validate() const
+{
+    if (l3ServiceCycles <= 0.0)
+        fatal("timing: l3ServiceCycles must be positive (%g)",
+              l3ServiceCycles);
+    if (atomicExtraCycles < 0.0)
+        fatal("timing: atomicExtraCycles must be non-negative (%g)",
+              atomicExtraCycles);
+    if (coreIssueCycles <= 0.0)
+        fatal("timing: coreIssueCycles must be positive (%g)",
+              coreIssueCycles);
+    if (coreFlopsPerCycle <= 0.0)
+        fatal("timing: coreFlopsPerCycle must be positive (%g)",
+              coreFlopsPerCycle);
+    if (seFlopsPerCycle <= 0.0)
+        fatal("timing: seFlopsPerCycle must be positive (%g)",
+              seFlopsPerCycle);
+    if (epochOverheadCycles < 0.0)
+        fatal("timing: epochOverheadCycles must be non-negative (%g)",
+              epochOverheadCycles);
+    if (coreMaxMlp <= 0.0)
+        fatal("timing: coreMaxMlp must be positive (%g); zero would "
+              "divide irregular-access occupancy by zero",
+              coreMaxMlp);
+}
+
 Machine::Machine(const sim::MachineConfig &cfg, os::SimOS &os,
                  TimingParams tp)
     : cfg_(cfg), tp_(tp), os_(os), net_(cfg, stats_),
-      mapper_(cfg, os.iot()), dram_(cfg, net_.mesh(), stats_),
+      mapper_(cfg, os.iot(), &os.faultPlan()),
+      dram_(cfg, net_.mesh(), stats_),
       bankBusy_(cfg.numBanks(), 0.0), coreBusy_(cfg.numTiles(), 0.0),
       seBusy_(cfg.numBanks(), 0.0), epochAtomics_(cfg.numBanks(), 0)
 {
     cfg_.validate();
+    tp_.validate();
+    net_.setFaultPlan(&os_.faultPlan());
+    stats_.offlineBanks = os_.faultPlan().numOfflineBanks();
     // Bank numbering (§4.1): where bank id b physically sits.
     bankTile_.resize(cfg.numBanks());
     const auto &mesh = net_.mesh();
@@ -116,6 +147,19 @@ Machine::hopsBetween(BankId a, BankId b) const
 void
 Machine::beginEpoch()
 {
+    std::fill(bankBusy_.begin(), bankBusy_.end(), 0.0);
+    std::fill(coreBusy_.begin(), coreBusy_.end(), 0.0);
+    std::fill(seBusy_.begin(), seBusy_.end(), 0.0);
+    std::fill(epochAtomics_.begin(), epochAtomics_.end(), 0u);
+    net_.resetEpoch();
+    dram_.resetEpoch();
+    epochStartStats_ = stats_;
+}
+
+void
+Machine::abortEpoch()
+{
+    stats_ = epochStartStats_;
     std::fill(bankBusy_.begin(), bankBusy_.end(), 0.0);
     std::fill(coreBusy_.begin(), coreBusy_.end(), 0.0);
     std::fill(seBusy_.begin(), seBusy_.end(), 0.0);
@@ -383,6 +427,30 @@ Machine::configStream(CoreId core, BankId first_bank)
     stats_.streamConfigs += 1;
     return net_.send(core, bankTile_[first_bank], tp_.configBytes,
                      TrafficClass::offload);
+}
+
+void
+Machine::injectBankFault(BankId b)
+{
+    if (b >= cfg_.numBanks())
+        fatal("injectBankFault: bank %u out of range", b);
+    if (os_.faultPlan().offlineBank(b)) {
+        stats_.offlineBanks += 1;
+        // The bank's cached lines are gone; future accesses to its
+        // lines miss at the spare and refill from DRAM.
+        l3Banks_[b].reset();
+    }
+}
+
+Cycles
+Machine::offloadNack(CoreId core, BankId bank)
+{
+    stats_.offloadRetries += 1;
+    Cycles lat = net_.send(core, bankTile_[bank], tp_.configBytes,
+                           TrafficClass::offload);
+    lat += net_.send(bankTile_[bank], core, tp_.controlBytes,
+                     TrafficClass::control);
+    return lat;
 }
 
 void

@@ -58,6 +58,12 @@ struct TimingParams
     double epochOverheadCycles = 64.0;
     /** Max memory-level parallelism of one core (ROB/LQ bound). */
     double coreMaxMlp = 12.0;
+
+    /**
+     * Reject non-positive rates/costs that would silently produce
+     * zero or negative epoch durations; fatal() with a clear message.
+     */
+    void validate() const;
 };
 
 /** What happened on a simulated memory access (for callers/tests). */
@@ -108,6 +114,25 @@ class Machine
     /** Manhattan distance in hops between two banks' tiles. */
     std::uint32_t hopsBetween(BankId a, BankId b) const;
 
+    // ---------------------------------------------- faults / degradation
+    /** The machine's fault plan (owned by the OS). */
+    sim::FaultPlan &faultPlan() { return os_.faultPlan(); }
+    const sim::FaultPlan &faultPlan() const { return os_.faultPlan(); }
+    /** Whether bank @p b is alive under the fault plan. */
+    bool bankLive(BankId b) const { return os_.faultPlan().bankLive(b); }
+    /**
+     * Dynamically mark bank @p b offline (mid-run fault injection):
+     * its cached lines are lost (the bank model resets) and future
+     * lines homed there are served by its spare.
+     */
+    void injectBankFault(BankId b);
+    /**
+     * Model one NACKed offload attempt: the rejected configuration
+     * message plus the NACK response. Returns the round-trip latency
+     * (the stream engine's retry backoff is added by the caller).
+     */
+    Cycles offloadNack(CoreId core, BankId bank);
+
     // ------------------------------------------------- epoch life-cycle
     /** Start a new epoch: clears per-epoch occupancy. */
     void beginEpoch();
@@ -118,6 +143,13 @@ class Machine
      */
     Cycles endEpoch(double latency_floor = 0.0,
                     const std::string &phase = "");
+    /**
+     * Abandon an epoch after an error was thrown mid-epoch: restores
+     * the Stats counters to their beginEpoch() snapshot and clears
+     * all per-epoch occupancy, so a caught PanicError does not leave
+     * stale link/DRAM/bank state corrupting the next run's timing.
+     */
+    void abortEpoch();
 
     // ----------------------------------------------- in-core primitives
     /**
@@ -226,6 +258,9 @@ class Machine
     std::vector<double> coreBusy_;
     std::vector<double> seBusy_;
     std::vector<std::uint32_t> epochAtomics_;
+
+    /** Stats snapshot taken at beginEpoch() (abortEpoch() restores). */
+    sim::Stats epochStartStats_;
 
     sim::Timeline timeline_;
 };

@@ -12,6 +12,27 @@ StreamExecutor::StreamExecutor(Machine &m, ExecMode mode)
 {
 }
 
+bool
+StreamExecutor::offloadAdmitted(CoreId core, BankId bank, double &penalty)
+{
+    sim::FaultPlan &plan = machine_.faultPlan();
+    if (!plan.rejectsOffloads())
+        return true;
+    const sim::FaultConfig &fc = plan.config();
+    for (std::uint32_t attempt = 0; attempt <= fc.maxOffloadRetries;
+         ++attempt) {
+        if (!plan.rejectOffload())
+            return true;
+        // The rejected config message and its NACK still travel.
+        penalty += double(machine_.offloadNack(core, bank));
+        // Exponential backoff, capped at 2^8 x the base.
+        penalty += double(fc.offloadRetryBackoff) *
+                   double(1u << std::min<std::uint32_t>(attempt, 8u));
+    }
+    machine_.stats().offloadFallbacks += 1;
+    return false;
+}
+
 void
 StreamExecutor::affineKernel(const std::vector<AffineRef> &loads,
                              const std::vector<AffineRef> &stores,
@@ -61,12 +82,19 @@ StreamExecutor::affineKernel(const std::vector<AffineRef> &loads,
     std::vector<Addr> last_line(cores * n_refs, invalidAddr);
     std::vector<BankId> cur_bank(cores * n_refs, invalidBank);
 
+    // Per-core offload admission: a core whose streams cannot get
+    // configured (offload rejection faults) runs its whole slice
+    // in-core instead.
+    std::vector<std::uint8_t> core_offloaded(cores, 0);
+    double setup_penalty = 0.0;
     if (offloaded()) {
         // Each core offloads one stream per array for its slice.
         for (std::uint32_t c = 0; c < cores; ++c) {
             const std::uint64_t e0 = std::uint64_t(c) * slice;
             if (e0 >= num_elems)
                 break;
+            core_offloaded[c] = 1;
+            double penalty = 0.0;
             for (std::size_t r = 0; r < n_refs; ++r) {
                 const AffineRef &ref = ref_at(r);
                 const std::int64_t i =
@@ -75,9 +103,15 @@ StreamExecutor::affineKernel(const std::vector<AffineRef> &loads,
                                              0,
                                              std::int64_t(num_elems) - 1);
                 const Addr a = ref.simBase + Addr(i) * ref.elemSize;
-                machine_.configStream(c, machine_.bankOfSim(a));
-                cur_bank[c * n_refs + r] = machine_.bankOfSim(a);
+                const BankId bank = machine_.bankOfSim(a);
+                if (!offloadAdmitted(c, bank, penalty)) {
+                    core_offloaded[c] = 0;
+                    break;
+                }
+                machine_.configStream(c, bank);
+                cur_bank[c * n_refs + r] = bank;
             }
+            setup_penalty = std::max(setup_penalty, penalty);
         }
     }
 
@@ -98,7 +132,7 @@ StreamExecutor::affineKernel(const std::vector<AffineRef> &loads,
             if (e0 >= e1)
                 continue;
 
-            if (!offloaded()) {
+            if (!offloaded() || !core_offloaded[c]) {
                 // In-core: walk each array's lines through the
                 // private hierarchy; one access per new line
                 // (SIMD-width accesses).
@@ -189,7 +223,9 @@ StreamExecutor::affineKernel(const std::vector<AffineRef> &loads,
                                               site_ref.elemSize));
             }
         }
-        machine_.endEpoch(floor, phase);
+        // Retried offload setup serializes before the first epoch's
+        // pipeline fill.
+        machine_.endEpoch(e == 0 ? floor + setup_penalty : floor, phase);
     }
 }
 
@@ -198,7 +234,7 @@ StreamExecutor::streamStep(MigratingStream &stream, Addr vaddr,
                            std::uint32_t bytes, AccessType type,
                            bool sequential)
 {
-    if (!offloaded()) {
+    if (!offloaded() || stream.inCoreFallback_) {
         const AccessOutcome out = machine_.coreAccess(
             stream.owner_, vaddr, bytes, type, sequential);
         stream.chain_ += double(out.latency);
@@ -214,6 +250,18 @@ StreamExecutor::streamStep(MigratingStream &stream, Addr vaddr,
     }
     const BankId home = machine_.bankOfSim(vaddr);
     if (stream.bank_ == invalidBank) {
+        double penalty = 0.0;
+        if (!offloadAdmitted(stream.owner_, home, penalty)) {
+            // Retries exhausted: this stream degrades to in-core
+            // execution for the rest of its life (until reconfigured).
+            stream.inCoreFallback_ = true;
+            stream.chain_ += penalty;
+            const AccessOutcome out = machine_.coreAccess(
+                stream.owner_, vaddr, bytes, type, sequential);
+            stream.chain_ += double(out.latency);
+            return out;
+        }
+        stream.chain_ += penalty;
         stream.chain_ +=
             double(machine_.configStream(stream.owner_, home));
         stream.bank_ = home;
@@ -234,7 +282,7 @@ AccessOutcome
 StreamExecutor::indirect(MigratingStream &stream, Addr vaddr,
                          std::uint32_t bytes, AccessType type)
 {
-    if (!offloaded()) {
+    if (!offloaded() || stream.inCoreFallback_) {
         const AccessOutcome out =
             machine_.coreAccess(stream.owner_, vaddr, bytes, type);
         stream.chain_ += double(out.latency);
@@ -253,11 +301,20 @@ void
 StreamExecutor::configure(MigratingStream &stream, Addr vaddr)
 {
     stream.lastLine_ = invalidAddr;
+    stream.inCoreFallback_ = false;
     if (!offloaded()) {
         stream.bank_ = invalidBank;
         return;
     }
     const BankId home = machine_.bankOfSim(vaddr);
+    double penalty = 0.0;
+    if (!offloadAdmitted(stream.owner_, home, penalty)) {
+        stream.inCoreFallback_ = true;
+        stream.bank_ = invalidBank;
+        stream.chain_ += penalty;
+        return;
+    }
+    stream.chain_ += penalty;
     machine_.configStream(stream.owner_, home);
     stream.bank_ = home;
 }
@@ -265,7 +322,7 @@ StreamExecutor::configure(MigratingStream &stream, Addr vaddr)
 void
 StreamExecutor::compute(const MigratingStream &stream, double flops)
 {
-    if (offloaded()) {
+    if (offloaded() && !stream.inCoreFallback_) {
         machine_.seCompute(stream.bank_ == invalidBank ? 0 : stream.bank_,
                            flops);
     } else {

@@ -62,6 +62,12 @@ class MigratingStream
     double chainLatency() const { return chain_; }
     /** Reset the chain accumulator (new dependence chain). */
     void resetChain() { chain_ = 0.0; }
+    /**
+     * Whether this stream exhausted its offload retries and now
+     * executes at its owning core despite an NSC mode (graceful
+     * degradation under offload rejection). Cleared by configure().
+     */
+    bool fellBackInCore() const { return inCoreFallback_; }
 
   private:
     friend class StreamExecutor;
@@ -70,6 +76,7 @@ class MigratingStream
     double chain_ = 0.0;
     Addr lastLine_ = invalidAddr;
     std::uint32_t sinceCredit_ = 0;
+    bool inCoreFallback_ = false;
 };
 
 /**
@@ -137,6 +144,15 @@ class StreamExecutor
 
   private:
     void maybeCredit(MigratingStream &stream);
+
+    /**
+     * Try to get an offload admitted at @p bank: retries NACKed
+     * requests with capped exponential backoff per the fault plan,
+     * accumulating the wasted round-trips and backoff into
+     * @p penalty (cycles). Returns false when retries are exhausted
+     * (the caller must fall back to in-core execution).
+     */
+    bool offloadAdmitted(CoreId core, BankId bank, double &penalty);
 
     Machine &machine_;
     ExecMode mode_;

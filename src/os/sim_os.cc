@@ -22,6 +22,7 @@ constexpr Addr heapRandomSpanPages = Addr(1) << 26;
 SimOS::SimOS(const sim::MachineConfig &cfg, PagePolicy heap_policy,
              std::uint64_t seed)
     : cfg_(cfg), heapPolicy_(heap_policy), rng_(seed),
+      faultPlan_(cfg.faults, cfg.meshX, cfg.meshY),
       iot_(cfg.iotEntries),
       nextHeapPpage_(mem::pageOf(mem::heapPhysBase)),
       nextBankPpage_(cfg.numBanks())
@@ -152,6 +153,8 @@ SimOS::topology() const
     t.lineSize = cfg_.lineSize;
     for (int k = 0; k < mem::numInterleavePools; ++k)
         t.poolInterleavings.push_back(mem::poolInterleave(k));
+    if (faultPlan_.numOfflineBanks() > 0)
+        t.liveBanks = faultPlan_.liveBankMask();
     return t;
 }
 

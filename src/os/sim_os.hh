@@ -29,6 +29,7 @@
 #include "mem/iot.hh"
 #include "mem/page_table.hh"
 #include "sim/config.hh"
+#include "sim/fault.hh"
 #include "sim/rng.hh"
 
 namespace affalloc::os
@@ -52,6 +53,12 @@ struct Topology
     std::uint32_t lineSize = 0;
     /** Pool interleavings available on this machine, ascending. */
     std::vector<std::uint32_t> poolInterleavings;
+    /**
+     * Live-bank mask (1 = bank alive), one entry per bank. Empty when
+     * the machine is fully healthy, so fault-oblivious consumers pay
+     * nothing.
+     */
+    std::vector<std::uint8_t> liveBanks;
 };
 
 /**
@@ -110,6 +117,9 @@ class SimOS
     mem::InterleaveOverrideTable &iotForTest() { return iot_; }
     /** Total physical pages backed so far. */
     std::uint64_t backedPages() const { return backedPages_; }
+    /** The machine's fault plan (the OS tracks hardware health). */
+    sim::FaultPlan &faultPlan() { return faultPlan_; }
+    const sim::FaultPlan &faultPlan() const { return faultPlan_; }
 
   private:
     /** Back one heap virtual page per the heap policy. */
@@ -120,6 +130,7 @@ class SimOS
     sim::MachineConfig cfg_;
     PagePolicy heapPolicy_;
     Rng rng_;
+    sim::FaultPlan faultPlan_;
 
     mem::PageTable pageTable_;
     mem::InterleaveOverrideTable iot_;

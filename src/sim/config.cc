@@ -64,6 +64,8 @@ MachineConfig::validate() const
 {
     if (meshX == 0 || meshY == 0)
         fatal("mesh dimensions must be nonzero (%ux%u)", meshX, meshY);
+    if (clockGhz <= 0.0)
+        fatal("clock frequency must be positive (%g GHz)", clockGhz);
     if (!isPow2(lineSize))
         fatal("line size must be a power of two (%u)", lineSize);
     if (!isPow2(l3DefaultInterleave) || l3DefaultInterleave < lineSize)
@@ -76,8 +78,21 @@ MachineConfig::validate() const
         fatal("L3 bank size must be a multiple of assoc * line size");
     if (dramChannels == 0 || dramChannels > numTiles())
         fatal("dram channels must be in [1, tiles]");
+    if (dramTotalGBs <= 0.0)
+        fatal("DRAM bandwidth must be positive (%g GB/s)", dramTotalGBs);
+    if (linkBytes == 0)
+        fatal("NoC link width must be nonzero");
     if (epochChunk == 0)
         fatal("epoch chunk must be nonzero");
+    if (faults.offloadRejectRate < 0.0 || faults.offloadRejectRate > 1.0)
+        fatal("offload reject rate %g outside [0, 1]",
+              faults.offloadRejectRate);
+    if (faults.offlineBanks >= numTiles())
+        fatal("cannot offline %u of %u banks (at least one must stay "
+              "live)",
+              faults.offlineBanks, numTiles());
+    if (faults.linkDegradeFactor == 0)
+        fatal("link degrade factor must be >= 1");
 }
 
 } // namespace affalloc::sim

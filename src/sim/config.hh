@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/fault.hh"
 #include "sim/types.hh"
 
 namespace affalloc::sim
@@ -124,6 +125,17 @@ struct MachineConfig
     // ------------------------------------------------- simulation control
     /** Elements simulated per epoch for bulk kernels. */
     std::uint32_t epochChunk = 1 << 14;
+    /**
+     * Capacity of each interleave pool segment in bytes; 0 means the
+     * full 1 TB virtual segment backs every pool (effectively
+     * unlimited). Small values exercise the allocator's fallback
+     * ladder (pool -> other interleavings -> plain heap).
+     */
+    std::uint64_t poolCapacityBytes = 0;
+
+    // ----------------------------------------------------- fault injection
+    /** Fault campaign drawn at machine construction (default: none). */
+    FaultConfig faults;
 
     /** Total tiles (== cores == L3 banks). */
     std::uint32_t numTiles() const { return meshX * meshY; }

@@ -1,0 +1,138 @@
+#include "sim/fault.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace affalloc::sim
+{
+
+namespace
+{
+
+/**
+ * Directed link ids of the real links of an X-by-Y mesh, using the
+ * Mesh::linkOf numbering (tile * 4 + direction, directions E/W/N/S =
+ * 0..3). Edge slots (links that would leave the mesh) are excluded.
+ */
+std::vector<std::uint32_t>
+realMeshLinks(std::uint32_t mesh_x, std::uint32_t mesh_y)
+{
+    std::vector<std::uint32_t> links;
+    for (std::uint32_t y = 0; y < mesh_y; ++y) {
+        for (std::uint32_t x = 0; x < mesh_x; ++x) {
+            const std::uint32_t tile = y * mesh_x + x;
+            if (x + 1 < mesh_x)
+                links.push_back(tile * 4 + 0); // east
+            if (x > 0)
+                links.push_back(tile * 4 + 1); // west
+            if (y > 0)
+                links.push_back(tile * 4 + 2); // north
+            if (y + 1 < mesh_y)
+                links.push_back(tile * 4 + 3); // south
+        }
+    }
+    return links;
+}
+
+} // namespace
+
+FaultPlan::FaultPlan(const FaultConfig &cfg, std::uint32_t mesh_x,
+                     std::uint32_t mesh_y)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+    const std::uint32_t num_banks = mesh_x * mesh_y;
+    if (num_banks == 0)
+        fatal("fault plan over an empty mesh");
+    if (cfg.offloadRejectRate < 0.0 || cfg.offloadRejectRate > 1.0)
+        fatal("offload reject rate %g outside [0, 1]",
+              cfg.offloadRejectRate);
+    if (cfg.offlineBanks >= num_banks)
+        fatal("cannot offline %u of %u banks (at least one must stay "
+              "live)",
+              cfg.offlineBanks, num_banks);
+    if (cfg.linkDegradeFactor == 0)
+        fatal("link degrade factor must be >= 1");
+
+    liveMask_.assign(num_banks, 1);
+    for (std::uint32_t picked = 0; picked < cfg.offlineBanks;) {
+        const BankId b = static_cast<BankId>(rng_.below(num_banks));
+        if (liveMask_[b]) {
+            liveMask_[b] = 0;
+            ++picked;
+            ++offlineCount_;
+        }
+    }
+    rebuildRedirect();
+
+    if (cfg.degradedLinks > 0) {
+        const std::vector<std::uint32_t> real =
+            realMeshLinks(mesh_x, mesh_y);
+        linkMult_.assign(num_banks * 4, 1);
+        const std::uint32_t want = std::min<std::uint32_t>(
+            cfg.degradedLinks,
+            static_cast<std::uint32_t>(real.size()));
+        while (degradedCount_ < want) {
+            const std::uint32_t link =
+                real[rng_.below(real.size())];
+            if (linkMult_[link] == 1) {
+                linkMult_[link] = cfg.linkDegradeFactor;
+                ++degradedCount_;
+            }
+        }
+    }
+}
+
+void
+FaultPlan::rebuildRedirect()
+{
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(liveMask_.size());
+    redirect_.resize(n);
+    for (BankId b = 0; b < n; ++b) {
+        BankId target = b;
+        for (std::uint32_t d = 0; d < n && !liveMask_[target]; ++d)
+            target = (b + d + 1) % n;
+        redirect_[b] = target;
+    }
+}
+
+bool
+FaultPlan::offlineBank(BankId b)
+{
+    if (liveMask_.empty() || b >= liveMask_.size())
+        fatal("offlineBank: bank %u out of range", b);
+    if (!liveMask_[b])
+        return false;
+    if (numLiveBanks() <= 1)
+        fatal("offlineBank: cannot offline the last live bank %u", b);
+    liveMask_[b] = 0;
+    ++offlineCount_;
+    rebuildRedirect();
+    return true;
+}
+
+std::string
+FaultPlan::toString() const
+{
+    std::ostringstream os;
+    os << "faults: " << offlineCount_ << " offline banks";
+    if (!liveMask_.empty() && offlineCount_ > 0) {
+        os << " (";
+        bool first = true;
+        for (BankId b = 0; b < liveMask_.size(); ++b) {
+            if (liveMask_[b])
+                continue;
+            os << (first ? "" : ",") << b;
+            first = false;
+        }
+        os << ")";
+    }
+    os << ", " << degradedCount_ << " degraded links (x"
+       << cfg_.linkDegradeFactor << "), offload reject p="
+       << cfg_.offloadRejectRate;
+    return os.str();
+}
+
+} // namespace affalloc::sim

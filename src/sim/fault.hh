@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Deterministic fault injection and the machine's degraded-state
+ * bookkeeping. A FaultPlan is drawn once from a seeded Rng and then
+ * consulted by every layer that can degrade gracefully:
+ *
+ *  - offline L3 banks: the bank mapper redirects lines homed at a
+ *    dead bank to its spare (the next live bank in numbering order),
+ *    the allocator's Eq. 4 policy skips dead banks, and irregular
+ *    slots already placed there can be migrated off (victim
+ *    migration);
+ *  - degraded NoC links: a flit multiplier models a link running at
+ *    reduced bandwidth (e.g. a lane-degraded SerDes) — routes still
+ *    work but occupy the link longer;
+ *  - transient offload rejection: stream-engine configuration
+ *    requests NACK with a configured probability; the stream
+ *    executor retries with capped exponential backoff and finally
+ *    falls back to in-core execution per stream.
+ *
+ * An empty plan (the default FaultConfig) is guaranteed to be
+ * zero-overhead: no Rng draws, identity bank redirection, unit link
+ * multipliers — cycle counts are bit-identical to a build without
+ * the subsystem.
+ */
+
+#ifndef AFFALLOC_SIM_FAULT_HH
+#define AFFALLOC_SIM_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace affalloc::sim
+{
+
+/**
+ * Fault-campaign configuration, carried inside MachineConfig so a
+ * whole experiment (machine + faults) is one value. All fields
+ * default to "healthy machine".
+ */
+struct FaultConfig
+{
+    /** Seed for all fault draws (bank picks, link picks, NACKs). */
+    std::uint64_t seed = 0xfa117;
+    /** Number of L3 banks to mark offline at boot. */
+    std::uint32_t offlineBanks = 0;
+    /** Probability an offload (stream config) request is NACKed. */
+    double offloadRejectRate = 0.0;
+    /** Number of mesh links to degrade at boot. */
+    std::uint32_t degradedLinks = 0;
+    /** Flit multiplier on degraded links (bandwidth divisor). */
+    std::uint32_t linkDegradeFactor = 4;
+    /** Offload retries before a stream falls back to in-core. */
+    std::uint32_t maxOffloadRetries = 4;
+    /** Base backoff in cycles; doubles per retry (capped). */
+    std::uint32_t offloadRetryBackoff = 16;
+
+    /** Whether any fault class is active. */
+    bool
+    any() const
+    {
+        return offlineBanks > 0 || offloadRejectRate > 0.0 ||
+               degradedLinks > 0;
+    }
+};
+
+/**
+ * The realized fault plan of one machine instance: which banks are
+ * dead, which links are slow, and the NACK draw stream. Owned by the
+ * simulated OS (which learns of hardware faults and exports the
+ * live-bank mask to the runtime); mutated only by dynamic injection
+ * (offlineBank()).
+ */
+class FaultPlan
+{
+  public:
+    /** A healthy plan over zero banks (placeholder). */
+    FaultPlan() = default;
+
+    /**
+     * Draw a plan for an @p mesh_x by @p mesh_y machine from
+     * @p cfg's seed. Offline banks and degraded links are picked
+     * uniformly without replacement; at least one bank always stays
+     * live.
+     */
+    FaultPlan(const FaultConfig &cfg, std::uint32_t mesh_x,
+              std::uint32_t mesh_y);
+
+    /** Whether any fault is (or became) active. */
+    bool any() const { return cfg_.any() || offlineCount_ > 0; }
+    /** The configuration the plan was drawn from. */
+    const FaultConfig &config() const { return cfg_; }
+
+    // ------------------------------------------------------------ banks
+    /** Whether bank @p b is alive. */
+    bool
+    bankLive(BankId b) const
+    {
+        return liveMask_.empty() || liveMask_[b] != 0;
+    }
+    /** Banks currently offline. */
+    std::uint32_t numOfflineBanks() const { return offlineCount_; }
+    /** Banks still alive. */
+    std::uint32_t
+    numLiveBanks() const
+    {
+        return static_cast<std::uint32_t>(liveMask_.size()) -
+               offlineCount_;
+    }
+    /**
+     * Live-bank mask (1 = alive), one entry per bank; exported to
+     * the allocator runtime through SimOS::topology().
+     */
+    const std::vector<std::uint8_t> &liveBankMask() const
+    {
+        return liveMask_;
+    }
+    /**
+     * Spare bank serving @p b's lines: @p b itself when alive, else
+     * the next live bank in bank-numbering order.
+     */
+    BankId
+    redirect(BankId b) const
+    {
+        return redirect_.empty() ? b : redirect_[b];
+    }
+    /**
+     * Dynamically mark @p b offline (fault injection mid-run).
+     * fatal() if this would kill the last live bank; no-op when @p b
+     * is already offline. Returns true when the mask changed.
+     */
+    bool offlineBank(BankId b);
+
+    // ------------------------------------------------------------ links
+    /** Flit multiplier of directed link @p link (1 = healthy). */
+    std::uint32_t
+    linkFlitMultiplier(std::uint32_t link) const
+    {
+        return linkMult_.empty() ? 1 : linkMult_[link];
+    }
+    /** Number of degraded links in the plan. */
+    std::uint32_t numDegradedLinks() const { return degradedCount_; }
+
+    // --------------------------------------------------------- offloads
+    /** Whether offload requests can ever be rejected. */
+    bool rejectsOffloads() const { return cfg_.offloadRejectRate > 0.0; }
+    /**
+     * Draw one offload admission decision. Never touches the Rng
+     * when the reject rate is zero (determinism guarantee).
+     */
+    bool
+    rejectOffload()
+    {
+        return cfg_.offloadRejectRate > 0.0 &&
+               rng_.chance(cfg_.offloadRejectRate);
+    }
+
+    /** One-line human-readable description. */
+    std::string toString() const;
+
+  private:
+    void rebuildRedirect();
+
+    FaultConfig cfg_{};
+    Rng rng_{0};
+    /** 1 = live, per bank; empty means "no banks modeled". */
+    std::vector<std::uint8_t> liveMask_;
+    /** Per-bank spare map (identity for live banks). */
+    std::vector<BankId> redirect_;
+    /** Per-directed-link flit multiplier; empty = all healthy. */
+    std::vector<std::uint32_t> linkMult_;
+    std::uint32_t offlineCount_ = 0;
+    std::uint32_t degradedCount_ = 0;
+};
+
+} // namespace affalloc::sim
+
+#endif // AFFALLOC_SIM_FAULT_HH

@@ -52,6 +52,12 @@ operator-(Stats a, const Stats &b)
     a.atomicOps -= b.atomicOps;
     a.streamConfigs -= b.streamConfigs;
     a.streamMigrations -= b.streamMigrations;
+    a.offlineBanks -= b.offlineBanks;
+    a.offloadRetries -= b.offloadRetries;
+    a.offloadFallbacks -= b.offloadFallbacks;
+    a.allocFallbacks -= b.allocFallbacks;
+    a.victimMigrations -= b.victimMigrations;
+    a.degradedLinkFlits -= b.degradedLinkFlits;
     a.cycles -= b.cycles;
     a.epochs -= b.epochs;
     return a;
@@ -80,6 +86,12 @@ Stats::operator+=(const Stats &o)
     atomicOps += o.atomicOps;
     streamConfigs += o.streamConfigs;
     streamMigrations += o.streamMigrations;
+    offlineBanks += o.offlineBanks;
+    offloadRetries += o.offloadRetries;
+    offloadFallbacks += o.offloadFallbacks;
+    allocFallbacks += o.allocFallbacks;
+    victimMigrations += o.victimMigrations;
+    degradedLinkFlits += o.degradedLinkFlits;
     cycles += o.cycles;
     epochs += o.epochs;
     return *this;
@@ -104,6 +116,14 @@ Stats::toString() const
        << atomicOps << "\n"
        << "stream configs " << streamConfigs << " migrations "
        << streamMigrations;
+    if (offlineBanks || offloadRetries || offloadFallbacks ||
+        allocFallbacks || victimMigrations || degradedLinkFlits) {
+        os << "\ndegradation: offline banks " << offlineBanks
+           << " offload retries " << offloadRetries << " fallbacks "
+           << offloadFallbacks << " alloc fallbacks " << allocFallbacks
+           << " victim migrations " << victimMigrations
+           << " degraded flits " << degradedLinkFlits;
+    }
     return os.str();
 }
 

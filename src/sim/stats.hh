@@ -61,6 +61,20 @@ struct Stats
     /** Stream migrations between banks. */
     std::uint64_t streamMigrations = 0;
 
+    // ---------------------------------- fault / degradation observability
+    /** L3 banks offline under the fault plan (boot + injected). */
+    std::uint64_t offlineBanks = 0;
+    /** Offload requests NACKed and retried. */
+    std::uint64_t offloadRetries = 0;
+    /** Streams that exhausted retries and fell back to in-core. */
+    std::uint64_t offloadFallbacks = 0;
+    /** Allocations degraded to another pool or the plain heap. */
+    std::uint64_t allocFallbacks = 0;
+    /** Irregular slots migrated off offline banks. */
+    std::uint64_t victimMigrations = 0;
+    /** Extra flit-link occupancy charged on degraded links. */
+    std::uint64_t degradedLinkFlits = 0;
+
     /** Total simulated cycles. */
     Cycles cycles = 0;
     /** Number of epochs simulated. */

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Unit tests for the fault-injection subsystem: FaultPlan drawing,
+ * bank redirection, link degradation, offload rejection, and the
+ * Machine-level degradation hooks (dynamic injection, NACK charging,
+ * epoch abort, victim migration). Also pins the zero-overhead
+ * guarantee: an empty FaultConfig must not perturb cycle counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "sim/fault.hh"
+#include "sim/log.hh"
+#include "workloads/affine_workloads.hh"
+
+#include "test_helpers.hh"
+
+using namespace affalloc;
+using test::MachineFixture;
+
+namespace
+{
+
+constexpr std::uint32_t kMeshX = 8;
+constexpr std::uint32_t kMeshY = 8;
+constexpr std::uint32_t kBanks = kMeshX * kMeshY;
+
+sim::FaultConfig
+faultyConfig(std::uint32_t offline, double reject = 0.0,
+             std::uint32_t links = 0)
+{
+    sim::FaultConfig fc;
+    fc.seed = 12345;
+    fc.offlineBanks = offline;
+    fc.offloadRejectRate = reject;
+    fc.degradedLinks = links;
+    return fc;
+}
+
+} // namespace
+
+// ---------------------------------------------------------- FaultPlan
+
+TEST(FaultPlan, EmptyConfigIsHealthy)
+{
+    sim::FaultPlan plan(sim::FaultConfig{}, kMeshX, kMeshY);
+    EXPECT_FALSE(plan.any());
+    EXPECT_EQ(plan.numOfflineBanks(), 0u);
+    EXPECT_EQ(plan.numLiveBanks(), kBanks);
+    EXPECT_EQ(plan.numDegradedLinks(), 0u);
+    EXPECT_FALSE(plan.rejectsOffloads());
+    for (BankId b = 0; b < kBanks; ++b) {
+        EXPECT_TRUE(plan.bankLive(b));
+        EXPECT_EQ(plan.redirect(b), b);
+    }
+    for (std::uint32_t l = 0; l < kBanks * 4; ++l)
+        EXPECT_EQ(plan.linkFlitMultiplier(l), 1u);
+    // Rate 0 must never admit a rejection (and never draw the Rng).
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(plan.rejectOffload());
+}
+
+TEST(FaultPlan, DrawsRequestedOfflineBanks)
+{
+    sim::FaultPlan plan(faultyConfig(6), kMeshX, kMeshY);
+    EXPECT_TRUE(plan.any());
+    EXPECT_EQ(plan.numOfflineBanks(), 6u);
+    EXPECT_EQ(plan.numLiveBanks(), kBanks - 6);
+    std::uint32_t dead = 0;
+    for (BankId b = 0; b < kBanks; ++b)
+        dead += plan.bankLive(b) ? 0 : 1;
+    EXPECT_EQ(dead, 6u);
+    EXPECT_EQ(plan.liveBankMask().size(), kBanks);
+}
+
+TEST(FaultPlan, SameSeedSamePlan)
+{
+    sim::FaultPlan a(faultyConfig(8, 0.0, 4), kMeshX, kMeshY);
+    sim::FaultPlan b(faultyConfig(8, 0.0, 4), kMeshX, kMeshY);
+    EXPECT_EQ(a.liveBankMask(), b.liveBankMask());
+    for (std::uint32_t l = 0; l < kBanks * 4; ++l)
+        EXPECT_EQ(a.linkFlitMultiplier(l), b.linkFlitMultiplier(l));
+}
+
+TEST(FaultPlan, DifferentSeedDifferentPlan)
+{
+    sim::FaultConfig fc = faultyConfig(8);
+    sim::FaultPlan a(fc, kMeshX, kMeshY);
+    fc.seed = 54321;
+    sim::FaultPlan b(fc, kMeshX, kMeshY);
+    EXPECT_NE(a.liveBankMask(), b.liveBankMask());
+}
+
+TEST(FaultPlan, RedirectTargetsNextLiveBank)
+{
+    sim::FaultPlan plan(faultyConfig(10), kMeshX, kMeshY);
+    for (BankId b = 0; b < kBanks; ++b) {
+        const BankId spare = plan.redirect(b);
+        EXPECT_TRUE(plan.bankLive(spare));
+        if (plan.bankLive(b)) {
+            EXPECT_EQ(spare, b);
+        } else {
+            // The spare is the *next* live bank in numbering order:
+            // every bank strictly between b and spare is dead.
+            for (BankId i = (b + 1) % kBanks; i != spare;
+                 i = (i + 1) % kBanks)
+                EXPECT_FALSE(plan.bankLive(i));
+        }
+    }
+}
+
+TEST(FaultPlan, DegradedLinksAreRealAndCounted)
+{
+    sim::FaultConfig fc = faultyConfig(0, 0.0, 5);
+    fc.linkDegradeFactor = 4;
+    sim::FaultPlan plan(fc, kMeshX, kMeshY);
+    EXPECT_EQ(plan.numDegradedLinks(), 5u);
+    std::uint32_t degraded = 0;
+    for (std::uint32_t l = 0; l < kBanks * 4; ++l) {
+        const std::uint32_t m = plan.linkFlitMultiplier(l);
+        EXPECT_TRUE(m == 1 || m == 4);
+        degraded += m > 1 ? 1 : 0;
+    }
+    EXPECT_EQ(degraded, 5u);
+}
+
+TEST(FaultPlan, RejectRateOneAlwaysRejects)
+{
+    sim::FaultPlan plan(faultyConfig(0, 1.0), kMeshX, kMeshY);
+    EXPECT_TRUE(plan.rejectsOffloads());
+    for (int i = 0; i < 50; ++i)
+        EXPECT_TRUE(plan.rejectOffload());
+}
+
+TEST(FaultPlan, DynamicOfflineUpdatesRedirect)
+{
+    sim::FaultPlan plan(sim::FaultConfig{}, kMeshX, kMeshY);
+    EXPECT_TRUE(plan.offlineBank(3));
+    EXPECT_FALSE(plan.bankLive(3));
+    EXPECT_EQ(plan.numOfflineBanks(), 1u);
+    EXPECT_EQ(plan.redirect(3), 4u);
+    // Offlining the spare too pushes the redirect one further.
+    EXPECT_TRUE(plan.offlineBank(4));
+    EXPECT_EQ(plan.redirect(3), 5u);
+    // Re-offlining is a no-op.
+    EXPECT_FALSE(plan.offlineBank(3));
+    EXPECT_EQ(plan.numOfflineBanks(), 2u);
+    EXPECT_TRUE(plan.any());
+}
+
+TEST(FaultPlan, LastLiveBankIsProtected)
+{
+    sim::FaultPlan plan(sim::FaultConfig{}, 2, 1);
+    EXPECT_TRUE(plan.offlineBank(0));
+    EXPECT_THROW(plan.offlineBank(1), FatalError);
+    EXPECT_THROW(plan.offlineBank(7), FatalError); // out of range
+}
+
+TEST(FaultPlan, InvalidConfigsAreFatal)
+{
+    EXPECT_THROW(sim::FaultPlan(sim::FaultConfig{}, 0, 0), FatalError);
+    EXPECT_THROW(sim::FaultPlan(faultyConfig(kBanks), kMeshX, kMeshY),
+                 FatalError);
+    sim::FaultConfig bad_rate;
+    bad_rate.offloadRejectRate = 1.5;
+    EXPECT_THROW(sim::FaultPlan(bad_rate, kMeshX, kMeshY), FatalError);
+    sim::FaultConfig bad_factor;
+    bad_factor.degradedLinks = 1;
+    bad_factor.linkDegradeFactor = 0;
+    EXPECT_THROW(sim::FaultPlan(bad_factor, kMeshX, kMeshY),
+                 FatalError);
+}
+
+// ---------------------------------------------------- machine hooks
+
+TEST(MachineFault, BootPlanSurfacesInStats)
+{
+    sim::MachineConfig cfg;
+    cfg.faults = faultyConfig(4);
+    os::SimOS sim_os(cfg);
+    nsc::Machine machine(cfg, sim_os);
+    EXPECT_EQ(machine.stats().offlineBanks, 4u);
+    EXPECT_EQ(machine.faultPlan().numOfflineBanks(), 4u);
+    // The topology export carries the live mask.
+    const os::Topology topo = sim_os.topology();
+    ASSERT_EQ(topo.liveBanks.size(), cfg.numBanks());
+    std::uint32_t live = 0;
+    for (auto v : topo.liveBanks)
+        live += v;
+    EXPECT_EQ(live, cfg.numBanks() - 4);
+}
+
+TEST(MachineFault, MapperNeverHomesLinesAtDeadBanks)
+{
+    sim::MachineConfig cfg;
+    cfg.faults = faultyConfig(12);
+    os::SimOS sim_os(cfg);
+    nsc::Machine machine(cfg, sim_os);
+    alloc::AffinityAllocator allocator(machine, {});
+    char *p = static_cast<char *>(
+        allocator.allocInterleaved(64 * kBanks, 64, 0));
+    for (std::uint32_t i = 0; i < kBanks; ++i) {
+        const BankId b = machine.bankOfHost(p + i * 64);
+        EXPECT_TRUE(machine.bankLive(b))
+            << "line " << i << " homed at dead bank " << b;
+    }
+}
+
+TEST(MachineFault, InjectBankFaultCountsAndRedirects)
+{
+    MachineFixture f;
+    EXPECT_EQ(f.machine->stats().offlineBanks, 0u);
+    f.machine->injectBankFault(7);
+    EXPECT_EQ(f.machine->stats().offlineBanks, 1u);
+    EXPECT_FALSE(f.machine->bankLive(7));
+    // Repeat injection is a no-op on the counter.
+    f.machine->injectBankFault(7);
+    EXPECT_EQ(f.machine->stats().offlineBanks, 1u);
+    EXPECT_THROW(f.machine->injectBankFault(kBanks), FatalError);
+}
+
+TEST(MachineFault, OffloadNackChargesRetryTraffic)
+{
+    MachineFixture f;
+    const std::uint64_t hops_before = f.machine->stats().totalHops();
+    const Cycles lat = f.machine->offloadNack(0, 63);
+    EXPECT_GT(lat, 0u);
+    EXPECT_EQ(f.machine->stats().offloadRetries, 1u);
+    EXPECT_GT(f.machine->stats().totalHops(), hops_before);
+}
+
+TEST(MachineFault, AbortEpochRestoresStats)
+{
+    MachineFixture f;
+    f.machine->beginEpoch();
+    const sim::Stats before = f.machine->stats();
+    f.machine->forwardData(0, 63, 4096);
+    f.machine->forwardData(5, 20, 4096);
+    EXPECT_GT(f.machine->stats().totalHops(), before.totalHops());
+    f.machine->abortEpoch();
+    EXPECT_EQ(f.machine->stats().totalHops(), before.totalHops());
+    EXPECT_EQ(f.machine->stats().cycles, before.cycles);
+    // The machine is reusable: a fresh epoch still works.
+    f.machine->beginEpoch();
+    f.machine->forwardData(0, 1, 64);
+    EXPECT_GT(f.machine->endEpoch(), 0u);
+}
+
+TEST(MachineFault, DegradedLinksInflateFlits)
+{
+    sim::MachineConfig cfg;
+    cfg.faults = faultyConfig(0, 0.0, 8);
+    os::SimOS sim_os(cfg);
+    nsc::Machine machine(cfg, sim_os);
+    machine.beginEpoch();
+    // All-pairs traffic crosses every real mesh link at least once,
+    // so some of it must hit a degraded link.
+    for (BankId from = 0; from < kBanks; ++from)
+        for (BankId to = 0; to < kBanks; ++to)
+            if (from != to)
+                machine.forwardData(from, to, 256);
+    machine.endEpoch();
+    EXPECT_GT(machine.stats().degradedLinkFlits, 0u);
+}
+
+// ------------------------------------------------- victim migration
+
+TEST(MachineFault, MigrateVictimsMovesSlotsOffDeadBanks)
+{
+    MachineFixture f;
+    // A partitioned array gives every bank some elements to anchor
+    // irregular slots at.
+    alloc::AffineArray req;
+    req.elem_size = 64;
+    req.num_elem = kBanks * 8;
+    req.partition = true;
+    char *anchor = static_cast<char *>(f.allocator->mallocAff(req));
+    ASSERT_NE(anchor, nullptr);
+
+    std::vector<void *> slots;
+    std::vector<BankId> homes;
+    for (std::uint64_t i = 0; i < req.num_elem; ++i) {
+        const void *aff = anchor + i * 64;
+        void *slot = f.allocator->mallocAff(64, 1, &aff);
+        std::memset(slot, int('a' + i % 26), 64);
+        slots.push_back(slot);
+        homes.push_back(f.machine->bankOfHost(slot));
+    }
+
+    // Kill the bank hosting slot 0 and migrate.
+    const BankId dead = homes[0];
+    f.machine->injectBankFault(dead);
+    const auto moved = f.allocator->migrateVictims();
+    ASSERT_FALSE(moved.empty());
+    EXPECT_EQ(f.machine->stats().victimMigrations, moved.size());
+
+    for (const auto &[old_p, new_p] : moved) {
+        EXPECT_TRUE(f.machine->bankLive(f.machine->bankOfHost(new_p)));
+        // Contents survived the copy.
+        const char *np = static_cast<const char *>(new_p);
+        for (int j = 1; j < 64; ++j)
+            EXPECT_EQ(np[j], np[0]);
+    }
+    // A second sweep finds nothing left to move.
+    EXPECT_TRUE(f.allocator->migrateVictims().empty());
+}
+
+// ------------------------------------------------- zero overhead
+
+TEST(MachineFault, EmptyPlanIsDeterministicAcrossSeeds)
+{
+    // The fault seed must not leak into healthy runs: with no fault
+    // class enabled, changing the seed cannot change a single cycle.
+    auto run = [](std::uint64_t fault_seed) {
+        workloads::RunConfig rc =
+            workloads::RunConfig::forMode(ExecMode::affAlloc);
+        rc.machine.faults.seed = fault_seed;
+        workloads::VecAddParams p;
+        p.n = 1 << 14;
+        p.layout = workloads::VecAddLayout::affinity;
+        return workloads::runVecAdd(rc, p);
+    };
+    const workloads::RunResult a = run(1);
+    const workloads::RunResult b = run(0xdeadbeef);
+    EXPECT_TRUE(a.valid);
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_EQ(a.hops(), b.hops());
+    EXPECT_EQ(a.stats.offloadRetries, 0u);
+    EXPECT_EQ(a.stats.offlineBanks, 0u);
+}

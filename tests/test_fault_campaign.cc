@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Randomized fault campaign: for a sweep of fault seeds, every
+ * workload class (affine, graph, pointer) must complete with correct
+ * results in every ExecMode while banks are offline and offloads are
+ * being rejected — graceful degradation, never wrong answers. Also
+ * checks the allocator property that no two live allocations overlap
+ * in host or simulated address space, even while the allocator is
+ * falling back across pools and redirecting around dead banks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "graph/generators.hh"
+#include "sim/rng.hh"
+#include "workloads/affine_workloads.hh"
+#include "workloads/graph_workloads.hh"
+#include "workloads/pointer_workloads.hh"
+
+#include "test_helpers.hh"
+
+using namespace affalloc;
+using namespace affalloc::workloads;
+using test::MachineFixture;
+
+namespace
+{
+
+RunConfig
+faultyRunConfig(ExecMode mode, std::uint64_t seed)
+{
+    RunConfig rc = RunConfig::forMode(mode);
+    rc.machine.faults.seed = seed;
+    rc.machine.faults.offlineBanks = 5;
+    rc.machine.faults.offloadRejectRate = 0.3;
+    rc.machine.faults.degradedLinks = 6;
+    return rc;
+}
+
+void
+checkDegraded(const RunResult &r, ExecMode mode, const char *what)
+{
+    EXPECT_TRUE(r.valid) << what << " produced wrong results";
+    EXPECT_EQ(r.stats.offlineBanks, 5u) << what;
+    if (mode != ExecMode::inCore) {
+        // At 30% rejection over dozens of stream configs, a run with
+        // zero retries would mean the NACK path is disconnected.
+        EXPECT_GT(r.stats.offloadRetries + r.stats.offloadFallbacks, 0u)
+            << what << " never exercised the offload NACK path";
+    }
+}
+
+} // namespace
+
+class FaultCampaign : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(FaultCampaign, AffineWorkloadSurvivesAllModes)
+{
+    for (ExecMode mode :
+         {ExecMode::inCore, ExecMode::nearL3, ExecMode::affAlloc}) {
+        VecAddParams p;
+        p.n = 1 << 15;
+        p.layout = mode == ExecMode::affAlloc
+                       ? VecAddLayout::affinity
+                       : VecAddLayout::heapLinear;
+        const RunResult r =
+            runVecAdd(faultyRunConfig(mode, GetParam()), p);
+        checkDegraded(r, mode, "vecadd");
+    }
+}
+
+TEST_P(FaultCampaign, GraphWorkloadSurvivesAllModes)
+{
+    graph::KroneckerParams kp;
+    kp.scale = 9;
+    kp.edgeFactor = 8;
+    const graph::Csr g = graph::kronecker(kp);
+    for (ExecMode mode :
+         {ExecMode::inCore, ExecMode::nearL3, ExecMode::affAlloc}) {
+        GraphParams p;
+        p.graph = &g;
+        p.iters = 2;
+        const RunResult r =
+            runBfs(faultyRunConfig(mode, GetParam()), p,
+                   defaultBfsStrategy(mode))
+                .run;
+        checkDegraded(r, mode, "bfs");
+    }
+}
+
+TEST_P(FaultCampaign, PointerWorkloadSurvivesAllModes)
+{
+    for (ExecMode mode :
+         {ExecMode::inCore, ExecMode::nearL3, ExecMode::affAlloc}) {
+        LinkListParams p;
+        p.numLists = 200;
+        p.nodesPerList = 64;
+        const RunResult r =
+            runLinkList(faultyRunConfig(mode, GetParam()), p);
+        checkDegraded(r, mode, "link_list");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultCampaign,
+                         ::testing::Values(1u, 42u, 0xfa117u));
+
+// ------------------------------------------------ allocator property
+
+TEST(FaultCampaign, AllocationsNeverOverlapUnderFaults)
+{
+    sim::MachineConfig cfg;
+    cfg.faults.offlineBanks = 9;
+    cfg.faults.seed = 7;
+    os::SimOS sim_os(cfg);
+    nsc::Machine machine(cfg, sim_os);
+    alloc::AffinityAllocator allocator(machine, {});
+
+    struct Range
+    {
+        const char *host;
+        Addr sim;
+        std::uint64_t bytes;
+    };
+    std::vector<Range> ranges;
+    std::vector<void *> ptrs;
+    Rng rng(99);
+
+    // Anchor array for irregular affinity addresses.
+    alloc::AffineArray anchor_req;
+    anchor_req.elem_size = 64;
+    anchor_req.num_elem = 4096;
+    anchor_req.partition = true;
+    char *anchor =
+        static_cast<char *>(allocator.mallocAff(anchor_req));
+    ASSERT_NE(anchor, nullptr);
+
+    auto record = [&](void *p, std::uint64_t bytes) {
+        ASSERT_NE(p, nullptr);
+        std::memset(p, int(ranges.size() & 0xff), std::size_t(bytes));
+        ranges.push_back({static_cast<const char *>(p),
+                          machine.addressSpace().simAddrOf(p), bytes});
+        ptrs.push_back(p);
+    };
+
+    for (int i = 0; i < 200; ++i) {
+        switch (rng.below(3)) {
+        case 0: { // affine
+            alloc::AffineArray req;
+            req.elem_size = 8;
+            req.num_elem = 64 + rng.below(2048);
+            void *p = allocator.mallocAff(req);
+            record(p, req.elem_size * req.num_elem);
+            break;
+        }
+        case 1: { // irregular, anchored near a random element
+            const void *aff = anchor + rng.below(4096) * 64;
+            const std::uint64_t bytes = 64u << rng.below(4);
+            void *p = allocator.mallocAff(std::size_t(bytes), 1, &aff);
+            record(p, bytes);
+            break;
+        }
+        default: { // plain heap
+            const std::uint64_t bytes = 64 + rng.below(4096);
+            record(allocator.allocPlain(std::size_t(bytes)), bytes);
+            break;
+        }
+        }
+    }
+
+    // Every allocation still holds the pattern written at its birth
+    // (an overlap would have clobbered an earlier range) ...
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+        const Range &r = ranges[i];
+        for (std::uint64_t b = 0; b < r.bytes; b += 61)
+            ASSERT_EQ(std::uint8_t(r.host[b]), std::uint8_t(i & 0xff))
+                << "allocation " << i << " clobbered at byte " << b;
+    }
+    // ... and the recorded host/sim intervals are pairwise disjoint.
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+        for (std::size_t j = i + 1; j < ranges.size(); ++j) {
+            const Range &a = ranges[i], &b = ranges[j];
+            const bool host_overlap = a.host < b.host + b.bytes &&
+                                      b.host < a.host + a.bytes;
+            const bool sim_overlap = a.sim < b.sim + b.bytes &&
+                                     b.sim < a.sim + a.bytes;
+            ASSERT_FALSE(host_overlap)
+                << "host ranges " << i << " and " << j << " overlap";
+            ASSERT_FALSE(sim_overlap)
+                << "sim ranges " << i << " and " << j << " overlap";
+        }
+    }
+    // All allocations landed on live banks.
+    for (void *p : ptrs)
+        EXPECT_TRUE(machine.bankLive(machine.bankOfHost(p)));
+    for (void *p : ptrs)
+        allocator.freeAff(p);
+}

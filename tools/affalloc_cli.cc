@@ -47,6 +47,10 @@ struct Options
     std::uint64_t bytes = 4096;
     BankId startBank = 0;
     std::string csv;
+    // Fault campaign (defaults: healthy machine).
+    std::uint64_t faultSeed = sim::FaultConfig{}.seed;
+    std::uint32_t offlineBanks = 0;
+    double offloadRejectRate = 0.0;
 };
 
 [[noreturn]] void
@@ -58,6 +62,8 @@ usage()
                  "rnd|lnr|minhop|hybrid --h N\n"
                  "      --numbering rowmajor|snake|block2 --scale N "
                  "--iters N --csv FILE\n"
+                 "      --fault-seed N --offline-banks=N "
+                 "--offload-reject-rate=P\n"
                  "  layout --intrlv BYTES --bytes BYTES --start-bank N\n");
     std::exit(2);
 }
@@ -76,7 +82,12 @@ parse(int argc, char **argv)
         o.workload = argv[2];
         i = 3;
     }
+    // Options accept both "--opt value" and "--opt=value".
+    std::string inline_val;
+    bool has_inline = false;
     auto next = [&](const char *what) -> std::string {
+        if (has_inline)
+            return inline_val;
         if (i + 1 >= argc) {
             std::fprintf(stderr, "missing value for %s\n", what);
             usage();
@@ -84,7 +95,16 @@ parse(int argc, char **argv)
         return argv[++i];
     };
     for (; i < argc; ++i) {
-        const std::string a = argv[i];
+        std::string a = argv[i];
+        has_inline = false;
+        if (a.rfind("--", 0) == 0) {
+            if (const std::size_t eq = a.find('=');
+                eq != std::string::npos) {
+                inline_val = a.substr(eq + 1);
+                a.resize(eq);
+                has_inline = true;
+            }
+        }
         if (a == "--mode") {
             const std::string v = next("--mode");
             o.mode = v == "core" ? ExecMode::inCore
@@ -116,6 +136,15 @@ parse(int argc, char **argv)
                 BankId(std::atoi(next("--start-bank").c_str()));
         } else if (a == "--csv") {
             o.csv = next("--csv");
+        } else if (a == "--fault-seed") {
+            o.faultSeed =
+                std::strtoull(next("--fault-seed").c_str(), nullptr, 0);
+        } else if (a == "--offline-banks") {
+            o.offlineBanks = std::uint32_t(
+                std::atoi(next("--offline-banks").c_str()));
+        } else if (a == "--offload-reject-rate") {
+            o.offloadRejectRate =
+                std::atof(next("--offload-reject-rate").c_str());
         } else {
             std::fprintf(stderr, "unknown option %s\n", a.c_str());
             usage();
@@ -179,6 +208,9 @@ cmdRun(const Options &o)
     rc.allocOpts.policy = o.policy;
     rc.allocOpts.hybridH = o.h;
     rc.machine.bankNumbering = o.numbering;
+    rc.machine.faults.seed = o.faultSeed;
+    rc.machine.faults.offlineBanks = o.offlineBanks;
+    rc.machine.faults.offloadRejectRate = o.offloadRejectRate;
 
     RunResult result;
     if (o.workload == "vecadd") {
@@ -254,6 +286,19 @@ cmdRun(const Options &o)
                 100.0 * result.l3MissRate,
                 100.0 * result.nocUtilization,
                 result.valid ? "yes" : "NO");
+    const sim::Stats &rs = result.stats;
+    if (rs.offlineBanks || rs.offloadRetries || rs.offloadFallbacks ||
+        rs.allocFallbacks || rs.victimMigrations || rs.degradedLinkFlits) {
+        std::printf("degrade    offline banks %llu, offload retries "
+                    "%llu, offload fallbacks %llu, alloc fallbacks "
+                    "%llu, migrations %llu, degraded flits %llu\n",
+                    (unsigned long long)rs.offlineBanks,
+                    (unsigned long long)rs.offloadRetries,
+                    (unsigned long long)rs.offloadFallbacks,
+                    (unsigned long long)rs.allocFallbacks,
+                    (unsigned long long)rs.victimMigrations,
+                    (unsigned long long)rs.degradedLinkFlits);
+    }
     if (!o.csv.empty()) {
         harness::writeTimelineCsv(result, o.csv);
         std::printf("timeline   written to %s\n", o.csv.c_str());
