@@ -26,13 +26,18 @@ namespace
 const ExecMode modes[3] = {ExecMode::inCore, ExecMode::nearL3,
                            ExecMode::affAlloc};
 
+harness::BenchSimCheck simcheckOpts;
+
 template <typename F>
 std::vector<RunResult>
 runAll(F &&f)
 {
     std::vector<RunResult> out;
-    for (ExecMode m : modes)
-        out.push_back(f(RunConfig::forMode(m), m));
+    for (ExecMode m : modes) {
+        RunConfig rc = RunConfig::forMode(m);
+        simcheckOpts.apply(rc.machine);
+        out.push_back(f(rc, m));
+    }
     return out;
 }
 
@@ -42,8 +47,16 @@ int
 main(int argc, char **argv)
 {
     const bool quick = harness::quickMode(argc, argv);
+    simcheckOpts = harness::BenchSimCheck::parse(argc, argv);
     sim::MachineConfig cfg;
+    simcheckOpts.apply(cfg);
     harness::printMachineBanner(cfg, "Fig. 12 - overall evaluation");
+    if (simcheckOpts.faulty) {
+        std::printf("Fault campaign: %u offline banks, %.0f%% offload "
+                    "rejection (seeded, deterministic).\n\n",
+                    cfg.faults.offlineBanks,
+                    100.0 * cfg.faults.offloadRejectRate);
+    }
 
     std::printf("Workload parameters (Table 3)%s:\n"
                 "  pathfinder  affine      1.5M entries, 8 iters\n"
@@ -154,6 +167,7 @@ main(int argc, char **argv)
     // Paper normalization: speedup/energy to Near-L3, traffic to
     // In-Core.
     cmp.print("Fig. 12", /*speedup baseline=*/1, /*traffic baseline=*/0);
+    simcheckOpts.printDigests(cmp);
 
     std::printf(
         "Headline comparison (paper): Aff-Alloc = 2.26x speedup / 1.76x "

@@ -36,6 +36,17 @@ deleteHost(void *p)
     ::operator delete(p, std::align_val_t(64));
 }
 
+/**
+ * Canary stamped into the first 8 bytes of a free slot (audit mode):
+ * derived from the slot's simulated address, so a write through a
+ * stale pointer into any free slot is detected by the audit.
+ */
+std::uint64_t
+canaryFor(Addr sim)
+{
+    return (sim * 0x9e3779b97f4a7c15ULL) ^ 0xdeadbeefcafef00dULL;
+}
+
 } // namespace
 
 const char *
@@ -67,10 +78,15 @@ AffinityAllocator::AffinityAllocator(nsc::Machine &machine,
 {
     for (auto &pool : freeSlots_)
         pool.assign(numBanks_, {});
+    canaries_ = machine.config().simcheck.audit;
+    auditId_ = machine.auditor().registerCheck(
+        "alloc", "freelist-integrity",
+        [this](simcheck::CheckContext &ctx) { auditFreeLists(ctx); });
 }
 
 AffinityAllocator::~AffinityAllocator()
 {
+    machine_.auditor().unregisterCheck(auditId_);
     for (void *p : ownedHost_)
         deleteHost(p);
 }
@@ -210,7 +226,7 @@ AffinityAllocator::largeAlloc(std::size_t bytes, std::uint64_t intrlv,
                               std::uint64_t chunk_bytes)
 {
     if (intrlv % mem::pageSize != 0)
-        panic("large interleaving %llu not page aligned",
+        SIM_PANIC("alloc", "large interleaving %llu not page aligned",
               (unsigned long long)intrlv);
     const std::uint64_t pages_per_block = intrlv / mem::pageSize;
     const std::uint64_t num_pages = mem::roundUpPage(bytes) / mem::pageSize;
@@ -235,14 +251,14 @@ AffinityAllocator::allocInterleaved(std::size_t bytes, std::uint64_t intrlv,
                                     BankId start_bank)
 {
     if (bytes == 0)
-        fatal("allocInterleaved of zero bytes");
+        SIM_FATAL("alloc", "allocInterleaved of zero bytes");
     void *host = nullptr;
     ArrayInfo info;
     const int k = mem::poolIndexFor(intrlv);
     if (k >= 0) {
         const PoolCut cut = poolAllocAligned(bytes, k, start_bank);
         if (cut.host == nullptr) {
-            fatal("allocInterleaved: pool %d (%llu B interleave) "
+            SIM_FATAL("alloc", "allocInterleaved: pool %d (%llu B interleave) "
                   "exhausted (capacity %llu bytes); use mallocAff for "
                   "graceful fallback",
                   k, (unsigned long long)intrlv,
@@ -255,7 +271,7 @@ AffinityAllocator::allocInterleaved(std::size_t bytes, std::uint64_t intrlv,
     } else if (intrlv >= mem::pageSize && intrlv % mem::pageSize == 0) {
         host = largeAlloc(bytes, intrlv, start_bank, false, 0);
     } else {
-        fatal("unsupported interleaving %llu", (unsigned long long)intrlv);
+        SIM_FATAL("alloc", "unsupported interleaving %llu", (unsigned long long)intrlv);
     }
     info.simBase = machine_.addressSpace().simAddrOf(host);
     info.bytes = bytes;
@@ -340,7 +356,7 @@ void *
 AffinityAllocator::mallocAff(const AffineArray &req)
 {
     if (req.num_elem == 0 || req.elem_size <= 0)
-        fatal("mallocAff: empty affine request");
+        SIM_FATAL("alloc", "mallocAff: empty affine request");
     const std::uint64_t elem = static_cast<std::uint64_t>(req.elem_size);
     const std::uint64_t bytes = elem * req.num_elem;
 
@@ -518,8 +534,12 @@ AffinityAllocator::carveStripe(int k)
         // offline bank are redirected to the spare, so the slot
         // belongs on the spare's free list.
         const BankId bank = machine_.bankOfSim(sim);
-        freeSlots_[k][bank].push_back(
-            Slot{static_cast<char *>(host) + Addr(s) * intrlv, sim});
+        void *slot_host = static_cast<char *>(host) + Addr(s) * intrlv;
+        if (canaries_) {
+            const std::uint64_t canary = canaryFor(sim);
+            std::memcpy(slot_host, &canary, sizeof(canary));
+        }
+        freeSlots_[k][bank].push_back(Slot{slot_host, sim});
     }
     return true;
 }
@@ -595,7 +615,7 @@ AffinityAllocator::mallocAff(std::size_t size, int num_aff_addrs,
                              const void *const *aff_addrs)
 {
     if (size == 0)
-        fatal("mallocAff: zero-size irregular request");
+        SIM_FATAL("alloc", "mallocAff: zero-size irregular request");
     if (size > mem::maxPoolInterleave) {
         warn("mallocAff: irregular size %zu exceeds max interleaving; "
              "falling back",
@@ -632,7 +652,7 @@ AffinityAllocator::mallocAff(std::size_t size, int num_aff_addrs,
         if (list.empty() && !carveStripe(kk))
             continue; // this pool is at capacity; try a coarser one
         if (list.empty())
-            panic("carveStripe did not produce a slot for bank %u", bank);
+            SIM_PANIC("alloc", "carveStripe did not produce a slot for bank %u", bank);
         const Slot slot = list.back();
         list.pop_back();
         if (kk != k) {
@@ -643,6 +663,8 @@ AffinityAllocator::mallocAff(std::size_t size, int num_aff_addrs,
         totalLoad_ += 1;
         irregular_.emplace(slot.host, std::make_pair(kk, bank));
         stats_.irregularAllocs += 1;
+        foldPlacement(slot.sim, mem::poolInterleave(kk),
+                      mem::poolInterleave(kk), bank);
         return slot.host;
     }
     warn("mallocAff: every irregular pool >= %zu bytes exhausted; "
@@ -657,9 +679,9 @@ void *
 AffinityAllocator::allocSlotAtBank(std::size_t size, BankId bank)
 {
     if (size == 0 || size > mem::maxPoolInterleave)
-        fatal("allocSlotAtBank: size %zu unsupported", size);
+        SIM_FATAL("alloc", "allocSlotAtBank: size %zu unsupported", size);
     if (bank >= numBanks_)
-        fatal("allocSlotAtBank: bank %u out of range", bank);
+        SIM_FATAL("alloc", "allocSlotAtBank: bank %u out of range", bank);
     const sim::FaultPlan &plan = machine_.faultPlan();
     if (!plan.bankLive(bank)) {
         // The requested bank is offline: its spare serves its lines,
@@ -673,7 +695,7 @@ AffinityAllocator::allocSlotAtBank(std::size_t size, BankId bank)
     const int k = mem::poolIndexFor(intrlv);
     auto &list = freeSlots_[k][bank];
     if (list.empty() && !carveStripe(k))
-        fatal("allocSlotAtBank: pool %d exhausted (capacity %llu "
+        SIM_FATAL("alloc", "allocSlotAtBank: pool %d exhausted (capacity %llu "
               "bytes)",
               k, (unsigned long long)poolCapacity_);
     const Slot slot = list.back();
@@ -682,6 +704,7 @@ AffinityAllocator::allocSlotAtBank(std::size_t size, BankId bank)
     totalLoad_ += 1;
     irregular_.emplace(slot.host, std::make_pair(k, bank));
     stats_.irregularAllocs += 1;
+    foldPlacement(slot.sim, intrlv, intrlv, bank);
     return slot.host;
 }
 
@@ -699,6 +722,10 @@ AffinityAllocator::freeAff(void *ptr)
         const sim::FaultPlan &plan = machine_.faultPlan();
         const BankId home =
             plan.bankLive(bank) ? bank : plan.redirect(bank);
+        if (canaries_) {
+            const std::uint64_t canary = canaryFor(sim);
+            std::memcpy(ptr, &canary, sizeof(canary));
+        }
         freeSlots_[k][home].push_back(Slot{ptr, sim});
         bankLoads_[bank] -= 1;
         totalLoad_ -= 1;
@@ -725,14 +752,32 @@ AffinityAllocator::freeAff(void *ptr)
         // until destruction; their simulated VA is not recycled.
         return;
     }
-    fatal("freeAff of unknown pointer %p", ptr);
+    // Unknown pointer. In audit mode, scan the free lists so a double
+    // free is reported as such rather than as a foreign pointer.
+    if (canaries_) {
+        for (int k = 0; k < mem::numInterleavePools; ++k) {
+            for (std::uint32_t b = 0; b < numBanks_; ++b) {
+                for (const Slot &slot : freeSlots_[k][b]) {
+                    if (slot.host == ptr) {
+                        SIM_FATAL("alloc",
+                                  "double free of irregular slot %p "
+                                  "(already on pool %d bank %u free list)",
+                                  ptr, k, b);
+                    }
+                }
+            }
+        }
+    }
+    SIM_FATAL("alloc", "freeAff of foreign pointer %p (never returned by "
+              "this allocator, or already freed)",
+              ptr);
 }
 
 void *
 AffinityAllocator::reallocAff(void *ptr, std::size_t new_bytes)
 {
     if (new_bytes == 0)
-        fatal("reallocAff to zero bytes");
+        SIM_FATAL("alloc", "reallocAff to zero bytes");
     if (auto it = irregular_.find(ptr); it != irregular_.end()) {
         const auto [k, bank] = it->second;
         const std::uint64_t slot_bytes = mem::poolInterleave(k);
@@ -748,7 +793,7 @@ AffinityAllocator::reallocAff(void *ptr, std::size_t new_bytes)
     }
     const ArrayInfo *info = arrayInfo(ptr);
     if (!info)
-        fatal("reallocAff of unknown pointer %p", ptr);
+        SIM_FATAL("alloc", "reallocAff of unknown pointer %p", ptr);
     const ArrayInfo old = *info;
     void *next;
     if (old.intrlv != 0 && mem::poolIndexFor(old.intrlv) >= 0) {
@@ -802,6 +847,15 @@ AffinityAllocator::migrateVictims()
             victims.push_back(
                 Victim{const_cast<void *>(host), kb.first, kb.second});
     }
+    // irregular_ hashes host pointers, so its iteration order varies
+    // with the host heap layout; migration order feeds selectBank's
+    // load balancing, so order it by simulated address to keep the
+    // machine's behaviour reproducible run-to-run.
+    std::sort(victims.begin(), victims.end(),
+              [this](const Victim &a, const Victim &b) {
+                  return machine_.addressSpace().simAddrOf(a.host) <
+                         machine_.addressSpace().simAddrOf(b.host);
+              });
 
     for (const Victim &v : victims) {
         const std::uint64_t slot_bytes = mem::poolInterleave(v.k);
@@ -828,6 +882,137 @@ void
 AffinityAllocator::record(void *host, ArrayInfo info)
 {
     arrays_[host] = info;
+    // Host pointers are a host-allocator artifact and never hashed;
+    // the simulated coordinates are deterministic run to run.
+    foldPlacement(info.simBase, info.bytes, info.intrlv, info.startBank);
+}
+
+void
+AffinityAllocator::foldPlacement(Addr sim, std::uint64_t bytes,
+                                 std::uint64_t intrlv, std::uint64_t bank)
+{
+    std::uint64_t h = simcheck::Digest::fnv1a(&sim, sizeof(sim));
+    h = simcheck::Digest::fnv1a(&bytes, sizeof(bytes), h);
+    h = simcheck::Digest::fnv1a(&intrlv, sizeof(intrlv), h);
+    h = simcheck::Digest::fnv1a(&bank, sizeof(bank), h);
+    placement_.foldRaw(h);
+}
+
+void
+AffinityAllocator::auditFreeLists(simcheck::CheckContext &ctx) const
+{
+    const sim::FaultPlan &plan = machine_.faultPlan();
+    std::unordered_set<const void *> free_hosts;
+
+    for (int k = 0; k < mem::numInterleavePools; ++k) {
+        const std::uint64_t intrlv = mem::poolInterleave(k);
+        const Addr vbase = machine_.simOs().poolVirtBaseOf(k);
+        for (std::uint32_t b = 0; b < numBanks_; ++b) {
+            for (const Slot &slot : freeSlots_[k][b]) {
+                if (slot.host == nullptr) {
+                    ctx.failf("pool %d bank %u: null host in free list",
+                              k, b);
+                    continue;
+                }
+                if (!free_hosts.insert(slot.host).second) {
+                    ctx.failf("slot %p appears on more than one free list",
+                              slot.host);
+                    continue;
+                }
+                if (slot.sim < vbase ||
+                    slot.sim - vbase + intrlv > poolBump_[k]) {
+                    ctx.failf("pool %d bank %u: slot sim %llx outside the "
+                              "pool's allocated range",
+                              k, b, (unsigned long long)slot.sim);
+                    continue;
+                }
+                if ((slot.sim - vbase) % intrlv != 0) {
+                    ctx.failf("pool %d bank %u: slot sim %llx misaligned "
+                              "to the %llu B interleaving",
+                              k, b, (unsigned long long)slot.sim,
+                              (unsigned long long)intrlv);
+                    continue;
+                }
+                const BankId served = machine_.bankOfSim(slot.sim);
+                if (served != b && served != plan.redirect(b)) {
+                    ctx.failf("pool %d: slot sim %llx on bank %u's free "
+                              "list but served by bank %u",
+                              k, (unsigned long long)slot.sim, b, served);
+                }
+                if (canaries_) {
+                    std::uint64_t got = 0;
+                    std::memcpy(&got, slot.host, sizeof(got));
+                    if (got != canaryFor(slot.sim)) {
+                        ctx.failf(
+                            "pool %d bank %u: free slot %p (sim %llx) "
+                            "canary clobbered — write through a stale "
+                            "pointer",
+                            k, b, slot.host,
+                            (unsigned long long)slot.sim);
+                    }
+                }
+            }
+        }
+    }
+
+    // Free regions: within the bump, pairwise disjoint, and summing to
+    // the freeRegionBytes counter.
+    std::uint64_t region_bytes = 0;
+    for (int k = 0; k < mem::numInterleavePools; ++k) {
+        std::vector<FreeRegion> regions = freeRegions_[k];
+        std::sort(regions.begin(), regions.end(),
+                  [](const FreeRegion &a, const FreeRegion &b) {
+                      return a.offset < b.offset;
+                  });
+        Addr prev_end = 0;
+        for (const FreeRegion &r : regions) {
+            if (r.offset + r.bytes > poolBump_[k]) {
+                ctx.failf("pool %d: free region [%llx,%llx) beyond the "
+                          "bump %llx",
+                          k, (unsigned long long)r.offset,
+                          (unsigned long long)(r.offset + r.bytes),
+                          (unsigned long long)poolBump_[k]);
+            }
+            if (r.offset < prev_end) {
+                ctx.failf("pool %d: free regions overlap at offset %llx",
+                          k, (unsigned long long)r.offset);
+            }
+            prev_end = r.offset + r.bytes;
+            region_bytes += r.bytes;
+        }
+    }
+    if (region_bytes != stats_.freeRegionBytes) {
+        ctx.failf("freeRegionBytes counter %llu != %llu summed over pools",
+                  (unsigned long long)stats_.freeRegionBytes,
+                  (unsigned long long)region_bytes);
+    }
+
+    // Irregular bookkeeping: live slots are never on a free list and
+    // the per-bank loads reconcile with the live-slot map.
+    std::vector<std::uint64_t> loads(numBanks_, 0);
+    std::uint64_t total = 0;
+    for (const auto &[host, kb] : irregular_) {
+        if (free_hosts.count(host)) {
+            ctx.failf("live irregular slot %p is also on a free list "
+                      "(double-booked)",
+                      host);
+        }
+        loads[kb.second] += 1;
+        total += 1;
+    }
+    if (total != totalLoad_) {
+        ctx.failf("totalLoad %llu != %llu live irregular slots",
+                  (unsigned long long)totalLoad_,
+                  (unsigned long long)total);
+    }
+    for (std::uint32_t b = 0; b < numBanks_; ++b) {
+        if (loads[b] != bankLoads_[b]) {
+            ctx.failf("bankLoads[%u] %llu != %llu recomputed from live "
+                      "slots",
+                      b, (unsigned long long)bankLoads_[b],
+                      (unsigned long long)loads[b]);
+        }
+    }
 }
 
 const ArrayInfo *
@@ -843,7 +1028,7 @@ AffinityAllocator::bankOfElement(const void *array,
 {
     const ArrayInfo *info = arrayInfo(array);
     if (!info)
-        fatal("bankOfElement: %p is not a recorded array", array);
+        SIM_FATAL("alloc", "bankOfElement: %p is not a recorded array", array);
     return machine_.bankOfSim(info->simBase +
                               idx * std::uint64_t(info->elemSize));
 }

@@ -224,6 +224,19 @@ class AffinityAllocator
     }
     /** Allocator counters. */
     const AllocStats &allocStats() const { return stats_; }
+    /**
+     * Order-insensitive digest of every placement decision made so far
+     * (simulated base, size, interleaving, bank). Combined with the
+     * stats digest for run-to-run determinism checks.
+     */
+    std::uint64_t placementDigest() const { return placement_.value(); }
+    /**
+     * SimCheck audit: free-list integrity (canaries, bank keying,
+     * duplicate/misaligned slots), free-region accounting, and
+     * irregular load reconciliation. Registered with the machine's
+     * Auditor at construction.
+     */
+    void auditFreeLists(simcheck::CheckContext &ctx) const;
     /** The policy in use. */
     BankPolicy policy() const { return opts_.policy; }
     /** Hybrid weight in use. */
@@ -322,6 +335,17 @@ class AffinityAllocator
     std::unordered_map<const void *, std::pair<int, BankId>> irregular_;
 
     AllocStats stats_;
+
+    /** Fold one placement decision into the determinism digest. */
+    void foldPlacement(Addr sim, std::uint64_t bytes, std::uint64_t intrlv,
+                       std::uint64_t bank);
+
+    /** Stamp canaries on free slots (simcheck audit mode only). */
+    bool canaries_ = false;
+    /** Auditor registration id (unregistered in the destructor). */
+    int auditId_ = 0;
+    /** Running digest of placement decisions. */
+    simcheck::Digest placement_;
 };
 
 } // namespace affalloc::alloc

@@ -20,7 +20,7 @@ DynamicGraph::DynamicGraph(graph::VertexId num_vertices,
       degrees_(num_vertices, 0)
 {
     if (!allocator.arrayInfo(vertex_array))
-        fatal("dynamic graph: vertex array is not a recorded allocation");
+        SIM_FATAL("ds", "dynamic graph: vertex array is not a recorded allocation");
     alloc::AffineArray heads_req;
     heads_req.elem_size = sizeof(LinkedCsrNode *);
     heads_req.num_elem = num_vertices;
@@ -47,7 +47,7 @@ void
 DynamicGraph::addEdge(graph::VertexId u, graph::VertexId v)
 {
     if (u >= numVertices_ || v >= numVertices_)
-        fatal("dynamic graph: edge (%u, %u) out of range", u, v);
+        SIM_FATAL("ds", "dynamic graph: edge (%u, %u) out of range", u, v);
     LinkedCsrNode *head = heads_[u];
     if (!head || head->count() >= edgesPerNode_) {
         // New head node placed near the destination vertex (and the

@@ -15,9 +15,9 @@ LinkedCsr::LinkedCsr(const graph::Csr &g,
       nodeBytes_(opts.nodeBytes)
 {
     if (opts.nodeBytes < 64 || (opts.nodeBytes & (opts.nodeBytes - 1)))
-        fatal("linked CSR node size must be a power of two >= 64");
+        SIM_FATAL("ds", "linked CSR node size must be a power of two >= 64");
     if (opts.weighted && g.weights.empty())
-        fatal("weighted linked CSR requires a weighted source graph");
+        SIM_FATAL("ds", "weighted linked CSR requires a weighted source graph");
     const std::uint32_t entry_bytes = opts.weighted ? 8 : 4;
     // The packed header stores the count in the next pointer's free
     // alignment bits, which bounds a node at 31 entries.
@@ -26,7 +26,7 @@ LinkedCsr::LinkedCsr(const graph::Csr &g,
 
     const alloc::ArrayInfo *vinfo = allocator.arrayInfo(vertex_array);
     if (!vinfo)
-        fatal("linked CSR vertex array is not a recorded allocation");
+        SIM_FATAL("ds", "linked CSR vertex array is not a recorded allocation");
 
     // Heads array aligned element-for-element with the vertex
     // property array so head lookups are local to vertex streams.

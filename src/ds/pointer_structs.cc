@@ -115,7 +115,7 @@ HashJoinTable::HashJoinTable(alloc::AffinityAllocator &allocator,
       useAffinity_(use_affinity)
 {
     if (num_buckets == 0 || (num_buckets & (num_buckets - 1)) != 0)
-        fatal("hash table bucket count must be a power of two");
+        SIM_FATAL("ds", "hash table bucket count must be a power of two");
     int bits = 0;
     while ((std::uint64_t(1) << bits) < num_buckets)
         ++bits;

@@ -15,9 +15,9 @@ SpatialPriorityQueue::SpatialPriorityQueue(
       numPartitions_(num_partitions)
 {
     if (num_elems == 0 || num_partitions == 0 || capacity_factor == 0)
-        fatal("spatial priority queue: empty configuration");
+        SIM_FATAL("ds", "spatial priority queue: empty configuration");
     if (!allocator.arrayInfo(aligned_array))
-        fatal("spatial priority queue: aligned array is not recorded");
+        SIM_FATAL("ds", "spatial priority queue: aligned array is not recorded");
 
     capacity_ = static_cast<std::uint32_t>(
         (num_elems * capacity_factor + num_partitions - 1) /

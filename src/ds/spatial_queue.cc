@@ -14,9 +14,9 @@ SpatialQueue::SpatialQueue(alloc::AffinityAllocator &allocator,
       numPartitions_(num_partitions)
 {
     if (num_elems == 0 || num_partitions == 0 || capacity_factor == 0)
-        fatal("spatial queue: empty configuration");
+        SIM_FATAL("ds", "spatial queue: empty configuration");
     if (!allocator.arrayInfo(aligned_array))
-        fatal("spatial queue: aligned array is not a recorded allocation");
+        SIM_FATAL("ds", "spatial queue: aligned array is not a recorded allocation");
 
     capacity_ = static_cast<std::uint32_t>(
         (num_elems * capacity_factor + num_partitions - 1) /

@@ -11,17 +11,17 @@ void
 Csr::validate() const
 {
     if (rowOffsets.size() != std::size_t(numVertices) + 1)
-        panic("CSR rowOffsets size mismatch");
+        SIM_PANIC("graph", "CSR rowOffsets size mismatch");
     if (rowOffsets.front() != 0 || rowOffsets.back() != edges.size())
-        panic("CSR rowOffsets endpoints inconsistent");
+        SIM_PANIC("graph", "CSR rowOffsets endpoints inconsistent");
     for (VertexId v = 0; v < numVertices; ++v)
         if (rowOffsets[v] > rowOffsets[v + 1])
-            panic("CSR rowOffsets not monotone at vertex %u", v);
+            SIM_PANIC("graph", "CSR rowOffsets not monotone at vertex %u", v);
     for (VertexId dst : edges)
         if (dst >= numVertices)
-            panic("CSR edge destination %u out of range", dst);
+            SIM_PANIC("graph", "CSR edge destination %u out of range", dst);
     if (!weights.empty() && weights.size() != edges.size())
-        panic("CSR weights size mismatch");
+        SIM_PANIC("graph", "CSR weights size mismatch");
 }
 
 Csr
@@ -83,7 +83,7 @@ buildCsr(VertexId num_vertices, std::vector<Edge> edges, bool symmetrize,
     g.rowOffsets.assign(std::size_t(num_vertices) + 1, 0);
     for (const Edge &e : edges) {
         if (e.src >= num_vertices || e.dst >= num_vertices)
-            fatal("edge (%u,%u) outside vertex range", e.src, e.dst);
+            SIM_FATAL("graph", "edge (%u,%u) outside vertex range", e.src, e.dst);
         ++g.rowOffsets[e.src + 1];
     }
     for (VertexId v = 0; v < num_vertices; ++v)

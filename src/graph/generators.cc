@@ -13,7 +13,7 @@ Csr
 kronecker(const KroneckerParams &p)
 {
     if (p.a + p.b + p.c >= 1.0)
-        fatal("Kronecker quadrant probabilities must sum below 1");
+        SIM_FATAL("graph", "Kronecker quadrant probabilities must sum below 1");
     const VertexId n = VertexId(1) << p.scale;
     const std::uint64_t m = std::uint64_t(p.edgeFactor) * n;
     Rng rng(p.seed);

@@ -11,7 +11,7 @@ std::vector<std::int64_t>
 bfsReference(const Csr &g, VertexId source)
 {
     if (source >= g.numVertices)
-        fatal("BFS source %u out of range", source);
+        SIM_FATAL("graph", "BFS source %u out of range", source);
     std::vector<std::int64_t> depth(g.numVertices, unreachable);
     std::queue<VertexId> q;
     depth[source] = 0;
@@ -33,9 +33,9 @@ std::vector<std::int64_t>
 ssspReference(const Csr &g, VertexId source)
 {
     if (source >= g.numVertices)
-        fatal("SSSP source %u out of range", source);
+        SIM_FATAL("graph", "SSSP source %u out of range", source);
     if (g.weights.empty())
-        fatal("SSSP requires a weighted graph");
+        SIM_FATAL("graph", "SSSP requires a weighted graph");
     std::vector<std::int64_t> dist(g.numVertices, unreachable);
     using Item = std::pair<std::int64_t, VertexId>;
     std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "sim/log.hh"
+#include "sim/simcheck.hh"
 #include "sim/stats.hh"
 
 namespace affalloc::harness
@@ -14,7 +15,7 @@ void
 Comparison::add(const std::string &workload, std::vector<RunResult> runs)
 {
     if (runs.size() != configLabels_.size())
-        fatal("comparison row '%s' has %zu runs, expected %zu",
+        SIM_FATAL("harness", "comparison row '%s' has %zu runs, expected %zu",
               workload.c_str(), runs.size(), configLabels_.size());
     rows_.push_back(WorkloadResults{workload, std::move(runs)});
 }
@@ -227,6 +228,63 @@ quickMode(int argc, char **argv)
         if (std::strcmp(argv[i], "--quick") == 0)
             return true;
     return false;
+}
+
+BenchSimCheck
+BenchSimCheck::parse(int argc, char **argv)
+{
+    BenchSimCheck sc;
+    // Honour the env-var opt-in so `AFFALLOC_SIMCHECK=1 ./bench` audits
+    // without flag plumbing; flags can only turn checking *on*.
+    sc.audit = simcheck::SimCheckConfig::fromEnv().audit;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--simcheck") == 0)
+            sc.audit = true;
+        else if (std::strcmp(argv[i], "--simcheck-digest") == 0)
+            sc.digest = true;
+        else if (std::strcmp(argv[i], "--faulty") == 0)
+            sc.faulty = true;
+    }
+    if (sc.audit && !simcheck::compiledIn) {
+        std::fprintf(stderr,
+                     "warning: --simcheck requested but this binary was "
+                     "built with AFFALLOC_SIMCHECK=OFF\n");
+    }
+    return sc;
+}
+
+void
+BenchSimCheck::apply(sim::MachineConfig &cfg) const
+{
+    if (audit)
+        cfg.simcheck.audit = true;
+    if (faulty) {
+        // Canned, seeded campaign: dead banks force spare redirection
+        // and victim migration; rejected offloads force retry/backoff
+        // and in-core fallback. Deterministic by construction, so the
+        // digest must still be reproducible under it.
+        cfg.faults.offlineBanks = 2;
+        cfg.faults.offloadRejectRate = 0.05;
+    }
+}
+
+void
+BenchSimCheck::printDigests(const Comparison &cmp) const
+{
+    if (!digest)
+        return;
+    simcheck::Digest overall;
+    for (const auto &row : cmp.rows()) {
+        for (const auto &run : row.byConfig) {
+            const std::uint64_t d = run.digest();
+            std::printf("digest %-12s %-8s %s\n", row.name.c_str(),
+                        run.label.c_str(),
+                        simcheck::digestToString(d).c_str());
+            overall.fold(row.name + "/" + run.label, d);
+        }
+    }
+    std::printf("digest overall %s\n",
+                simcheck::digestToString(overall.value()).c_str());
 }
 
 } // namespace affalloc::harness

@@ -92,6 +92,35 @@ void printMachineBanner(const sim::MachineConfig &cfg,
 /** Parse a --quick flag (smaller inputs for smoke runs). */
 bool quickMode(int argc, char **argv);
 
+/**
+ * SimCheck-related flags shared by every figure binary:
+ *   --simcheck         run the invariant audits at epoch boundaries
+ *   --simcheck-digest  print one determinism digest per run + overall
+ *   --faulty           run under a canned fault campaign (offline
+ *                      banks + offload rejection) so CI exercises the
+ *                      degradation paths under audit
+ * The audit default also honours AFFALLOC_SIMCHECK=1 (env) so whole
+ * bench suites can be audited without touching their command lines.
+ */
+struct BenchSimCheck
+{
+    bool audit = false;
+    bool digest = false;
+    bool faulty = false;
+
+    static BenchSimCheck parse(int argc, char **argv);
+
+    /** Apply the requests to one run's machine config. */
+    void apply(sim::MachineConfig &cfg) const;
+
+    /**
+     * Print `digest <workload> <config> 0x...` lines for every run of
+     * @p cmp plus a final `digest overall` fold, when --simcheck-digest
+     * was given. CI runs a figure twice and diffs these lines.
+     */
+    void printDigests(const Comparison &cmp) const;
+};
+
 } // namespace affalloc::harness
 
 #endif // AFFALLOC_HARNESS_REPORT_HH

@@ -12,7 +12,7 @@ writeTimelineCsv(const workloads::RunResult &run, const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
-        fatal("cannot open %s for writing", path.c_str());
+        SIM_FATAL("harness", "cannot open %s for writing", path.c_str());
     std::fprintf(f, "epoch,end_cycle,phase,min,p25,mean,p75,max\n");
     for (std::size_t i = 0; i < run.timeline.size(); ++i) {
         const auto &rec = run.timeline.at(i);
@@ -32,7 +32,7 @@ writeComparisonCsv(const Comparison &cmp,
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
-        fatal("cannot open %s for writing", path.c_str());
+        SIM_FATAL("harness", "cannot open %s for writing", path.c_str());
     std::fprintf(f, "workload,config,cycles,joules,hops,offload_hops,"
                     "data_hops,control_hops,l3_miss_rate,"
                     "noc_utilization,valid\n");

@@ -11,16 +11,16 @@ AddressSpace::registerRange(const void *host_ptr, std::size_t bytes,
 {
     const auto start = reinterpret_cast<std::uintptr_t>(host_ptr);
     if (bytes == 0)
-        fatal("cannot register empty host range");
+        SIM_FATAL("mem", "cannot register empty host range");
     HostRange range{start, start + bytes, sim_start};
     // Reject overlap with the neighbouring ranges.
     auto next = ranges_.lower_bound(start);
     if (next != ranges_.end() && next->second.hostStart < range.hostEnd)
-        fatal("host range overlaps an existing registration");
+        SIM_FATAL("mem", "host range overlaps an existing registration");
     if (next != ranges_.begin()) {
         auto prev = std::prev(next);
         if (prev->second.hostEnd > start)
-            fatal("host range overlaps an existing registration");
+            SIM_FATAL("mem", "host range overlaps an existing registration");
     }
     ranges_.emplace(start, range);
     cached_ = nullptr;
@@ -31,7 +31,7 @@ AddressSpace::unregisterRange(const void *host_ptr)
 {
     const auto start = reinterpret_cast<std::uintptr_t>(host_ptr);
     if (ranges_.erase(start) == 0)
-        fatal("unregister of unknown host range %p", host_ptr);
+        SIM_FATAL("mem", "unregister of unknown host range %p", host_ptr);
     cached_ = nullptr;
 }
 
@@ -65,7 +65,7 @@ AddressSpace::simAddrOf(const void *host_ptr) const
 {
     const HostRange *r = rangeContaining(host_ptr);
     if (!r)
-        fatal("host pointer %p is not in any registered range", host_ptr);
+        SIM_FATAL("mem", "host pointer %p is not in any registered range", host_ptr);
     const auto p = reinterpret_cast<std::uintptr_t>(host_ptr);
     return r->simStart + (p - r->hostStart);
 }

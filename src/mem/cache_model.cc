@@ -10,14 +10,14 @@ CacheModel::CacheModel(std::uint64_t size_bytes, std::uint32_t assoc,
     : assoc_(assoc), hashedIndex_(hashed_index)
 {
     if (assoc == 0 || line_size == 0 || size_bytes == 0)
-        fatal("cache parameters must be nonzero");
+        SIM_FATAL("mem", "cache parameters must be nonzero");
     const std::uint64_t lines = size_bytes / line_size;
     if (lines % assoc != 0)
-        fatal("cache lines (%llu) not divisible by assoc (%u)",
+        SIM_FATAL("mem", "cache lines (%llu) not divisible by assoc (%u)",
               (unsigned long long)lines, assoc);
     numSets_ = static_cast<std::uint32_t>(lines / assoc);
     if ((numSets_ & (numSets_ - 1)) != 0)
-        fatal("cache set count must be a power of two (%u)", numSets_);
+        SIM_FATAL("mem", "cache set count must be a power of two (%u)", numSets_);
     setMask_ = numSets_ - 1;
     ways_.resize(std::uint64_t(numSets_) * assoc_);
 }
@@ -70,6 +70,46 @@ CacheModel::contains(Addr line) const
         if (set[w].line == line)
             return true;
     return false;
+}
+
+std::string
+CacheModel::checkIntegrity() const
+{
+    std::uint64_t live = 0;
+    for (std::uint32_t s = 0; s < numSets_; ++s) {
+        const Way *set = &ways_[std::uint64_t(s) * assoc_];
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (set[w].line == invalidAddr)
+                continue;
+            ++live;
+            // A resident line must index to the set holding it.
+            if (setIndexOf(set[w].line) != s) {
+                return detail::formatMessage(
+                    "line %llx resident in set %u but indexes to set %u",
+                    (unsigned long long)set[w].line, s,
+                    setIndexOf(set[w].line));
+            }
+            for (std::uint32_t v = w + 1; v < assoc_; ++v) {
+                if (set[v].line == set[w].line) {
+                    return detail::formatMessage(
+                        "line %llx duplicated in set %u (ways %u and %u)",
+                        (unsigned long long)set[w].line, s, w, v);
+                }
+            }
+        }
+    }
+    if (live != residentLines_) {
+        return detail::formatMessage(
+            "residentLines %llu != %llu live ways",
+            (unsigned long long)residentLines_, (unsigned long long)live);
+    }
+    if (live > std::uint64_t(numSets_) * assoc_) {
+        return detail::formatMessage(
+            "occupancy %llu exceeds capacity %llu",
+            (unsigned long long)live,
+            (unsigned long long)(std::uint64_t(numSets_) * assoc_));
+    }
+    return {};
 }
 
 void

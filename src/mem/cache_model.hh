@@ -9,6 +9,7 @@
 #define AFFALLOC_MEM_CACHE_MODEL_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/types.hh"
@@ -66,6 +67,14 @@ class CacheModel
     std::uint32_t assoc() const { return assoc_; }
     /** Currently resident lines. */
     std::uint64_t residentLines() const { return residentLines_; }
+
+    /**
+     * SimCheck audit: verify internal consistency — the resident-line
+     * count matches the live ways, occupancy is within sets x assoc,
+     * and no line appears twice in one set. Returns an empty string
+     * when healthy, else a description of the first inconsistency.
+     */
+    std::string checkIntegrity() const;
 
   private:
     struct Way

@@ -16,7 +16,7 @@ Dram::Dram(const sim::MachineConfig &cfg, const noc::Mesh &mesh,
 {
     const auto corners = mesh.cornerTiles();
     if (channels_ > corners.size())
-        fatal("more DRAM channels (%u) than mesh corners", channels_);
+        SIM_FATAL("mem", "more DRAM channels (%u) than mesh corners", channels_);
     controllerTiles_.assign(corners.begin(), corners.begin() + channels_);
 }
 

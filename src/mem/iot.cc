@@ -15,16 +15,16 @@ std::size_t
 InterleaveOverrideTable::insert(Addr start, Addr end, std::uint32_t intrlv)
 {
     if (entries_.size() >= capacity_)
-        fatal("IOT full (%u entries)", capacity_);
+        SIM_FATAL("mem", "IOT full (%u entries)", capacity_);
     if (start >= end)
-        fatal("IOT range empty [%#lx, %#lx)", (unsigned long)start,
+        SIM_FATAL("mem", "IOT range empty [%#lx, %#lx)", (unsigned long)start,
               (unsigned long)end);
     if (intrlv < minInterleave || (intrlv & (intrlv - 1)) != 0)
-        fatal("IOT interleaving %u invalid (must be pow2 >= %u)", intrlv,
+        SIM_FATAL("mem", "IOT interleaving %u invalid (must be pow2 >= %u)", intrlv,
               minInterleave);
     for (const auto &e : entries_) {
         if (start < e.end && e.start < end)
-            fatal("IOT range overlaps existing entry");
+            SIM_FATAL("mem", "IOT range overlaps existing entry");
     }
     entries_.push_back(IotEntry{start, end, intrlv});
     return entries_.size() - 1;
@@ -35,14 +35,14 @@ InterleaveOverrideTable::grow(std::size_t idx, Addr new_end)
 {
     IotEntry &e = entries_.at(idx);
     if (new_end < e.end)
-        fatal("IOT entries can only grow (end %#lx -> %#lx)",
+        SIM_FATAL("mem", "IOT entries can only grow (end %#lx -> %#lx)",
               (unsigned long)e.end, (unsigned long)new_end);
     for (std::size_t i = 0; i < entries_.size(); ++i) {
         if (i == idx)
             continue;
         const auto &o = entries_[i];
         if (e.start < o.end && o.start < new_end)
-            fatal("IOT grow would overlap another entry");
+            SIM_FATAL("mem", "IOT grow would overlap another entry");
     }
     e.end = new_end;
 }

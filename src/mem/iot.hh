@@ -76,6 +76,13 @@ class InterleaveOverrideTable
     /** Access entry by index. */
     const IotEntry &entry(std::size_t idx) const { return entries_.at(idx); }
 
+    /**
+     * Mutable entry access for simcheck corruption tests only — lets a
+     * test plant a stale interleaving and assert the cross-consistency
+     * audit catches it. Production code must go through insert()/grow().
+     */
+    IotEntry &entryForTest(std::size_t idx) { return entries_.at(idx); }
+
   private:
     std::uint32_t capacity_;
     std::vector<IotEntry> entries_;

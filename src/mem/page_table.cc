@@ -10,7 +10,7 @@ PageTable::map(Addr vpage, Addr ppage)
 {
     auto [it, inserted] = table_.emplace(vpage, ppage);
     if (!inserted)
-        fatal("virtual page %#lx already mapped", (unsigned long)vpage);
+        SIM_FATAL("mem", "virtual page %#lx already mapped", (unsigned long)vpage);
     (void)it;
     cachedVpage_ = invalidAddr;
 }
@@ -29,7 +29,7 @@ PageTable::translate(Addr vaddr) const
         return pageBase(cachedPpage_) + pageOffset(vaddr);
     auto it = table_.find(vpage);
     if (it == table_.end())
-        fatal("access to unmapped virtual address %#lx",
+        SIM_FATAL("mem", "access to unmapped virtual address %#lx",
               (unsigned long)vaddr);
     cachedVpage_ = vpage;
     cachedPpage_ = it->second;
@@ -50,7 +50,7 @@ void
 PageTable::unmap(Addr vpage)
 {
     if (table_.erase(vpage) == 0)
-        fatal("unmap of unmapped virtual page %#lx", (unsigned long)vpage);
+        SIM_FATAL("mem", "unmap of unmapped virtual page %#lx", (unsigned long)vpage);
     cachedVpage_ = invalidAddr;
 }
 

@@ -67,6 +67,7 @@ Network::chargeLink(LinkId link, std::uint32_t flits)
     }
     epochLinkFlits_[link] += charged;
     lifetimeLinkFlits_[link] += charged;
+    epochRouteFlitsShadow_ += charged;
 }
 
 void
@@ -106,6 +107,47 @@ Network::resetEpoch()
 {
     std::fill(epochLinkFlits_.begin(), epochLinkFlits_.end(), 0);
     epochFlits_ = 0;
+    epochRouteFlitsShadow_ = 0;
+}
+
+void
+Network::auditConservation(simcheck::CheckContext &ctx) const
+{
+    std::uint64_t route = 0;
+    for (std::uint32_t l = 0; l < mesh_.numLinks(); ++l)
+        route += epochLinkFlits_[l];
+    if (route != epochRouteFlitsShadow_) {
+        ctx.failf("route-link flits %llu != %llu charged this epoch "
+                  "(flits lost or duplicated in transit)",
+                  static_cast<unsigned long long>(route),
+                  static_cast<unsigned long long>(epochRouteFlitsShadow_));
+    }
+    std::uint64_t injected = 0, ejected = 0;
+    for (TileId t = 0; t < mesh_.numTiles(); ++t) {
+        injected += epochLinkFlits_[injectPort(t)];
+        ejected += epochLinkFlits_[ejectPort(t)];
+    }
+    if (injected != epochFlits_) {
+        ctx.failf("inject-port flits %llu != %llu injected this epoch",
+                  static_cast<unsigned long long>(injected),
+                  static_cast<unsigned long long>(epochFlits_));
+    }
+    if (ejected != epochFlits_) {
+        ctx.failf("eject-port flits %llu != %llu injected this epoch "
+                  "(flits vanished before delivery)",
+                  static_cast<unsigned long long>(ejected),
+                  static_cast<unsigned long long>(epochFlits_));
+    }
+}
+
+void
+Network::corruptLinkFlitsForTest(std::uint32_t index, std::int64_t delta)
+{
+    SIM_CHECK("noc", index < epochLinkFlits_.size(),
+              "corruptLinkFlitsForTest: index %u out of range", index);
+    epochLinkFlits_[index] =
+        static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(epochLinkFlits_[index]) + delta);
 }
 
 } // namespace affalloc::noc

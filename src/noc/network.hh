@@ -15,6 +15,7 @@
 #include "noc/topology.hh"
 #include "sim/config.hh"
 #include "sim/fault.hh"
+#include "sim/simcheck.hh"
 #include "sim/stats.hh"
 
 namespace affalloc::noc
@@ -76,6 +77,21 @@ class Network
         return lifetimeLinkFlits_;
     }
 
+    /**
+     * SimCheck audit: flit conservation for the current epoch. The
+     * route-link occupancy must equal what chargeLink() handed out
+     * (no lost or duplicated flits), and every flit injected at a
+     * source port must have been ejected at a destination port.
+     */
+    void auditConservation(simcheck::CheckContext &ctx) const;
+
+    /**
+     * Deliberately corrupt one per-epoch link counter (simcheck tests
+     * use this to model a dropped/duplicated flit). @p index addresses
+     * epochLinkFlits_, i.e. [0, numLinks) are route links.
+     */
+    void corruptLinkFlitsForTest(std::uint32_t index, std::int64_t delta);
+
   private:
     /** Walk the X-Y route charging @p flits to every link. */
     void chargeRoute(TileId src, TileId dst, std::uint32_t flits);
@@ -101,6 +117,9 @@ class Network
     /** Per-directed-link flits over the whole run. */
     std::vector<std::uint64_t> lifetimeLinkFlits_;
     std::uint64_t epochFlits_ = 0;
+    /** Shadow sum of everything chargeLink() handed to route links
+     *  this epoch; auditConservation() checks the links agree. */
+    std::uint64_t epochRouteFlitsShadow_ = 0;
 };
 
 } // namespace affalloc::noc

@@ -11,7 +11,7 @@ Mesh::Mesh(std::uint32_t x_dim, std::uint32_t y_dim)
     : xDim_(x_dim), yDim_(y_dim)
 {
     if (x_dim == 0 || y_dim == 0)
-        fatal("mesh dimensions must be nonzero (%ux%u)", x_dim, y_dim);
+        SIM_FATAL("noc", "mesh dimensions must be nonzero (%ux%u)", x_dim, y_dim);
 }
 
 std::uint32_t
@@ -26,7 +26,7 @@ void
 Mesh::route(TileId src, TileId dst, std::vector<LinkId> &out) const
 {
     if (src >= numTiles() || dst >= numTiles())
-        panic("route endpoints out of range (%u -> %u)", src, dst);
+        SIM_PANIC("noc", "route endpoints out of range (%u -> %u)", src, dst);
     std::uint32_t x = xOf(src);
     std::uint32_t y = yOf(src);
     const std::uint32_t tx = xOf(dst);

@@ -1,6 +1,7 @@
 #include "nsc/machine.hh"
 
 #include <algorithm>
+#include <optional>
 
 #include "mem/address.hh"
 #include "sim/log.hh"
@@ -12,25 +13,25 @@ void
 TimingParams::validate() const
 {
     if (l3ServiceCycles <= 0.0)
-        fatal("timing: l3ServiceCycles must be positive (%g)",
+        SIM_FATAL("nsc", "timing: l3ServiceCycles must be positive (%g)",
               l3ServiceCycles);
     if (atomicExtraCycles < 0.0)
-        fatal("timing: atomicExtraCycles must be non-negative (%g)",
+        SIM_FATAL("nsc", "timing: atomicExtraCycles must be non-negative (%g)",
               atomicExtraCycles);
     if (coreIssueCycles <= 0.0)
-        fatal("timing: coreIssueCycles must be positive (%g)",
+        SIM_FATAL("nsc", "timing: coreIssueCycles must be positive (%g)",
               coreIssueCycles);
     if (coreFlopsPerCycle <= 0.0)
-        fatal("timing: coreFlopsPerCycle must be positive (%g)",
+        SIM_FATAL("nsc", "timing: coreFlopsPerCycle must be positive (%g)",
               coreFlopsPerCycle);
     if (seFlopsPerCycle <= 0.0)
-        fatal("timing: seFlopsPerCycle must be positive (%g)",
+        SIM_FATAL("nsc", "timing: seFlopsPerCycle must be positive (%g)",
               seFlopsPerCycle);
     if (epochOverheadCycles < 0.0)
-        fatal("timing: epochOverheadCycles must be non-negative (%g)",
+        SIM_FATAL("nsc", "timing: epochOverheadCycles must be non-negative (%g)",
               epochOverheadCycles);
     if (coreMaxMlp <= 0.0)
-        fatal("timing: coreMaxMlp must be positive (%g); zero would "
+        SIM_FATAL("nsc", "timing: coreMaxMlp must be positive (%g); zero would "
               "divide irregular-access occupancy by zero",
               coreMaxMlp);
 }
@@ -92,6 +93,22 @@ Machine::Machine(const sim::MachineConfig &cfg, os::SimOS &os,
     seTlb_.reserve(cfg.numBanks());
     for (std::uint32_t b = 0; b < cfg.numBanks(); ++b)
         seTlb_.emplace_back(cfg.seTlbEntries, 16, 1, true);
+
+    auditor_.setEnabled(cfg_.simcheck.audit);
+    auditor_.setPeriodEpochs(cfg_.simcheck.auditPeriodEpochs);
+    watchdog_.setLimit(cfg_.simcheck.watchdogStallEpochs);
+    auditor_.registerCheck("noc", "flit-conservation",
+                           [this](simcheck::CheckContext &ctx) {
+                               net_.auditConservation(ctx);
+                           });
+    auditor_.registerCheck("mem", "cache-integrity",
+                           [this](simcheck::CheckContext &ctx) {
+                               auditCaches(ctx);
+                           });
+    auditor_.registerCheck("mem", "mapping-consistency",
+                           [this](simcheck::CheckContext &ctx) {
+                               auditMapping(ctx);
+                           });
 }
 
 Cycles
@@ -192,7 +209,153 @@ Machine::endEpoch(double latency_floor, const std::string &phase)
                                     epochAtomics_.end());
     rec.phase = phase;
     timeline_.record(std::move(rec));
+
+    // Livelock watchdog: an epoch counts as stalled when no *work*
+    // counter moved. NoC messages deliberately do not count — an
+    // offload NACK-retry storm generates plenty of traffic while
+    // making zero forward progress, which is exactly the livelock
+    // shape this exists to catch.
+    const sim::Stats &pre = epochStartStats_;
+    const bool progress =
+        stats_.coreOps != pre.coreOps || stats_.seOps != pre.seOps ||
+        stats_.atomicOps != pre.atomicOps ||
+        stats_.l1Accesses != pre.l1Accesses ||
+        stats_.l3Accesses != pre.l3Accesses ||
+        stats_.dramAccesses != pre.dramAccesses ||
+        stats_.streamConfigs != pre.streamConfigs ||
+        stats_.streamMigrations != pre.streamMigrations;
+    if (watchdog_.observe(progress)) {
+        throw simcheck::LivelockError(detail::formatMessage(
+            "panic: [nsc] livelock watchdog: %u consecutive epochs with no "
+            "forward progress (cycle %llu, epoch %llu, offload retries this "
+            "epoch %llu, offline banks %llu/%u); aborting instead of "
+            "spinning",
+            watchdog_.stalledEpochs(),
+            static_cast<unsigned long long>(stats_.cycles),
+            static_cast<unsigned long long>(stats_.epochs),
+            static_cast<unsigned long long>(stats_.offloadRetries -
+                                            pre.offloadRetries),
+            static_cast<unsigned long long>(stats_.offlineBanks),
+            cfg_.numBanks()));
+    }
+
+    auditor_.onEpochEnd(stats_.epochs);
     return duration;
+}
+
+void
+Machine::auditCaches(simcheck::CheckContext &ctx) const
+{
+    const auto check = [&ctx](const char *what, std::size_t idx,
+                              const mem::CacheModel &c) {
+        const std::string err = c.checkIntegrity();
+        if (!err.empty())
+            ctx.failf("%s[%zu]: %s", what, idx, err.c_str());
+    };
+    for (std::size_t b = 0; b < l3Banks_.size(); ++b)
+        check("l3", b, l3Banks_[b]);
+    for (std::size_t c = 0; c < l1_.size(); ++c)
+        check("l1", c, l1_[c]);
+    for (std::size_t c = 0; c < l2_.size(); ++c)
+        check("l2", c, l2_[c]);
+    for (std::size_t c = 0; c < l1Tlb_.size(); ++c)
+        check("l1tlb", c, l1Tlb_[c]);
+    for (std::size_t c = 0; c < l2Tlb_.size(); ++c)
+        check("l2tlb", c, l2Tlb_[c]);
+    for (std::size_t b = 0; b < seTlb_.size(); ++b)
+        check("setlb", b, seTlb_[b]);
+}
+
+void
+Machine::auditMapping(simcheck::CheckContext &ctx) const
+{
+    const auto &pt = os_.pageTable();
+    const auto &iot = os_.iot();
+    const sim::FaultPlan &plan = os_.faultPlan();
+
+    // IOT entries must never overlap; hardware would pick one
+    // nondeterministically.
+    for (std::size_t i = 0; i < iot.size(); ++i) {
+        for (std::size_t j = i + 1; j < iot.size(); ++j) {
+            const mem::IotEntry &a = iot.entry(i);
+            const mem::IotEntry &b = iot.entry(j);
+            if (a.start < b.end && b.start < a.end) {
+                ctx.failf("IOT entries %zu and %zu overlap "
+                          "([%llx,%llx) vs [%llx,%llx))",
+                          i, j, (unsigned long long)a.start,
+                          (unsigned long long)a.end,
+                          (unsigned long long)b.start,
+                          (unsigned long long)b.end);
+            }
+        }
+    }
+
+    // One sampled page: translation, IOT coverage, Eq. 1 bank.
+    const auto checkPage = [&](const char *what, int k, Addr vaddr,
+                               std::optional<Addr> expect_pa,
+                               std::uint32_t expect_intrlv) {
+        const std::optional<Addr> pa = pt.tryTranslate(vaddr);
+        if (!pa) {
+            ctx.failf("%s %d: vaddr %llx inside brk but unmapped", what, k,
+                      (unsigned long long)vaddr);
+            return;
+        }
+        if (expect_pa && *pa != *expect_pa) {
+            ctx.failf("%s %d: vaddr %llx maps to %llx, expected contiguous "
+                      "backing at %llx",
+                      what, k, (unsigned long long)vaddr,
+                      (unsigned long long)*pa,
+                      (unsigned long long)*expect_pa);
+            return;
+        }
+        const mem::IotEntry *e = iot.lookup(*pa);
+        if (!e) {
+            ctx.failf("%s %d: paddr %llx not covered by any IOT entry",
+                      what, k, (unsigned long long)*pa);
+            return;
+        }
+        if (e->intrlv != expect_intrlv) {
+            ctx.failf("%s %d: IOT interleave %u != %u the OS installed "
+                      "(stale entry)",
+                      what, k, e->intrlv, expect_intrlv);
+            return;
+        }
+        const BankId raw = e->bankOf(*pa, cfg_.numBanks());
+        const BankId expect = plan.redirect(raw);
+        const BankId got = mapper_.bankOf(*pa);
+        if (got != expect) {
+            ctx.failf("%s %d: paddr %llx homed at bank %u, Eq. 1 predicts "
+                      "%u (redirected from %u)",
+                      what, k, (unsigned long long)*pa, got, expect, raw);
+        }
+    };
+
+    for (int k = 0; k < mem::numInterleavePools; ++k) {
+        const Addr brk = os_.poolBrkOf(k);
+        if (brk == 0)
+            continue;
+        const Addr vbase = os_.poolVirtBaseOf(k);
+        const Addr pbase = mem::poolPhysBase + Addr(k) * mem::terabyte;
+        const Addr pages = mem::pageOf(brk + mem::pageSize - 1);
+        const Addr stride = std::max<Addr>(1, pages / 32);
+        for (Addr pg = 0; pg < pages; pg += stride) {
+            checkPage("pool", k, vbase + pg * mem::pageSize,
+                      pbase + pg * mem::pageSize, mem::poolInterleave(k));
+        }
+        checkPage("pool", k, vbase + (pages - 1) * mem::pageSize,
+                  pbase + (pages - 1) * mem::pageSize,
+                  mem::poolInterleave(k));
+    }
+
+    const Addr lpages = os_.largeBrkPages();
+    if (lpages != 0) {
+        const Addr stride = std::max<Addr>(1, lpages / 32);
+        for (Addr pg = 0; pg < lpages; pg += stride) {
+            checkPage("page-at-bank", 0, mem::largeVirtBase +
+                      pg * mem::pageSize, std::nullopt,
+                      static_cast<std::uint32_t>(mem::pageSize));
+        }
+    }
 }
 
 Cycles
@@ -433,7 +596,7 @@ void
 Machine::injectBankFault(BankId b)
 {
     if (b >= cfg_.numBanks())
-        fatal("injectBankFault: bank %u out of range", b);
+        SIM_FATAL("nsc", "injectBankFault: bank %u out of range", b);
     if (os_.faultPlan().offlineBank(b)) {
         stats_.offlineBanks += 1;
         // The bank's cached lines are gone; future accesses to its

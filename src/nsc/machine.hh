@@ -104,6 +104,13 @@ class Machine
     sim::Timeline &timeline() { return timeline_; }
     Cycles now() const { return stats_.cycles; }
 
+    // ----------------------------------------------------------- simcheck
+    /** Invariant-check registry; components register in their ctors. */
+    simcheck::Auditor &auditor() { return auditor_; }
+    const simcheck::Auditor &auditor() const { return auditor_; }
+    /** Run every registered audit now; throws AuditError on violation. */
+    void audit() const { auditor_.runAll(); }
+
     // ------------------------------------------------------ bank lookup
     /** Home bank of a simulated virtual address. */
     BankId bankOfSim(Addr vaddr) const;
@@ -232,6 +239,17 @@ class Machine
     /** SEL3-side translation at bank @p bank's stream-engine TLB. */
     Cycles seTranslate(BankId bank, Addr vaddr);
 
+    /** SimCheck audit: every cache model's internal consistency. */
+    void auditCaches(simcheck::CheckContext &ctx) const;
+    /**
+     * SimCheck audit: bank-mapper <-> IOT <-> page-table
+     * cross-consistency — sampled pool and page-at-bank pages must be
+     * mapped where the OS placed them, covered by an IOT entry with
+     * the pool's interleaving, and homed at the bank Eq. 1 predicts
+     * (modulo fault-plan spare redirection).
+     */
+    void auditMapping(simcheck::CheckContext &ctx) const;
+
     sim::MachineConfig cfg_;
     TimingParams tp_;
     os::SimOS &os_;
@@ -263,6 +281,9 @@ class Machine
     sim::Stats epochStartStats_;
 
     sim::Timeline timeline_;
+
+    simcheck::Auditor auditor_;
+    simcheck::LivelockWatchdog watchdog_;
 };
 
 } // namespace affalloc::nsc

@@ -10,25 +10,63 @@ namespace affalloc::nsc
 StreamExecutor::StreamExecutor(Machine &m, ExecMode mode)
     : machine_(m), mode_(mode)
 {
+    audit_ = machine_.config().simcheck.audit;
+    auditId_ = machine_.auditor().registerCheck(
+        "nsc", "offload-conservation",
+        [this](simcheck::CheckContext &ctx) { auditOffloads(ctx); });
+}
+
+StreamExecutor::~StreamExecutor()
+{
+    machine_.auditor().unregisterCheck(auditId_);
+}
+
+void
+StreamExecutor::auditOffloads(simcheck::CheckContext &ctx) const
+{
+    if (!offloaded() && offloadAttempts_ != 0) {
+        ctx.failf("%llu offload attempts under in-core mode",
+                  (unsigned long long)offloadAttempts_);
+    }
+    if (offloadAttempts_ != offloadAdmits_ + offloadFallbacks_) {
+        ctx.failf("stranded offloads: %llu attempts != %llu admits + "
+                  "%llu in-core fallbacks",
+                  (unsigned long long)offloadAttempts_,
+                  (unsigned long long)offloadAdmits_,
+                  (unsigned long long)offloadFallbacks_);
+    }
 }
 
 bool
 StreamExecutor::offloadAdmitted(CoreId core, BankId bank, double &penalty)
 {
+    offloadAttempts_ += 1;
+    // Bank selection (bankOfSim) already redirects faulted banks to
+    // their spares, so an offload aimed at a dead bank means the
+    // mapper and the fault plan disagree.
+    if (audit_) {
+        SIM_CHECK("nsc", machine_.bankLive(bank),
+                  "offload targets dead bank %u", bank);
+    }
     sim::FaultPlan &plan = machine_.faultPlan();
-    if (!plan.rejectsOffloads())
+    if (!plan.rejectsOffloads()) {
+        offloadAdmits_ += 1;
         return true;
+    }
     const sim::FaultConfig &fc = plan.config();
     for (std::uint32_t attempt = 0; attempt <= fc.maxOffloadRetries;
          ++attempt) {
-        if (!plan.rejectOffload())
+        if (!plan.rejectOffload()) {
+            offloadAdmits_ += 1;
             return true;
+        }
         // The rejected config message and its NACK still travel.
         penalty += double(machine_.offloadNack(core, bank));
         // Exponential backoff, capped at 2^8 x the base.
         penalty += double(fc.offloadRetryBackoff) *
                    double(1u << std::min<std::uint32_t>(attempt, 8u));
     }
+    offloadFallbacks_ += 1;
     machine_.stats().offloadFallbacks += 1;
     return false;
 }
@@ -266,6 +304,10 @@ StreamExecutor::streamStep(MigratingStream &stream, Addr vaddr,
             double(machine_.configStream(stream.owner_, home));
         stream.bank_ = home;
     } else if (home != stream.bank_) {
+        if (audit_) {
+            SIM_CHECK("nsc", machine_.bankLive(home),
+                      "stream migrating to dead bank %u", home);
+        }
         stream.chain_ +=
             double(machine_.migrateStream(stream.bank_, home));
         stream.bank_ = home;
@@ -289,7 +331,7 @@ StreamExecutor::indirect(MigratingStream &stream, Addr vaddr,
         return out;
     }
     if (stream.bank_ == invalidBank)
-        panic("indirect from an unconfigured stream");
+        SIM_PANIC("nsc", "indirect from an unconfigured stream");
     const AccessOutcome out =
         machine_.l3StreamAccess(stream.bank_, vaddr, bytes, type);
     stream.chain_ += double(out.latency);

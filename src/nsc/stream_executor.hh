@@ -88,6 +88,10 @@ class StreamExecutor
   public:
     /** Bind to a machine and execution mode. */
     StreamExecutor(Machine &m, ExecMode mode);
+    ~StreamExecutor();
+
+    StreamExecutor(const StreamExecutor &) = delete;
+    StreamExecutor &operator=(const StreamExecutor &) = delete;
 
     /** The mode streams execute under. */
     ExecMode mode() const { return mode_; }
@@ -154,8 +158,24 @@ class StreamExecutor
      */
     bool offloadAdmitted(CoreId core, BankId bank, double &penalty);
 
+    /**
+     * SimCheck audit: offload conservation — every offload attempt
+     * either got admitted at a bank or fell back in-core; nothing is
+     * left stranded (admitted but never configured, or neither).
+     */
+    void auditOffloads(simcheck::CheckContext &ctx) const;
+
     Machine &machine_;
     ExecMode mode_;
+
+    /** Auditor registration id (unregistered in the destructor). */
+    int auditId_ = 0;
+    /** Cached config().simcheck.audit: gates per-offload SIM_CHECKs. */
+    bool audit_ = false;
+    // Offload-conservation shadow counters (simcheck audit).
+    std::uint64_t offloadAttempts_ = 0;
+    std::uint64_t offloadAdmits_ = 0;
+    std::uint64_t offloadFallbacks_ = 0;
 };
 
 } // namespace affalloc::nsc

@@ -37,9 +37,9 @@ Addr
 SimOS::heapAlloc(std::size_t bytes, std::size_t align)
 {
     if (bytes == 0)
-        fatal("heapAlloc of zero bytes");
+        SIM_FATAL("os", "heapAlloc of zero bytes");
     if (align == 0 || (align & (align - 1)) != 0)
-        fatal("heapAlloc alignment must be a power of two");
+        SIM_FATAL("os", "heapAlloc alignment must be a power of two");
     heapBrk_ = (heapBrk_ + align - 1) & ~(Addr(align) - 1);
     const Addr vaddr = mem::heapVirtBase + heapBrk_;
     heapBrk_ += bytes;
@@ -71,7 +71,7 @@ Addr
 SimOS::poolVirtBaseOf(int k) const
 {
     if (k < 0 || k >= mem::numInterleavePools)
-        panic("pool index %d out of range", k);
+        SIM_PANIC("os", "pool index %d out of range", k);
     return mem::poolVirtBase + Addr(k) * mem::terabyte;
 }
 
@@ -79,7 +79,7 @@ Addr
 SimOS::expandPool(int k, Addr min_bytes)
 {
     if (k < 0 || k >= mem::numInterleavePools)
-        panic("pool index %d out of range", k);
+        SIM_PANIC("os", "pool index %d out of range", k);
     const Addr new_brk = mem::roundUpPage(min_bytes);
     Addr &brk = poolBrk_[k];
     if (new_brk <= brk)
@@ -109,7 +109,7 @@ Addr
 SimOS::nextPagePhysAtBank(BankId bank)
 {
     if (bank >= cfg_.numBanks())
-        panic("bank %u out of range", bank);
+        SIM_PANIC("os", "bank %u out of range", bank);
     const Addr idx = nextBankPpage_[bank];
     nextBankPpage_[bank] += cfg_.numBanks();
     largePhysHighWater_ = std::max(largePhysHighWater_, idx + 1);
@@ -120,7 +120,7 @@ Addr
 SimOS::allocPagesAtBanks(const std::vector<BankId> &banks)
 {
     if (banks.empty())
-        fatal("allocPagesAtBanks with no pages");
+        SIM_FATAL("os", "allocPagesAtBanks with no pages");
     const Addr vbase =
         mem::largeVirtBase + largeBrkPages_ * mem::pageSize;
     for (std::size_t i = 0; i < banks.size(); ++i) {

@@ -117,6 +117,8 @@ class SimOS
     mem::InterleaveOverrideTable &iotForTest() { return iot_; }
     /** Total physical pages backed so far. */
     std::uint64_t backedPages() const { return backedPages_; }
+    /** Virtual pages handed out from the page-at-bank region. */
+    Addr largeBrkPages() const { return largeBrkPages_; }
     /** The machine's fault plan (the OS tracks hardware health). */
     sim::FaultPlan &faultPlan() { return faultPlan_; }
     const sim::FaultPlan &faultPlan() const { return faultPlan_; }

@@ -63,36 +63,36 @@ void
 MachineConfig::validate() const
 {
     if (meshX == 0 || meshY == 0)
-        fatal("mesh dimensions must be nonzero (%ux%u)", meshX, meshY);
+        SIM_FATAL("config", "mesh dimensions must be nonzero (%ux%u)", meshX, meshY);
     if (clockGhz <= 0.0)
-        fatal("clock frequency must be positive (%g GHz)", clockGhz);
+        SIM_FATAL("config", "clock frequency must be positive (%g GHz)", clockGhz);
     if (!isPow2(lineSize))
-        fatal("line size must be a power of two (%u)", lineSize);
+        SIM_FATAL("config", "line size must be a power of two (%u)", lineSize);
     if (!isPow2(l3DefaultInterleave) || l3DefaultInterleave < lineSize)
-        fatal("default L3 interleave must be a power of two >= line size");
+        SIM_FATAL("config", "default L3 interleave must be a power of two >= line size");
     if (l1SizeBytes % (l1Assoc * lineSize) != 0)
-        fatal("L1 size must be a multiple of assoc * line size");
+        SIM_FATAL("config", "L1 size must be a multiple of assoc * line size");
     if (l2SizeBytes % (l2Assoc * lineSize) != 0)
-        fatal("L2 size must be a multiple of assoc * line size");
+        SIM_FATAL("config", "L2 size must be a multiple of assoc * line size");
     if (l3BankSizeBytes % (l3Assoc * lineSize) != 0)
-        fatal("L3 bank size must be a multiple of assoc * line size");
+        SIM_FATAL("config", "L3 bank size must be a multiple of assoc * line size");
     if (dramChannels == 0 || dramChannels > numTiles())
-        fatal("dram channels must be in [1, tiles]");
+        SIM_FATAL("config", "dram channels must be in [1, tiles]");
     if (dramTotalGBs <= 0.0)
-        fatal("DRAM bandwidth must be positive (%g GB/s)", dramTotalGBs);
+        SIM_FATAL("config", "DRAM bandwidth must be positive (%g GB/s)", dramTotalGBs);
     if (linkBytes == 0)
-        fatal("NoC link width must be nonzero");
+        SIM_FATAL("config", "NoC link width must be nonzero");
     if (epochChunk == 0)
-        fatal("epoch chunk must be nonzero");
+        SIM_FATAL("config", "epoch chunk must be nonzero");
     if (faults.offloadRejectRate < 0.0 || faults.offloadRejectRate > 1.0)
-        fatal("offload reject rate %g outside [0, 1]",
+        SIM_FATAL("config", "offload reject rate %g outside [0, 1]",
               faults.offloadRejectRate);
     if (faults.offlineBanks >= numTiles())
-        fatal("cannot offline %u of %u banks (at least one must stay "
+        SIM_FATAL("config", "cannot offline %u of %u banks (at least one must stay "
               "live)",
               faults.offlineBanks, numTiles());
     if (faults.linkDegradeFactor == 0)
-        fatal("link degrade factor must be >= 1");
+        SIM_FATAL("config", "link degrade factor must be >= 1");
 }
 
 } // namespace affalloc::sim

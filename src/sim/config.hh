@@ -12,6 +12,7 @@
 #include <string>
 
 #include "sim/fault.hh"
+#include "sim/simcheck.hh"
 #include "sim/types.hh"
 
 namespace affalloc::sim
@@ -136,6 +137,11 @@ struct MachineConfig
     // ----------------------------------------------------- fault injection
     /** Fault campaign drawn at machine construction (default: none). */
     FaultConfig faults;
+
+    // ------------------------------------------------------------ simcheck
+    /** Invariant auditing / watchdog knobs (env vars set defaults). */
+    ::affalloc::simcheck::SimCheckConfig simcheck =
+        ::affalloc::simcheck::SimCheckConfig::fromEnv();
 
     /** Total tiles (== cores == L3 banks). */
     std::uint32_t numTiles() const { return meshX * meshY; }

@@ -44,16 +44,16 @@ FaultPlan::FaultPlan(const FaultConfig &cfg, std::uint32_t mesh_x,
 {
     const std::uint32_t num_banks = mesh_x * mesh_y;
     if (num_banks == 0)
-        fatal("fault plan over an empty mesh");
+        SIM_FATAL("fault", "fault plan over an empty mesh");
     if (cfg.offloadRejectRate < 0.0 || cfg.offloadRejectRate > 1.0)
-        fatal("offload reject rate %g outside [0, 1]",
+        SIM_FATAL("fault", "offload reject rate %g outside [0, 1]",
               cfg.offloadRejectRate);
     if (cfg.offlineBanks >= num_banks)
-        fatal("cannot offline %u of %u banks (at least one must stay "
+        SIM_FATAL("fault", "cannot offline %u of %u banks (at least one must stay "
               "live)",
               cfg.offlineBanks, num_banks);
     if (cfg.linkDegradeFactor == 0)
-        fatal("link degrade factor must be >= 1");
+        SIM_FATAL("fault", "link degrade factor must be >= 1");
 
     liveMask_.assign(num_banks, 1);
     for (std::uint32_t picked = 0; picked < cfg.offlineBanks;) {
@@ -102,11 +102,11 @@ bool
 FaultPlan::offlineBank(BankId b)
 {
     if (liveMask_.empty() || b >= liveMask_.size())
-        fatal("offlineBank: bank %u out of range", b);
+        SIM_FATAL("fault", "offlineBank: bank %u out of range", b);
     if (!liveMask_[b])
         return false;
     if (numLiveBanks() <= 1)
-        fatal("offlineBank: cannot offline the last live bank %u", b);
+        SIM_FATAL("fault", "offlineBank: cannot offline the last live bank %u", b);
     liveMask_[b] = 0;
     ++offlineCount_;
     rebuildRedirect();

@@ -33,6 +33,37 @@ formatMessage(const char *fmt, ...)
     return std::string(buf.data(), static_cast<size_t>(n));
 }
 
+std::string
+diagnosticMessage(const char *kind, const char *component, const char *file,
+                  int line, const char *expr, const std::string &msg)
+{
+    // Trim absolute build paths down to the repo-relative part.
+    std::string path(file ? file : "?");
+    const std::size_t src = path.rfind("src/");
+    if (src != std::string::npos) {
+        path.erase(0, src);
+    } else {
+        const std::size_t slash = path.rfind('/');
+        if (slash != std::string::npos)
+            path.erase(0, slash + 1);
+    }
+    std::string out(kind);
+    out += ": [";
+    out += component;
+    out += "] ";
+    out += path;
+    out += ':';
+    out += std::to_string(line);
+    out += ": ";
+    if (expr) {
+        out += '(';
+        out += expr;
+        out += ") ";
+    }
+    out += msg;
+    return out;
+}
+
 } // namespace detail
 
 void

@@ -37,6 +37,19 @@ namespace detail
 std::string formatMessage(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/**
+ * Build the one-line structured diagnostic shared by the SIM_* macro
+ * family and simcheck audit reports:
+ *
+ *     <kind>: [<component>] <file>:<line>: (<expr>) <message>
+ *
+ * @p expr may be null (unconditional SIM_PANIC/SIM_FATAL). The file
+ * path is trimmed to the repo-relative part.
+ */
+std::string diagnosticMessage(const char *kind, const char *component,
+                              const char *file, int line, const char *expr,
+                              const std::string &msg);
+
 } // namespace detail
 
 /**
@@ -62,6 +75,57 @@ fatal(const char *fmt, Args &&...args)
     throw FatalError("fatal: " +
                      detail::formatMessage(fmt, std::forward<Args>(args)...));
 }
+
+/** Throw a PanicError carrying the structured SIM_CHECK diagnostic. */
+template <typename... Args>
+[[noreturn]] void
+simCheckFail(const char *component, const char *file, int line,
+             const char *expr, const char *fmt, Args &&...args)
+{
+    throw PanicError(detail::diagnosticMessage(
+        "panic", component, file, line, expr,
+        detail::formatMessage(fmt, std::forward<Args>(args)...)));
+}
+
+/** Throw a FatalError carrying the structured SIM_REQUIRE diagnostic. */
+template <typename... Args>
+[[noreturn]] void
+simRequireFail(const char *component, const char *file, int line,
+               const char *expr, const char *fmt, Args &&...args)
+{
+    throw FatalError(detail::diagnosticMessage(
+        "fatal", component, file, line, expr,
+        detail::formatMessage(fmt, std::forward<Args>(args)...)));
+}
+
+/**
+ * SIM_CHECK(component, cond, fmt, ...) — internal invariant; a failure
+ * is a simulator bug. Throws PanicError with component, file:line, and
+ * the failed expression. SIM_REQUIRE is the same shape for user /
+ * configuration errors and throws FatalError. SIM_PANIC / SIM_FATAL
+ * are the unconditional forms.
+ */
+#define SIM_CHECK(component, cond, ...)                                       \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            ::affalloc::simCheckFail(component, __FILE__, __LINE__, #cond,    \
+                                     __VA_ARGS__);                            \
+    } while (0)
+
+#define SIM_REQUIRE(component, cond, ...)                                     \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            ::affalloc::simRequireFail(component, __FILE__, __LINE__, #cond,  \
+                                       __VA_ARGS__);                          \
+    } while (0)
+
+#define SIM_PANIC(component, ...)                                             \
+    ::affalloc::simCheckFail(component, __FILE__, __LINE__, nullptr,          \
+                             __VA_ARGS__)
+
+#define SIM_FATAL(component, ...)                                             \
+    ::affalloc::simRequireFail(component, __FILE__, __LINE__, nullptr,        \
+                               __VA_ARGS__)
 
 /** Print a warning to stderr; execution continues. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));

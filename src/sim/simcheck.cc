@@ -1,0 +1,148 @@
+#include "sim/simcheck.hh"
+
+#include <cstdlib>
+
+#include "sim/stats.hh"
+
+namespace affalloc::simcheck
+{
+
+namespace
+{
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 0);
+    if (end == v || *end != '\0') {
+        warn("ignoring malformed %s='%s'", name, v);
+        return fallback;
+    }
+    return parsed;
+}
+
+} // namespace
+
+SimCheckConfig
+SimCheckConfig::fromEnv()
+{
+    SimCheckConfig cfg;
+    cfg.audit = envU64("AFFALLOC_SIMCHECK", 0) != 0;
+    cfg.auditPeriodEpochs = static_cast<std::uint32_t>(
+        envU64("AFFALLOC_SIMCHECK_PERIOD", cfg.auditPeriodEpochs));
+    cfg.watchdogStallEpochs = static_cast<std::uint32_t>(
+        envU64("AFFALLOC_SIMCHECK_WATCHDOG", cfg.watchdogStallEpochs));
+    return cfg;
+}
+
+AuditError::AuditError(const std::string &what, std::vector<Violation> report)
+    : PanicError(what), report_(std::move(report))
+{
+}
+
+void
+CheckContext::fail(std::string message)
+{
+    failed_ = true;
+    sink_.push_back({component_, check_, std::move(message)});
+}
+
+int
+Auditor::registerCheck(std::string component, std::string check, CheckFn fn)
+{
+    SIM_CHECK("simcheck", fn != nullptr, "null check '%s/%s'",
+              component.c_str(), check.c_str());
+    const int id = nextId_++;
+    checks_.push_back(
+        {id, std::move(component), std::move(check), std::move(fn)});
+    return id;
+}
+
+void
+Auditor::unregisterCheck(int id)
+{
+    for (auto it = checks_.begin(); it != checks_.end(); ++it) {
+        if (it->id == id) {
+            checks_.erase(it);
+            return;
+        }
+    }
+}
+
+void
+Auditor::setPeriodEpochs(std::uint32_t period)
+{
+    period_ = period ? period : 1;
+}
+
+std::vector<Violation>
+Auditor::collect() const
+{
+    std::vector<Violation> violations;
+    for (const Entry &e : checks_) {
+        CheckContext ctx(e.component, e.check, violations);
+        e.fn(ctx);
+    }
+    return violations;
+}
+
+void
+Auditor::runAll() const
+{
+    std::vector<Violation> violations = collect();
+    if (violations.empty())
+        return;
+    std::string what = detail::formatMessage(
+        "panic: simcheck audit failed: %zu violation(s)", violations.size());
+    for (const Violation &v : violations) {
+        what += "\n  audit: [" + v.component + "] " + v.check + ": " +
+                v.message;
+    }
+    throw AuditError(what, std::move(violations));
+}
+
+std::uint64_t
+Digest::fnv1a(const void *data, std::size_t n, std::uint64_t h)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= fnvPrime;
+    }
+    return h;
+}
+
+std::uint64_t
+Digest::hashItem(std::string_view key, std::uint64_t value)
+{
+    std::uint64_t h = fnv1a(key.data(), key.size());
+    // Separator so ("ab", x) and ("a", ...) can't collide trivially.
+    const unsigned char sep = 0xff;
+    h = fnv1a(&sep, 1, h);
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+    return fnv1a(bytes, sizeof(bytes), h);
+}
+
+std::uint64_t
+digestOfStats(const sim::Stats &stats)
+{
+    Digest d;
+    for (const sim::CounterRef &c : sim::statsCounters())
+        d.fold(c.name, c.get(stats));
+    return d.value();
+}
+
+std::string
+digestToString(std::uint64_t digest)
+{
+    return detail::formatMessage("0x%016llx",
+                                 static_cast<unsigned long long>(digest));
+}
+
+} // namespace affalloc::simcheck

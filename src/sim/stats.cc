@@ -4,9 +4,82 @@
 #include <cmath>
 #include <numeric>
 #include <sstream>
+#include <string_view>
+#include <unordered_set>
+
+#include "sim/log.hh"
 
 namespace affalloc::sim
 {
+
+void
+validateCounterNames(const std::vector<CounterRef> &counters)
+{
+    std::unordered_set<std::string_view> seen;
+    for (const CounterRef &c : counters) {
+        if (!seen.insert(c.name).second)
+            SIM_FATAL("sim", "duplicate stats counter registration: '%s'",
+                      c.name);
+    }
+}
+
+const std::vector<CounterRef> &
+statsCounters()
+{
+    static const std::vector<CounterRef> table = [] {
+        std::vector<CounterRef> t = {
+            {"messages.control",
+             +[](const Stats &s) { return s.messages[0]; }},
+            {"messages.data", +[](const Stats &s) { return s.messages[1]; }},
+            {"messages.offload",
+             +[](const Stats &s) { return s.messages[2]; }},
+            {"hops.control", +[](const Stats &s) { return s.hops[0]; }},
+            {"hops.data", +[](const Stats &s) { return s.hops[1]; }},
+            {"hops.offload", +[](const Stats &s) { return s.hops[2]; }},
+            {"flitHops.control",
+             +[](const Stats &s) { return s.flitHops[0]; }},
+            {"flitHops.data", +[](const Stats &s) { return s.flitHops[1]; }},
+            {"flitHops.offload",
+             +[](const Stats &s) { return s.flitHops[2]; }},
+            {"l1Accesses", +[](const Stats &s) { return s.l1Accesses; }},
+            {"l1Misses", +[](const Stats &s) { return s.l1Misses; }},
+            {"l2Accesses", +[](const Stats &s) { return s.l2Accesses; }},
+            {"l2Misses", +[](const Stats &s) { return s.l2Misses; }},
+            {"l3Accesses", +[](const Stats &s) { return s.l3Accesses; }},
+            {"l3Misses", +[](const Stats &s) { return s.l3Misses; }},
+            {"tlbAccesses", +[](const Stats &s) { return s.tlbAccesses; }},
+            {"tlbWalks", +[](const Stats &s) { return s.tlbWalks; }},
+            {"dramBytes", +[](const Stats &s) { return s.dramBytes; }},
+            {"dramAccesses", +[](const Stats &s) { return s.dramAccesses; }},
+            {"coreOps", +[](const Stats &s) { return s.coreOps; }},
+            {"seOps", +[](const Stats &s) { return s.seOps; }},
+            {"atomicOps", +[](const Stats &s) { return s.atomicOps; }},
+            {"streamConfigs",
+             +[](const Stats &s) { return s.streamConfigs; }},
+            {"streamMigrations",
+             +[](const Stats &s) { return s.streamMigrations; }},
+            {"offlineBanks", +[](const Stats &s) { return s.offlineBanks; }},
+            {"offloadRetries",
+             +[](const Stats &s) { return s.offloadRetries; }},
+            {"offloadFallbacks",
+             +[](const Stats &s) { return s.offloadFallbacks; }},
+            {"allocFallbacks",
+             +[](const Stats &s) { return s.allocFallbacks; }},
+            {"victimMigrations",
+             +[](const Stats &s) { return s.victimMigrations; }},
+            {"degradedLinkFlits",
+             +[](const Stats &s) { return s.degradedLinkFlits; }},
+            {"cycles",
+             +[](const Stats &s) {
+                 return static_cast<std::uint64_t>(s.cycles);
+             }},
+            {"epochs", +[](const Stats &s) { return s.epochs; }},
+        };
+        validateCounterNames(t);
+        return t;
+    }();
+    return table;
+}
 
 std::uint64_t
 Stats::totalHops() const

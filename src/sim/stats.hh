@@ -149,6 +149,30 @@ class Timeline
 /** Geometric mean of a sequence of positive values; 0 if empty. */
 double geomean(const std::vector<double> &values);
 
+/**
+ * One named counter in the Stats registry: a stable name plus an
+ * accessor. The registry drives the determinism digest and structured
+ * diagnostics, so names must be unique — see validateCounterNames().
+ */
+struct CounterRef
+{
+    const char *name;
+    std::uint64_t (*get)(const Stats &);
+};
+
+/**
+ * Fail fast (FatalError naming the offender) if two counters share a
+ * name. A silently shadowed counter would alias two distinct events
+ * under one digest key and mask divergence.
+ */
+void validateCounterNames(const std::vector<CounterRef> &counters);
+
+/**
+ * Every Stats counter, by name, validated once on first use. Per-class
+ * arrays appear as "messages.control", "hops.data", etc.
+ */
+const std::vector<CounterRef> &statsCounters();
+
 } // namespace affalloc::sim
 
 #endif // AFFALLOC_SIM_STATS_HH

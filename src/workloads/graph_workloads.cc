@@ -624,6 +624,10 @@ runBfs(const RunConfig &rc, const GraphParams &p, BfsStrategy strategy)
         gtail.host = static_cast<std::uint64_t *>(
             ctx.allocator.allocPlain(64));
         gtail.sim = ctx.machine.addressSpace().simAddrOf(gtail.host);
+        // allocPlain memory is uninitialized; the push phase does a
+        // fetch-and-add on the tail before the epoch-end reset, so an
+        // unseeded tail would index gq by heap garbage.
+        *gtail.host = 0;
     }
 
     out_edges.preload(g);
@@ -806,7 +810,7 @@ runSssp(const RunConfig &rc, const GraphParams &p)
     RunContext ctx(rc);
     const Csr &g = *p.graph;
     if (g.weights.empty())
-        fatal("sssp requires a weighted graph");
+        SIM_FATAL("workloads", "sssp requires a weighted graph");
     const std::uint32_t n = g.numVertices;
     const std::uint32_t slices = ctx.config.machine.numTiles();
     constexpr std::uint32_t inf = ~std::uint32_t(0);
@@ -828,6 +832,7 @@ runSssp(const RunConfig &rc, const GraphParams &p)
         gtail.host = static_cast<std::uint64_t *>(
             ctx.allocator.allocPlain(64));
         gtail.sim = ctx.machine.addressSpace().simAddrOf(gtail.host);
+        *gtail.host = 0; // see runBfs: seed the tail before first use
     }
 
     es.preload(g);
@@ -938,7 +943,7 @@ runSsspPq(const RunConfig &rc, const GraphParams &p)
     RunContext ctx(rc);
     const Csr &g = *p.graph;
     if (g.weights.empty())
-        fatal("sssp requires a weighted graph");
+        SIM_FATAL("workloads", "sssp requires a weighted graph");
     const std::uint32_t n = g.numVertices;
     const std::uint32_t slices = ctx.config.machine.numTiles();
     constexpr std::uint32_t inf = ~std::uint32_t(0);

@@ -50,11 +50,23 @@ struct RunResult
     double nocUtilization = 0.0;
     bool valid = false;
     sim::Timeline timeline;
+    /** Order-insensitive digest of the allocator's placement decisions. */
+    std::uint64_t placementDigest = 0;
 
     /** Cycles, the primary metric. */
     Cycles cycles() const { return stats.cycles; }
     /** Total NoC message-hops (traffic metric of the figures). */
     std::uint64_t hops() const { return stats.totalHops(); }
+    /**
+     * Determinism digest of the whole run: every stats counter folded
+     * with the placement digest. Two runs of the same config and seed
+     * must produce bit-identical digests (CI asserts this).
+     */
+    std::uint64_t
+    digest() const
+    {
+        return simcheck::digestOfStats(stats) + placementDigest;
+    }
 };
 
 /**
@@ -96,6 +108,7 @@ struct RunContext
         r.nocUtilization = machine.nocUtilization();
         r.valid = valid;
         r.timeline = machine.timeline();
+        r.placementDigest = allocator.placementDigest();
         return r;
     }
 };

@@ -37,6 +37,12 @@ faultyRunConfig(ExecMode mode, std::uint64_t seed)
     rc.machine.faults.offlineBanks = 5;
     rc.machine.faults.offloadRejectRate = 0.3;
     rc.machine.faults.degradedLinks = 6;
+    // The whole campaign runs with SimCheck auditing on a short
+    // period: every invariant (flit conservation, free-list
+    // integrity, mapping consistency, offload conservation, cache
+    // occupancy) must hold while the machine degrades around faults.
+    rc.machine.simcheck.audit = true;
+    rc.machine.simcheck.auditPeriodEpochs = 4;
     return rc;
 }
 
@@ -115,6 +121,7 @@ TEST(FaultCampaign, AllocationsNeverOverlapUnderFaults)
     sim::MachineConfig cfg;
     cfg.faults.offlineBanks = 9;
     cfg.faults.seed = 7;
+    cfg.simcheck.audit = true; // slot canaries + free-list audits on
     os::SimOS sim_os(cfg);
     nsc::Machine machine(cfg, sim_os);
     alloc::AffinityAllocator allocator(machine, {});
@@ -198,4 +205,7 @@ TEST(FaultCampaign, AllocationsNeverOverlapUnderFaults)
         EXPECT_TRUE(machine.bankLive(machine.bankOfHost(p)));
     for (void *p : ptrs)
         allocator.freeAff(p);
+    // On-demand audit after the churn: free lists, canaries, mapping
+    // and cache state must all be consistent.
+    EXPECT_NO_THROW(machine.audit());
 }

@@ -22,6 +22,7 @@
 
 #include "graph/generators.hh"
 #include "harness/report.hh"
+#include "sim/simcheck.hh"
 #include "harness/trace.hh"
 #include "workloads/affine_workloads.hh"
 #include "workloads/graph_workloads.hh"
@@ -51,6 +52,11 @@ struct Options
     std::uint64_t faultSeed = sim::FaultConfig{}.seed;
     std::uint32_t offlineBanks = 0;
     double offloadRejectRate = 0.0;
+    // SimCheck (defaults from AFFALLOC_SIMCHECK* env vars).
+    bool simcheck = false;
+    bool simcheckDigest = false;
+    std::uint32_t simcheckWatchdog = 0;
+    bool simcheckWatchdogSet = false;
 };
 
 [[noreturn]] void
@@ -64,6 +70,10 @@ usage()
                  "--iters N --csv FILE\n"
                  "      --fault-seed N --offline-banks=N "
                  "--offload-reject-rate=P\n"
+                 "      --simcheck (run invariant audits each epoch)\n"
+                 "      --simcheck-digest (print determinism digest)\n"
+                 "      --simcheck-watchdog N (abort after N stalled "
+                 "epochs; 0 = off)\n"
                  "  layout --intrlv BYTES --bytes BYTES --start-bank N\n");
     std::exit(2);
 }
@@ -145,6 +155,14 @@ parse(int argc, char **argv)
         } else if (a == "--offload-reject-rate") {
             o.offloadRejectRate =
                 std::atof(next("--offload-reject-rate").c_str());
+        } else if (a == "--simcheck") {
+            o.simcheck = true;
+        } else if (a == "--simcheck-digest") {
+            o.simcheckDigest = true;
+        } else if (a == "--simcheck-watchdog") {
+            o.simcheckWatchdog = std::uint32_t(
+                std::atoi(next("--simcheck-watchdog").c_str()));
+            o.simcheckWatchdogSet = true;
         } else {
             std::fprintf(stderr, "unknown option %s\n", a.c_str());
             usage();
@@ -211,6 +229,15 @@ cmdRun(const Options &o)
     rc.machine.faults.seed = o.faultSeed;
     rc.machine.faults.offlineBanks = o.offlineBanks;
     rc.machine.faults.offloadRejectRate = o.offloadRejectRate;
+    if (o.simcheck)
+        rc.machine.simcheck.audit = true;
+    if (o.simcheckWatchdogSet)
+        rc.machine.simcheck.watchdogStallEpochs = o.simcheckWatchdog;
+    if (!simcheck::compiledIn && o.simcheck) {
+        std::fprintf(stderr,
+                     "warning: --simcheck requested but this binary "
+                     "was built with AFFALLOC_SIMCHECK=OFF\n");
+    }
 
     RunResult result;
     if (o.workload == "vecadd") {
@@ -298,6 +325,10 @@ cmdRun(const Options &o)
                     (unsigned long long)rs.allocFallbacks,
                     (unsigned long long)rs.victimMigrations,
                     (unsigned long long)rs.degradedLinkFlits);
+    }
+    if (o.simcheckDigest) {
+        std::printf("digest     %s\n",
+                    simcheck::digestToString(result.digest()).c_str());
     }
     if (!o.csv.empty()) {
         harness::writeTimelineCsv(result, o.csv);
