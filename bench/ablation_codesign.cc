@@ -18,6 +18,7 @@
 
 #include "graph/generators.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/graph_workloads.hh"
 
 using namespace affalloc;
@@ -27,6 +28,7 @@ int
 main(int argc, char **argv)
 {
     const bool quick = harness::quickMode(argc, argv);
+    const unsigned jobs = harness::parseJobs(argc, argv);
     sim::MachineConfig cfg;
     harness::printMachineBanner(cfg,
                                 "Ablation - data structure co-design");
@@ -69,16 +71,41 @@ main(int argc, char **argv)
         labels.push_back(s.label);
     harness::Comparison cmp(labels);
 
+    // Sweep points: (workload, step) plus the two node-size runs, all
+    // independent; printed in order afterwards.
+    const std::uint32_t node_sizes[2] = {64u, 128u};
+    std::vector<std::function<RunResult()>> points;
     for (const auto &[name, runner] : workloads) {
-        std::vector<RunResult> runs;
         for (const auto &s : steps) {
+            points.push_back([&g, quick, &s, &runner] {
+                GraphParams p;
+                p.graph = &g;
+                p.iters = quick ? 2 : 8;
+                p.layout = s.layout;
+                p.useSpatialQueue = s.spatial_queue;
+                return runner(RunConfig::forMode(s.mode), p);
+            });
+        }
+    }
+    for (std::uint32_t node_bytes : node_sizes) {
+        points.push_back([&g, quick, node_bytes] {
             GraphParams p;
             p.graph = &g;
             p.iters = quick ? 2 : 8;
-            p.layout = s.layout;
-            p.useSpatialQueue = s.spatial_queue;
-            runs.push_back(runner(RunConfig::forMode(s.mode), p));
-        }
+            p.nodeBytes = node_bytes;
+            return runPageRankPush(RunConfig::forMode(ExecMode::affAlloc),
+                                   p);
+        });
+    }
+    const std::vector<RunResult> results =
+        harness::runSweep(jobs, points);
+
+    std::size_t at = 0;
+    for (const auto &[name, runner] : workloads) {
+        std::vector<RunResult> runs(results.begin() + at,
+                                    results.begin() + at +
+                                        steps.size());
+        at += steps.size();
         cmp.add(name, std::move(runs));
     }
     cmp.print("Co-design ablation", 0, 0);
@@ -86,16 +113,9 @@ main(int argc, char **argv)
     // ------------------------- Linked CSR node size sweep (§5.3)
     std::printf("Linked CSR node size sweep (pr_push, Aff-Alloc, "
                 "speedup vs 64B nodes):\n");
-    RunResult base;
-    for (std::uint32_t node_bytes : {64u, 128u}) {
-        GraphParams p;
-        p.graph = &g;
-        p.iters = quick ? 2 : 8;
-        p.nodeBytes = node_bytes;
-        const auto r = runPageRankPush(
-            RunConfig::forMode(ExecMode::affAlloc), p);
-        if (node_bytes == 64)
-            base = r;
+    const RunResult &base = results[at];
+    for (std::uint32_t node_bytes : node_sizes) {
+        const RunResult &r = results[at++];
         std::printf("  %4uB nodes (%2u edges each): %8llu cycles "
                     "(%.2fx), %10llu hops%s\n",
                     node_bytes,

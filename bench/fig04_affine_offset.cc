@@ -8,9 +8,11 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/affine_workloads.hh"
 
 using namespace affalloc;
@@ -20,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     const bool quick = harness::quickMode(argc, argv);
+    const unsigned jobs = harness::parseJobs(argc, argv);
     sim::MachineConfig cfg;
     harness::printMachineBanner(cfg,
                                 "Fig. 4 - affine layout sweep (vecadd)");
@@ -28,36 +31,46 @@ main(int argc, char **argv)
     if (quick)
         base.n = 200'000;
 
+    // Every sweep point builds its own machine inside runVecAdd, so
+    // the points are independent; collect-then-print keeps the output
+    // identical at any job count.
+    std::vector<std::string> labels;
+    std::vector<std::function<RunResult()>> points;
+
+    labels.push_back("In-Core");
+    points.push_back([base] {
+        VecAddParams p = base;
+        p.layout = VecAddLayout::heapLinear;
+        return runVecAdd(RunConfig::forMode(ExecMode::inCore), p);
+    });
+    for (std::uint32_t delta = 0; delta <= 64; delta += 4) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "Delta Bank %u", delta);
+        labels.push_back(label);
+        points.push_back([base, delta] {
+            VecAddParams p = base;
+            p.layout = VecAddLayout::poolDelta;
+            p.deltaBank = delta % 64;
+            return runVecAdd(RunConfig::forMode(ExecMode::nearL3), p);
+        });
+    }
+    labels.push_back("Random");
+    points.push_back([base] {
+        VecAddParams p = base;
+        p.layout = VecAddLayout::heapRandom;
+        return runVecAdd(RunConfig::forMode(ExecMode::nearL3), p);
+    });
+
+    const std::vector<RunResult> runs = harness::runSweep(jobs, points);
+
     struct Row
     {
         std::string label;
         RunResult run;
     };
     std::vector<Row> rows;
-
-    {
-        VecAddParams p = base;
-        p.layout = VecAddLayout::heapLinear;
-        rows.push_back(
-            {"In-Core", runVecAdd(RunConfig::forMode(ExecMode::inCore),
-                                  p)});
-    }
-    for (std::uint32_t delta = 0; delta <= 64; delta += 4) {
-        VecAddParams p = base;
-        p.layout = VecAddLayout::poolDelta;
-        p.deltaBank = delta % 64;
-        char label[32];
-        std::snprintf(label, sizeof(label), "Delta Bank %u", delta);
-        rows.push_back(
-            {label, runVecAdd(RunConfig::forMode(ExecMode::nearL3), p)});
-    }
-    {
-        VecAddParams p = base;
-        p.layout = VecAddLayout::heapRandom;
-        rows.push_back(
-            {"Random", runVecAdd(RunConfig::forMode(ExecMode::nearL3),
-                                 p)});
-    }
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        rows.push_back({labels[i], runs[i]});
 
     const double base_cycles = double(rows[0].run.cycles());
     const double base_hops = double(rows[0].run.hops());

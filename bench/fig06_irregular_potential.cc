@@ -15,6 +15,7 @@
 
 #include "graph/generators.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/graph_workloads.hh"
 
 using namespace affalloc;
@@ -24,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     const bool quick = harness::quickMode(argc, argv);
+    const unsigned jobs = harness::parseJobs(argc, argv);
     sim::MachineConfig cfg;
     harness::printMachineBanner(
         cfg, "Fig. 6 - irregular layout potential (chunked edge remap)");
@@ -77,18 +79,31 @@ main(int argc, char **argv)
         labels.push_back(c.label);
     harness::Comparison cmp(labels);
 
+    // One sweep point per (workload, config); the shared graph is
+    // read-only across points.
+    std::vector<std::function<RunResult()>> points;
     for (const auto &[name, runner] : workloads) {
-        std::vector<RunResult> runs;
         for (const auto &c : configs) {
-            GraphParams p;
-            p.graph = &g;
-            p.iters = quick ? 2 : 8;
-            p.layout = c.layout;
-            p.chunkBytes = c.chunk;
-            p.idealIndirect = c.ideal;
-            runs.push_back(runner(RunConfig::forMode(ExecMode::nearL3),
-                                  p));
+            points.push_back([&g, quick, c, runner] {
+                GraphParams p;
+                p.graph = &g;
+                p.iters = quick ? 2 : 8;
+                p.layout = c.layout;
+                p.chunkBytes = c.chunk;
+                p.idealIndirect = c.ideal;
+                return runner(RunConfig::forMode(ExecMode::nearL3), p);
+            });
         }
+    }
+    const std::vector<RunResult> results =
+        harness::runSweep(jobs, points);
+
+    std::size_t at = 0;
+    for (const auto &[name, runner] : workloads) {
+        std::vector<RunResult> runs(results.begin() + at,
+                                    results.begin() + at +
+                                        configs.size());
+        at += configs.size();
         cmp.add(name, std::move(runs));
     }
 

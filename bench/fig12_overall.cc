@@ -10,9 +10,11 @@
  */
 
 #include <cstdio>
+#include <functional>
 
 #include "graph/generators.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/affine_workloads.hh"
 #include "workloads/graph_workloads.hh"
 #include "workloads/pointer_workloads.hh"
@@ -26,20 +28,15 @@ namespace
 const ExecMode modes[3] = {ExecMode::inCore, ExecMode::nearL3,
                            ExecMode::affAlloc};
 
+// Written once in main before any sweep point runs, read-only after.
 harness::BenchSimCheck simcheckOpts;
 
-template <typename F>
-std::vector<RunResult>
-runAll(F &&f)
+/** One row of the figure: a workload run under each of the 3 modes. */
+struct Entry
 {
-    std::vector<RunResult> out;
-    for (ExecMode m : modes) {
-        RunConfig rc = RunConfig::forMode(m);
-        simcheckOpts.apply(rc.machine);
-        out.push_back(f(rc, m));
-    }
-    return out;
-}
+    std::string name;
+    std::function<RunResult(const RunConfig &, ExecMode)> run;
+};
 
 } // namespace
 
@@ -47,6 +44,7 @@ int
 main(int argc, char **argv)
 {
     const bool quick = harness::quickMode(argc, argv);
+    const unsigned jobs = harness::parseJobs(argc, argv);
     simcheckOpts = harness::BenchSimCheck::parse(argc, argv);
     sim::MachineConfig cfg;
     simcheckOpts.apply(cfg);
@@ -79,12 +77,17 @@ main(int argc, char **argv)
 
     harness::Comparison cmp({"In-Core", "Near-L3", "Aff-Alloc"});
 
+    // Workload parameters are captured by value; the Kronecker graph
+    // is shared read-only. Each sweep point then builds its own
+    // machine, so all (workload, mode) pairs run independently.
+    std::vector<Entry> entries;
     {
         PathfinderParams p;
         p.cols = std::uint64_t(1'500'000 * shrink);
-        cmp.add("pathfinder", runAll([&](const RunConfig &rc, ExecMode) {
-                    return runPathfinder(rc, p);
-                }));
+        entries.push_back(
+            {"pathfinder", [p](const RunConfig &rc, ExecMode) {
+                 return runPathfinder(rc, p);
+             }});
     }
     {
         HotspotParams p;
@@ -92,9 +95,9 @@ main(int argc, char **argv)
             p.rows = 512;
             p.cols = 512;
         }
-        cmp.add("hotspot", runAll([&](const RunConfig &rc, ExecMode) {
-                    return runHotspot(rc, p);
-                }));
+        entries.push_back({"hotspot", [p](const RunConfig &rc, ExecMode) {
+                               return runHotspot(rc, p);
+                           }});
     }
     {
         SradParams p;
@@ -102,35 +105,38 @@ main(int argc, char **argv)
             p.rows = 512;
             p.cols = 512;
         }
-        cmp.add("srad", runAll([&](const RunConfig &rc, ExecMode) {
-                    return runSrad(rc, p);
-                }));
+        entries.push_back({"srad", [p](const RunConfig &rc, ExecMode) {
+                               return runSrad(rc, p);
+                           }});
     }
     {
         Hotspot3dParams p;
         if (quick) {
             p.ny = 256;
         }
-        cmp.add("hotspot3D", runAll([&](const RunConfig &rc, ExecMode) {
-                    return runHotspot3d(rc, p);
-                }));
+        entries.push_back(
+            {"hotspot3D", [p](const RunConfig &rc, ExecMode) {
+                 return runHotspot3d(rc, p);
+             }});
     }
     {
         GraphParams p;
         p.graph = &g;
         p.iters = quick ? 2 : 8;
         // §6: pull for In-Core, push for the NSC configurations.
-        cmp.add("pr", runAll([&](const RunConfig &rc, ExecMode m) {
-                    return m == ExecMode::inCore
-                               ? runPageRankPull(rc, p)
-                               : runPageRankPush(rc, p);
-                }));
-        cmp.add("bfs", runAll([&](const RunConfig &rc, ExecMode m) {
-                    return runBfs(rc, p, defaultBfsStrategy(m)).run;
-                }));
-        cmp.add("sssp", runAll([&](const RunConfig &rc, ExecMode) {
-                    return runSssp(rc, p);
-                }));
+        entries.push_back({"pr", [p](const RunConfig &rc, ExecMode m) {
+                               return m == ExecMode::inCore
+                                          ? runPageRankPull(rc, p)
+                                          : runPageRankPush(rc, p);
+                           }});
+        entries.push_back({"bfs", [p](const RunConfig &rc, ExecMode m) {
+                               return runBfs(rc, p,
+                                             defaultBfsStrategy(m))
+                                   .run;
+                           }});
+        entries.push_back({"sssp", [p](const RunConfig &rc, ExecMode) {
+                               return runSssp(rc, p);
+                           }});
     }
     {
         LinkListParams p;
@@ -138,9 +144,10 @@ main(int argc, char **argv)
             p.numLists = 256;
             p.nodesPerList = 128;
         }
-        cmp.add("link_list", runAll([&](const RunConfig &rc, ExecMode) {
-                    return runLinkList(rc, p);
-                }));
+        entries.push_back(
+            {"link_list", [p](const RunConfig &rc, ExecMode) {
+                 return runLinkList(rc, p);
+             }});
     }
     {
         HashJoinParams p;
@@ -149,9 +156,10 @@ main(int argc, char **argv)
             p.probeRows = 64 * 1024;
             p.numBuckets = 8 * 1024;
         }
-        cmp.add("hash_join", runAll([&](const RunConfig &rc, ExecMode) {
-                    return runHashJoin(rc, p);
-                }));
+        entries.push_back(
+            {"hash_join", [p](const RunConfig &rc, ExecMode) {
+                 return runHashJoin(rc, p);
+             }});
     }
     {
         BinTreeParams p;
@@ -159,9 +167,29 @@ main(int argc, char **argv)
             p.numNodes = 32 * 1024;
             p.numLookups = 64 * 1024;
         }
-        cmp.add("bin_tree", runAll([&](const RunConfig &rc, ExecMode) {
-                    return runBinTree(rc, p);
-                }));
+        entries.push_back(
+            {"bin_tree", [p](const RunConfig &rc, ExecMode) {
+                 return runBinTree(rc, p);
+             }});
+    }
+
+    std::vector<std::function<RunResult()>> points;
+    for (const auto &e : entries) {
+        for (ExecMode m : modes) {
+            points.push_back([&e, m] {
+                RunConfig rc = RunConfig::forMode(m);
+                simcheckOpts.apply(rc.machine);
+                return e.run(rc, m);
+            });
+        }
+    }
+    const std::vector<RunResult> results =
+        harness::runSweep(jobs, points);
+
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        cmp.add(entries[i].name,
+                {results[i * 3 + 0], results[i * 3 + 1],
+                 results[i * 3 + 2]});
     }
 
     // Paper normalization: speedup/energy to Near-L3, traffic to

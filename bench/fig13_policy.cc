@@ -11,6 +11,7 @@
 
 #include "graph/generators.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/graph_workloads.hh"
 #include "workloads/pointer_workloads.hh"
 
@@ -21,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     const bool quick = harness::quickMode(argc, argv);
+    const unsigned jobs = harness::parseJobs(argc, argv);
     sim::MachineConfig cfg;
     harness::printMachineBanner(cfg,
                                 "Fig. 13 - bank selection policies");
@@ -93,10 +95,25 @@ main(int argc, char **argv)
         labels.push_back(p.label);
     harness::Comparison cmp(labels);
 
+    // One sweep point per (workload, policy) pair.
+    std::vector<std::function<RunResult()>> points;
     for (const auto &[name, runner] : workloads) {
-        std::vector<RunResult> runs;
-        for (const auto &pol : policies)
-            runs.push_back(runner(config_for(pol)));
+        for (const auto &pol : policies) {
+            points.push_back(
+                [&config_for, &runner, &pol] {
+                    return runner(config_for(pol));
+                });
+        }
+    }
+    const std::vector<RunResult> results =
+        harness::runSweep(jobs, points);
+
+    std::size_t at = 0;
+    for (const auto &[name, runner] : workloads) {
+        std::vector<RunResult> runs(results.begin() + at,
+                                    results.begin() + at +
+                                        policies.size());
+        at += policies.size();
         cmp.add(name, std::move(runs));
     }
 

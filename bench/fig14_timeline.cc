@@ -9,10 +9,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "graph/generators.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/graph_workloads.hh"
 
 using namespace affalloc;
@@ -22,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     const bool quick = harness::quickMode(argc, argv);
+    const unsigned jobs = harness::parseJobs(argc, argv);
     sim::MachineConfig cfg;
     harness::printMachineBanner(
         cfg, "Fig. 14 - atomic stream distribution in bfs_push");
@@ -45,11 +48,20 @@ main(int argc, char **argv)
         {"Hybrid-5", alloc::BankPolicy::hybrid, 5},
     };
 
+    std::vector<std::function<BfsResult()>> points;
     for (const auto &c : configs) {
-        RunConfig rc = RunConfig::forMode(ExecMode::affAlloc);
-        rc.allocOpts.policy = c.policy;
-        rc.allocOpts.hybridH = c.h;
-        const BfsResult res = runBfs(rc, p, BfsStrategy::pushOnly);
+        points.push_back([&c, &p] {
+            RunConfig rc = RunConfig::forMode(ExecMode::affAlloc);
+            rc.allocOpts.policy = c.policy;
+            rc.allocOpts.hybridH = c.h;
+            return runBfs(rc, p, BfsStrategy::pushOnly);
+        });
+    }
+    const std::vector<BfsResult> runs = harness::runSweep(jobs, points);
+
+    for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+        const auto &c = configs[ci];
+        const BfsResult &res = runs[ci];
 
         // Keep only epochs that performed atomic work (the push
         // passes), then resample into 20 normalized-time buckets.

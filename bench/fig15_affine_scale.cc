@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/affine_workloads.hh"
 
 using namespace affalloc;
@@ -19,6 +20,7 @@ int
 main(int argc, char **argv)
 {
     const bool quick = harness::quickMode(argc, argv);
+    const unsigned jobs = harness::parseJobs(argc, argv);
     sim::MachineConfig cfg;
     harness::printMachineBanner(cfg,
                                 "Fig. 15 - affine workloads, input scale");
@@ -57,14 +59,30 @@ main(int argc, char **argv)
                            return runHotspot3d(RunConfig::forMode(m), p);
                        }});
 
+    // Sweep points: (scale, entry) x {Near-L3, Aff-Alloc}, results
+    // collected in sweep order and printed afterwards.
+    const int scales[4] = {1, 2, 4, 8};
+    std::vector<std::function<RunResult()>> points;
+    for (int scale : scales) {
+        for (const auto &e : entries) {
+            points.push_back(
+                [&e, scale] { return e.run(scale, ExecMode::nearL3); });
+            points.push_back(
+                [&e, scale] { return e.run(scale, ExecMode::affAlloc); });
+        }
+    }
+    const std::vector<RunResult> results =
+        harness::runSweep(jobs, points);
+
     std::printf("%-12s %6s | %18s | %10s %10s\n", "workload", "scale",
                 "speedup Aff/NearL3", "L3miss Aff", "L3miss NL3");
     std::vector<double> geo_per_scale[4];
     int si = 0;
-    for (int scale : {1, 2, 4, 8}) {
+    std::size_t at = 0;
+    for (int scale : scales) {
         for (const auto &e : entries) {
-            const RunResult nl3 = e.run(scale, ExecMode::nearL3);
-            const RunResult aff = e.run(scale, ExecMode::affAlloc);
+            const RunResult &nl3 = results[at++];
+            const RunResult &aff = results[at++];
             const double sp =
                 double(nl3.cycles()) / double(aff.cycles());
             std::printf("%-12s %5dx | %18.2f | %9.1f%% %9.1f%%%s\n",

@@ -11,6 +11,7 @@
 
 #include "graph/generators.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/graph_workloads.hh"
 
 using namespace affalloc;
@@ -20,6 +21,7 @@ int
 main(int argc, char **argv)
 {
     const bool quick = harness::quickMode(argc, argv);
+    const unsigned jobs = harness::parseJobs(argc, argv);
     sim::MachineConfig cfg;
     harness::printMachineBanner(cfg, "Fig. 16 - graph input scale");
 
@@ -52,16 +54,33 @@ main(int argc, char **argv)
         p.graph = &g;
         p.iters = quick ? 2 : 8;
 
+        // Sweep the 9 runs of this scale; the graph of the next scale
+        // is only generated after they finish, bounding peak memory.
+        std::vector<std::function<RunResult()>> points;
         for (const auto &[name, runner] : workloads) {
-            const auto nl3 =
-                runner(RunConfig::forMode(ExecMode::nearL3), p);
-            RunConfig rc_min = RunConfig::forMode(ExecMode::affAlloc);
-            rc_min.allocOpts.policy = alloc::BankPolicy::minHop;
-            const auto aff_min = runner(rc_min, p);
-            RunConfig rc_hyb = RunConfig::forMode(ExecMode::affAlloc);
-            rc_hyb.allocOpts.policy = alloc::BankPolicy::hybrid;
-            rc_hyb.allocOpts.hybridH = 5;
-            const auto aff_hyb = runner(rc_hyb, p);
+            points.push_back([&runner, &p] {
+                return runner(RunConfig::forMode(ExecMode::nearL3), p);
+            });
+            points.push_back([&runner, &p] {
+                RunConfig rc = RunConfig::forMode(ExecMode::affAlloc);
+                rc.allocOpts.policy = alloc::BankPolicy::minHop;
+                return runner(rc, p);
+            });
+            points.push_back([&runner, &p] {
+                RunConfig rc = RunConfig::forMode(ExecMode::affAlloc);
+                rc.allocOpts.policy = alloc::BankPolicy::hybrid;
+                rc.allocOpts.hybridH = 5;
+                return runner(rc, p);
+            });
+        }
+        const std::vector<RunResult> results =
+            harness::runSweep(jobs, points);
+
+        std::size_t at = 0;
+        for (const auto &[name, runner] : workloads) {
+            const RunResult &nl3 = results[at++];
+            const RunResult &aff_min = results[at++];
+            const RunResult &aff_hyb = results[at++];
 
             const double sp_min =
                 double(nl3.cycles()) / double(aff_min.cycles());

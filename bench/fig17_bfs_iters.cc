@@ -6,9 +6,11 @@
  */
 
 #include <cstdio>
+#include <functional>
 
 #include "graph/generators.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/graph_workloads.hh"
 
 using namespace affalloc;
@@ -18,6 +20,9 @@ int
 main(int argc, char **argv)
 {
     const bool quick = harness::quickMode(argc, argv);
+    // A single run: --jobs is accepted for harness uniformity (the
+    // sweep degenerates to inline execution).
+    const unsigned jobs = harness::parseJobs(argc, argv);
     sim::MachineConfig cfg;
     harness::printMachineBanner(cfg,
                                 "Fig. 17 - BFS iteration characteristics");
@@ -31,8 +36,11 @@ main(int argc, char **argv)
 
     // Direction choices do not change the traversal set; use push so
     // every iteration's scout edges are meaningful.
-    const BfsResult res = runBfs(RunConfig::forMode(ExecMode::nearL3), p,
-                                 BfsStrategy::pushOnly);
+    const std::vector<std::function<BfsResult()>> points = {[&p] {
+        return runBfs(RunConfig::forMode(ExecMode::nearL3), p,
+                      BfsStrategy::pushOnly);
+    }};
+    const BfsResult res = harness::runSweep(jobs, points)[0];
 
     std::printf("graph: %u vertices, %llu edges; valid=%s\n\n",
                 g.numVertices, (unsigned long long)g.numEdges(),

@@ -7,10 +7,12 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "graph/generators.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/graph_workloads.hh"
 
 using namespace affalloc;
@@ -20,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     const bool quick = harness::quickMode(argc, argv);
+    const unsigned jobs = harness::parseJobs(argc, argv);
     sim::MachineConfig cfg;
     harness::printMachineBanner(cfg, "Fig. 18 - BFS push vs pull");
 
@@ -37,12 +40,24 @@ main(int argc, char **argv)
         {"Switch(Aff)", BfsStrategy::affSwitch},
     };
 
-    for (ExecMode mode :
-         {ExecMode::inCore, ExecMode::nearL3, ExecMode::affAlloc}) {
+    const ExecMode fig_modes[3] = {ExecMode::inCore, ExecMode::nearL3,
+                                   ExecMode::affAlloc};
+    std::vector<std::function<BfsResult()>> points;
+    for (ExecMode mode : fig_modes) {
+        for (const auto &[label, strat] : strategies) {
+            const BfsStrategy s = strat;
+            points.push_back([&p, mode, s] {
+                return runBfs(RunConfig::forMode(mode), p, s);
+            });
+        }
+    }
+    const std::vector<BfsResult> runs = harness::runSweep(jobs, points);
+
+    std::size_t at = 0;
+    for (ExecMode mode : fig_modes) {
         std::printf("--- %s ---\n", execModeName(mode));
         for (const auto &[label, strat] : strategies) {
-            const BfsResult res =
-                runBfs(RunConfig::forMode(mode), p, strat);
+            const BfsResult &res = runs[at++];
             std::printf("%-12s %10llu cycles | ", label.c_str(),
                         (unsigned long long)res.run.cycles());
             Cycles prev = 0;

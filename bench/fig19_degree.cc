@@ -11,6 +11,7 @@
 
 #include "graph/generators.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/graph_workloads.hh"
 
 using namespace affalloc;
@@ -20,6 +21,7 @@ int
 main(int argc, char **argv)
 {
     const bool quick = harness::quickMode(argc, argv);
+    const unsigned jobs = harness::parseJobs(argc, argv);
     sim::MachineConfig cfg;
     harness::printMachineBanner(cfg, "Fig. 19 - average degree sweep");
 
@@ -50,21 +52,36 @@ main(int argc, char **argv)
         p.graph = &g;
         p.iters = quick ? 2 : 8;
 
-        std::vector<double> geo_min, geo_hyb;
+        // Fig. 19 normalizes to the Rnd policy. Sweep the 9 runs of
+        // this degree before generating the next graph.
+        std::vector<std::function<RunResult()>> points;
         for (const auto &[name, runner] : workloads) {
-            // Fig. 19 normalizes to the Rnd policy.
-            RunConfig rc_rnd = RunConfig::forMode(ExecMode::affAlloc);
-            rc_rnd.allocOpts.policy = alloc::BankPolicy::random;
-            const auto rnd = runner(rc_rnd, p);
+            points.push_back([&runner, &p] {
+                RunConfig rc = RunConfig::forMode(ExecMode::affAlloc);
+                rc.allocOpts.policy = alloc::BankPolicy::random;
+                return runner(rc, p);
+            });
+            points.push_back([&runner, &p] {
+                RunConfig rc = RunConfig::forMode(ExecMode::affAlloc);
+                rc.allocOpts.policy = alloc::BankPolicy::minHop;
+                return runner(rc, p);
+            });
+            points.push_back([&runner, &p] {
+                RunConfig rc = RunConfig::forMode(ExecMode::affAlloc);
+                rc.allocOpts.policy = alloc::BankPolicy::hybrid;
+                rc.allocOpts.hybridH = 5;
+                return runner(rc, p);
+            });
+        }
+        const std::vector<RunResult> results =
+            harness::runSweep(jobs, points);
 
-            RunConfig rc_min = RunConfig::forMode(ExecMode::affAlloc);
-            rc_min.allocOpts.policy = alloc::BankPolicy::minHop;
-            const auto min = runner(rc_min, p);
-
-            RunConfig rc_hyb = RunConfig::forMode(ExecMode::affAlloc);
-            rc_hyb.allocOpts.policy = alloc::BankPolicy::hybrid;
-            rc_hyb.allocOpts.hybridH = 5;
-            const auto hyb = runner(rc_hyb, p);
+        std::vector<double> geo_min, geo_hyb;
+        std::size_t at = 0;
+        for (const auto &[name, runner] : workloads) {
+            const RunResult &rnd = results[at++];
+            const RunResult &min = results[at++];
+            const RunResult &hyb = results[at++];
 
             const double sp_min =
                 double(rnd.cycles()) / double(min.cycles());

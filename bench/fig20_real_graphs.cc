@@ -12,6 +12,7 @@
 
 #include "graph/generators.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/graph_workloads.hh"
 
 using namespace affalloc;
@@ -21,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     const bool quick = harness::quickMode(argc, argv);
+    const unsigned jobs = harness::parseJobs(argc, argv);
     sim::MachineConfig cfg;
     harness::printMachineBanner(cfg, "Fig. 20 - real-world graphs");
 
@@ -68,22 +70,37 @@ main(int argc, char **argv)
     };
 
     harness::Comparison cmp({"Near-L3", "Min-Hops", "Hybrid-5"});
+    std::vector<std::function<RunResult()>> points;
     for (const auto &in : inputs) {
-        GraphParams p;
-        p.graph = &in.g;
-        p.iters = quick ? 2 : 8;
         for (const auto &[name, runner] : workloads) {
-            std::vector<RunResult> runs;
-            runs.push_back(
-                runner(RunConfig::forMode(ExecMode::nearL3), p));
-            RunConfig rc_min = RunConfig::forMode(ExecMode::affAlloc);
-            rc_min.allocOpts.policy = alloc::BankPolicy::minHop;
-            runs.push_back(runner(rc_min, p));
-            RunConfig rc_hyb = RunConfig::forMode(ExecMode::affAlloc);
-            rc_hyb.allocOpts.policy = alloc::BankPolicy::hybrid;
-            rc_hyb.allocOpts.hybridH = 5;
-            runs.push_back(runner(rc_hyb, p));
-            cmp.add(in.name + "/" + name, std::move(runs));
+            GraphParams p;
+            p.graph = &in.g;
+            p.iters = quick ? 2 : 8;
+            points.push_back([runner, p] {
+                return runner(RunConfig::forMode(ExecMode::nearL3), p);
+            });
+            points.push_back([runner, p] {
+                RunConfig rc = RunConfig::forMode(ExecMode::affAlloc);
+                rc.allocOpts.policy = alloc::BankPolicy::minHop;
+                return runner(rc, p);
+            });
+            points.push_back([runner, p] {
+                RunConfig rc = RunConfig::forMode(ExecMode::affAlloc);
+                rc.allocOpts.policy = alloc::BankPolicy::hybrid;
+                rc.allocOpts.hybridH = 5;
+                return runner(rc, p);
+            });
+        }
+    }
+    const std::vector<RunResult> results =
+        harness::runSweep(jobs, points);
+
+    std::size_t at = 0;
+    for (const auto &in : inputs) {
+        for (const auto &[name, runner] : workloads) {
+            cmp.add(in.name + "/" + name,
+                    {results[at], results[at + 1], results[at + 2]});
+            at += 3;
         }
     }
     cmp.print("Fig. 20", /*speedup baseline=*/0, /*traffic baseline=*/0);

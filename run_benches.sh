@@ -1,7 +1,65 @@
 #!/usr/bin/env bash
 # Regenerates every figure/table of the paper plus the ablations.
-# Order: light figures first. Pass --quick to each for a smoke run.
+# Order: light figures first.
+#
+# Script-level options (everything else is forwarded to the benches):
+#   --quick      smoke-sized inputs (forwarded; mapped to a short
+#                minimum measuring time for micro_benchmarks)
+#   --timings    write BENCH_overall.json next to this script with
+#                per-bench wall-clock seconds and the total
+#   --jobs N     forwarded to the figure benches (parallel sweep
+#                points); defaults to the machine's hardware threads.
+#                Bench output is byte-identical at any job count (the
+#                sweep collects results in sweep order), so this only
+#                changes wall-clock. Filtered out for
+#                micro_benchmarks, which is google-benchmark based
+#                and rejects foreign flags.
 set -euo pipefail
+
+here="$(dirname "$0")"
+timings=0
+jobs=""
+quick=0
+declare -a fwd=()
+argv=("$@")
+i=0
+while [ $i -lt $# ]; do
+    a="${argv[$i]}"
+    case "$a" in
+    --timings)
+        timings=1
+        ;;
+    --jobs)
+        i=$((i + 1))
+        jobs="${argv[$i]}"
+        fwd+=(--jobs "$jobs")
+        ;;
+    --jobs=*)
+        jobs="${a#--jobs=}"
+        fwd+=("$a")
+        ;;
+    --quick)
+        quick=1
+        fwd+=("$a")
+        ;;
+    *)
+        fwd+=("$a")
+        ;;
+    esac
+    i=$((i + 1))
+done
+
+# Default to one worker per hardware thread unless the caller chose a
+# count via --jobs or the AFFALLOC_JOBS environment variable.
+if [ -z "$jobs" ] && [ -z "${AFFALLOC_JOBS:-}" ]; then
+    jobs=$(nproc 2>/dev/null || echo 1)
+    fwd+=(--jobs "$jobs")
+fi
+
+declare -a names=()
+declare -a seconds=()
+total=0
+
 for b in fig04_affine_offset fig17_bfs_iters fig14_timeline \
          fig18_push_pull fig15_affine_scale fig12_overall \
          fig06_irregular_potential fig19_degree fig13_policy \
@@ -9,19 +67,57 @@ for b in fig04_affine_offset fig17_bfs_iters fig14_timeline \
          ablation_codesign ablation_numbering micro_benchmarks; do
     echo "################ $b"
     if [ "$b" = micro_benchmarks ]; then
-        # google-benchmark rejects the figure benches' --quick flag;
-        # map it to a short minimum measuring time instead.
+        # google-benchmark rejects the figure benches' flags; map
+        # --quick to a short minimum measuring time and drop the
+        # script-level sweep/simcheck flags.
         args=()
-        for a in "$@"; do
-            if [ "$a" = --quick ]; then
-                args+=(--benchmark_min_time=0.01)
-            else
-                args+=("$a")
+        skip_next=0
+        for a in ${fwd[@]+"${fwd[@]}"}; do
+            if [ "$skip_next" = 1 ]; then
+                skip_next=0
+                continue
             fi
+            case "$a" in
+            --quick) args+=(--benchmark_min_time=0.01) ;;
+            --jobs) skip_next=1 ;;
+            --jobs=*) ;;
+            --simcheck | --simcheck-digest | --faulty) ;;
+            *) args+=("$a") ;;
+            esac
         done
-        "$(dirname "$0")/build/bench/$b" ${args[@]+"${args[@]}"}
+        t0=$(date +%s.%N)
+        "$here/build/bench/$b" ${args[@]+"${args[@]}"}
+        t1=$(date +%s.%N)
     else
-        "$(dirname "$0")/build/bench/$b" "$@"
+        t0=$(date +%s.%N)
+        "$here/build/bench/$b" ${fwd[@]+"${fwd[@]}"}
+        t1=$(date +%s.%N)
     fi
+    dt=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')
+    names+=("$b")
+    seconds+=("$dt")
+    total=$(awk -v t="$total" -v d="$dt" 'BEGIN { printf "%.3f", t + d }')
     echo
 done
+
+echo "TOTAL ${total}s"
+
+if [ "$timings" = 1 ]; then
+    out="$here/BENCH_overall.json"
+    {
+        echo "{"
+        echo "  \"quick\": $([ "$quick" = 1 ] && echo true || echo false),"
+        echo "  \"jobs\": ${jobs:-${AFFALLOC_JOBS:-1}},"
+        echo "  \"benches\": {"
+        n=${#names[@]}
+        for ((k = 0; k < n; ++k)); do
+            sep=","
+            [ $((k + 1)) -eq "$n" ] && sep=""
+            echo "    \"${names[$k]}\": ${seconds[$k]}$sep"
+        done
+        echo "  },"
+        echo "  \"total_seconds\": $total"
+        echo "}"
+    } > "$out"
+    echo "wrote $out"
+fi

@@ -583,13 +583,49 @@ AffinityAllocator::selectBank(const std::vector<BankId> &affinity_banks)
         opts_.policy == BankPolicy::minHop ? 0.0 : opts_.hybridH;
     const double avg_load =
         static_cast<double>(totalLoad_) / static_cast<double>(numBanks_);
+
+    // Manhattan distances are separable, so each bank's affinity-hop
+    // sum Σ_a (|xb - xa| + |yb - ya|) comes from per-axis histograms
+    // of the affinity tiles in O(|A| + mesh) instead of the direct
+    // O(banks x |A|) accumulation. Integer hop sums are exact in
+    // double (the direct accumulation also only ever adds integers),
+    // so Eq. 4 scores are bit-identical either way; the direct loop
+    // remains for meshes wider than the stack histograms.
+    constexpr std::uint32_t maxDim = 64;
+    const noc::Mesh &mesh = machine_.network().mesh();
+    const std::uint32_t xd = mesh.xDim(), yd = mesh.yDim();
+    const bool separable =
+        !affinity_banks.empty() && xd <= maxDim && yd <= maxDim;
+    std::array<std::uint64_t, maxDim> sum_x{}, sum_y{};
+    if (separable) {
+        std::array<std::uint32_t, maxDim> cnt_x{}, cnt_y{};
+        for (BankId a : affinity_banks) {
+            const TileId t = machine_.tileOfBank(a);
+            cnt_x[mesh.xOf(t)] += 1;
+            cnt_y[mesh.yOf(t)] += 1;
+        }
+        for (std::uint32_t x = 0; x < xd; ++x)
+            for (std::uint32_t cx = 0; cx < xd; ++cx)
+                sum_x[x] += std::uint64_t(cnt_x[cx]) *
+                            (x > cx ? x - cx : cx - x);
+        for (std::uint32_t y = 0; y < yd; ++y)
+            for (std::uint32_t cy = 0; cy < yd; ++cy)
+                sum_y[y] += std::uint64_t(cnt_y[cy]) *
+                            (y > cy ? y - cy : cy - y);
+    }
+
     double best_score = std::numeric_limits<double>::infinity();
     BankId best = degraded ? plan.redirect(0) : 0;
     for (BankId b = 0; b < numBanks_; ++b) {
         if (degraded && !plan.bankLive(b))
             continue; // Eq. 4 skips offline banks
         double avg_hops = 0.0;
-        if (!affinity_banks.empty()) {
+        if (separable) {
+            const TileId t = machine_.tileOfBank(b);
+            avg_hops =
+                double(sum_x[mesh.xOf(t)] + sum_y[mesh.yOf(t)]) /
+                static_cast<double>(affinity_banks.size());
+        } else if (!affinity_banks.empty()) {
             double sum = 0.0;
             for (BankId a : affinity_banks)
                 sum += machine_.hopsBetween(b, a);

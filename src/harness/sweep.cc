@@ -1,0 +1,95 @@
+#include "harness/sweep.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "sim/log.hh"
+
+namespace affalloc::harness
+{
+
+namespace
+{
+
+unsigned
+clampJobs(long requested)
+{
+    if (requested == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : hw;
+    }
+    if (requested < 0)
+        return 1;
+    return static_cast<unsigned>(requested);
+}
+
+} // namespace
+
+unsigned
+parseJobs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0) {
+            if (i + 1 >= argc)
+                SIM_FATAL("harness", "--jobs requires a value");
+            return clampJobs(std::strtol(argv[i + 1], nullptr, 10));
+        }
+        if (std::strncmp(arg, "--jobs=", 7) == 0)
+            return clampJobs(std::strtol(arg + 7, nullptr, 10));
+    }
+    if (const char *env = std::getenv("AFFALLOC_JOBS"); env && *env)
+        return clampJobs(std::strtol(env, nullptr, 10));
+    return 1;
+}
+
+void
+runSweepTasks(unsigned jobs, std::vector<std::function<void()>> tasks)
+{
+    const std::size_t n = tasks.size();
+    if (n == 0)
+        return;
+    if (jobs <= 1 || n == 1) {
+        // Inline execution: identical to the pre-parallel bench loops.
+        for (auto &task : tasks)
+            task();
+        return;
+    }
+
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(jobs, n));
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(n);
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            try {
+                tasks[i]();
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    // Deterministic error reporting: the lowest-indexed failure wins,
+    // exactly as it would have surfaced from the serial loop.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+    }
+}
+
+} // namespace affalloc::harness

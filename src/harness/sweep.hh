@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Parallel sweep runner. Figure benches sweep many independent
+ * (workload, configuration) points; every point builds its own
+ * os::SimOS + nsc::Machine + workload state inside its run function,
+ * so points share no mutable state and can execute on a small thread
+ * pool. Results are always delivered in sweep order — callers print
+ * from the collected vector, so bench output (and the determinism
+ * digests folded from it) is byte-identical at any job count.
+ */
+
+#ifndef AFFALLOC_HARNESS_SWEEP_HH
+#define AFFALLOC_HARNESS_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace affalloc::harness
+{
+
+/**
+ * Parse the shared --jobs flag: `--jobs N`, `--jobs=N`, or the
+ * AFFALLOC_JOBS environment variable (flag wins). Returns at least 1;
+ * `--jobs 0` means "one per hardware thread".
+ */
+unsigned parseJobs(int argc, char **argv);
+
+/**
+ * Execute every task, spreading them over @p jobs worker threads
+ * (inline on the calling thread when jobs <= 1 or there is only one
+ * task). Tasks are claimed in index order. If any task throws, the
+ * exception of the lowest-indexed failing task is rethrown on the
+ * caller after all workers have drained.
+ */
+void runSweepTasks(unsigned jobs, std::vector<std::function<void()>> tasks);
+
+/**
+ * Run every sweep point and return their results in sweep order
+ * (points[i] -> results[i], regardless of completion order).
+ */
+template <typename Result>
+std::vector<Result>
+runSweep(unsigned jobs, const std::vector<std::function<Result()>> &points)
+{
+    std::vector<Result> results(points.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        tasks.push_back([&results, &points, i] {
+            results[i] = points[i]();
+        });
+    }
+    runSweepTasks(jobs, std::move(tasks));
+    return results;
+}
+
+} // namespace affalloc::harness
+
+#endif // AFFALLOC_HARNESS_SWEEP_HH

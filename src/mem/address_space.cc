@@ -23,7 +23,7 @@ AddressSpace::registerRange(const void *host_ptr, std::size_t bytes,
             SIM_FATAL("mem", "host range overlaps an existing registration");
     }
     ranges_.emplace(start, range);
-    cached_ = nullptr;
+    mru_.fill(nullptr);
 }
 
 void
@@ -32,15 +32,25 @@ AddressSpace::unregisterRange(const void *host_ptr)
     const auto start = reinterpret_cast<std::uintptr_t>(host_ptr);
     if (ranges_.erase(start) == 0)
         SIM_FATAL("mem", "unregister of unknown host range %p", host_ptr);
-    cached_ = nullptr;
+    mru_.fill(nullptr);
 }
 
 const HostRange *
 AddressSpace::rangeContaining(const void *host_ptr) const
 {
     const auto p = reinterpret_cast<std::uintptr_t>(host_ptr);
-    if (cached_ && p >= cached_->hostStart && p < cached_->hostEnd)
-        return cached_;
+    if (!referenceMode_) {
+        for (std::size_t s = 0; s < mruSlots; ++s) {
+            const HostRange *r = mru_[s];
+            if (r && p >= r->hostStart && p < r->hostEnd) {
+                // Rotate [0, s] right so the hit becomes MRU.
+                for (; s > 0; --s)
+                    mru_[s] = mru_[s - 1];
+                mru_[0] = r;
+                return r;
+            }
+        }
+    }
     auto it = ranges_.upper_bound(p);
     if (it == ranges_.begin())
         return nullptr;
@@ -48,7 +58,11 @@ AddressSpace::rangeContaining(const void *host_ptr) const
     const HostRange &r = it->second;
     if (p < r.hostStart || p >= r.hostEnd)
         return nullptr;
-    cached_ = &r;
+    if (!referenceMode_) {
+        for (std::size_t s = mruSlots - 1; s > 0; --s)
+            mru_[s] = mru_[s - 1];
+        mru_[0] = &r;
+    }
     return &r;
 }
 

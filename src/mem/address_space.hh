@@ -10,6 +10,7 @@
 #ifndef AFFALLOC_MEM_ADDRESS_SPACE_HH
 #define AFFALLOC_MEM_ADDRESS_SPACE_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 
@@ -30,8 +31,13 @@ struct HostRange
 };
 
 /**
- * Sorted registry of host ranges with a one-entry lookup cache
- * (consecutive lookups overwhelmingly hit the same array).
+ * Sorted registry of host ranges with a small MRU lookup cache in
+ * front of the sorted map. Kernels interleave lookups across a handful
+ * of concurrently-live arrays (A/B/C of vecadd, frontier + edge +
+ * value arrays of the graph kernels), which a one-entry cache thrashes
+ * on; eight recency-ordered slots cover them. The cache is a pure
+ * host-side fast path (hits return exactly what the map lookup
+ * returns) and is emptied on any register/unregister.
  */
 class AddressSpace
 {
@@ -58,9 +64,22 @@ class AddressSpace
     /** Number of registered ranges. */
     std::size_t size() const { return ranges_.size(); }
 
+    /**
+     * Resolve every lookup through the sorted map, bypassing the MRU
+     * cache (reference mode). The digest-equivalence regression test
+     * runs both ways and asserts identical results.
+     */
+    void setReferenceMode(bool reference) { referenceMode_ = reference; }
+
   private:
+    /** MRU cache slots (recency-ordered, nullptr when empty). */
+    static constexpr std::size_t mruSlots = 8;
+
     std::map<std::uintptr_t, HostRange> ranges_; // keyed by hostStart
-    mutable const HostRange *cached_ = nullptr;
+    // Map nodes are pointer-stable, so cached pointers stay valid
+    // until the cache is emptied on the next register/unregister.
+    mutable std::array<const HostRange *, mruSlots> mru_{};
+    bool referenceMode_ = false;
 };
 
 } // namespace affalloc::mem

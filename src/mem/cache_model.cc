@@ -19,55 +19,59 @@ CacheModel::CacheModel(std::uint64_t size_bytes, std::uint32_t assoc,
     if ((numSets_ & (numSets_ - 1)) != 0)
         SIM_FATAL("mem", "cache set count must be a power of two (%u)", numSets_);
     setMask_ = numSets_ - 1;
-    ways_.resize(std::uint64_t(numSets_) * assoc_);
+    ways_.assign(std::uint64_t(numSets_) * assoc_, invalidEntry);
 }
 
 CacheAccessResult
 CacheModel::access(Addr line, bool is_write)
 {
     CacheAccessResult res;
-    Way *set = &ways_[std::uint64_t(setIndexOf(line)) * assoc_];
-    ++useClock_;
+    std::uint64_t *set = &ways_[std::uint64_t(setIndexOf(line)) * assoc_];
+    const std::uint64_t clean = entryOf(line, false);
 
-    Way *lru = &set[0];
-    for (std::uint32_t w = 0; w < assoc_; ++w) {
-        Way &way = set[w];
-        if (way.line == line) {
-            way.lastUse = useClock_;
-            way.dirty = way.dirty || is_write;
+    std::uint32_t w = 0;
+    for (; w < assoc_; ++w) {
+        const std::uint64_t e = set[w];
+        if ((e & ~std::uint64_t(1)) == clean) {
+            // Hit: rotate [0, w] right so the line becomes MRU.
+            const std::uint64_t mru = e | (is_write ? 1 : 0);
+            for (std::uint32_t k = w; k > 0; --k)
+                set[k] = set[k - 1];
+            set[0] = mru;
             res.hit = true;
             return res;
         }
-        if (way.line == invalidAddr) {
-            // Prefer an empty way over any valid LRU victim.
-            if (lru->line != invalidAddr || way.lastUse < lru->lastUse)
-                lru = &way;
-        } else if (lru->line != invalidAddr && way.lastUse < lru->lastUse) {
-            lru = &way;
-        }
+        if (e == invalidEntry)
+            break; // valid lines form a prefix; nothing past this
     }
 
-    // Miss: fill into the victim way.
-    if (lru->line != invalidAddr) {
-        if (lru->dirty) {
+    // Miss: fill at the front. The victim is the LRU (last valid) way
+    // when the set is full, otherwise the first empty way absorbs the
+    // shift and residency grows.
+    if (w == assoc_) {
+        w = assoc_ - 1;
+        const std::uint64_t victim = set[w];
+        if (dirtyOf(victim)) {
             res.writeback = true;
-            res.victimLine = lru->line;
+            res.victimLine = lineOf(victim);
         }
     } else {
         ++residentLines_;
     }
-    lru->line = line;
-    lru->lastUse = useClock_;
-    lru->dirty = is_write;
+    for (std::uint32_t k = w; k > 0; --k)
+        set[k] = set[k - 1];
+    set[0] = entryOf(line, is_write);
     return res;
 }
 
 bool
 CacheModel::contains(Addr line) const
 {
-    const Way *set = &ways_[std::uint64_t(setIndexOf(line)) * assoc_];
-    for (std::uint32_t w = 0; w < assoc_; ++w)
-        if (set[w].line == line)
+    const std::uint64_t *set =
+        &ways_[std::uint64_t(setIndexOf(line)) * assoc_];
+    const std::uint64_t clean = entryOf(line, false);
+    for (std::uint32_t w = 0; w < assoc_ && set[w] != invalidEntry; ++w)
+        if ((set[w] & ~std::uint64_t(1)) == clean)
             return true;
     return false;
 }
@@ -77,23 +81,31 @@ CacheModel::checkIntegrity() const
 {
     std::uint64_t live = 0;
     for (std::uint32_t s = 0; s < numSets_; ++s) {
-        const Way *set = &ways_[std::uint64_t(s) * assoc_];
+        const std::uint64_t *set = &ways_[std::uint64_t(s) * assoc_];
+        bool seen_invalid = false;
         for (std::uint32_t w = 0; w < assoc_; ++w) {
-            if (set[w].line == invalidAddr)
+            if (set[w] == invalidEntry) {
+                seen_invalid = true;
                 continue;
+            }
+            if (seen_invalid) {
+                return detail::formatMessage(
+                    "set %u violates the recency-order invariant "
+                    "(valid way %u after an invalid way)", s, w);
+            }
             ++live;
+            const Addr line = lineOf(set[w]);
             // A resident line must index to the set holding it.
-            if (setIndexOf(set[w].line) != s) {
+            if (setIndexOf(line) != s) {
                 return detail::formatMessage(
                     "line %llx resident in set %u but indexes to set %u",
-                    (unsigned long long)set[w].line, s,
-                    setIndexOf(set[w].line));
+                    (unsigned long long)line, s, setIndexOf(line));
             }
             for (std::uint32_t v = w + 1; v < assoc_; ++v) {
-                if (set[v].line == set[w].line) {
+                if (set[v] != invalidEntry && lineOf(set[v]) == line) {
                     return detail::formatMessage(
                         "line %llx duplicated in set %u (ways %u and %u)",
-                        (unsigned long long)set[w].line, s, w, v);
+                        (unsigned long long)line, s, w, v);
                 }
             }
         }
@@ -115,10 +127,8 @@ CacheModel::checkIntegrity() const
 void
 CacheModel::reset()
 {
-    for (auto &way : ways_)
-        way = Way{};
+    ways_.assign(ways_.size(), invalidEntry);
     residentLines_ = 0;
-    useClock_ = 0;
 }
 
 } // namespace affalloc::mem

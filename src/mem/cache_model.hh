@@ -32,6 +32,13 @@ struct CacheAccessResult
  * A single set-associative cache with true-LRU replacement. Addresses
  * are presented as *line numbers* (byte address / line size); the
  * model is agnostic to line size.
+ *
+ * Ways are kept in recency order: way 0 is the MRU line, the last
+ * valid way is the LRU victim, and valid lines always form a prefix of
+ * the set (fills insert at the front). This is behaviour-for-behaviour
+ * identical to a timestamped true-LRU implementation — same hits, same
+ * victims, same writebacks — but a hit near the front touches only a
+ * few tag words and never needs a full-set victim scan.
  */
 class CacheModel
 {
@@ -71,19 +78,14 @@ class CacheModel
     /**
      * SimCheck audit: verify internal consistency — the resident-line
      * count matches the live ways, occupancy is within sets x assoc,
-     * and no line appears twice in one set. Returns an empty string
-     * when healthy, else a description of the first inconsistency.
+     * no line appears twice in one set, and valid ways form a prefix
+     * of every set (the recency-order invariant). Returns an empty
+     * string when healthy, else a description of the first
+     * inconsistency.
      */
     std::string checkIntegrity() const;
 
   private:
-    struct Way
-    {
-        Addr line = invalidAddr;
-        std::uint64_t lastUse = 0;
-        bool dirty = false;
-    };
-
     std::uint32_t
     setIndexOf(Addr line) const
     {
@@ -94,13 +96,25 @@ class CacheModel
         return static_cast<std::uint32_t>(z) & setMask_;
     }
 
+    /** Empty way marker: no real line shifts up into bit 63. */
+    static constexpr std::uint64_t invalidEntry = ~std::uint64_t(0);
+
+    static std::uint64_t entryOf(Addr line, bool dirty)
+    {
+        return (std::uint64_t(line) << 1) | (dirty ? 1 : 0);
+    }
+    static Addr lineOf(std::uint64_t entry) { return entry >> 1; }
+    static bool dirtyOf(std::uint64_t entry) { return entry & 1; }
+
     std::uint32_t assoc_;
     bool hashedIndex_ = false;
     std::uint32_t numSets_;
     std::uint32_t setMask_;
-    std::uint64_t useClock_ = 0;
     std::uint64_t residentLines_ = 0;
-    std::vector<Way> ways_; // numSets_ * assoc_, set-major
+    // Set-major, recency-ordered within each set. One word per way:
+    // the line number in bits [63:1] and the dirty bit in bit 0, so
+    // the hit scan and the recency shifts touch a single dense array.
+    std::vector<std::uint64_t> ways_; // numSets_ * assoc_
 };
 
 } // namespace affalloc::mem

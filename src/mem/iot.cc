@@ -1,5 +1,7 @@
 #include "mem/iot.hh"
 
+#include <algorithm>
+
 #include "mem/address.hh"
 #include "sim/log.hh"
 
@@ -9,6 +11,15 @@ namespace affalloc::mem
 InterleaveOverrideTable::InterleaveOverrideTable(std::uint32_t capacity)
     : capacity_(capacity)
 {
+}
+
+std::size_t
+InterleaveOverrideTable::sortedUpperBound(Addr paddr) const
+{
+    const auto it = std::upper_bound(
+        sorted_.begin(), sorted_.end(), paddr,
+        [this](Addr p, std::uint32_t idx) { return p < entries_[idx].start; });
+    return static_cast<std::size_t>(it - sorted_.begin());
 }
 
 std::size_t
@@ -22,12 +33,18 @@ InterleaveOverrideTable::insert(Addr start, Addr end, std::uint32_t intrlv)
     if (intrlv < minInterleave || (intrlv & (intrlv - 1)) != 0)
         SIM_FATAL("mem", "IOT interleaving %u invalid (must be pow2 >= %u)", intrlv,
               minInterleave);
-    for (const auto &e : entries_) {
-        if (start < e.end && e.start < end)
-            SIM_FATAL("mem", "IOT range overlaps existing entry");
-    }
+    // Entries are non-overlapping and sorted_ orders them by start, so
+    // only the two neighbours of the insertion point can overlap the
+    // new range.
+    const std::size_t pos = sortedUpperBound(start);
+    if (pos > 0 && entries_[sorted_[pos - 1]].end > start)
+        SIM_FATAL("mem", "IOT range overlaps existing entry");
+    if (pos < sorted_.size() && entries_[sorted_[pos]].start < end)
+        SIM_FATAL("mem", "IOT range overlaps existing entry");
+    const std::uint32_t idx = static_cast<std::uint32_t>(entries_.size());
     entries_.push_back(IotEntry{start, end, intrlv});
-    return entries_.size() - 1;
+    sorted_.insert(sorted_.begin() + pos, idx);
+    return idx;
 }
 
 void
@@ -37,24 +54,32 @@ InterleaveOverrideTable::grow(std::size_t idx, Addr new_end)
     if (new_end < e.end)
         SIM_FATAL("mem", "IOT entries can only grow (end %#lx -> %#lx)",
               (unsigned long)e.end, (unsigned long)new_end);
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        if (i == idx)
-            continue;
-        const auto &o = entries_[i];
-        if (e.start < o.end && o.start < new_end)
-            SIM_FATAL("mem", "IOT grow would overlap another entry");
-    }
+    // Growing moves only `end` upward, so the sole entry that can
+    // newly overlap is the next one in start order.
+    const std::size_t pos = sortedUpperBound(e.start);
+    if (pos < sorted_.size() && entries_[sorted_[pos]].start < new_end)
+        SIM_FATAL("mem", "IOT grow would overlap another entry");
     e.end = new_end;
 }
 
 const IotEntry *
-InterleaveOverrideTable::lookup(Addr paddr) const
+InterleaveOverrideTable::lookupSlow(Addr paddr) const
 {
-    for (const auto &e : entries_) {
-        if (e.contains(paddr))
-            return &e;
+    if (referenceMode_) {
+        for (const auto &e : entries_) {
+            if (e.contains(paddr))
+                return &e;
+        }
+        return nullptr;
     }
-    return nullptr;
+    const std::size_t pos = sortedUpperBound(paddr);
+    if (pos == 0)
+        return nullptr;
+    const std::uint32_t idx = sorted_[pos - 1];
+    if (!entries_[idx].contains(paddr))
+        return nullptr;
+    mru_ = static_cast<std::int32_t>(idx);
+    return &entries_[idx];
 }
 
 } // namespace affalloc::mem

@@ -47,6 +47,12 @@ struct IotEntry
  * The table itself. Entries are non-overlapping; capacity is bounded
  * by the hardware entry count. Ranges may be grown in place (pool
  * expansion updates `end`).
+ *
+ * Entry indices returned by insert() are stable (append order); a
+ * separate index kept sorted by `start` makes lookup a binary search
+ * (plus an MRU slot, since consecutive accesses overwhelmingly hit the
+ * same pool) and reduces the insert/grow overlap checks to the two
+ * sorted neighbours of the affected range.
  */
 class InterleaveOverrideTable
 {
@@ -67,7 +73,13 @@ class InterleaveOverrideTable
     void grow(std::size_t idx, Addr new_end);
 
     /** Look up the entry covering @p paddr, if any. */
-    const IotEntry *lookup(Addr paddr) const;
+    const IotEntry *
+    lookup(Addr paddr) const
+    {
+        if (!referenceMode_ && mru_ >= 0 && entries_[mru_].contains(paddr))
+            return &entries_[mru_];
+        return lookupSlow(paddr);
+    }
 
     /** Number of installed entries. */
     std::size_t size() const { return entries_.size(); }
@@ -83,9 +95,27 @@ class InterleaveOverrideTable
      */
     IotEntry &entryForTest(std::size_t idx) { return entries_.at(idx); }
 
+    /**
+     * Look entries up with the original linear scan instead of the
+     * binary search + MRU slot (reference mode). The digest-equivalence
+     * regression test runs both ways and asserts identical results.
+     */
+    void setReferenceMode(bool reference) { referenceMode_ = reference; }
+
   private:
+    /** Position in sorted_ of the first entry with start > paddr. */
+    std::size_t sortedUpperBound(Addr paddr) const;
+
+    /** MRU-miss path of lookup(): binary search (or reference scan). */
+    const IotEntry *lookupSlow(Addr paddr) const;
+
     std::uint32_t capacity_;
     std::vector<IotEntry> entries_;
+    /** Indices into entries_, ordered by ascending start. */
+    std::vector<std::uint32_t> sorted_;
+    /** Most recently hit entry index, or -1 (lookup locality). */
+    mutable std::int32_t mru_ = -1;
+    bool referenceMode_ = false;
 };
 
 } // namespace affalloc::mem

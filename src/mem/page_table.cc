@@ -1,9 +1,18 @@
 #include "mem/page_table.hh"
 
+#include <algorithm>
+
 #include "sim/log.hh"
 
 namespace affalloc::mem
 {
+
+void
+PageTable::flushTlb()
+{
+    tlbVpage_.fill(invalidAddr);
+    tlbPpage_.fill(invalidAddr);
+}
 
 void
 PageTable::map(Addr vpage, Addr ppage)
@@ -12,7 +21,10 @@ PageTable::map(Addr vpage, Addr ppage)
     if (!inserted)
         SIM_FATAL("mem", "virtual page %#lx already mapped", (unsigned long)vpage);
     (void)it;
-    cachedVpage_ = invalidAddr;
+    // A remap after unmap must not serve the stale translation.
+    const std::uint32_t slot = slotOf(vpage);
+    if (tlbVpage_[slot] == vpage)
+        tlbVpage_[slot] = invalidAddr;
 }
 
 bool
@@ -22,17 +34,18 @@ PageTable::isMapped(Addr vpage) const
 }
 
 Addr
-PageTable::translate(Addr vaddr) const
+PageTable::translateMiss(Addr vaddr) const
 {
     const Addr vpage = pageOf(vaddr);
-    if (vpage == cachedVpage_)
-        return pageBase(cachedPpage_) + pageOffset(vaddr);
+    const std::uint32_t slot = slotOf(vpage);
     auto it = table_.find(vpage);
     if (it == table_.end())
         SIM_FATAL("mem", "access to unmapped virtual address %#lx",
               (unsigned long)vaddr);
-    cachedVpage_ = vpage;
-    cachedPpage_ = it->second;
+    if (!referenceMode_) {
+        tlbVpage_[slot] = vpage;
+        tlbPpage_[slot] = it->second;
+    }
     return pageBase(it->second) + pageOffset(vaddr);
 }
 
@@ -40,9 +53,16 @@ std::optional<Addr>
 PageTable::tryTranslate(Addr vaddr) const
 {
     const Addr vpage = pageOf(vaddr);
+    const std::uint32_t slot = slotOf(vpage);
+    if (!referenceMode_ && tlbVpage_[slot] == vpage)
+        return pageBase(tlbPpage_[slot]) + pageOffset(vaddr);
     auto it = table_.find(vpage);
     if (it == table_.end())
         return std::nullopt;
+    if (!referenceMode_) {
+        tlbVpage_[slot] = vpage;
+        tlbPpage_[slot] = it->second;
+    }
     return pageBase(it->second) + pageOffset(vaddr);
 }
 
@@ -51,7 +71,18 @@ PageTable::unmap(Addr vpage)
 {
     if (table_.erase(vpage) == 0)
         SIM_FATAL("mem", "unmap of unmapped virtual page %#lx", (unsigned long)vpage);
-    cachedVpage_ = invalidAddr;
+    const std::uint32_t slot = slotOf(vpage);
+    if (tlbVpage_[slot] == vpage)
+        tlbVpage_[slot] = invalidAddr;
+}
+
+std::optional<Addr>
+PageTable::tlbPeek(Addr vpage) const
+{
+    const std::uint32_t slot = slotOf(vpage);
+    if (tlbVpage_[slot] != vpage)
+        return std::nullopt;
+    return tlbPpage_[slot];
 }
 
 } // namespace affalloc::mem

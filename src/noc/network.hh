@@ -92,9 +92,22 @@ class Network
      */
     void corruptLinkFlitsForTest(std::uint32_t index, std::int64_t delta);
 
+    /**
+     * Charge routes by walking the X-Y coordinates each time instead
+     * of the precomputed route table (reference mode). The
+     * digest-equivalence regression test runs both ways and asserts
+     * identical results.
+     */
+    void setReferenceMode(bool reference) { referenceMode_ = reference; }
+
   private:
+    /** Largest mesh for which the route table is precomputed. */
+    static constexpr std::uint32_t routeTableMaxTiles = 256;
+
     /** Walk the X-Y route charging @p flits to every link. */
     void chargeRoute(TileId src, TileId dst, std::uint32_t flits);
+    /** Coordinate-walking chargeRoute (reference / large-mesh path). */
+    void chargeRouteWalk(TileId src, TileId dst, std::uint32_t flits);
     /** Charge one link, applying any degraded-link multiplier. */
     void chargeLink(LinkId link, std::uint32_t flits);
 
@@ -120,6 +133,17 @@ class Network
     /** Shadow sum of everything chargeLink() handed to route links
      *  this epoch; auditConservation() checks the links agree. */
     std::uint64_t epochRouteFlitsShadow_ = 0;
+    /**
+     * Precomputed X-Y routes, built once from Mesh::route(): the links
+     * of the (src, dst) route are
+     * routeLinks_[routeOffset_[src*numTiles+dst] ..
+     *             routeOffset_[src*numTiles+dst + 1]).
+     * Empty (fall back to the coordinate walk) beyond
+     * routeTableMaxTiles tiles.
+     */
+    std::vector<std::uint32_t> routeOffset_;
+    std::vector<LinkId> routeLinks_;
+    bool referenceMode_ = false;
 };
 
 } // namespace affalloc::noc

@@ -1,7 +1,5 @@
 #include "noc/topology.hh"
 
-#include <cstdlib>
-
 #include "sim/log.hh"
 
 namespace affalloc::noc
@@ -12,14 +10,14 @@ Mesh::Mesh(std::uint32_t x_dim, std::uint32_t y_dim)
 {
     if (x_dim == 0 || y_dim == 0)
         SIM_FATAL("noc", "mesh dimensions must be nonzero (%ux%u)", x_dim, y_dim);
-}
-
-std::uint32_t
-Mesh::distance(TileId a, TileId b) const
-{
-    const int dx = static_cast<int>(xOf(a)) - static_cast<int>(xOf(b));
-    const int dy = static_cast<int>(yOf(a)) - static_cast<int>(yOf(b));
-    return static_cast<std::uint32_t>(std::abs(dx) + std::abs(dy));
+    const std::uint32_t nt = numTiles();
+    if (nt <= distTableMaxTiles) {
+        dist_.resize(std::size_t(nt) * nt);
+        for (TileId a = 0; a < nt; ++a)
+            for (TileId b = 0; b < nt; ++b)
+                dist_[std::size_t(a) * nt + b] =
+                    static_cast<std::uint16_t>(computeDistance(a, b));
+    }
 }
 
 void

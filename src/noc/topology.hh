@@ -55,7 +55,14 @@ class Mesh
     }
 
     /** Manhattan hop distance between two tiles. */
-    std::uint32_t distance(TileId a, TileId b) const;
+    std::uint32_t
+    distance(TileId a, TileId b) const
+    {
+        const std::uint32_t nt = xDim_ * yDim_;
+        if (a < nt && b < nt && !dist_.empty())
+            return dist_[std::size_t(a) * nt + b];
+        return computeDistance(a, b);
+    }
 
     /**
      * Append the directed links of the X-Y route from @p src to
@@ -80,8 +87,27 @@ class Mesh
     double averageDistanceFrom(TileId tile) const;
 
   private:
+    /** Largest mesh for which the distance table is precomputed. */
+    static constexpr std::uint32_t distTableMaxTiles = 1024;
+
+    std::uint32_t
+    computeDistance(TileId a, TileId b) const
+    {
+        const auto ax = a % xDim_, ay = a / xDim_;
+        const auto bx = b % xDim_, by = b / xDim_;
+        return (ax > bx ? ax - bx : bx - ax) + (ay > by ? ay - by : by - ay);
+    }
+
     std::uint32_t xDim_;
     std::uint32_t yDim_;
+    /**
+     * Precomputed all-pairs hop distances (numTiles x numTiles,
+     * row-major by source). distance() is on the hot path of both the
+     * allocator's bank scoring and the network model, so the ctor
+     * tabulates it for any realistically sized mesh; empty (fall back
+     * to computeDistance) beyond distTableMaxTiles tiles.
+     */
+    std::vector<std::uint16_t> dist_;
 };
 
 } // namespace affalloc::noc

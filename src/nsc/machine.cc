@@ -46,6 +46,8 @@ Machine::Machine(const sim::MachineConfig &cfg, os::SimOS &os,
 {
     cfg_.validate();
     tp_.validate();
+    net_.setReferenceMode(cfg.referencePaths);
+    addrSpace_.setReferenceMode(cfg.referencePaths);
     net_.setFaultPlan(&os_.faultPlan());
     stats_.offlineBanks = os_.faultPlan().numOfflineBanks();
     // Bank numbering (§4.1): where bank id b physically sits.
@@ -143,22 +145,9 @@ Machine::seTranslate(BankId bank, Addr vaddr)
 }
 
 BankId
-Machine::bankOfSim(Addr vaddr) const
-{
-    const Addr paddr = os_.pageTable().translate(vaddr);
-    return mapper_.bankOf(paddr);
-}
-
-BankId
 Machine::bankOfHost(const void *p) const
 {
     return bankOfSim(addrSpace_.simAddrOf(p));
-}
-
-std::uint32_t
-Machine::hopsBetween(BankId a, BankId b) const
-{
-    return net_.mesh().distance(bankTile_[a], bankTile_[b]);
 }
 
 void

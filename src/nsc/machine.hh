@@ -113,13 +113,21 @@ class Machine
 
     // ------------------------------------------------------ bank lookup
     /** Home bank of a simulated virtual address. */
-    BankId bankOfSim(Addr vaddr) const;
+    BankId
+    bankOfSim(Addr vaddr) const
+    {
+        return mapper_.bankOf(os_.pageTable().translate(vaddr));
+    }
     /** Home bank of a registered host pointer. */
     BankId bankOfHost(const void *p) const;
     /** Mesh tile hosting bank @p b (per the numbering scheme). */
     TileId tileOfBank(BankId b) const { return bankTile_[b]; }
     /** Manhattan distance in hops between two banks' tiles. */
-    std::uint32_t hopsBetween(BankId a, BankId b) const;
+    std::uint32_t
+    hopsBetween(BankId a, BankId b) const
+    {
+        return net_.mesh().distance(bankTile_[a], bankTile_[b]);
+    }
 
     // ---------------------------------------------- faults / degradation
     /** The machine's fault plan (owned by the OS). */

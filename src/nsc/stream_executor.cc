@@ -173,28 +173,43 @@ StreamExecutor::affineKernel(const std::vector<AffineRef> &loads,
             if (!offloaded() || !core_offloaded[c]) {
                 // In-core: walk each array's lines through the
                 // private hierarchy; one access per new line
-                // (SIMD-width accesses).
+                // (SIMD-width accesses). A ref's addresses grow
+                // monotonically with i and only elements that start a
+                // new line (past the dedup slot's last line) access the
+                // machine, so the loop hops from line to line instead
+                // of visiting every element; the visited (i, address)
+                // pairs are exactly those the per-element walk acts on.
                 for (std::size_t r = 0; r < n_refs; ++r) {
                     const AffineRef &ref = ref_at(r);
                     const bool is_store = r >= loads.size();
+                    const std::int64_t off = ref.offsetElems;
+                    const std::uint64_t es = ref.elemSize;
                     Addr &ll = last_line[c * n_refs + dedup_slot[r]];
-                    for (std::uint64_t i = e0; i < e1; ++i) {
-                        const std::int64_t j =
-                            std::int64_t(i) + ref.offsetElems;
-                        if (j < 0 || j >= std::int64_t(num_elems))
-                            continue;
+                    // i range whose j = i + off stays in bounds.
+                    std::int64_t i = std::max<std::int64_t>(
+                        std::int64_t(e0), -off);
+                    const std::int64_t i_hi = std::min<std::int64_t>(
+                        std::int64_t(e1), std::int64_t(num_elems) - off);
+                    while (i < i_hi) {
                         const Addr a =
-                            ref.simBase + Addr(j) * ref.elemSize;
+                            ref.simBase + Addr(i + off) * es;
                         const Addr al = a / line;
                         // Coalesced streams advance monotonically: a
                         // lagging offset's line was already fetched.
-                        if (ll != invalidAddr && al <= ll)
-                            continue;
-                        ll = al;
-                        machine_.coreAccess(c, a, line,
-                                            is_store ? AccessType::write
-                                                     : AccessType::read,
-                                            /*prefetch_friendly=*/true);
+                        if (ll == invalidAddr || al > ll) {
+                            ll = al;
+                            machine_.coreAccess(c, a, line,
+                                                is_store
+                                                    ? AccessType::write
+                                                    : AccessType::read,
+                                                /*prefetch_friendly=*/
+                                                true);
+                        }
+                        // First element whose line exceeds ll.
+                        const Addr next_byte = (ll + 1) * Addr(line);
+                        const std::int64_t jn = std::int64_t(
+                            (next_byte - ref.simBase + es - 1) / es);
+                        i = std::max(i + 1, jn - off);
                     }
                 }
                 machine_.coreCompute(c, flops_per_elem *
@@ -219,32 +234,41 @@ StreamExecutor::affineKernel(const std::vector<AffineRef> &loads,
                 for (std::size_t r = 0; r < n_refs; ++r) {
                     const AffineRef &ref = ref_at(r);
                     const bool is_store = r >= loads.size();
+                    const std::int64_t off = ref.offsetElems;
+                    const std::uint64_t es = ref.elemSize;
                     Addr &ll = last_line[c * n_refs + dedup_slot[r]];
                     BankId &cb = cur_bank[c * n_refs + r];
-                    for (std::uint64_t g = i; g < group_end; ++g) {
-                        const std::int64_t j =
-                            std::int64_t(g) + ref.offsetElems;
-                        if (j < 0 || j >= std::int64_t(num_elems))
-                            continue;
+                    // Same line-hopping walk as the in-core path.
+                    std::int64_t g = std::max<std::int64_t>(
+                        std::int64_t(i), -off);
+                    const std::int64_t g_hi = std::min<std::int64_t>(
+                        std::int64_t(group_end),
+                        std::int64_t(num_elems) - off);
+                    while (g < g_hi) {
                         const Addr a =
-                            ref.simBase + Addr(j) * ref.elemSize;
+                            ref.simBase + Addr(g + off) * es;
                         const Addr al = a / line;
-                        if (ll != invalidAddr && al <= ll)
-                            continue;
-                        ll = al;
-                        const BankId home = machine_.bankOfSim(a);
-                        // Affine streams execute as strided
-                        // sub-streams: every participating bank works
-                        // on its own stripe after one configuration,
-                        // so no per-line migration is paid (only
-                        // irregular streams migrate).
-                        cb = home;
-                        machine_.l3StreamAccess(home, a, line,
-                                                is_store
-                                                    ? AccessType::write
-                                                    : AccessType::read);
-                        if (!is_store && home != site)
-                            machine_.forwardData(home, site, line);
+                        if (ll == invalidAddr || al > ll) {
+                            ll = al;
+                            const BankId home = machine_.bankOfSim(a);
+                            // Affine streams execute as strided
+                            // sub-streams: every participating bank
+                            // works on its own stripe after one
+                            // configuration, so no per-line migration
+                            // is paid (only irregular streams
+                            // migrate).
+                            cb = home;
+                            machine_.l3StreamAccess(home, a, line,
+                                                    is_store
+                                                        ? AccessType::write
+                                                        : AccessType::read);
+                            if (!is_store && home != site)
+                                machine_.forwardData(home, site, line);
+                        }
+                        const Addr next_byte = (ll + 1) * Addr(line);
+                        const std::int64_t jn = std::int64_t(
+                            (next_byte - ref.simBase + es - 1) / es);
+                        g = std::max(g + 1, jn - off);
                     }
                 }
                 machine_.seCompute(site,
@@ -254,12 +278,10 @@ StreamExecutor::affineKernel(const std::vector<AffineRef> &loads,
             // Coarse-grained credits core -> current site.
             const std::uint64_t credits =
                 (e1 - e0 + creditBatch - 1) / creditBatch;
-            for (std::uint64_t k = 0; k < credits; ++k) {
-                machine_.creditMessage(
-                    c, machine_.bankOfSim(site_ref.simBase +
-                                          Addr(e1 - 1) *
-                                              site_ref.elemSize));
-            }
+            const BankId credit_bank = machine_.bankOfSim(
+                site_ref.simBase + Addr(e1 - 1) * site_ref.elemSize);
+            for (std::uint64_t k = 0; k < credits; ++k)
+                machine_.creditMessage(c, credit_bank);
         }
         // Retried offload setup serializes before the first epoch's
         // pipeline fill.

@@ -28,6 +28,8 @@ SimOS::SimOS(const sim::MachineConfig &cfg, PagePolicy heap_policy,
       nextBankPpage_(cfg.numBanks())
 {
     cfg_.validate();
+    pageTable_.setReferenceMode(cfg.referencePaths);
+    iot_.setReferenceMode(cfg.referencePaths);
     poolIotIdx_.fill(-1);
     for (BankId b = 0; b < cfg_.numBanks(); ++b)
         nextBankPpage_[b] = b;

@@ -133,6 +133,16 @@ struct MachineConfig
      * ladder (pool -> other interleavings -> plain heap).
      */
     std::uint64_t poolCapacityBytes = 0;
+    /**
+     * Run the memory/NoC lookup structures on their reference (slow)
+     * paths: no software TLB in front of the page table, linear IOT
+     * scans, no host-range MRU cache, coordinate-walked NoC routes.
+     * Simulated behaviour is identical either way — the
+     * digest-equivalence regression test runs both and asserts
+     * identical digests; this flag exists only for that test and for
+     * debugging suspected fast-path divergence.
+     */
+    bool referencePaths = false;
 
     // ----------------------------------------------------- fault injection
     /** Fault campaign drawn at machine construction (default: none). */

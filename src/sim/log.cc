@@ -1,5 +1,6 @@
 #include "sim/log.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <vector>
 
@@ -8,7 +9,9 @@ namespace affalloc
 
 namespace
 {
-bool quietMode = false;
+// Atomic so parallel sweep workers can warn()/inform() while another
+// thread toggles quiet mode; plain loads keep the hot no-op path free.
+std::atomic<bool> quietMode{false};
 } // namespace
 
 namespace detail
