@@ -23,6 +23,7 @@ main(int argc, char **argv)
 {
     const bool quick = harness::quickMode(argc, argv);
     const unsigned jobs = harness::parseJobs(argc, argv);
+    const harness::BenchObs obs = harness::BenchObs::parse(argc, argv);
     sim::MachineConfig cfg;
     harness::printMachineBanner(cfg,
                                 "Fig. 4 - affine layout sweep (vecadd)");
@@ -38,27 +39,33 @@ main(int argc, char **argv)
     std::vector<std::function<RunResult()>> points;
 
     labels.push_back("In-Core");
-    points.push_back([base] {
+    points.push_back([base, &obs] {
         VecAddParams p = base;
         p.layout = VecAddLayout::heapLinear;
-        return runVecAdd(RunConfig::forMode(ExecMode::inCore), p);
+        RunConfig rc = RunConfig::forMode(ExecMode::inCore);
+        obs.apply(rc, "vecadd", "In-Core");
+        return runVecAdd(rc, p);
     });
     for (std::uint32_t delta = 0; delta <= 64; delta += 4) {
         char label[32];
         std::snprintf(label, sizeof(label), "Delta Bank %u", delta);
         labels.push_back(label);
-        points.push_back([base, delta] {
+        points.push_back([base, delta, &obs, label = std::string(label)] {
             VecAddParams p = base;
             p.layout = VecAddLayout::poolDelta;
             p.deltaBank = delta % 64;
-            return runVecAdd(RunConfig::forMode(ExecMode::nearL3), p);
+            RunConfig rc = RunConfig::forMode(ExecMode::nearL3);
+            obs.apply(rc, "vecadd", label);
+            return runVecAdd(rc, p);
         });
     }
     labels.push_back("Random");
-    points.push_back([base] {
+    points.push_back([base, &obs] {
         VecAddParams p = base;
         p.layout = VecAddLayout::heapRandom;
-        return runVecAdd(RunConfig::forMode(ExecMode::nearL3), p);
+        RunConfig rc = RunConfig::forMode(ExecMode::nearL3);
+        obs.apply(rc, "vecadd", "Random");
+        return runVecAdd(rc, p);
     });
 
     const std::vector<RunResult> runs = harness::runSweep(jobs, points);
@@ -104,5 +111,7 @@ main(int argc, char **argv)
                 "Random layout reaches %.0f%% of aligned "
                 "(paper: 42%%)\n",
                 worst, best, 100.0 * random_speedup / best);
+    for (const auto &row : rows)
+        obs.reportRun(row.run, "vecadd", row.label);
     return 0;
 }

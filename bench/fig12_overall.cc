@@ -30,6 +30,7 @@ const ExecMode modes[3] = {ExecMode::inCore, ExecMode::nearL3,
 
 // Written once in main before any sweep point runs, read-only after.
 harness::BenchSimCheck simcheckOpts;
+harness::BenchObs obsOpts;
 
 /** One row of the figure: a workload run under each of the 3 modes. */
 struct Entry
@@ -46,6 +47,7 @@ main(int argc, char **argv)
     const bool quick = harness::quickMode(argc, argv);
     const unsigned jobs = harness::parseJobs(argc, argv);
     simcheckOpts = harness::BenchSimCheck::parse(argc, argv);
+    obsOpts = harness::BenchObs::parse(argc, argv);
     sim::MachineConfig cfg;
     simcheckOpts.apply(cfg);
     harness::printMachineBanner(cfg, "Fig. 12 - overall evaluation");
@@ -179,6 +181,7 @@ main(int argc, char **argv)
             points.push_back([&e, m] {
                 RunConfig rc = RunConfig::forMode(m);
                 simcheckOpts.apply(rc.machine);
+                obsOpts.apply(rc, e.name, execModeName(m));
                 return e.run(rc, m);
             });
         }
@@ -196,6 +199,7 @@ main(int argc, char **argv)
     // In-Core.
     cmp.print("Fig. 12", /*speedup baseline=*/1, /*traffic baseline=*/0);
     simcheckOpts.printDigests(cmp);
+    obsOpts.report(cmp);
 
     std::printf(
         "Headline comparison (paper): Aff-Alloc = 2.26x speedup / 1.76x "

@@ -23,6 +23,7 @@ main(int argc, char **argv)
     // A single run: --jobs is accepted for harness uniformity (the
     // sweep degenerates to inline execution).
     const unsigned jobs = harness::parseJobs(argc, argv);
+    const harness::BenchObs obs = harness::BenchObs::parse(argc, argv);
     sim::MachineConfig cfg;
     harness::printMachineBanner(cfg,
                                 "Fig. 17 - BFS iteration characteristics");
@@ -36,9 +37,10 @@ main(int argc, char **argv)
 
     // Direction choices do not change the traversal set; use push so
     // every iteration's scout edges are meaningful.
-    const std::vector<std::function<BfsResult()>> points = {[&p] {
-        return runBfs(RunConfig::forMode(ExecMode::nearL3), p,
-                      BfsStrategy::pushOnly);
+    const std::vector<std::function<BfsResult()>> points = {[&p, &obs] {
+        RunConfig rc = RunConfig::forMode(ExecMode::nearL3);
+        obs.apply(rc, "bfs", "push");
+        return runBfs(rc, p, BfsStrategy::pushOnly);
     }};
     const BfsResult res = harness::runSweep(jobs, points)[0];
 
@@ -57,5 +59,6 @@ main(int argc, char **argv)
     std::printf("\nExpected shape (paper): active nodes and scout edges "
                 "peak in the middle iterations\n(iters 2-3), with "
                 "visited saturating shortly after.\n");
+    obs.reportRun(res.run, "bfs", "push");
     return 0;
 }

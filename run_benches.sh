@@ -82,6 +82,8 @@ for b in fig04_affine_offset fig17_bfs_iters fig14_timeline \
             --jobs) skip_next=1 ;;
             --jobs=*) ;;
             --simcheck | --simcheck-digest | --faulty) ;;
+            --trace-out=* | --heatmap=* | --obs-csv=*) ;;
+            --explain-placement | --explain-placement=*) ;;
             *) args+=("$a") ;;
             esac
         done
@@ -104,10 +106,19 @@ echo "TOTAL ${total}s"
 
 if [ "$timings" = 1 ]; then
     out="$here/BENCH_overall.json"
+    # Provenance: which sources, build and host produced these numbers
+    # (a timing regression is meaningless without them).
+    git_rev="$(git -C "$here" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+        "$here/build/CMakeCache.txt" 2>/dev/null | head -1)"
+    host_threads="$(nproc 2>/dev/null || echo 1)"
     {
         echo "{"
         echo "  \"quick\": $([ "$quick" = 1 ] && echo true || echo false),"
         echo "  \"jobs\": ${jobs:-${AFFALLOC_JOBS:-1}},"
+        echo "  \"git_revision\": \"$git_rev\","
+        echo "  \"build_type\": \"${build_type:-unknown}\","
+        echo "  \"host_threads\": $host_threads,"
         echo "  \"benches\": {"
         n=${#names[@]}
         for ((k = 0; k < n; ++k)); do

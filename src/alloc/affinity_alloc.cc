@@ -547,6 +547,22 @@ AffinityAllocator::carveStripe(int k)
 BankId
 AffinityAllocator::selectBank(const std::vector<BankId> &affinity_banks)
 {
+    // Unscored decision (random/linear policies, or Min-Hop with no
+    // affinity info): the explain log still gets a line so the
+    // decision stream is complete, but there is no Eq. 4
+    // decomposition to report.
+    const auto explained = [&](BankId chosen) {
+        if (explain_) {
+            obs::PlacementDecision d;
+            d.policy = bankPolicyName(opts_.policy);
+            d.numAffinity =
+                static_cast<std::uint32_t>(affinity_banks.size());
+            d.chosen = chosen;
+            explain_->record(d);
+        }
+        return chosen;
+    };
+
     // Offline banks are never selected; the healthy path is kept
     // draw-for-draw identical to a machine without the fault
     // subsystem (zero overhead when disabled).
@@ -556,14 +572,14 @@ AffinityAllocator::selectBank(const std::vector<BankId> &affinity_banks)
     switch (opts_.policy) {
       case BankPolicy::random:
         if (!degraded)
-            return static_cast<BankId>(rng_.below(numBanks_));
-        return nthLiveBank(static_cast<std::uint32_t>(
-            rng_.below(plan.numLiveBanks())));
+            return explained(static_cast<BankId>(rng_.below(numBanks_)));
+        return explained(nthLiveBank(static_cast<std::uint32_t>(
+            rng_.below(plan.numLiveBanks()))));
       case BankPolicy::linear: {
         BankId b = nextLinear_++ % numBanks_;
         while (degraded && !plan.bankLive(b))
             b = nextLinear_++ % numBanks_;
-        return b;
+        return explained(b);
       }
       case BankPolicy::minHop:
       case BankPolicy::hybrid:
@@ -575,9 +591,9 @@ AffinityAllocator::selectBank(const std::vector<BankId> &affinity_banks)
         // Min-Hop, so fall back to a random pick instead of always
         // returning bank 0.
         if (!degraded)
-            return static_cast<BankId>(rng_.below(numBanks_));
-        return nthLiveBank(static_cast<std::uint32_t>(
-            rng_.below(plan.numLiveBanks())));
+            return explained(static_cast<BankId>(rng_.below(numBanks_)));
+        return explained(nthLiveBank(static_cast<std::uint32_t>(
+            rng_.below(plan.numLiveBanks()))));
     }
     const double H =
         opts_.policy == BankPolicy::minHop ? 0.0 : opts_.hybridH;
@@ -616,6 +632,12 @@ AffinityAllocator::selectBank(const std::vector<BankId> &affinity_banks)
 
     double best_score = std::numeric_limits<double>::infinity();
     BankId best = degraded ? plan.redirect(0) : 0;
+    // Explain-only state: the chosen bank's score decomposition and
+    // the runner-up. Maintained behind `explain_` checks so the
+    // disabled path scores exactly as before.
+    double best_hops = 0.0, best_load = 0.0;
+    double second_score = std::numeric_limits<double>::infinity();
+    BankId second = invalidBank;
     for (BankId b = 0; b < numBanks_; ++b) {
         if (degraded && !plan.bankLive(b))
             continue; // Eq. 4 skips offline banks
@@ -639,9 +661,35 @@ AffinityAllocator::selectBank(const std::vector<BankId> &affinity_banks)
         }
         const double score = avg_hops + load_term; // Eq. 4
         if (score < best_score) {
+            if (explain_) {
+                second_score = best_score;
+                second = best;
+                best_hops = avg_hops;
+                best_load = load_term;
+            }
             best_score = score;
             best = b;
+        } else if (explain_ && score < second_score) {
+            second_score = score;
+            second = b;
         }
+    }
+    if (explain_) {
+        if (second_score == std::numeric_limits<double>::infinity()) {
+            // Single live candidate: no runner-up to report.
+            second = invalidBank;
+            second_score = 0.0;
+        }
+        obs::PlacementDecision d;
+        d.policy = bankPolicyName(opts_.policy);
+        d.numAffinity = static_cast<std::uint32_t>(affinity_banks.size());
+        d.chosen = best;
+        d.chosenAffinity = best_hops;
+        d.chosenLoad = best_load;
+        d.chosenScore = best_score;
+        d.runnerUp = second;
+        d.runnerUpScore = second_score;
+        explain_->record(d);
     }
     return best;
 }

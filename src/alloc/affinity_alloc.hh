@@ -32,6 +32,7 @@
 
 #include "mem/address.hh"
 #include "nsc/machine.hh"
+#include "obs/placement_explain.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
@@ -249,6 +250,14 @@ class AffinityAllocator
      */
     BankId selectBank(const std::vector<BankId> &affinity_banks);
 
+    /**
+     * Attach (or detach, with nullptr) a placement-explain log; every
+     * selectBank decision is recorded with its Eq. 4 decomposition.
+     * Observe-only: scoring is unchanged whether or not a log is
+     * attached.
+     */
+    void setExplainer(obs::PlacementExplainer *e) { explain_ = e; }
+
   private:
     struct Slot
     {
@@ -346,6 +355,8 @@ class AffinityAllocator
     int auditId_ = 0;
     /** Running digest of placement decisions. */
     simcheck::Digest placement_;
+    /** Optional placement-explain log (null = disabled). */
+    obs::PlacementExplainer *explain_ = nullptr;
 };
 
 } // namespace affalloc::alloc

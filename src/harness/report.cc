@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "harness/trace.hh"
+#include "obs/heatmap.hh"
 #include "sim/log.hh"
 #include "sim/simcheck.hh"
 #include "sim/stats.hh"
@@ -266,6 +268,105 @@ BenchSimCheck::apply(sim::MachineConfig &cfg) const
         cfg.faults.offlineBanks = 2;
         cfg.faults.offloadRejectRate = 0.05;
     }
+}
+
+BenchObs
+BenchObs::parse(int argc, char **argv)
+{
+    BenchObs ob;
+    const auto value = [](const char *arg, const char *flag) -> const char * {
+        const std::size_t n = std::strlen(flag);
+        if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=')
+            return arg + n + 1;
+        return nullptr;
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (const char *v = value(argv[i], "--trace-out"))
+            ob.tracePrefix = v;
+        else if (const char *h = value(argv[i], "--heatmap"))
+            ob.heatmap = h;
+        else if (std::strcmp(argv[i], "--explain-placement") == 0)
+            ob.explainPrefix = "placement_explain";
+        else if (const char *e = value(argv[i], "--explain-placement"))
+            ob.explainPrefix = e;
+        else if (const char *c = value(argv[i], "--obs-csv"))
+            ob.csvPrefix = c;
+    }
+    if (!ob.heatmap.empty() && ob.heatmap != "banks" &&
+        ob.heatmap != "links") {
+        SIM_FATAL("harness", "--heatmap=%s: expected 'banks' or 'links'",
+                  ob.heatmap.c_str());
+    }
+    return ob;
+}
+
+std::string
+BenchObs::runFile(const std::string &prefix, const std::string &workload,
+                  const std::string &config, const std::string &ext)
+{
+    std::string name = prefix + "." + workload + "." + config;
+    for (char &ch : name) {
+        const bool ok = (ch >= 'a' && ch <= 'z') ||
+                        (ch >= 'A' && ch <= 'Z') ||
+                        (ch >= '0' && ch <= '9') || ch == '.' ||
+                        ch == '_' || ch == '-' || ch == '/';
+        if (!ok)
+            ch = '-';
+    }
+    return name + ext;
+}
+
+void
+BenchObs::apply(workloads::RunConfig &rc, const std::string &workload,
+                const std::string &config) const
+{
+    // Heatmaps and CSVs both need the spatial counters collected.
+    if (!heatmap.empty() || !csvPrefix.empty())
+        rc.obs.metrics = true;
+    if (!tracePrefix.empty())
+        rc.obs.tracePath = runFile(tracePrefix, workload, config, ".json");
+    if (!explainPrefix.empty())
+        rc.obs.explainPath =
+            runFile(explainPrefix, workload, config, ".txt");
+}
+
+void
+BenchObs::reportRun(const workloads::RunResult &run,
+                    const std::string &workload,
+                    const std::string &config) const
+{
+    const obs::SpatialSnapshot &s = run.obsSnapshot;
+    if (s.empty())
+        return;
+    if (heatmap == "banks") {
+        std::fputs(obs::renderBankHeatmap(
+                       workload + "/" + config + " L3 accesses per bank",
+                       s.bankAccesses, s.bankTile, s.meshX, s.meshY)
+                       .c_str(),
+                   stdout);
+    } else if (heatmap == "links") {
+        std::fputs(obs::renderLinkHeatmap(
+                       workload + "/" + config + " link flit-hops",
+                       s.linkFlits, s.meshX, s.meshY)
+                       .c_str(),
+                   stdout);
+    }
+    if (!csvPrefix.empty()) {
+        writeBankMetricsCsv(
+            run, runFile(csvPrefix + ".banks", workload, config, ".csv"));
+        writeLinkMetricsCsv(
+            run, runFile(csvPrefix + ".links", workload, config, ".csv"));
+    }
+}
+
+void
+BenchObs::report(const Comparison &cmp) const
+{
+    if (heatmap.empty() && csvPrefix.empty())
+        return;
+    for (const auto &row : cmp.rows())
+        for (const auto &run : row.byConfig)
+            reportRun(run, row.name, run.label);
 }
 
 void

@@ -121,6 +121,55 @@ struct BenchSimCheck
     void printDigests(const Comparison &cmp) const;
 };
 
+/**
+ * Observability flags shared by every figure binary (all opt-in and
+ * digest-neutral; see src/obs/):
+ *   --trace-out=PREFIX     write Chrome trace JSON per run to
+ *                          PREFIX.<workload>.<config>.json
+ *   --heatmap=banks|links  print an ASCII mesh heatmap per run
+ *   --explain-placement[=PREFIX]
+ *                          write the Eq. 4 placement-explain log per
+ *                          run to PREFIX.<workload>.<config>.txt
+ *                          (default PREFIX: placement_explain)
+ *   --obs-csv=PREFIX       write per-bank / per-link counter CSVs per
+ *                          run to PREFIX.{banks,links}.<wl>.<cfg>.csv
+ */
+struct BenchObs
+{
+    std::string tracePrefix;
+    std::string heatmap;
+    std::string explainPrefix;
+    std::string csvPrefix;
+
+    static BenchObs parse(int argc, char **argv);
+
+    /** Whether any observability was requested. */
+    bool
+    any() const
+    {
+        return !tracePrefix.empty() || !heatmap.empty() ||
+               !explainPrefix.empty() || !csvPrefix.empty();
+    }
+
+    /** Fill @p rc.obs for the run of @p workload under @p config. */
+    void apply(workloads::RunConfig &rc, const std::string &workload,
+               const std::string &config) const;
+
+    /** Print heatmaps and write spatial CSVs for every collected run. */
+    void report(const Comparison &cmp) const;
+
+    /** Heatmap + CSVs for one run (benches without a Comparison). */
+    void reportRun(const workloads::RunResult &run,
+                   const std::string &workload,
+                   const std::string &config) const;
+
+    /** `PREFIX.<workload>.<config><ext>` with labels made path-safe. */
+    static std::string runFile(const std::string &prefix,
+                               const std::string &workload,
+                               const std::string &config,
+                               const std::string &ext);
+};
+
 } // namespace affalloc::harness
 
 #endif // AFFALLOC_HARNESS_REPORT_HH

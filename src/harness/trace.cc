@@ -7,12 +7,39 @@
 namespace affalloc::harness
 {
 
+namespace
+{
+
+/**
+ * Flush-and-close with error reporting: a writer that ran out of disk
+ * mid-file must fail the run, not leave a silently truncated CSV that
+ * plots as "everything is fine".
+ */
 void
-writeTimelineCsv(const workloads::RunResult &run, const std::string &path)
+closeChecked(std::FILE *f, const std::string &path)
+{
+    const bool bad = std::ferror(f) != 0;
+    const bool close_failed = std::fclose(f) != 0;
+    if (bad || close_failed)
+        SIM_FATAL("harness", "I/O error writing %s (output is incomplete)",
+                  path.c_str());
+}
+
+std::FILE *
+openChecked(const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         SIM_FATAL("harness", "cannot open %s for writing", path.c_str());
+    return f;
+}
+
+} // namespace
+
+void
+writeTimelineCsv(const workloads::RunResult &run, const std::string &path)
+{
+    std::FILE *f = openChecked(path);
     std::fprintf(f, "epoch,end_cycle,phase,min,p25,mean,p75,max\n");
     for (std::size_t i = 0; i < run.timeline.size(); ++i) {
         const auto &rec = run.timeline.at(i);
@@ -22,7 +49,7 @@ writeTimelineCsv(const workloads::RunResult &run, const std::string &path)
                      rec.phase.c_str(), bands[0], bands[1], bands[2],
                      bands[3], bands[4]);
     }
-    std::fclose(f);
+    closeChecked(f, path);
 }
 
 void
@@ -30,17 +57,19 @@ writeComparisonCsv(const Comparison &cmp,
                    const std::vector<std::string> &config_labels,
                    const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        SIM_FATAL("harness", "cannot open %s for writing", path.c_str());
+    std::FILE *f = openChecked(path);
     std::fprintf(f, "workload,config,cycles,joules,hops,offload_hops,"
                     "data_hops,control_hops,l3_miss_rate,"
-                    "noc_utilization,valid\n");
+                    "noc_utilization,offline_banks,offload_retries,"
+                    "offload_fallbacks,alloc_fallbacks,"
+                    "victim_migrations,degraded_link_flits,valid\n");
     for (const auto &row : cmp.rows()) {
         for (std::size_t c = 0; c < row.byConfig.size(); ++c) {
             const auto &r = row.byConfig[c];
             std::fprintf(
-                f, "%s,%s,%llu,%.9g,%llu,%llu,%llu,%llu,%.6f,%.6f,%d\n",
+                f,
+                "%s,%s,%llu,%.9g,%llu,%llu,%llu,%llu,%.6f,%.6f,"
+                "%llu,%llu,%llu,%llu,%llu,%llu,%d\n",
                 row.name.c_str(),
                 c < config_labels.size() ? config_labels[c].c_str()
                                          : "?",
@@ -52,10 +81,73 @@ writeComparisonCsv(const Comparison &cmp,
                     TrafficClass::data)],
                 (unsigned long long)r.stats.hops[int(
                     TrafficClass::control)],
-                r.l3MissRate, r.nocUtilization, r.valid ? 1 : 0);
+                r.l3MissRate, r.nocUtilization,
+                (unsigned long long)r.stats.offlineBanks,
+                (unsigned long long)r.stats.offloadRetries,
+                (unsigned long long)r.stats.offloadFallbacks,
+                (unsigned long long)r.stats.allocFallbacks,
+                (unsigned long long)r.stats.victimMigrations,
+                (unsigned long long)r.stats.degradedLinkFlits,
+                r.valid ? 1 : 0);
         }
     }
-    std::fclose(f);
+    closeChecked(f, path);
+}
+
+void
+writeBankMetricsCsv(const workloads::RunResult &run,
+                    const std::string &path)
+{
+    const obs::SpatialSnapshot &s = run.obsSnapshot;
+    if (s.empty())
+        SIM_FATAL("harness", "writeBankMetricsCsv(%s): run '%s/%s' carries "
+                  "no spatial snapshot (enable RunConfig::obs.metrics)",
+                  path.c_str(), run.workload.c_str(), run.label.c_str());
+    std::FILE *f = openChecked(path);
+    std::fprintf(f, "bank,tile,x,y,accesses,misses,atomics,se_ops,"
+                    "stream_notes,busy_cycles\n");
+    for (std::size_t b = 0; b < s.bankAccesses.size(); ++b) {
+        const TileId t = s.bankTile[b];
+        std::fprintf(f, "%zu,%u,%u,%u,%llu,%llu,%llu,%llu,%llu,%.2f\n",
+                     b, t, t % s.meshX, t / s.meshX,
+                     (unsigned long long)s.bankAccesses[b],
+                     (unsigned long long)s.bankMisses[b],
+                     (unsigned long long)s.bankAtomics[b],
+                     (unsigned long long)s.bankSeOps[b],
+                     (unsigned long long)s.bankStreamNotes[b],
+                     s.bankBusyCycles[b]);
+    }
+    closeChecked(f, path);
+}
+
+void
+writeLinkMetricsCsv(const workloads::RunResult &run,
+                    const std::string &path)
+{
+    const obs::SpatialSnapshot &s = run.obsSnapshot;
+    if (s.empty())
+        SIM_FATAL("harness", "writeLinkMetricsCsv(%s): run '%s/%s' carries "
+                  "no spatial snapshot (enable RunConfig::obs.metrics)",
+                  path.c_str(), run.workload.c_str(), run.label.c_str());
+    std::FILE *f = openChecked(path);
+    std::fprintf(f, "link,tile,dir,flits\n");
+    // Link id = tile*4 + dir, dir 0=E 1=W 2=N(y-1) 3=S(y+1); slots
+    // whose direction leaves the mesh are structural zeros and are
+    // skipped so every emitted row is a physical link.
+    static const char dir_name[4] = {'E', 'W', 'N', 'S'};
+    for (std::size_t l = 0; l < s.linkFlits.size(); ++l) {
+        const TileId t = static_cast<TileId>(l / 4);
+        const std::uint32_t d = static_cast<std::uint32_t>(l % 4);
+        const std::uint32_t x = t % s.meshX, y = t / s.meshX;
+        const bool exists = (d == 0 && x + 1 < s.meshX) ||
+                            (d == 1 && x > 0) || (d == 2 && y > 0) ||
+                            (d == 3 && y + 1 < s.meshY);
+        if (!exists)
+            continue;
+        std::fprintf(f, "%zu,%u,%c,%llu\n", l, t, dir_name[d],
+                     (unsigned long long)s.linkFlits[l]);
+    }
+    closeChecked(f, path);
 }
 
 } // namespace affalloc::harness

@@ -27,11 +27,33 @@ void writeTimelineCsv(const workloads::RunResult &run,
 /**
  * Write a comparison as CSV:
  * workload,config,cycles,joules,hops,offload_hops,data_hops,
- * control_hops,l3_miss_rate,noc_utilization,valid
+ * control_hops,l3_miss_rate,noc_utilization,offline_banks,
+ * offload_retries,offload_fallbacks,alloc_fallbacks,
+ * victim_migrations,degraded_link_flits,valid
+ * (the degradation counters mirror the table Comparison::print shows
+ * when a run degraded; the CSV always carries them so plots can).
  */
 void writeComparisonCsv(const Comparison &cmp,
                         const std::vector<std::string> &config_labels,
                         const std::string &path);
+
+/**
+ * Write a run's spatial per-bank counters as CSV:
+ * bank,tile,x,y,accesses,misses,atomics,se_ops,stream_notes,busy_cycles
+ * SIM_FATAL when the run carries no spatial snapshot (the caller
+ * forgot to enable RunConfig::obs.metrics).
+ */
+void writeBankMetricsCsv(const workloads::RunResult &run,
+                         const std::string &path);
+
+/**
+ * Write a run's spatial per-link counters as CSV:
+ * link,tile,dir,flits
+ * with dir in {E,W,N,S} per noc::Mesh::linkOf; edge slots are omitted
+ * only if they carried nothing *and* their direction leaves the mesh.
+ */
+void writeLinkMetricsCsv(const workloads::RunResult &run,
+                         const std::string &path);
 
 } // namespace affalloc::harness
 

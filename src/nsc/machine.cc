@@ -113,6 +113,18 @@ Machine::Machine(const sim::MachineConfig &cfg, os::SimOS &os,
                            });
 }
 
+void
+Machine::attachObserver(obs::Observer *o)
+{
+    obs_ = o;
+    metrics_ = o ? o->metrics() : nullptr;
+    tracer_ = o ? o->tracer() : nullptr;
+    if (metrics_) {
+        metrics_->init(cfg_.meshX, cfg_.meshY, bankTile_,
+                       net_.mesh().numLinks());
+    }
+}
+
 Cycles
 Machine::coreTranslate(CoreId core, Addr vaddr)
 {
@@ -198,6 +210,15 @@ Machine::endEpoch(double latency_floor, const std::string &phase)
                                     epochAtomics_.end());
     rec.phase = phase;
     timeline_.record(std::move(rec));
+
+    if (metrics_) {
+        metrics_->endEpoch(stats_.cycles, bankBusy_, net_.maxLinkFlits(),
+                           net_.epochFlits());
+    }
+    if (tracer_) {
+        tracer_->epochSpan(phase, stats_.cycles - duration, duration,
+                           stats_.epochs);
+    }
 
     // Livelock watchdog: an epoch counts as stalled when no *work*
     // counter moved. NoC messages deliberately do not count — an
@@ -354,6 +375,8 @@ Machine::probeL3Line(BankId home, Addr pline, bool is_write, bool &out_hit)
     bankBusy_[home] += tp_.l3ServiceCycles;
     const auto res = l3Banks_[home].access(pline, is_write);
     out_hit = res.hit;
+    if (metrics_)
+        metrics_->bankAccess(home, res.hit);
     Cycles extra = 0;
     if (!res.hit) {
         stats_.l3Misses += 1;
@@ -459,6 +482,8 @@ Machine::coreAccess(CoreId core, Addr vaddr, std::uint32_t bytes,
             // RMW performed at the directory/L3; small response plus
             // an invalidation message to a sharer (coherence cost).
             stats_.atomicOps += 1;
+            if (metrics_)
+                metrics_->bankAtomic(home);
             bankBusy_[home] += tp_.atomicExtraCycles;
             lat += net_.send(bankTile_[home], core, tp_.controlBytes,
                              TrafficClass::control);
@@ -528,6 +553,8 @@ Machine::l3StreamAccess(BankId requester, Addr vaddr, std::uint32_t bytes,
 
         if (type == AccessType::atomic) {
             stats_.atomicOps += 1;
+            if (metrics_)
+                metrics_->bankAtomic(home);
             bankBusy_[home] += tp_.atomicExtraCycles;
             noteAtomicStream(home);
             if (remote) {
@@ -588,6 +615,11 @@ Machine::injectBankFault(BankId b)
         SIM_FATAL("nsc", "injectBankFault: bank %u out of range", b);
     if (os_.faultPlan().offlineBank(b)) {
         stats_.offlineBanks += 1;
+        if (tracer_) {
+            tracer_->machineInstant(
+                "bank-fault", stats_.cycles,
+                detail::formatMessage("\"bank\":%u", b));
+        }
         // The bank's cached lines are gone; future accesses to its
         // lines miss at the spare and refill from DRAM.
         l3Banks_[b].reset();
@@ -598,6 +630,11 @@ Cycles
 Machine::offloadNack(CoreId core, BankId bank)
 {
     stats_.offloadRetries += 1;
+    if (tracer_) {
+        tracer_->machineInstant(
+            "offload-nack", stats_.cycles,
+            detail::formatMessage("\"core\":%u,\"bank\":%u", core, bank));
+    }
     Cycles lat = net_.send(core, bankTile_[bank], tp_.configBytes,
                            TrafficClass::offload);
     lat += net_.send(bankTile_[bank], core, tp_.controlBytes,
@@ -616,6 +653,8 @@ void
 Machine::seCompute(BankId bank, double flops)
 {
     stats_.seOps += static_cast<std::uint64_t>(flops);
+    if (metrics_)
+        metrics_->bankSeOps(bank, static_cast<std::uint64_t>(flops));
     seBusy_[bank] += flops / tp_.seFlopsPerCycle;
 }
 
@@ -623,6 +662,8 @@ void
 Machine::noteAtomicStream(BankId bank)
 {
     epochAtomics_[bank] += 1;
+    if (metrics_)
+        metrics_->bankStreamNote(bank);
 }
 
 double

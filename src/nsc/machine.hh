@@ -27,6 +27,7 @@
 #include "mem/cache_model.hh"
 #include "mem/dram.hh"
 #include "noc/network.hh"
+#include "obs/observer.hh"
 #include "os/sim_os.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
@@ -103,6 +104,21 @@ class Machine
     const sim::Timeline &timeline() const { return timeline_; }
     sim::Timeline &timeline() { return timeline_; }
     Cycles now() const { return stats_.cycles; }
+
+    // ------------------------------------------------------ observability
+    /**
+     * Attach an observability aggregate (not owned; must outlive the
+     * machine or be detached with attachObserver(nullptr)). Sizes the
+     * spatial-metrics registry for this machine's mesh. Observe-only:
+     * attaching changes no simulated behaviour (digest-neutral).
+     */
+    void attachObserver(obs::Observer *o);
+    /** The attached observer, or nullptr (disabled). */
+    obs::Observer *observer() { return obs_; }
+    /** The attached tracer, or nullptr (hot paths branch on this). */
+    obs::ChromeTracer *tracer() { return tracer_; }
+    /** The attached metrics registry, or nullptr. */
+    obs::SpatialMetrics *metrics() { return metrics_; }
 
     // ----------------------------------------------------------- simcheck
     /** Invariant-check registry; components register in their ctors. */
@@ -289,6 +305,11 @@ class Machine
     sim::Stats epochStartStats_;
 
     sim::Timeline timeline_;
+
+    // Observability (all null when no observer is attached).
+    obs::Observer *obs_ = nullptr;
+    obs::SpatialMetrics *metrics_ = nullptr;
+    obs::ChromeTracer *tracer_ = nullptr;
 
     simcheck::Auditor auditor_;
     simcheck::LivelockWatchdog watchdog_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/chrome_trace.hh"
 #include "sim/log.hh"
 
 namespace affalloc::nsc
@@ -124,6 +125,8 @@ StreamExecutor::affineKernel(const std::vector<AffineRef> &loads,
     // configured (offload rejection faults) runs its whole slice
     // in-core instead.
     std::vector<std::uint8_t> core_offloaded(cores, 0);
+    std::vector<std::uint32_t> core_trace(cores, 0);
+    obs::ChromeTracer *tr = machine_.tracer();
     double setup_penalty = 0.0;
     if (offloaded()) {
         // Each core offloads one stream per array for its slice.
@@ -150,6 +153,14 @@ StreamExecutor::affineKernel(const std::vector<AffineRef> &loads,
                 cur_bank[c * n_refs + r] = bank;
             }
             setup_penalty = std::max(setup_penalty, penalty);
+            if (tr) {
+                core_trace[c] = ++nextStreamId_;
+                tr->streamBegin(core_trace[c],
+                                core_offloaded[c] ? "affine"
+                                                  : "affine-fallback",
+                                c, cur_bank[c * n_refs],
+                                machine_.stats().cycles);
+            }
         }
     }
 
@@ -287,6 +298,13 @@ StreamExecutor::affineKernel(const std::vector<AffineRef> &loads,
         // pipeline fill.
         machine_.endEpoch(e == 0 ? floor + setup_penalty : floor, phase);
     }
+
+    if (tr) {
+        for (std::uint32_t c = 0; c < cores; ++c) {
+            if (core_trace[c] != 0)
+                tr->streamEnd(core_trace[c], machine_.stats().cycles);
+        }
+    }
 }
 
 AccessOutcome
@@ -309,6 +327,7 @@ StreamExecutor::streamStep(MigratingStream &stream, Addr vaddr,
         return out;
     }
     const BankId home = machine_.bankOfSim(vaddr);
+    obs::ChromeTracer *tr = machine_.tracer();
     if (stream.bank_ == invalidBank) {
         double penalty = 0.0;
         if (!offloadAdmitted(stream.owner_, home, penalty)) {
@@ -316,6 +335,12 @@ StreamExecutor::streamStep(MigratingStream &stream, Addr vaddr,
             // execution for the rest of its life (until reconfigured).
             stream.inCoreFallback_ = true;
             stream.chain_ += penalty;
+            if (tr && stream.traceId_ != 0) {
+                tr->streamInstant(stream.traceId_, "in-core-fallback",
+                                  machine_.stats().cycles,
+                                  detail::formatMessage("\"core\":%u",
+                                                        stream.owner_));
+            }
             const AccessOutcome out = machine_.coreAccess(
                 stream.owner_, vaddr, bytes, type, sequential);
             stream.chain_ += double(out.latency);
@@ -325,10 +350,23 @@ StreamExecutor::streamStep(MigratingStream &stream, Addr vaddr,
         stream.chain_ +=
             double(machine_.configStream(stream.owner_, home));
         stream.bank_ = home;
+        if (tr && stream.traceId_ == 0) {
+            // Implicitly configured stream (no explicit configure()).
+            stream.traceId_ = ++nextStreamId_;
+            tr->streamBegin(stream.traceId_, "irregular", stream.owner_,
+                            home, machine_.stats().cycles);
+        }
     } else if (home != stream.bank_) {
         if (audit_) {
             SIM_CHECK("nsc", machine_.bankLive(home),
                       "stream migrating to dead bank %u", home);
+        }
+        if (tr && stream.traceId_ != 0) {
+            tr->streamInstant(stream.traceId_, "migrate",
+                              machine_.stats().cycles,
+                              detail::formatMessage(
+                                  "\"from\":%u,\"to\":%u",
+                                  stream.bank_, home));
         }
         stream.chain_ +=
             double(machine_.migrateStream(stream.bank_, home));
@@ -364,6 +402,12 @@ StreamExecutor::indirect(MigratingStream &stream, Addr vaddr,
 void
 StreamExecutor::configure(MigratingStream &stream, Addr vaddr)
 {
+    obs::ChromeTracer *tr = machine_.tracer();
+    if (tr && stream.traceId_ != 0) {
+        // Reconfiguration ends the previous lifetime span.
+        tr->streamEnd(stream.traceId_, machine_.stats().cycles);
+        stream.traceId_ = 0;
+    }
     stream.lastLine_ = invalidAddr;
     stream.inCoreFallback_ = false;
     if (!offloaded()) {
@@ -376,11 +420,22 @@ StreamExecutor::configure(MigratingStream &stream, Addr vaddr)
         stream.inCoreFallback_ = true;
         stream.bank_ = invalidBank;
         stream.chain_ += penalty;
+        if (tr) {
+            stream.traceId_ = ++nextStreamId_;
+            tr->streamBegin(stream.traceId_, "in-core-fallback",
+                            stream.owner_, invalidBank,
+                            machine_.stats().cycles);
+        }
         return;
     }
     stream.chain_ += penalty;
     machine_.configStream(stream.owner_, home);
     stream.bank_ = home;
+    if (tr) {
+        stream.traceId_ = ++nextStreamId_;
+        tr->streamBegin(stream.traceId_, "irregular", stream.owner_, home,
+                        machine_.stats().cycles);
+    }
 }
 
 void

@@ -77,6 +77,8 @@ class MigratingStream
     Addr lastLine_ = invalidAddr;
     std::uint32_t sinceCredit_ = 0;
     bool inCoreFallback_ = false;
+    /** Tracer lane id while a lifetime span is open (0 = untraced). */
+    std::uint32_t traceId_ = 0;
 };
 
 /**
@@ -176,6 +178,8 @@ class StreamExecutor
     std::uint64_t offloadAttempts_ = 0;
     std::uint64_t offloadAdmits_ = 0;
     std::uint64_t offloadFallbacks_ = 0;
+    /** Next stream-lifecycle trace id (ids are 1-based; 0 = untraced). */
+    std::uint32_t nextStreamId_ = 0;
 };
 
 } // namespace affalloc::nsc

@@ -1,0 +1,129 @@
+#include "obs/heatmap.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace affalloc::obs
+{
+
+namespace
+{
+
+/** 10-step shade ramp from cold to hot. */
+constexpr const char *shadeRamp = " .:-=+*#%@";
+
+std::string
+formatHeader(const std::string &title, std::uint64_t total,
+             std::uint64_t max_value)
+{
+    return detail::formatMessage(
+        "=== %s (total %llu, max %llu) ===\n", title.c_str(),
+        (unsigned long long)total, (unsigned long long)max_value);
+}
+
+} // namespace
+
+char
+heatShade(std::uint64_t value, std::uint64_t max_value)
+{
+    if (max_value == 0 || value == 0)
+        return shadeRamp[0];
+    // Nonzero values never render as blank: the lowest hot shade is
+    // '.', and the maximum is '@'.
+    const std::uint64_t step = (value * 9 + max_value - 1) / max_value;
+    return shadeRamp[std::min<std::uint64_t>(step, 9)];
+}
+
+std::string
+renderBankHeatmap(const std::string &title,
+                  const std::vector<std::uint64_t> &per_bank,
+                  const std::vector<TileId> &bank_tile,
+                  std::uint32_t mesh_x, std::uint32_t mesh_y)
+{
+    SIM_REQUIRE("obs", per_bank.size() == bank_tile.size(),
+                "heatmap: %zu bank values vs %zu bank->tile entries",
+                per_bank.size(), bank_tile.size());
+    SIM_REQUIRE("obs",
+                per_bank.size() == std::size_t(mesh_x) * mesh_y,
+                "heatmap: %zu banks on a %ux%u mesh", per_bank.size(),
+                mesh_x, mesh_y);
+
+    // Tile -> value through the numbering scheme.
+    std::vector<std::uint64_t> tile_value(per_bank.size(), 0);
+    std::uint64_t total = 0, max_value = 0;
+    for (std::size_t b = 0; b < per_bank.size(); ++b) {
+        tile_value[bank_tile[b]] = per_bank[b];
+        total += per_bank[b];
+        max_value = std::max(max_value, per_bank[b]);
+    }
+
+    std::string out = formatHeader(title, total, max_value);
+    for (std::uint32_t y = 0; y < mesh_y; ++y) {
+        // Shade strip.
+        out += "  ";
+        for (std::uint32_t x = 0; x < mesh_x; ++x)
+            out += heatShade(tile_value[y * mesh_x + x], max_value);
+        // Numeric strip.
+        out += "   |";
+        for (std::uint32_t x = 0; x < mesh_x; ++x)
+            out += detail::formatMessage(
+                " %8llu",
+                (unsigned long long)tile_value[y * mesh_x + x]);
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+renderLinkHeatmap(const std::string &title,
+                  const std::vector<std::uint64_t> &link_flits,
+                  std::uint32_t mesh_x, std::uint32_t mesh_y)
+{
+    SIM_REQUIRE("obs",
+                link_flits.size() >= std::size_t(mesh_x) * mesh_y * 4,
+                "link heatmap: %zu link slots for a %ux%u mesh",
+                link_flits.size(), mesh_x, mesh_y);
+
+    const auto link = [&](std::uint32_t x, std::uint32_t y,
+                          std::uint32_t dir) {
+        return link_flits[(std::size_t(y) * mesh_x + x) * 4 + dir];
+    };
+    std::uint64_t total = 0, max_value = 0;
+    for (std::size_t l = 0; l < std::size_t(mesh_x) * mesh_y * 4; ++l) {
+        total += link_flits[l];
+        max_value = std::max(max_value, link_flits[l]);
+    }
+
+    // dir 0=east 1=west 2=north 3=south (noc::Direction order). A
+    // bidirectional channel between horizontal neighbours is the east
+    // link of the left tile plus the west link of the right tile.
+    std::string out = formatHeader(title, total, max_value);
+    out += "  (each cell: flits east+west or north+south between "
+           "neighbouring tiles)\n";
+    for (std::uint32_t y = 0; y < mesh_y; ++y) {
+        out += "  o";
+        for (std::uint32_t x = 0; x + 1 < mesh_x; ++x) {
+            const std::uint64_t h = link(x, y, 0) + link(x + 1, y, 1);
+            out += detail::formatMessage("-%c%8llu%c-o",
+                                         heatShade(h, max_value),
+                                         (unsigned long long)h,
+                                         heatShade(h, max_value));
+        }
+        out += "\n";
+        if (y + 1 == mesh_y)
+            break;
+        out += "  ";
+        for (std::uint32_t x = 0; x < mesh_x; ++x) {
+            const std::uint64_t v = link(x, y, 3) + link(x, y + 1, 2);
+            out += detail::formatMessage("%c%8llu%c ",
+                                         heatShade(v, max_value),
+                                         (unsigned long long)v,
+                                         heatShade(v, max_value));
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace affalloc::obs

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * ASCII heatmap rendering of per-bank and per-link spatial metrics on
+ * the mesh. Banks render as one shaded cell per tile plus a numeric
+ * grid; links render each tile's four directed-link loads so hot rows
+ * or columns of the X-Y routed mesh stand out in a terminal.
+ */
+
+#ifndef AFFALLOC_OBS_HEATMAP_HH
+#define AFFALLOC_OBS_HEATMAP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/spatial_metrics.hh"
+
+namespace affalloc::obs
+{
+
+/**
+ * Render @p per_bank values as a meshX x meshY grid. Each tile shows
+ * its shade character (scaled to the max) and value; the bank's id is
+ * looked up through @p bank_tile (bank b's value renders at its tile).
+ * Deterministic: golden-tested byte-for-byte.
+ */
+std::string renderBankHeatmap(const std::string &title,
+                              const std::vector<std::uint64_t> &per_bank,
+                              const std::vector<TileId> &bank_tile,
+                              std::uint32_t mesh_x, std::uint32_t mesh_y);
+
+/**
+ * Render per-directed-link flit loads. Link ids follow
+ * noc::Mesh::linkOf (tile*4 + dir, dir 0=E 1=W 2=N 3=S). Each mesh
+ * row prints the horizontal (E/W) loads between its tiles, then the
+ * vertical (N/S) loads to the next row.
+ */
+std::string renderLinkHeatmap(const std::string &title,
+                              const std::vector<std::uint64_t> &link_flits,
+                              std::uint32_t mesh_x, std::uint32_t mesh_y);
+
+/** Shade character for @p value scaled against @p max_value. */
+char heatShade(std::uint64_t value, std::uint64_t max_value);
+
+} // namespace affalloc::obs
+
+#endif // AFFALLOC_OBS_HEATMAP_HH

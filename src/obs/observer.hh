@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The observability aggregate a run attaches to its machine. Holds
+ * whichever of the three instruments the ObsConfig enabled:
+ *
+ *   - SpatialMetrics     per-bank / per-link counters
+ *   - ChromeTracer       stream-lifecycle Chrome trace JSON
+ *   - PlacementExplainer Eq. 4 decision log
+ *
+ * Like SimCheck, everything is opt-in: a default ObsConfig constructs
+ * nothing and the machine's observer pointer stays null, so the
+ * simulation hot paths pay one never-taken branch. Enabling any
+ * instrument is digest-neutral — instruments only read what the
+ * timing model already computed.
+ */
+
+#ifndef AFFALLOC_OBS_OBSERVER_HH
+#define AFFALLOC_OBS_OBSERVER_HH
+
+#include <memory>
+#include <string>
+
+#include "obs/chrome_trace.hh"
+#include "obs/placement_explain.hh"
+#include "obs/spatial_metrics.hh"
+
+namespace affalloc::obs
+{
+
+/** What to observe and where to write it (part of RunConfig). */
+struct ObsConfig
+{
+    /** Collect per-bank / per-link spatial metrics. */
+    bool metrics = false;
+    /** Non-empty: write Chrome trace_event JSON to this path. */
+    std::string tracePath;
+    /** Non-empty: write the placement-explain log to this path. */
+    std::string explainPath;
+
+    /** Whether anything at all is enabled. */
+    bool
+    any() const
+    {
+        return metrics || !tracePath.empty() || !explainPath.empty();
+    }
+};
+
+/** Owns the enabled instruments for one run. */
+class Observer
+{
+  public:
+    /** Construct the instruments @p cfg enables (opens output files). */
+    explicit Observer(const ObsConfig &cfg)
+    {
+        if (cfg.metrics)
+            metrics_ = std::make_unique<SpatialMetrics>();
+        if (!cfg.tracePath.empty())
+            tracer_ = std::make_unique<ChromeTracer>(cfg.tracePath);
+        if (!cfg.explainPath.empty())
+            explainer_ =
+                std::make_unique<PlacementExplainer>(cfg.explainPath);
+    }
+
+    /** The metrics registry, or nullptr when disabled. */
+    SpatialMetrics *metrics() { return metrics_.get(); }
+    /** The tracer, or nullptr when disabled. */
+    ChromeTracer *tracer() { return tracer_.get(); }
+    /** The explainer, or nullptr when disabled. */
+    PlacementExplainer *explainer() { return explainer_.get(); }
+
+    /** Flush and close every file-backed instrument (SIM_FATAL on
+     *  I/O errors, unlike silent destruction). */
+    void
+    closeOutputs()
+    {
+        if (tracer_)
+            tracer_->close();
+        if (explainer_)
+            explainer_->close();
+    }
+
+  private:
+    std::unique_ptr<SpatialMetrics> metrics_;
+    std::unique_ptr<ChromeTracer> tracer_;
+    std::unique_ptr<PlacementExplainer> explainer_;
+};
+
+} // namespace affalloc::obs
+
+#endif // AFFALLOC_OBS_OBSERVER_HH

@@ -1,0 +1,68 @@
+#include "obs/placement_explain.hh"
+
+#include "sim/log.hh"
+
+namespace affalloc::obs
+{
+
+PlacementExplainer::PlacementExplainer(const std::string &path)
+    : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "w");
+    if (!file_)
+        SIM_FATAL("obs", "cannot open placement-explain output %s for "
+                  "writing", path.c_str());
+    std::fputs("# decision policy n_affinity chosen affinity_term "
+               "load_term score runner_up runner_up_score margin\n",
+               file_);
+}
+
+PlacementExplainer::~PlacementExplainer()
+{
+    if (file_) {
+        try {
+            close();
+        } catch (...) {
+            std::fclose(file_);
+            file_ = nullptr;
+        }
+    }
+}
+
+void
+PlacementExplainer::record(const PlacementDecision &d)
+{
+    if (!file_)
+        SIM_PANIC("obs", "placement decision after close() on %s",
+                  path_.c_str());
+    decisions_ += 1;
+    if (d.runnerUp == invalidBank) {
+        // Unscored policies (random / round-robin / no affinity info):
+        // there is no meaningful decomposition, only the pick.
+        std::fprintf(file_, "%llu %s %u bank%u - - - - - -\n",
+                     (unsigned long long)decisions_, d.policy,
+                     d.numAffinity, d.chosen);
+        return;
+    }
+    std::fprintf(file_,
+                 "%llu %s %u bank%u %.4f %.4f %.4f bank%u %.4f %.4f\n",
+                 (unsigned long long)decisions_, d.policy, d.numAffinity,
+                 d.chosen, d.chosenAffinity, d.chosenLoad, d.chosenScore,
+                 d.runnerUp, d.runnerUpScore,
+                 d.runnerUpScore - d.chosenScore);
+}
+
+void
+PlacementExplainer::close()
+{
+    if (!file_)
+        return;
+    const bool bad = std::ferror(file_) != 0;
+    const bool close_failed = std::fclose(file_) != 0;
+    file_ = nullptr;
+    if (bad || close_failed)
+        SIM_FATAL("obs", "I/O error writing placement-explain output %s "
+                  "(log is incomplete)", path_.c_str());
+}
+
+} // namespace affalloc::obs

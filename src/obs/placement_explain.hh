@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Placement-decision explain log: one line per AffinityAllocator
+ * bank-selection decision, recording the Eq. 4 score decomposition
+ * (affinity term, load term) of the chosen bank and the runner-up so
+ * a placement regression can be traced to the decision that made it.
+ *
+ * Observe-only and digest-neutral: the allocator hands the explainer
+ * data it already computed; scoring never changes. Lines are written
+ * eagerly (memory stays O(1)) and any I/O failure is a SIM_FATAL
+ * naming the path.
+ */
+
+#ifndef AFFALLOC_OBS_PLACEMENT_EXPLAIN_HH
+#define AFFALLOC_OBS_PLACEMENT_EXPLAIN_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace affalloc::obs
+{
+
+/** One bank-selection decision, as scored by Eq. 4. */
+struct PlacementDecision
+{
+    /** Policy that made the call ("hybrid", "minhop", "rnd", "lnr"). */
+    const char *policy = "?";
+    /** Affinity addresses that survived resolution to banks. */
+    std::uint32_t numAffinity = 0;
+    /** The chosen bank. */
+    BankId chosen = invalidBank;
+    /** Average hops from the chosen bank to the affinity banks. */
+    double chosenAffinity = 0.0;
+    /** Load-balance term H * (load/avg_load - 1) of the chosen bank. */
+    double chosenLoad = 0.0;
+    /** Total Eq. 4 score of the chosen bank. */
+    double chosenScore = 0.0;
+    /** Second-best bank (invalidBank when the policy has no scores). */
+    BankId runnerUp = invalidBank;
+    /** Runner-up's total score. */
+    double runnerUpScore = 0.0;
+};
+
+/** Eager line-per-decision writer. */
+class PlacementExplainer
+{
+  public:
+    /** Open @p path for writing; SIM_FATAL if it cannot be created. */
+    explicit PlacementExplainer(const std::string &path);
+    ~PlacementExplainer();
+
+    PlacementExplainer(const PlacementExplainer &) = delete;
+    PlacementExplainer &operator=(const PlacementExplainer &) = delete;
+
+    /** Append one decision line. */
+    void record(const PlacementDecision &d);
+
+    /** Flush and close; idempotent; SIM_FATAL on write failure. */
+    void close();
+
+    /** Decisions recorded so far (tests). */
+    std::uint64_t numDecisions() const { return decisions_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::string path_;
+    std::uint64_t decisions_ = 0;
+};
+
+} // namespace affalloc::obs
+
+#endif // AFFALLOC_OBS_PLACEMENT_EXPLAIN_HH

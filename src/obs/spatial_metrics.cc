@@ -1,0 +1,71 @@
+#include "obs/spatial_metrics.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace affalloc::obs
+{
+
+std::uint64_t
+SpatialSnapshot::sum(const std::vector<std::uint64_t> &v)
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t x : v)
+        total += x;
+    return total;
+}
+
+void
+SpatialMetrics::init(std::uint32_t mesh_x, std::uint32_t mesh_y,
+                     std::vector<TileId> bank_tile, std::size_t num_links)
+{
+    SIM_REQUIRE("obs", mesh_x > 0 && mesh_y > 0,
+                "spatial metrics need a non-empty mesh (%ux%u)", mesh_x,
+                mesh_y);
+    const std::size_t banks = bank_tile.size();
+    snap_.meshX = mesh_x;
+    snap_.meshY = mesh_y;
+    snap_.bankTile = std::move(bank_tile);
+    snap_.bankAccesses.assign(banks, 0);
+    snap_.bankMisses.assign(banks, 0);
+    snap_.bankAtomics.assign(banks, 0);
+    snap_.bankSeOps.assign(banks, 0);
+    snap_.bankStreamNotes.assign(banks, 0);
+    snap_.bankBusyCycles.assign(banks, 0.0);
+    snap_.linkFlits.assign(num_links, 0);
+    snap_.epochs.clear();
+}
+
+void
+SpatialMetrics::endEpoch(Cycles end_cycle,
+                         const std::vector<double> &bank_busy,
+                         std::uint64_t max_link_flits,
+                         std::uint64_t epoch_flits)
+{
+    double max_busy = 0.0;
+    for (std::size_t b = 0; b < bank_busy.size(); ++b) {
+        snap_.bankBusyCycles[b] += bank_busy[b];
+        max_busy = std::max(max_busy, bank_busy[b]);
+    }
+    EpochMetrics em;
+    em.endCycle = end_cycle;
+    em.maxBankBusy = max_busy;
+    em.maxLinkFlits = max_link_flits;
+    em.epochFlits = epoch_flits;
+    snap_.epochs.push_back(em);
+}
+
+void
+SpatialMetrics::setLinkFlits(const std::vector<std::uint64_t> &lifetime,
+                             std::size_t num_route_links)
+{
+    // The network's lifetime vector carries the per-tile local ports
+    // after the route links; only the mesh links are spatial.
+    const std::size_t n = std::min(lifetime.size(), num_route_links);
+    snap_.linkFlits.assign(lifetime.begin(),
+                           lifetime.begin() +
+                               static_cast<std::ptrdiff_t>(n));
+}
+
+} // namespace affalloc::obs

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Spatial metrics registry: per-bank and per-link counters that
+ * attribute the machine-global sim::Stats scalars to *where* on the
+ * mesh the events happened. The whole thesis of affinity alloc is
+ * spatial (Eq. 4 trades affinity against per-bank load), so a
+ * placement regression that leaves aggregate cycles unchanged is
+ * invisible without this lens.
+ *
+ * Recording is observe-only: the registry duplicates counts that the
+ * timing model already charges and never feeds anything back, so
+ * enabling it is provably digest-neutral (the obs test suite asserts
+ * identical determinism digests with metrics on and off). When no
+ * observer is attached the charge points reduce to one predictable
+ * null-pointer test.
+ */
+
+#ifndef AFFALLOC_OBS_SPATIAL_METRICS_HH
+#define AFFALLOC_OBS_SPATIAL_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace affalloc::obs
+{
+
+/**
+ * One epoch's scalar observation (bounded history: a handful of
+ * scalars per epoch, not per-bank vectors — the per-bank occupancy
+ * series already lives in sim::Timeline).
+ */
+struct EpochMetrics
+{
+    /** Simulated cycle at which the epoch ended. */
+    Cycles endCycle = 0;
+    /** Busiest bank's occupancy this epoch (queue-depth proxy). */
+    double maxBankBusy = 0.0;
+    /** Flits on the busiest link this epoch. */
+    std::uint64_t maxLinkFlits = 0;
+    /** Flits injected this epoch. */
+    std::uint64_t epochFlits = 0;
+};
+
+/**
+ * Immutable copy of the spatial counters harvested at the end of a
+ * run. Cheap to copy (a few vectors of numBanks / 4*numTiles length),
+ * carried inside workloads::RunResult so reports and heatmaps outlive
+ * the machine.
+ */
+struct SpatialSnapshot
+{
+    /** Mesh geometry (tiles are row-major y*meshX+x). */
+    std::uint32_t meshX = 0;
+    std::uint32_t meshY = 0;
+    /** Bank id -> tile id under the run's numbering scheme. */
+    std::vector<TileId> bankTile;
+
+    // ------------------------------------------------ per-bank counters
+    /** L3 accesses served at each bank (sum == Stats::l3Accesses). */
+    std::vector<std::uint64_t> bankAccesses;
+    /** L3 misses at each bank (sum == Stats::l3Misses). */
+    std::vector<std::uint64_t> bankMisses;
+    /** Remote atomics performed at each bank (sum == atomicOps). */
+    std::vector<std::uint64_t> bankAtomics;
+    /** Near-stream ops at each bank's SE (sum == Stats::seOps). */
+    std::vector<std::uint64_t> bankSeOps;
+    /** Atomic-stream activations noted per bank (stream occupancy). */
+    std::vector<std::uint64_t> bankStreamNotes;
+    /** Accumulated per-epoch busy cycles per bank (queue depth). */
+    std::vector<double> bankBusyCycles;
+
+    // ------------------------------------------------ per-link counters
+    /**
+     * Flit-hops per directed link over the whole run. Link ids follow
+     * noc::Mesh::linkOf: link = tile*4 + direction with direction
+     * 0=east 1=west 2=north 3=south; edge slots stay zero.
+     */
+    std::vector<std::uint64_t> linkFlits;
+
+    /** Per-epoch scalar history. */
+    std::vector<EpochMetrics> epochs;
+
+    /** Whether the snapshot holds any data. */
+    bool empty() const { return bankAccesses.empty(); }
+    /** Sum of one per-bank counter (conservation checks). */
+    static std::uint64_t sum(const std::vector<std::uint64_t> &v);
+};
+
+/**
+ * The live registry a machine records into. All methods are O(1)
+ * increments; the machine only calls them through a nullable pointer,
+ * so a run without observability never executes them.
+ */
+class SpatialMetrics
+{
+  public:
+    /** Size the counters for a machine (called once on attach). */
+    void init(std::uint32_t mesh_x, std::uint32_t mesh_y,
+              std::vector<TileId> bank_tile, std::size_t num_links);
+
+    // --------------------------------------------------- charge points
+    /** One L3 access served at @p bank (hit or miss). */
+    void
+    bankAccess(BankId bank, bool hit)
+    {
+        snap_.bankAccesses[bank] += 1;
+        if (!hit)
+            snap_.bankMisses[bank] += 1;
+    }
+
+    /** One remote atomic RMW performed at @p bank. */
+    void bankAtomic(BankId bank) { snap_.bankAtomics[bank] += 1; }
+
+    /** @p ops near-stream scalar ops executed at @p bank's SE. */
+    void bankSeOps(BankId bank, std::uint64_t ops)
+    {
+        snap_.bankSeOps[bank] += ops;
+    }
+
+    /** One atomic-stream activation noted at @p bank. */
+    void bankStreamNote(BankId bank) { snap_.bankStreamNotes[bank] += 1; }
+
+    /**
+     * Epoch-boundary snapshot: accumulates per-bank busy cycles and
+     * appends one EpochMetrics scalar record.
+     */
+    void endEpoch(Cycles end_cycle, const std::vector<double> &bank_busy,
+                  std::uint64_t max_link_flits, std::uint64_t epoch_flits);
+
+    /**
+     * Record the whole-run per-link flit totals (copied once from the
+     * network's lifetime counters at harvest; zero hot-path cost).
+     */
+    void setLinkFlits(const std::vector<std::uint64_t> &lifetime,
+                      std::size_t num_route_links);
+
+    /** The collected counters (harvested into RunResult). */
+    const SpatialSnapshot &snapshot() const { return snap_; }
+
+  private:
+    SpatialSnapshot snap_;
+};
+
+} // namespace affalloc::obs
+
+#endif // AFFALLOC_OBS_SPATIAL_METRICS_HH

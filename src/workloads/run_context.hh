@@ -14,6 +14,7 @@
 #include "alloc/affinity_alloc.hh"
 #include "nsc/machine.hh"
 #include "nsc/stream_executor.hh"
+#include "obs/observer.hh"
 #include "os/sim_os.hh"
 #include "sim/energy.hh"
 
@@ -27,6 +28,8 @@ struct RunConfig
     alloc::AllocatorOptions allocOpts{};
     os::PagePolicy heapPolicy = os::PagePolicy::linear;
     sim::MachineConfig machine{};
+    /** Observability (metrics / tracing / explain); default: all off. */
+    obs::ObsConfig obs{};
 
     /** Convenience: a named baseline/evaluated configuration. */
     static RunConfig
@@ -52,6 +55,8 @@ struct RunResult
     sim::Timeline timeline;
     /** Order-insensitive digest of the allocator's placement decisions. */
     std::uint64_t placementDigest = 0;
+    /** Spatial counters (empty unless RunConfig::obs.metrics was set). */
+    obs::SpatialSnapshot obsSnapshot;
 
     /** Cycles, the primary metric. */
     Cycles cycles() const { return stats.cycles; }
@@ -81,12 +86,20 @@ struct RunContext
     nsc::Machine machine;
     alloc::AffinityAllocator allocator;
     nsc::StreamExecutor exec;
+    /** Enabled instruments, or null when RunConfig::obs is all-off. */
+    std::unique_ptr<obs::Observer> observer;
 
     explicit RunContext(const RunConfig &rc)
         : config(rc), os(rc.machine, rc.heapPolicy),
           machine(rc.machine, os), allocator(machine, rc.allocOpts),
           exec(machine, rc.mode)
-    {}
+    {
+        if (config.obs.any()) {
+            observer = std::make_unique<obs::Observer>(config.obs);
+            machine.attachObserver(observer.get());
+            allocator.setExplainer(observer->explainer());
+        }
+    }
 
     /** Whether streams offload to L3 in this run. */
     bool offloaded() const { return config.mode != ExecMode::inCore; }
@@ -109,6 +122,16 @@ struct RunContext
         r.valid = valid;
         r.timeline = machine.timeline();
         r.placementDigest = allocator.placementDigest();
+        if (observer) {
+            if (obs::SpatialMetrics *m = observer->metrics()) {
+                m->setLinkFlits(machine.network().lifetimeLinkFlits(),
+                                machine.network().mesh().numLinks());
+                r.obsSnapshot = m->snapshot();
+            }
+            // Flush file-backed instruments now so an I/O error fails
+            // the run instead of being swallowed at destruction.
+            observer->closeOutputs();
+        }
         return r;
     }
 };

@@ -22,6 +22,7 @@
 
 #include "graph/generators.hh"
 #include "harness/report.hh"
+#include "obs/heatmap.hh"
 #include "sim/simcheck.hh"
 #include "harness/trace.hh"
 #include "workloads/affine_workloads.hh"
@@ -57,6 +58,11 @@ struct Options
     bool simcheckDigest = false;
     std::uint32_t simcheckWatchdog = 0;
     bool simcheckWatchdogSet = false;
+    // Observability (all opt-in and digest-neutral; see src/obs/).
+    std::string traceOut;
+    std::string heatmap;
+    std::string explainOut;
+    std::string obsCsv;
 };
 
 [[noreturn]] void
@@ -74,6 +80,12 @@ usage()
                  "      --simcheck-digest (print determinism digest)\n"
                  "      --simcheck-watchdog N (abort after N stalled "
                  "epochs; 0 = off)\n"
+                 "      --trace-out FILE (Chrome trace_event JSON; load "
+                 "in Perfetto)\n"
+                 "      --heatmap banks|links (ASCII spatial heatmap)\n"
+                 "      --explain-placement FILE (Eq. 4 decision log)\n"
+                 "      --obs-csv PREFIX (per-bank/per-link counter "
+                 "CSVs)\n"
                  "  layout --intrlv BYTES --bytes BYTES --start-bank N\n");
     std::exit(2);
 }
@@ -159,6 +171,19 @@ parse(int argc, char **argv)
             o.simcheck = true;
         } else if (a == "--simcheck-digest") {
             o.simcheckDigest = true;
+        } else if (a == "--trace-out") {
+            o.traceOut = next("--trace-out");
+        } else if (a == "--heatmap") {
+            o.heatmap = next("--heatmap");
+            if (o.heatmap != "banks" && o.heatmap != "links") {
+                std::fprintf(stderr, "--heatmap=%s: expected 'banks' or "
+                             "'links'\n", o.heatmap.c_str());
+                usage();
+            }
+        } else if (a == "--explain-placement") {
+            o.explainOut = next("--explain-placement");
+        } else if (a == "--obs-csv") {
+            o.obsCsv = next("--obs-csv");
         } else if (a == "--simcheck-watchdog") {
             o.simcheckWatchdog = std::uint32_t(
                 std::atoi(next("--simcheck-watchdog").c_str()));
@@ -233,6 +258,9 @@ cmdRun(const Options &o)
         rc.machine.simcheck.audit = true;
     if (o.simcheckWatchdogSet)
         rc.machine.simcheck.watchdogStallEpochs = o.simcheckWatchdog;
+    rc.obs.metrics = !o.heatmap.empty() || !o.obsCsv.empty();
+    rc.obs.tracePath = o.traceOut;
+    rc.obs.explainPath = o.explainOut;
     if (!simcheck::compiledIn && o.simcheck) {
         std::fprintf(stderr,
                      "warning: --simcheck requested but this binary "
@@ -334,6 +362,34 @@ cmdRun(const Options &o)
         harness::writeTimelineCsv(result, o.csv);
         std::printf("timeline   written to %s\n", o.csv.c_str());
     }
+    if (o.heatmap == "banks") {
+        std::fputs(obs::renderBankHeatmap(
+                       result.workload + " L3 accesses per bank",
+                       result.obsSnapshot.bankAccesses,
+                       result.obsSnapshot.bankTile,
+                       result.obsSnapshot.meshX,
+                       result.obsSnapshot.meshY)
+                       .c_str(),
+                   stdout);
+    } else if (o.heatmap == "links") {
+        std::fputs(obs::renderLinkHeatmap(
+                       result.workload + " link flit-hops",
+                       result.obsSnapshot.linkFlits,
+                       result.obsSnapshot.meshX,
+                       result.obsSnapshot.meshY)
+                       .c_str(),
+                   stdout);
+    }
+    if (!o.obsCsv.empty()) {
+        harness::writeBankMetricsCsv(result, o.obsCsv + ".banks.csv");
+        harness::writeLinkMetricsCsv(result, o.obsCsv + ".links.csv");
+        std::printf("obs csv    written to %s.{banks,links}.csv\n",
+                    o.obsCsv.c_str());
+    }
+    if (!o.traceOut.empty())
+        std::printf("trace      written to %s\n", o.traceOut.c_str());
+    if (!o.explainOut.empty())
+        std::printf("explain    written to %s\n", o.explainOut.c_str());
     return result.valid ? 0 : 1;
 }
 
