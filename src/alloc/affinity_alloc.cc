@@ -74,8 +74,22 @@ AffinityAllocator::AffinityAllocator(nsc::Machine &machine,
       poolCapacity_(machine.config().poolCapacityBytes != 0
                         ? machine.config().poolCapacityBytes
                         : mem::terabyte),
+      board_(opts.sharedLoads),
       bankLoads_(machine.config().numBanks(), 0)
 {
+    // Arena-scoped allocators (tenants) are confined to their slice of
+    // each pool segment; a lone arena-0 allocator keeps the legacy
+    // full-segment capacity.
+    if (board_ != nullptr || opts_.arena > 0)
+        poolCapacity_ = std::min<std::uint64_t>(poolCapacity_,
+                                                mem::arenaStride);
+    if (board_ != nullptr)
+        board_->init(numBanks_);
+    if (opts_.arena >= machine.simOs().numArenas()) {
+        SIM_FATAL("alloc", "allocator bound to arena %u but the OS only "
+                  "has %u",
+                  opts_.arena, machine.simOs().numArenas());
+    }
     for (auto &pool : freeSlots_)
         pool.assign(numBanks_, {});
     canaries_ = machine.config().simcheck.audit;
@@ -86,9 +100,26 @@ AffinityAllocator::AffinityAllocator(nsc::Machine &machine,
 
 AffinityAllocator::~AffinityAllocator()
 {
+    // Release this tenant's remaining pressure from the shared board
+    // so a board outliving the allocator never carries stale load.
+    if (board_) {
+        for (BankId b = 0; b < numBanks_; ++b) {
+            board_->loads[b] -= bankLoads_[b];
+            board_->total -= bankLoads_[b];
+        }
+    }
     machine_.auditor().unregisterCheck(auditId_);
-    for (void *p : ownedHost_)
+    // Unregister host ranges before freeing them: on a shared machine
+    // (co-run tenants) the AddressSpace outlives this allocator, and a
+    // later tenant may be handed the same host addresses by the heap.
+    // Freed heap/page-at-bank arrays were already unregistered in
+    // freeAff but keep their host backing (and ownedHost_ entry) until
+    // destruction, hence the rangeStartingAt guard.
+    for (void *p : ownedHost_) {
+        if (machine_.addressSpace().rangeStartingAt(p))
+            machine_.addressSpace().unregisterRange(p);
         deleteHost(p);
+    }
 }
 
 // --------------------------------------------------------------- plain
@@ -171,12 +202,13 @@ AffinityAllocator::poolAllocAligned(std::size_t bytes, int k,
             return PoolCut{};
         }
         stats_.alignmentWasteBytes += align_waste + Addr(skip) * intrlv;
-        machine_.simOs().expandPool(k, cand + alloc_bytes);
+        machine_.simOs().expandPool(k, opts_.arena, cand + alloc_bytes);
         poolBump_[k] = cand + alloc_bytes;
         off = cand;
     }
 
-    const Addr sim = machine_.simOs().poolVirtBaseOf(k) + off;
+    const Addr sim =
+        machine_.simOs().poolVirtBaseOf(k, opts_.arena) + off;
     void *host = newHost(alloc_bytes);
     ownedHost_.insert(host);
     machine_.addressSpace().registerRange(host, alloc_bytes, sim);
@@ -520,8 +552,9 @@ AffinityAllocator::carveStripe(int k)
     if (off + stripe > poolCapacity_)
         return false;
     stats_.alignmentWasteBytes += off - bump;
-    machine_.simOs().expandPool(k, off + stripe);
-    const Addr sim_base = machine_.simOs().poolVirtBaseOf(k) + off;
+    machine_.simOs().expandPool(k, opts_.arena, off + stripe);
+    const Addr sim_base =
+        machine_.simOs().poolVirtBaseOf(k, opts_.arena) + off;
     poolBump_[k] = off + stripe;
 
     void *host = newHost(stripe);
@@ -597,8 +630,14 @@ AffinityAllocator::selectBank(const std::vector<BankId> &affinity_banks)
     }
     const double H =
         opts_.policy == BankPolicy::minHop ? 0.0 : opts_.hybridH;
+    // Eq. 4's load term: machine-wide pressure when a co-run shares a
+    // board, own pressure otherwise. With one tenant the board equals
+    // the private counters bit-for-bit.
+    const std::vector<std::uint64_t> &loads =
+        board_ ? board_->loads : bankLoads_;
     const double avg_load =
-        static_cast<double>(totalLoad_) / static_cast<double>(numBanks_);
+        static_cast<double>(board_ ? board_->total : totalLoad_) /
+        static_cast<double>(numBanks_);
 
     // Manhattan distances are separable, so each bank's affinity-hop
     // sum Σ_a (|xb - xa| + |yb - ya|) comes from per-axis histograms
@@ -655,7 +694,7 @@ AffinityAllocator::selectBank(const std::vector<BankId> &affinity_banks)
         }
         double load_term = 0.0;
         if (avg_load > 0.0) {
-            load_term = H * (static_cast<double>(bankLoads_[b]) /
+            load_term = H * (static_cast<double>(loads[b]) /
                                  avg_load -
                              1.0);
         }
@@ -743,8 +782,7 @@ AffinityAllocator::mallocAff(std::size_t size, int num_aff_addrs,
             machine_.stats().allocFallbacks += 1;
             stats_.fallbacks += 1;
         }
-        bankLoads_[bank] += 1;
-        totalLoad_ += 1;
+        addLoad(bank);
         irregular_.emplace(slot.host, std::make_pair(kk, bank));
         stats_.irregularAllocs += 1;
         foldPlacement(slot.sim, mem::poolInterleave(kk),
@@ -784,8 +822,7 @@ AffinityAllocator::allocSlotAtBank(std::size_t size, BankId bank)
               k, (unsigned long long)poolCapacity_);
     const Slot slot = list.back();
     list.pop_back();
-    bankLoads_[bank] += 1;
-    totalLoad_ += 1;
+    addLoad(bank);
     irregular_.emplace(slot.host, std::make_pair(k, bank));
     stats_.irregularAllocs += 1;
     foldPlacement(slot.sim, intrlv, intrlv, bank);
@@ -811,8 +848,7 @@ AffinityAllocator::freeAff(void *ptr)
             std::memcpy(ptr, &canary, sizeof(canary));
         }
         freeSlots_[k][home].push_back(Slot{ptr, sim});
-        bankLoads_[bank] -= 1;
-        totalLoad_ -= 1;
+        subLoad(bank);
         irregular_.erase(it);
         stats_.frees += 1;
         return;
@@ -990,7 +1026,8 @@ AffinityAllocator::auditFreeLists(simcheck::CheckContext &ctx) const
 
     for (int k = 0; k < mem::numInterleavePools; ++k) {
         const std::uint64_t intrlv = mem::poolInterleave(k);
-        const Addr vbase = machine_.simOs().poolVirtBaseOf(k);
+        const Addr vbase =
+            machine_.simOs().poolVirtBaseOf(k, opts_.arena);
         for (std::uint32_t b = 0; b < numBanks_; ++b) {
             for (const Slot &slot : freeSlots_[k][b]) {
                 if (slot.host == nullptr) {
@@ -1001,6 +1038,27 @@ AffinityAllocator::auditFreeLists(simcheck::CheckContext &ctx) const
                 if (!free_hosts.insert(slot.host).second) {
                     ctx.failf("slot %p appears on more than one free list",
                               slot.host);
+                    continue;
+                }
+                // Arena ownership: a slot whose simulated address sits
+                // in another tenant's arena is a cross-tenant breach
+                // (tenant A holding memory inside tenant B's slice).
+                // Addresses outside the pool segments entirely fall
+                // through to the range check below.
+                const bool in_pools =
+                    slot.sim >= mem::poolVirtBase &&
+                    slot.sim < mem::poolVirtBase +
+                                   Addr(mem::numInterleavePools) *
+                                       mem::terabyte;
+                const std::uint32_t owner =
+                    in_pools ? machine_.simOs().arenaOfPoolAddr(slot.sim)
+                             : opts_.arena;
+                if (owner != opts_.arena) {
+                    ctx.failf("pool %d bank %u: slot sim %llx belongs to "
+                              "arena %u but this allocator owns arena %u "
+                              "(cross-tenant pointer)",
+                              k, b, (unsigned long long)slot.sim, owner,
+                              opts_.arena);
                     continue;
                 }
                 if (slot.sim < vbase ||
@@ -1081,6 +1139,17 @@ AffinityAllocator::auditFreeLists(simcheck::CheckContext &ctx) const
                       "(double-booked)",
                       host);
         }
+        const Addr sim = machine_.addressSpace().trySimAddrOf(host);
+        if (sim != invalidAddr && sim >= mem::poolVirtBase &&
+            sim < mem::poolVirtBase +
+                      Addr(mem::numInterleavePools) * mem::terabyte &&
+            machine_.simOs().arenaOfPoolAddr(sim) != opts_.arena) {
+            ctx.failf("live irregular slot %p (sim %llx) lives in arena "
+                      "%u but this allocator owns arena %u "
+                      "(cross-tenant pointer)",
+                      host, (unsigned long long)sim,
+                      machine_.simOs().arenaOfPoolAddr(sim), opts_.arena);
+        }
         loads[kb.second] += 1;
         total += 1;
     }
@@ -1095,6 +1164,26 @@ AffinityAllocator::auditFreeLists(simcheck::CheckContext &ctx) const
                       "slots",
                       b, (unsigned long long)bankLoads_[b],
                       (unsigned long long)loads[b]);
+        }
+    }
+
+    // Shared board: this tenant's contribution can never exceed the
+    // machine-wide totals (a violation means a tenant mutated the
+    // board without mirroring, or double-released).
+    if (board_) {
+        for (std::uint32_t b = 0; b < numBanks_; ++b) {
+            if (bankLoads_[b] > board_->loads[b]) {
+                ctx.failf("shared board loads[%u]=%llu below this "
+                          "tenant's own %llu",
+                          b, (unsigned long long)board_->loads[b],
+                          (unsigned long long)bankLoads_[b]);
+            }
+        }
+        if (totalLoad_ > board_->total) {
+            ctx.failf("shared board total %llu below this tenant's own "
+                      "%llu",
+                      (unsigned long long)board_->total,
+                      (unsigned long long)totalLoad_);
         }
     }
 }

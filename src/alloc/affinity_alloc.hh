@@ -78,6 +78,33 @@ enum class BankPolicy : std::uint8_t
 /** Human-readable policy name (figure labels). */
 const char *bankPolicyName(BankPolicy p);
 
+/**
+ * Cross-tenant bank-load scoreboard. In a co-run every tenant's
+ * allocator mirrors its irregular load updates into one shared board,
+ * and Eq. 4's load term reads the board instead of the allocator's
+ * private counters — placement competes with *machine-wide* pressure,
+ * not just the tenant's own. With a single tenant the board trivially
+ * equals the private counters, so scores (and digests) are
+ * bit-identical to an allocator without a board.
+ */
+struct BankLoadBoard
+{
+    /** Machine-wide irregular load per bank (all tenants). */
+    std::vector<std::uint64_t> loads;
+    /** Sum of loads. */
+    std::uint64_t total = 0;
+
+    /** Size for a machine; idempotent across tenant constructions. */
+    void
+    init(std::uint32_t num_banks)
+    {
+        if (loads.size() != num_banks) {
+            loads.assign(num_banks, 0);
+            total = 0;
+        }
+    }
+};
+
 /** Runtime construction options. */
 struct AllocatorOptions
 {
@@ -89,6 +116,13 @@ struct AllocatorOptions
     std::uint64_t seed = 7;
     /** Max affinity addresses considered per allocation (§5.1). */
     std::uint32_t maxAffinityAddrs = 32;
+    /** OS arena this allocator draws pools from (tenant isolation). */
+    std::uint32_t arena = 0;
+    /**
+     * Shared cross-tenant load board (not owned; must outlive the
+     * allocator). Null: Eq. 4 sees only this allocator's own loads.
+     */
+    BankLoadBoard *sharedLoads = nullptr;
 };
 
 /** Metadata the runtime records per affine/plain allocation. */
@@ -258,6 +292,20 @@ class AffinityAllocator
      */
     void setExplainer(obs::PlacementExplainer *e) { explain_ = e; }
 
+    /** The OS arena this allocator allocates from. */
+    std::uint32_t arena() const { return opts_.arena; }
+
+    /**
+     * Test-only corruption injection: plant a free slot claiming a
+     * simulated address (typically inside *another* tenant's arena) so
+     * the cross-tenant audit can prove it detects foreign pointers.
+     */
+    void
+    adoptFreeSlotForTest(int k, BankId bank, void *host, Addr sim)
+    {
+        freeSlots_.at(k).at(bank).push_back(Slot{host, sim});
+    }
+
   private:
     struct Slot
     {
@@ -333,10 +381,34 @@ class AffinityAllocator
     /** Host backing buffers owned by the allocator. */
     std::unordered_set<void *> ownedHost_;
 
-    /** Irregular load per bank. */
+    /** Shared cross-tenant load board (null outside co-runs). */
+    BankLoadBoard *board_ = nullptr;
+    /** Irregular load per bank (this allocator's own). */
     std::vector<std::uint64_t> bankLoads_;
     std::uint64_t totalLoad_ = 0;
     std::uint32_t nextLinear_ = 0;
+
+    /** Charge/release one irregular slot's load, mirroring the board. */
+    void
+    addLoad(BankId bank)
+    {
+        bankLoads_[bank] += 1;
+        totalLoad_ += 1;
+        if (board_) {
+            board_->loads[bank] += 1;
+            board_->total += 1;
+        }
+    }
+    void
+    subLoad(BankId bank)
+    {
+        bankLoads_[bank] -= 1;
+        totalLoad_ -= 1;
+        if (board_) {
+            board_->loads[bank] -= 1;
+            board_->total -= 1;
+        }
+    }
 
     /** Metadata for affine/plain allocations keyed by host pointer. */
     std::unordered_map<const void *, ArrayInfo> arrays_;

@@ -170,6 +170,28 @@ struct BenchObs
                                const std::string &ext);
 };
 
+/**
+ * Co-run flags shared by multi-tenant benches (see src/tenant/):
+ *   --sched=rr|weighted  scheduling policy (validated by the tenant
+ *                        layer's parser, so the error message lists
+ *                        the valid policies)
+ *   --quantum=N          epochs per scheduling quantum
+ *   --qos-csv=PREFIX     one QoS CSV per co-run:
+ *                        PREFIX.<corun>.<config>.csv
+ *   --csv=PATH           one per-tenant comparison CSV across all
+ *                        co-runs and configs (writeComparisonCsv)
+ * Both `--flag=value` and `--flag value` spellings are accepted.
+ */
+struct BenchCorun
+{
+    std::string sched = "rr";
+    std::uint32_t quantumEpochs = 8;
+    std::string qosPrefix;
+    std::string comparisonCsv;
+
+    static BenchCorun parse(int argc, char **argv);
+};
+
 } // namespace affalloc::harness
 
 #endif // AFFALLOC_HARNESS_REPORT_HH

@@ -37,6 +37,15 @@ inline constexpr Addr poolVirtBase = Addr(0x200) * terabyte;
 /** Virtual base of the large-interleave (page-remapped) segment. */
 inline constexpr Addr largeVirtBase = Addr(0x300) * terabyte;
 
+/**
+ * Per-tenant arena slice inside each pool segment: 16 GB. A multiple
+ * of every pool's interleave stripe (maxPoolInterleave * numBanks for
+ * any power-of-two bank count up to 4 M), so an arena base is homed
+ * at bank 0 exactly like pool offset 0 — arena-relative offsets obey
+ * the same `(offset / intrlv) % numBanks` bank formula as arena 0.
+ */
+inline constexpr Addr arenaStride = Addr(16) << 30;
+
 /** Physical base of the heap backing region. */
 inline constexpr Addr heapPhysBase = Addr(0x1) * terabyte;
 /** Physical base of pool backing regions; pool k at +k TB. */

@@ -250,6 +250,8 @@ Machine::endEpoch(double latency_floor, const std::string &phase)
     }
 
     auditor_.onEpochEnd(stats_.epochs);
+    if (epochHook_)
+        epochHook_();
     return duration;
 }
 
@@ -340,21 +342,26 @@ Machine::auditMapping(simcheck::CheckContext &ctx) const
         }
     };
 
-    for (int k = 0; k < mem::numInterleavePools; ++k) {
-        const Addr brk = os_.poolBrkOf(k);
-        if (brk == 0)
-            continue;
-        const Addr vbase = os_.poolVirtBaseOf(k);
-        const Addr pbase = mem::poolPhysBase + Addr(k) * mem::terabyte;
-        const Addr pages = mem::pageOf(brk + mem::pageSize - 1);
-        const Addr stride = std::max<Addr>(1, pages / 32);
-        for (Addr pg = 0; pg < pages; pg += stride) {
-            checkPage("pool", k, vbase + pg * mem::pageSize,
-                      pbase + pg * mem::pageSize, mem::poolInterleave(k));
+    for (std::uint32_t arena = 0; arena < os_.numArenas(); ++arena) {
+        for (int k = 0; k < mem::numInterleavePools; ++k) {
+            const Addr brk = os_.poolBrkOf(k, arena);
+            if (brk == 0)
+                continue;
+            const Addr vbase = os_.poolVirtBaseOf(k, arena);
+            const Addr pbase = mem::poolPhysBase +
+                               Addr(k) * mem::terabyte +
+                               Addr(arena) * mem::arenaStride;
+            const Addr pages = mem::pageOf(brk + mem::pageSize - 1);
+            const Addr stride = std::max<Addr>(1, pages / 32);
+            for (Addr pg = 0; pg < pages; pg += stride) {
+                checkPage("pool", k, vbase + pg * mem::pageSize,
+                          pbase + pg * mem::pageSize,
+                          mem::poolInterleave(k));
+            }
+            checkPage("pool", k, vbase + (pages - 1) * mem::pageSize,
+                      pbase + (pages - 1) * mem::pageSize,
+                      mem::poolInterleave(k));
         }
-        checkPage("pool", k, vbase + (pages - 1) * mem::pageSize,
-                  pbase + (pages - 1) * mem::pageSize,
-                  mem::poolInterleave(k));
     }
 
     const Addr lpages = os_.largeBrkPages();

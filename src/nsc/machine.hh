@@ -19,6 +19,7 @@
 #ifndef AFFALLOC_NSC_MACHINE_HH
 #define AFFALLOC_NSC_MACHINE_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -182,6 +183,19 @@ class Machine
      */
     void abortEpoch();
 
+    /**
+     * Hook invoked at the very end of every endEpoch() (after the
+     * audit). The tenant scheduler uses this as its preemption point:
+     * the hook may block the calling logical thread while other
+     * tenants advance the same machine. Null (the default) costs one
+     * never-taken branch; installing a hook changes no timing and is
+     * digest-neutral when the hook itself mutates nothing.
+     */
+    void setEpochHook(std::function<void()> hook)
+    {
+        epochHook_ = std::move(hook);
+    }
+
     // ----------------------------------------------- in-core primitives
     /**
      * A load/store/atomic executed by core @p core on simulated
@@ -313,6 +327,9 @@ class Machine
 
     simcheck::Auditor auditor_;
     simcheck::LivelockWatchdog watchdog_;
+
+    /** Epoch-boundary yield point (tenant scheduler); null = off. */
+    std::function<void()> epochHook_;
 };
 
 } // namespace affalloc::nsc

@@ -152,6 +152,20 @@ ChromeTracer::machineInstant(const char *name, Cycles ts,
 }
 
 void
+ChromeTracer::tenantSpan(std::uint32_t tenant_id, const std::string &name,
+                         Cycles start, Cycles end)
+{
+    const std::uint32_t tid = tenantLane + tenant_id;
+    ensureLane(tid, "tenant " + name);
+    lastTs_ = std::max(lastTs_, end);
+    emit(detail::formatMessage(
+        "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+        "\"ts\":%llu,\"dur\":%llu,\"args\":{\"tenant\":%u}}",
+        escape(name).c_str(), tid, (unsigned long long)start,
+        (unsigned long long)(end - start), tenant_id));
+}
+
+void
 ChromeTracer::close()
 {
     if (!file_)

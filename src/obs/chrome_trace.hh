@@ -40,6 +40,8 @@ class ChromeTracer
   public:
     /** Lane of machine-scoped instant events. */
     static constexpr std::uint32_t machineLane = 1;
+    /** First per-tenant lane; tenant @p id traces on tenantLane + id. */
+    static constexpr std::uint32_t tenantLane = 500;
     /** First per-stream lane; stream @p id traces on streamLane + id. */
     static constexpr std::uint32_t streamLane = 1000;
 
@@ -77,6 +79,14 @@ class ChromeTracer
     /** Instant on the machine lane; @p args_json as in streamInstant. */
     void machineInstant(const char *name, Cycles ts,
                         const std::string &args_json);
+
+    /**
+     * One scheduler quantum of a co-run tenant as a complete ("X")
+     * span on the tenant's own lane (tenantLane + id), so each
+     * tenant's machine occupancy reads as a Gantt track.
+     */
+    void tenantSpan(std::uint32_t tenant_id, const std::string &name,
+                    Cycles start, Cycles end);
 
     /**
      * Flush and close the file, auto-closing any stream span still

@@ -126,4 +126,20 @@ renderLinkHeatmap(const std::string &title,
     return out;
 }
 
+std::string
+renderTenantBankHeatmaps(const SpatialSnapshot &snap)
+{
+    std::string out;
+    for (std::size_t t = 0; t < snap.tenantBankAccesses.size(); ++t) {
+        const std::string label =
+            t < snap.tenantNames.size()
+                ? snap.tenantNames[t]
+                : detail::formatMessage("tenant %zu", t);
+        out += renderBankHeatmap("L3 accesses [" + label + "]",
+                                 snap.tenantBankAccesses[t],
+                                 snap.bankTile, snap.meshX, snap.meshY);
+    }
+    return out;
+}
+
 } // namespace affalloc::obs

@@ -42,6 +42,15 @@ std::string renderLinkHeatmap(const std::string &title,
 /** Shade character for @p value scaled against @p max_value. */
 char heatShade(std::uint64_t value, std::uint64_t max_value);
 
+/**
+ * Render the per-tenant L3 access overlay of a co-run snapshot: one
+ * bank heatmap per tenant, titled with the tenant's label, so each
+ * tenant's spatial footprint (and who causes the shared pressure) is
+ * visible side by side. Empty string when the snapshot has no tenant
+ * overlay.
+ */
+std::string renderTenantBankHeatmaps(const SpatialSnapshot &snap);
+
 } // namespace affalloc::obs
 
 #endif // AFFALLOC_OBS_HEATMAP_HH

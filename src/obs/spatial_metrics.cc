@@ -57,6 +57,18 @@ SpatialMetrics::endEpoch(Cycles end_cycle,
 }
 
 void
+SpatialMetrics::setTenants(std::vector<std::string> names)
+{
+    SIM_REQUIRE("obs", !snap_.bankAccesses.empty(),
+                "setTenants() before init(): bank count unknown");
+    snap_.tenantNames = std::move(names);
+    snap_.tenantBankAccesses.assign(
+        snap_.tenantNames.size(),
+        std::vector<std::uint64_t>(snap_.bankAccesses.size(), 0));
+    currentTenant_ = 0;
+}
+
+void
 SpatialMetrics::setLinkFlits(const std::vector<std::uint64_t> &lifetime,
                              std::size_t num_route_links)
 {

@@ -19,6 +19,7 @@
 #define AFFALLOC_OBS_SPATIAL_METRICS_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/types.hh"
@@ -82,6 +83,16 @@ struct SpatialSnapshot
     /** Per-epoch scalar history. */
     std::vector<EpochMetrics> epochs;
 
+    // ---------------------------------------------- per-tenant overlays
+    /** Tenant labels, index == tenant id (empty: single-tenant run). */
+    std::vector<std::string> tenantNames;
+    /**
+     * L3 accesses per (tenant, bank): who generated the pressure at
+     * each bank. Summing over tenants reproduces bankAccesses for the
+     * charge points made while a tenant held the machine.
+     */
+    std::vector<std::vector<std::uint64_t>> tenantBankAccesses;
+
     /** Whether the snapshot holds any data. */
     bool empty() const { return bankAccesses.empty(); }
     /** Sum of one per-bank counter (conservation checks). */
@@ -108,6 +119,8 @@ class SpatialMetrics
         snap_.bankAccesses[bank] += 1;
         if (!hit)
             snap_.bankMisses[bank] += 1;
+        if (!snap_.tenantBankAccesses.empty())
+            snap_.tenantBankAccesses[currentTenant_][bank] += 1;
     }
 
     /** One remote atomic RMW performed at @p bank. */
@@ -136,11 +149,25 @@ class SpatialMetrics
     void setLinkFlits(const std::vector<std::uint64_t> &lifetime,
                       std::size_t num_route_links);
 
+    /**
+     * Declare the co-run tenants (index == tenant id) and allocate
+     * the per-tenant bank overlay. Call after init(); a run that
+     * never calls this records no tenant overlay.
+     */
+    void setTenants(std::vector<std::string> names);
+
+    /** Attribute subsequent charges to @p tenant (scheduler grant). */
+    void setCurrentTenant(std::uint32_t tenant)
+    {
+        currentTenant_ = tenant;
+    }
+
     /** The collected counters (harvested into RunResult). */
     const SpatialSnapshot &snapshot() const { return snap_; }
 
   private:
     SpatialSnapshot snap_;
+    std::uint32_t currentTenant_ = 0;
 };
 
 } // namespace affalloc::obs

@@ -30,9 +30,38 @@ SimOS::SimOS(const sim::MachineConfig &cfg, PagePolicy heap_policy,
     cfg_.validate();
     pageTable_.setReferenceMode(cfg.referencePaths);
     iot_.setReferenceMode(cfg.referencePaths);
-    poolIotIdx_.fill(-1);
+    arenas_.resize(1);
+    arenas_[0].iotIdx.fill(-1);
     for (BankId b = 0; b < cfg_.numBanks(); ++b)
         nextBankPpage_[b] = b;
+}
+
+std::uint32_t
+SimOS::createArena()
+{
+    const Addr next = Addr(arenas_.size()) * mem::arenaStride;
+    if (next + mem::arenaStride > mem::terabyte) {
+        SIM_FATAL("os", "createArena: %zu arenas exhaust the 1 TB pool "
+                  "segments (%llu-byte slices)",
+                  arenas_.size() + 1,
+                  (unsigned long long)mem::arenaStride);
+    }
+    arenas_.emplace_back();
+    arenas_.back().iotIdx.fill(-1);
+    return static_cast<std::uint32_t>(arenas_.size() - 1);
+}
+
+std::uint32_t
+SimOS::arenaOfPoolAddr(Addr vaddr) const
+{
+    if (vaddr < mem::poolVirtBase ||
+        vaddr >= mem::poolVirtBase +
+                     Addr(mem::numInterleavePools) * mem::terabyte) {
+        SIM_PANIC("os", "arenaOfPoolAddr: %llx outside the pool segments",
+                  (unsigned long long)vaddr);
+    }
+    const Addr in_pool = (vaddr - mem::poolVirtBase) % mem::terabyte;
+    return static_cast<std::uint32_t>(in_pool / mem::arenaStride);
 }
 
 Addr
@@ -70,39 +99,70 @@ SimOS::backHeapPage(Addr vpage)
 }
 
 Addr
-SimOS::poolVirtBaseOf(int k) const
+SimOS::poolVirtBaseOf(int k, std::uint32_t arena) const
 {
     if (k < 0 || k >= mem::numInterleavePools)
         SIM_PANIC("os", "pool index %d out of range", k);
-    return mem::poolVirtBase + Addr(k) * mem::terabyte;
+    if (arena >= arenas_.size())
+        SIM_PANIC("os", "arena %u out of range (%zu exist)", arena,
+                  arenas_.size());
+    return mem::poolVirtBase + Addr(k) * mem::terabyte +
+           Addr(arena) * mem::arenaStride;
 }
 
 Addr
-SimOS::expandPool(int k, Addr min_bytes)
+SimOS::poolBrkOf(int k, std::uint32_t arena) const
 {
     if (k < 0 || k >= mem::numInterleavePools)
         SIM_PANIC("os", "pool index %d out of range", k);
+    if (arena >= arenas_.size())
+        SIM_PANIC("os", "arena %u out of range (%zu exist)", arena,
+                  arenas_.size());
+    return arenas_[arena].brk[k];
+}
+
+Addr
+SimOS::expandPool(int k, std::uint32_t arena, Addr min_bytes)
+{
+    if (k < 0 || k >= mem::numInterleavePools)
+        SIM_PANIC("os", "pool index %d out of range", k);
+    if (arena >= arenas_.size())
+        SIM_PANIC("os", "arena %u out of range (%zu exist)", arena,
+                  arenas_.size());
     const Addr new_brk = mem::roundUpPage(min_bytes);
-    Addr &brk = poolBrk_[k];
+    // With a single arena the slice is the whole legacy 1 TB segment;
+    // with several, growing past the slice would alias the next
+    // arena's pages.
+    if (arenas_.size() > 1 && new_brk > mem::arenaStride) {
+        SIM_FATAL("os", "pool %d arena %u: %llu bytes exceed the "
+                  "%llu-byte arena slice",
+                  k, arena, (unsigned long long)new_brk,
+                  (unsigned long long)mem::arenaStride);
+    }
+    Addr &brk = arenas_[arena].brk[k];
     if (new_brk <= brk)
         return brk;
 
-    const Addr vbase = poolVirtBaseOf(k);
-    const Addr pbase = mem::poolPhysBase + Addr(k) * mem::terabyte;
+    const Addr vbase = poolVirtBaseOf(k, arena);
+    const Addr pbase = mem::poolPhysBase + Addr(k) * mem::terabyte +
+                       Addr(arena) * mem::arenaStride;
     for (Addr off = brk; off < new_brk; off += mem::pageSize) {
         pageTable_.map(mem::pageOf(vbase + off), mem::pageOf(pbase + off));
         ++backedPages_;
     }
     brk = new_brk;
 
-    // Keep the pool covered by exactly one IOT entry: install on the
-    // first expansion, grow afterwards (contiguous physical backing is
-    // what makes this possible; see §4.1).
-    if (poolIotIdx_[k] < 0) {
-        poolIotIdx_[k] = static_cast<std::ptrdiff_t>(
+    // Keep the (pool, arena) slice covered by exactly one IOT entry:
+    // install on the first expansion, grow afterwards (contiguous
+    // physical backing is what makes this possible; see §4.1). Bank
+    // lookup is entry-start-relative, so each arena's offset 0 is
+    // homed at bank 0 like the legacy pool base.
+    std::ptrdiff_t &idx = arenas_[arena].iotIdx[k];
+    if (idx < 0) {
+        idx = static_cast<std::ptrdiff_t>(
             iot_.insert(pbase, pbase + brk, mem::poolInterleave(k)));
     } else {
-        iot_.grow(static_cast<std::size_t>(poolIotIdx_[k]), pbase + brk);
+        iot_.grow(static_cast<std::size_t>(idx), pbase + brk);
     }
     return brk;
 }

@@ -86,16 +86,48 @@ class SimOS
     Addr heapAlloc(std::size_t bytes, std::size_t align = 64);
 
     // ------------------------------------------------------------ pools
-    /** Virtual base of interleave pool @p k (0..6). */
-    Addr poolVirtBaseOf(int k) const;
-    /** Current break (bytes backed) of pool @p k. */
-    Addr poolBrkOf(int k) const { return poolBrk_.at(k); }
+    /** Virtual base of interleave pool @p k (0..6) in arena 0. */
+    Addr poolVirtBaseOf(int k) const { return poolVirtBaseOf(k, 0); }
+    /** Virtual base of pool @p k inside @p arena. */
+    Addr poolVirtBaseOf(int k, std::uint32_t arena) const;
+    /** Current break (bytes backed) of pool @p k in arena 0. */
+    Addr poolBrkOf(int k) const { return poolBrkOf(k, 0); }
+    /** Current break of pool @p k inside @p arena. */
+    Addr poolBrkOf(int k, std::uint32_t arena) const;
     /**
      * Expand pool @p k so at least @p min_bytes bytes are backed;
      * physical backing stays contiguous and the pool's IOT entry is
      * grown (installed on first touch). Returns the new break.
      */
-    Addr expandPool(int k, Addr min_bytes);
+    Addr expandPool(int k, Addr min_bytes)
+    {
+        return expandPool(k, 0, min_bytes);
+    }
+    /** Expand pool @p k of @p arena (arena-relative @p min_bytes). */
+    Addr expandPool(int k, std::uint32_t arena, Addr min_bytes);
+
+    // ----------------------------------------------------------- arenas
+    /**
+     * Create a new allocation arena: one mem::arenaStride-byte slice
+     * of every pool segment with its own brk and IOT entries, backed
+     * contiguously like arena 0's. Arena 0 always exists and owns the
+     * legacy offsets (base 0 of every pool), so a single-arena SimOS
+     * is byte-identical to one that never heard of arenas. Tenants in
+     * a co-run each own one arena. Returns the new arena's id.
+     */
+    std::uint32_t createArena();
+    /** Number of arenas (>= 1; arena 0 is implicit). */
+    std::uint32_t
+    numArenas() const
+    {
+        return static_cast<std::uint32_t>(arenas_.size());
+    }
+    /**
+     * Arena owning a pool-segment virtual address (SimCheck audits
+     * use this to catch cross-tenant pointers). SIM_PANIC when
+     * @p vaddr is not inside any pool segment.
+     */
+    std::uint32_t arenaOfPoolAddr(Addr vaddr) const;
 
     // -------------------------------------------- large interleavings
     /**
@@ -143,9 +175,15 @@ class SimOS
     Addr nextHeapPpage_;
     std::unordered_set<Addr> usedHeapPpages_; // random policy only
 
-    // Pool state.
-    std::array<Addr, mem::numInterleavePools> poolBrk_{};    // bytes backed
-    std::array<std::ptrdiff_t, mem::numInterleavePools> poolIotIdx_;
+    // Pool state, per arena. Brks are arena-relative byte counts;
+    // IOT indices are per (arena, pool) since each arena slice is its
+    // own contiguous physical segment.
+    struct ArenaPools
+    {
+        std::array<Addr, mem::numInterleavePools> brk{};
+        std::array<std::ptrdiff_t, mem::numInterleavePools> iotIdx;
+    };
+    std::vector<ArenaPools> arenas_;
 
     // Page-at-bank region state.
     Addr largeBrkPages_ = 0; // virtual pages handed out

@@ -76,6 +76,27 @@ class Rng
     /** Bernoulli draw with probability p. */
     bool chance(double p) { return uniform() < p; }
 
+    /**
+     * Seed of named substream @p stream derived from @p root. Stream 0
+     * *is* the root stream (substreamSeed(s, 0) == s), so consumers
+     * that only ever use stream 0 behave byte-identically to code that
+     * never heard of substreams. Other streams are splitmix64-mixed:
+     * their sequences are statistically independent of each other and
+     * of the root, and depend only on (root, stream) — never on the
+     * order in which the streams are consumed (co-run tenants draw
+     * the same numbers regardless of how they are scheduled).
+     */
+    static std::uint64_t
+    substreamSeed(std::uint64_t root, std::uint64_t stream)
+    {
+        if (stream == 0)
+            return root;
+        std::uint64_t z = root ^ (stream * 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
   private:
     static std::uint64_t
     splitmix64(std::uint64_t &x)

@@ -1,0 +1,101 @@
+#include "tenant/qos.hh"
+
+#include <cstdio>
+
+#include "sim/log.hh"
+
+namespace affalloc::tenant
+{
+
+double
+jainFairness(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 1.0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    for (const double x : xs) {
+        sum += x;
+        sumSq += x * x;
+    }
+    if (sumSq <= 0.0)
+        return 1.0;
+    return (sum * sum) / (static_cast<double>(xs.size()) * sumSq);
+}
+
+void
+computeQos(CorunReport &report)
+{
+    std::vector<double> progress;
+    double stp = 0.0;
+    for (auto &t : report.tenants) {
+        if (t.soloCycles == 0 || t.finishCycle == 0) {
+            t.slowdown = 0.0;
+            continue;
+        }
+        t.slowdown = static_cast<double>(t.finishCycle) /
+                     static_cast<double>(t.soloCycles);
+        const double p = 1.0 / t.slowdown;
+        progress.push_back(p);
+        stp += p;
+    }
+    report.weightedSpeedup = stp;
+    report.fairness = jainFairness(progress);
+}
+
+void
+writeQosCsv(const std::string &path, const CorunReport &report,
+            const std::string &config)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        SIM_FATAL("tenant", "cannot open QoS csv %s for writing",
+                  path.c_str());
+    // Aggregates (weighted speedup, fairness, makespan) repeat on
+    // every row so each line is a self-contained observation.
+    std::fprintf(f, "tenant,workload,weight,config,policy,epochs,"
+                    "service_cycles,finish_cycle,solo_cycles,slowdown,"
+                    "weighted_speedup,fairness,makespan,joules,hops,"
+                    "valid\n");
+    for (const auto &t : report.tenants) {
+        std::fprintf(f,
+                     "%s,%s,%u,%s,%s,%llu,%llu,%llu,%llu,%.6f,%.6f,"
+                     "%.6f,%llu,%.6f,%llu,%d\n",
+                     t.name.c_str(), t.workload.c_str(), t.weight,
+                     config.c_str(), schedPolicyName(report.policy),
+                     (unsigned long long)t.epochs,
+                     (unsigned long long)t.run.stats.cycles,
+                     (unsigned long long)t.finishCycle,
+                     (unsigned long long)t.soloCycles, t.slowdown,
+                     report.weightedSpeedup, report.fairness,
+                     (unsigned long long)report.makespan, t.run.joules,
+                     (unsigned long long)t.run.hops(),
+                     t.run.valid ? 1 : 0);
+    }
+    if (std::fclose(f) != 0)
+        SIM_FATAL("tenant", "error closing QoS csv %s", path.c_str());
+}
+
+void
+printCorunReport(const CorunReport &report)
+{
+    std::printf("Co-run (%s policy, %zu tenants):\n",
+                schedPolicyName(report.policy), report.tenants.size());
+    std::printf("  %-16s %8s %14s %14s %14s %9s %6s\n", "tenant",
+                "epochs", "service_cyc", "finish_cyc", "solo_cyc",
+                "slowdown", "valid");
+    for (const auto &t : report.tenants) {
+        std::printf("  %-16s %8llu %14llu %14llu %14llu %9.3f %6s\n",
+                    t.name.c_str(), (unsigned long long)t.epochs,
+                    (unsigned long long)t.run.stats.cycles,
+                    (unsigned long long)t.finishCycle,
+                    (unsigned long long)t.soloCycles, t.slowdown,
+                    t.run.valid ? "yes" : "NO");
+    }
+    std::printf("  makespan %llu cycles, weighted speedup %.3f, "
+                "Jain fairness %.3f\n",
+                (unsigned long long)report.makespan,
+                report.weightedSpeedup, report.fairness);
+}
+
+} // namespace affalloc::tenant

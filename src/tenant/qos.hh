@@ -1,0 +1,52 @@
+/**
+ * @file
+ * QoS / fairness accounting for co-runs: per-tenant slowdown against
+ * solo baselines, system throughput (weighted speedup), and Jain's
+ * fairness index, plus the CSV and stdout surfaces benchmarks use.
+ */
+
+#ifndef AFFALLOC_TENANT_QOS_HH
+#define AFFALLOC_TENANT_QOS_HH
+
+#include <string>
+#include <vector>
+
+#include "tenant/scheduler.hh"
+
+namespace affalloc::tenant
+{
+
+/**
+ * Jain's fairness index (sum x)^2 / (n * sum x^2) over positive
+ * values; 1.0 for an empty or single-element vector. 1.0 means every
+ * tenant progresses at the same normalized rate; 1/n means one tenant
+ * monopolizes the machine.
+ */
+double jainFairness(const std::vector<double> &xs);
+
+/**
+ * Fill the QoS fields of @p report from the already-populated
+ * soloCycles: per-tenant slowdown (finish / solo), weighted speedup
+ * (sum of solo_i / finish_i — the STP metric), and Jain fairness over
+ * per-tenant normalized progress. Tenants without a solo baseline
+ * (soloCycles == 0) keep slowdown 0 and are excluded from aggregates.
+ */
+void computeQos(CorunReport &report);
+
+/**
+ * Write one row per tenant: identity (tenant, workload, weight,
+ * @p config label, policy), progress (epochs, service cycles, finish
+ * cycle, solo cycles), and the QoS columns (slowdown, weighted
+ * speedup, fairness, makespan) plus joules/hops/valid. Aggregates
+ * repeat on every row so each line is self-contained. SIM_FATAL on
+ * I/O error.
+ */
+void writeQosCsv(const std::string &path, const CorunReport &report,
+                 const std::string &config = "");
+
+/** Human-readable QoS table on stdout. */
+void printCorunReport(const CorunReport &report);
+
+} // namespace affalloc::tenant
+
+#endif // AFFALLOC_TENANT_QOS_HH

@@ -69,7 +69,12 @@ runVecAdd(const RunConfig &rc, const VecAddParams &p)
     if (p.layout == VecAddLayout::heapRandom)
         cfg.heapPolicy = os::PagePolicy::random;
     RunContext ctx(cfg);
+    return runVecAdd(ctx, p);
+}
 
+RunResult
+runVecAdd(RunContext &ctx, const VecAddParams &p)
+{
     float *a = nullptr;
     float *b = nullptr;
     float *c = nullptr;
@@ -129,6 +134,12 @@ RunResult
 runPathfinder(const RunConfig &rc, const PathfinderParams &p)
 {
     RunContext ctx(rc);
+    return runPathfinder(ctx, p);
+}
+
+RunResult
+runPathfinder(RunContext &ctx, const PathfinderParams &p)
+{
     const std::uint64_t n = p.cols;
 
     // wall[iters][cols] with intra-array row affinity; src/dst
@@ -192,6 +203,12 @@ RunResult
 runHotspot(const RunConfig &rc, const HotspotParams &p)
 {
     RunContext ctx(rc);
+    return runHotspot(ctx, p);
+}
+
+RunResult
+runHotspot(RunContext &ctx, const HotspotParams &p)
+{
     const std::uint64_t n = p.rows * p.cols;
     const std::int64_t w = static_cast<std::int64_t>(p.cols);
 
@@ -238,6 +255,12 @@ RunResult
 runSrad(const RunConfig &rc, const SradParams &p)
 {
     RunContext ctx(rc);
+    return runSrad(ctx, p);
+}
+
+RunResult
+runSrad(RunContext &ctx, const SradParams &p)
+{
     const std::uint64_t n = p.rows * p.cols;
     const std::int64_t w = static_cast<std::int64_t>(p.cols);
 
@@ -299,6 +322,12 @@ RunResult
 runHotspot3d(const RunConfig &rc, const Hotspot3dParams &p)
 {
     RunContext ctx(rc);
+    return runHotspot3d(ctx, p);
+}
+
+RunResult
+runHotspot3d(RunContext &ctx, const Hotspot3dParams &p)
+{
     const std::uint64_t plane = p.nx * p.ny;
     const std::uint64_t n = plane * p.nz;
     const std::int64_t w = static_cast<std::int64_t>(p.nx);

@@ -44,6 +44,12 @@ struct VecAddParams
 
 /** C[i] = A[i] + B[i]. */
 RunResult runVecAdd(const RunConfig &rc, const VecAddParams &p);
+/**
+ * Same, on a caller-provided context (tenant co-runs). Note: the
+ * heapRandom layout's page-policy override only applies through the
+ * RunConfig entry point; a shared machine keeps its boot-time policy.
+ */
+RunResult runVecAdd(RunContext &ctx, const VecAddParams &p);
 
 /** Rodinia pathfinder: dynamic programming over a 2D wall. */
 struct PathfinderParams
@@ -52,6 +58,7 @@ struct PathfinderParams
     int iters = 8;
 };
 RunResult runPathfinder(const RunConfig &rc, const PathfinderParams &p);
+RunResult runPathfinder(RunContext &ctx, const PathfinderParams &p);
 
 /** Rodinia hotspot: 5-point stencil with a power term. */
 struct HotspotParams
@@ -61,6 +68,7 @@ struct HotspotParams
     int iters = 8;
 };
 RunResult runHotspot(const RunConfig &rc, const HotspotParams &p);
+RunResult runHotspot(RunContext &ctx, const HotspotParams &p);
 
 /** Rodinia srad: two-pass diffusion stencil. */
 struct SradParams
@@ -70,6 +78,7 @@ struct SradParams
     int iters = 8;
 };
 RunResult runSrad(const RunConfig &rc, const SradParams &p);
+RunResult runSrad(RunContext &ctx, const SradParams &p);
 
 /** Rodinia hotspot3D: 7-point stencil over a 3D grid. */
 struct Hotspot3dParams
@@ -80,6 +89,7 @@ struct Hotspot3dParams
     int iters = 8;
 };
 RunResult runHotspot3d(const RunConfig &rc, const Hotspot3dParams &p);
+RunResult runHotspot3d(RunContext &ctx, const Hotspot3dParams &p);
 
 } // namespace affalloc::workloads
 

@@ -419,6 +419,12 @@ RunResult
 runPageRankPush(const RunConfig &rc, const GraphParams &p)
 {
     RunContext ctx(rc);
+    return runPageRankPush(ctx, p);
+}
+
+RunResult
+runPageRankPush(RunContext &ctx, const GraphParams &p)
+{
     const Csr &g = *p.graph;
     const std::uint32_t n = g.numVertices;
 
@@ -485,6 +491,12 @@ RunResult
 runPageRankPull(const RunConfig &rc, const GraphParams &p)
 {
     RunContext ctx(rc);
+    return runPageRankPull(ctx, p);
+}
+
+RunResult
+runPageRankPull(RunContext &ctx, const GraphParams &p)
+{
     const Csr &g = *p.graph;
     const Csr gt = g.transpose();
     const std::uint32_t n = g.numVertices;
@@ -586,6 +598,12 @@ BfsResult
 runBfs(const RunConfig &rc, const GraphParams &p, BfsStrategy strategy)
 {
     RunContext ctx(rc);
+    return runBfs(ctx, p, strategy);
+}
+
+BfsResult
+runBfs(RunContext &ctx, const GraphParams &p, BfsStrategy strategy)
+{
     const Csr &g = *p.graph;
     // GAP convention: undirected (symmetric) graphs share one edge
     // structure for both directions, halving the resident footprint.
@@ -808,6 +826,12 @@ RunResult
 runSssp(const RunConfig &rc, const GraphParams &p)
 {
     RunContext ctx(rc);
+    return runSssp(ctx, p);
+}
+
+RunResult
+runSssp(RunContext &ctx, const GraphParams &p)
+{
     const Csr &g = *p.graph;
     if (g.weights.empty())
         SIM_FATAL("workloads", "sssp requires a weighted graph");
@@ -941,6 +965,12 @@ RunResult
 runSsspPq(const RunConfig &rc, const GraphParams &p)
 {
     RunContext ctx(rc);
+    return runSsspPq(ctx, p);
+}
+
+RunResult
+runSsspPq(RunContext &ctx, const GraphParams &p)
+{
     const Csr &g = *p.graph;
     if (g.weights.empty())
         SIM_FATAL("workloads", "sssp requires a weighted graph");

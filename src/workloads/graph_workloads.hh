@@ -103,16 +103,22 @@ struct BfsResult
 
 /** PageRank, push-based (atomic scatter; Fig. 2(c)-style streams). */
 RunResult runPageRankPush(const RunConfig &rc, const GraphParams &p);
+/** Same, on a caller-provided context (tenant co-runs). */
+RunResult runPageRankPush(RunContext &ctx, const GraphParams &p);
 
 /** PageRank, pull-based (indirect gather over the transpose). */
 RunResult runPageRankPull(const RunConfig &rc, const GraphParams &p);
+RunResult runPageRankPull(RunContext &ctx, const GraphParams &p);
 
 /** BFS with the given direction strategy. */
 BfsResult runBfs(const RunConfig &rc, const GraphParams &p,
                  BfsStrategy strategy);
+BfsResult runBfs(RunContext &ctx, const GraphParams &p,
+                 BfsStrategy strategy);
 
 /** Frontier-based SSSP (Bellman-Ford with atomic-min relaxations). */
 RunResult runSssp(const RunConfig &rc, const GraphParams &p);
+RunResult runSssp(RunContext &ctx, const GraphParams &p);
 
 /**
  * Priority-ordered SSSP on the spatially distributed relaxed priority
@@ -122,6 +128,7 @@ RunResult runSssp(const RunConfig &rc, const GraphParams &p);
  * for the queue placement; baselines use a single global binary heap.
  */
 RunResult runSsspPq(const RunConfig &rc, const GraphParams &p);
+RunResult runSsspPq(RunContext &ctx, const GraphParams &p);
 
 /** The strategy the paper's evaluation uses for a mode (§7.2). */
 BfsStrategy defaultBfsStrategy(ExecMode mode);

@@ -77,6 +77,12 @@ RunResult
 runLinkList(const RunConfig &rc, const LinkListParams &p)
 {
     RunContext ctx(rc);
+    return runLinkList(ctx, p);
+}
+
+RunResult
+runLinkList(RunContext &ctx, const LinkListParams &p)
+{
     Rng rng(p.seed);
     const std::uint32_t slices = ctx.config.machine.numTiles();
 
@@ -153,6 +159,12 @@ RunResult
 runHashJoin(const RunConfig &rc, const HashJoinParams &p)
 {
     RunContext ctx(rc);
+    return runHashJoin(ctx, p);
+}
+
+RunResult
+runHashJoin(RunContext &ctx, const HashJoinParams &p)
+{
     Rng rng(p.seed);
     const std::uint32_t slices = ctx.config.machine.numTiles();
 
@@ -224,6 +236,12 @@ RunResult
 runBinTree(const RunConfig &rc, const BinTreeParams &p)
 {
     RunContext ctx(rc);
+    return runBinTree(ctx, p);
+}
+
+RunResult
+runBinTree(RunContext &ctx, const BinTreeParams &p)
+{
     Rng rng(p.seed);
     const std::uint32_t slices = ctx.config.machine.numTiles();
 

@@ -26,6 +26,7 @@ struct LinkListParams
     std::uint64_t seed = 31;
 };
 RunResult runLinkList(const RunConfig &rc, const LinkListParams &p);
+RunResult runLinkList(RunContext &ctx, const LinkListParams &p);
 
 /** hash_join parameters (Table 3: 256k x 512k, hit rate 1/8). */
 struct HashJoinParams
@@ -37,6 +38,7 @@ struct HashJoinParams
     std::uint64_t seed = 32;
 };
 RunResult runHashJoin(const RunConfig &rc, const HashJoinParams &p);
+RunResult runHashJoin(RunContext &ctx, const HashJoinParams &p);
 
 /** bin_tree parameters (Table 3: 128k nodes, 512k lookups). */
 struct BinTreeParams
@@ -46,6 +48,7 @@ struct BinTreeParams
     std::uint64_t seed = 33;
 };
 RunResult runBinTree(const RunConfig &rc, const BinTreeParams &p);
+RunResult runBinTree(RunContext &ctx, const BinTreeParams &p);
 
 } // namespace affalloc::workloads
 

@@ -75,30 +75,88 @@ struct RunResult
 };
 
 /**
+ * One tenant's identity inside a shared-machine co-run. The scheduler
+ * owns these; a RunContext in tenant mode borrows one so finish() can
+ * attribute only this tenant's share of the shared machine's stats.
+ */
+struct TenantBinding
+{
+    /** Tenant index (also its OS arena and RNG substream id). */
+    std::uint32_t id = 0;
+    /** Instance label, e.g. "bfs#1". */
+    std::string name;
+    /** Stats accumulated over this tenant's completed quanta. */
+    sim::Stats attributed;
+    /** Shared-machine stats snapshot at this tenant's last resume. */
+    sim::Stats resumeSnapshot;
+    /** Shared-clock cycle at which the tenant's workload finished. */
+    Cycles finishCycle = 0;
+    /**
+     * Shared-clock cycle at the end of this tenant's most recent
+     * epoch (maintained by the scheduler's epoch hook). finish() uses
+     * it so a tenant preempted exactly at its final epoch is not
+     * charged for other tenants' epochs that ran before its parked
+     * thread got to the bookkeeping.
+     */
+    Cycles lastEpochCycle = 0;
+};
+
+/**
  * One simulated process. Construction boots the OS and machine;
  * workloads allocate through `allocator` and emit events through
- * `exec` / `machine`.
+ * `exec` / `machine`. In tenant mode (the second constructor) the OS
+ * and machine are *borrowed* from a co-run scheduler instead: several
+ * RunContexts then share one machine, each with its own allocator
+ * arena, and finish() reports the tenant's attributed share.
  */
 struct RunContext
 {
     RunConfig config;
-    os::SimOS os;
-    nsc::Machine machine;
+
+  private:
+    /** Backing storage when this context owns its OS/machine. */
+    std::unique_ptr<os::SimOS> ownedOs_;
+    std::unique_ptr<nsc::Machine> ownedMachine_;
+
+  public:
+    os::SimOS &os;
+    nsc::Machine &machine;
     alloc::AffinityAllocator allocator;
     nsc::StreamExecutor exec;
     /** Enabled instruments, or null when RunConfig::obs is all-off. */
     std::unique_ptr<obs::Observer> observer;
+    /** Tenant identity, or null for a classic whole-machine run. */
+    TenantBinding *tenant = nullptr;
 
     explicit RunContext(const RunConfig &rc)
-        : config(rc), os(rc.machine, rc.heapPolicy),
-          machine(rc.machine, os), allocator(machine, rc.allocOpts),
-          exec(machine, rc.mode)
+        : config(rc),
+          ownedOs_(std::make_unique<os::SimOS>(rc.machine, rc.heapPolicy)),
+          ownedMachine_(
+              std::make_unique<nsc::Machine>(rc.machine, *ownedOs_)),
+          os(*ownedOs_), machine(*ownedMachine_),
+          allocator(machine, rc.allocOpts), exec(machine, rc.mode)
     {
         if (config.obs.any()) {
             observer = std::make_unique<obs::Observer>(config.obs);
             machine.attachObserver(observer.get());
             allocator.setExplainer(observer->explainer());
         }
+    }
+
+    /**
+     * Tenant mode: run on a machine owned by the co-run scheduler.
+     * @p rc.allocOpts must carry the tenant's arena and the shared
+     * load board; @p rc.machine is ignored for construction (the
+     * shared machine's config wins) but kept for energy reporting.
+     */
+    RunContext(const RunConfig &rc, nsc::Machine &shared_machine,
+               TenantBinding *binding)
+        : config(rc), os(shared_machine.simOs()), machine(shared_machine),
+          allocator(machine, rc.allocOpts), exec(machine, rc.mode),
+          tenant(binding)
+    {
+        if (obs::Observer *o = machine.observer())
+            allocator.setExplainer(o->explainer());
     }
 
     /** Whether streams offload to L3 in this run. */
@@ -114,13 +172,30 @@ struct RunContext
         r.workload = workload;
         r.label = execModeName(config.mode);
         r.mode = config.mode;
-        r.stats = machine.stats();
-        r.joules = sim::EnergyModel(config.machine)
-                       .totalJoules(machine.stats());
-        r.l3MissRate = machine.stats().l3MissRate();
+        if (tenant) {
+            // Attribute the still-unaccounted tail of the current
+            // quantum, then report only this tenant's share. The
+            // folded snapshot keeps the scheduler's own accounting
+            // consistent when it attributes at the next switch.
+            tenant->attributed += machine.stats() -
+                                  tenant->resumeSnapshot;
+            tenant->resumeSnapshot = machine.stats();
+            tenant->finishCycle = tenant->lastEpochCycle
+                                      ? tenant->lastEpochCycle
+                                      : machine.now();
+            r.stats = tenant->attributed;
+            // The shared clock advanced for every tenant; this
+            // tenant's cycle share is the epochs it executed.
+            r.workload = workload;
+        } else {
+            r.stats = machine.stats();
+            r.timeline = machine.timeline();
+        }
+        r.joules =
+            sim::EnergyModel(machine.config()).totalJoules(r.stats);
+        r.l3MissRate = r.stats.l3MissRate();
         r.nocUtilization = machine.nocUtilization();
         r.valid = valid;
-        r.timeline = machine.timeline();
         r.placementDigest = allocator.placementDigest();
         if (observer) {
             if (obs::SpatialMetrics *m = observer->metrics()) {

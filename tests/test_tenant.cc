@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Multi-tenant co-run subsystem tests: tenant-spec parsing, QoS math,
+ * co-run determinism (rerun digests, single-tenant == legacy),
+ * scheduler policy behavior, and the cross-tenant arena-ownership
+ * audit (corruption injection must be detected).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "alloc/affinity_alloc.hh"
+#include "nsc/machine.hh"
+#include "os/sim_os.hh"
+#include "sim/log.hh"
+#include "sim/rng.hh"
+#include "tenant/qos.hh"
+#include "tenant/scheduler.hh"
+#include "tenant/workload_registry.hh"
+#include "workloads/run_context.hh"
+
+using namespace affalloc;
+using namespace affalloc::tenant;
+
+// ------------------------------------------------------------- specs
+
+TEST(TenantSpecs, ParseGrammar)
+{
+    const auto specs = parseTenantSpecs("hotspot:2:3,srad");
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_EQ(specs[0].workload, "hotspot");
+    EXPECT_EQ(specs[0].weight, 3u);
+    EXPECT_EQ(specs[1].workload, "hotspot");
+    EXPECT_EQ(specs[1].weight, 3u);
+    EXPECT_EQ(specs[2].workload, "srad");
+    EXPECT_EQ(specs[2].weight, 1u);
+}
+
+TEST(TenantSpecs, ParseDefaults)
+{
+    const auto specs = parseTenantSpecs("bfs");
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_EQ(specs[0].workload, "bfs");
+    EXPECT_EQ(specs[0].weight, 1u);
+}
+
+TEST(TenantSpecs, RejectsUnknownWorkload)
+{
+    EXPECT_THROW(parseTenantSpecs("bogus:2"), FatalError);
+    EXPECT_THROW(parseTenantSpecs(""), FatalError);
+    EXPECT_THROW(parseTenantSpecs("hotspot:0"), FatalError);
+}
+
+TEST(TenantSpecs, RegistryCoversTableThreeClasses)
+{
+    const auto &names = workloadNames();
+    EXPECT_GE(names.size(), 10u);
+    for (const char *expect :
+         {"vecadd", "hotspot", "bfs", "sssp", "hash_join", "bin_tree"})
+        EXPECT_TRUE(isWorkloadName(expect)) << expect;
+    EXPECT_FALSE(isWorkloadName("bogus"));
+    EXPECT_THROW(workloadRunner("bogus"), FatalError);
+}
+
+// --------------------------------------------------------------- qos
+
+TEST(Qos, JainFairnessBounds)
+{
+    EXPECT_DOUBLE_EQ(jainFairness({}), 1.0);
+    EXPECT_DOUBLE_EQ(jainFairness({0.7}), 1.0);
+    EXPECT_DOUBLE_EQ(jainFairness({0.5, 0.5, 0.5}), 1.0);
+    // One tenant monopolizing -> 1/n.
+    EXPECT_NEAR(jainFairness({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+    const double mixed = jainFairness({1.0, 0.5});
+    EXPECT_GT(mixed, 0.5);
+    EXPECT_LT(mixed, 1.0);
+}
+
+TEST(Qos, ComputeQosFillsAggregates)
+{
+    CorunReport r;
+    r.tenants.resize(2);
+    r.tenants[0].soloCycles = 100;
+    r.tenants[0].finishCycle = 200;
+    r.tenants[1].soloCycles = 100;
+    r.tenants[1].finishCycle = 400;
+    computeQos(r);
+    EXPECT_DOUBLE_EQ(r.tenants[0].slowdown, 2.0);
+    EXPECT_DOUBLE_EQ(r.tenants[1].slowdown, 4.0);
+    EXPECT_DOUBLE_EQ(r.weightedSpeedup, 0.75);
+    EXPECT_GT(r.fairness, 0.5);
+    EXPECT_LT(r.fairness, 1.0);
+}
+
+TEST(Qos, ComputeQosSkipsTenantsWithoutBaseline)
+{
+    CorunReport r;
+    r.tenants.resize(1);
+    r.tenants[0].soloCycles = 0;
+    r.tenants[0].finishCycle = 500;
+    computeQos(r);
+    EXPECT_DOUBLE_EQ(r.tenants[0].slowdown, 0.0);
+    EXPECT_DOUBLE_EQ(r.weightedSpeedup, 0.0);
+    EXPECT_DOUBLE_EQ(r.fairness, 1.0);
+}
+
+// ------------------------------------------------------- determinism
+
+namespace
+{
+
+CorunOptions
+quickOpts(SchedPolicy policy = SchedPolicy::roundRobin)
+{
+    CorunOptions opts;
+    opts.quick = true;
+    opts.solo = false; // baselines not needed for digest tests
+    opts.policy = policy;
+    return opts;
+}
+
+} // namespace
+
+TEST(Corun, RerunDigestsAreIdentical)
+{
+    const std::vector<TenantSpec> specs = {{"hotspot", 1}, {"vecadd", 1}};
+    const CorunReport a = runCorun(specs, quickOpts());
+    const CorunReport b = runCorun(specs, quickOpts());
+    EXPECT_TRUE(a.allValid);
+    EXPECT_EQ(a.digest(), b.digest());
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+        EXPECT_EQ(a.tenants[i].finishCycle, b.tenants[i].finishCycle);
+        EXPECT_EQ(a.tenants[i].epochs, b.tenants[i].epochs);
+        EXPECT_EQ(a.tenants[i].run.digest(), b.tenants[i].run.digest());
+    }
+}
+
+TEST(Corun, SingleTenantMatchesLegacyRun)
+{
+    // A co-run of one tenant must be byte-identical to the classic
+    // whole-machine run: arena 0 keeps the legacy address layout, the
+    // load board mirrors the lone allocator's own counters, and stream
+    // 0 of the root seed *is* the root seed.
+    const CorunOptions opts = quickOpts();
+    const CorunReport corun = runCorun({{"hotspot", 1}}, opts);
+    ASSERT_EQ(corun.tenants.size(), 1u);
+
+    workloads::RunConfig rc;
+    rc.mode = opts.mode;
+    rc.allocOpts = opts.allocOpts;
+    rc.allocOpts.seed = Rng::substreamSeed(opts.seed, 0);
+    rc.heapPolicy = opts.heapPolicy;
+    rc.machine = opts.machine;
+    workloads::RunContext ctx(rc);
+    const workloads::RunResult legacy =
+        workloadRunner("hotspot")(ctx, opts.seed, /*quick=*/true);
+
+    EXPECT_TRUE(legacy.valid);
+    EXPECT_TRUE(corun.tenants[0].run.valid);
+    EXPECT_EQ(corun.tenants[0].run.digest(), legacy.digest());
+    EXPECT_EQ(corun.tenants[0].run.stats.cycles, legacy.stats.cycles);
+    EXPECT_EQ(corun.tenants[0].finishCycle, legacy.stats.cycles);
+    EXPECT_EQ(corun.makespan, legacy.stats.cycles);
+}
+
+TEST(Corun, WeightedPolicyFavorsHeavyTenant)
+{
+    // Two identical workloads, weights 1 and 2, tiny quantum: under
+    // round-robin the first tenant finishes first (it is granted
+    // first); under the weighted policy the heavy tenant gets doubled
+    // quanta and overtakes it.
+    const std::vector<TenantSpec> specs = {{"hotspot", 1}, {"hotspot", 2}};
+
+    CorunOptions rr = quickOpts(SchedPolicy::roundRobin);
+    rr.quantumEpochs = 2;
+    const CorunReport rrRep = runCorun(specs, rr);
+
+    CorunOptions w = quickOpts(SchedPolicy::weighted);
+    w.quantumEpochs = 2;
+    const CorunReport wRep = runCorun(specs, w);
+
+    ASSERT_EQ(rrRep.tenants.size(), 2u);
+    ASSERT_EQ(wRep.tenants.size(), 2u);
+    EXPECT_LT(rrRep.tenants[0].finishCycle, rrRep.tenants[1].finishCycle);
+    EXPECT_LT(wRep.tenants[1].finishCycle, wRep.tenants[0].finishCycle);
+    // The heavy tenant finishes strictly earlier than it does under
+    // round-robin; total service is unchanged either way.
+    EXPECT_LT(wRep.tenants[1].finishCycle, rrRep.tenants[1].finishCycle);
+    EXPECT_EQ(rrRep.tenants[0].epochs + rrRep.tenants[1].epochs,
+              wRep.tenants[0].epochs + wRep.tenants[1].epochs);
+}
+
+TEST(Corun, StatsAttributionSumsToMachineTotal)
+{
+    // Attributed per-tenant cycles partition the shared clock: the
+    // makespan equals the sum of the per-tenant service cycles.
+    const CorunReport rep =
+        runCorun({{"hotspot", 1}, {"srad", 1}}, quickOpts());
+    Cycles service = 0;
+    for (const auto &t : rep.tenants)
+        service += t.run.stats.cycles;
+    EXPECT_EQ(service, rep.makespan);
+}
+
+TEST(Corun, SoloBaselinesFillQos)
+{
+    CorunOptions opts = quickOpts();
+    opts.solo = true;
+    const CorunReport rep =
+        runCorun({{"hotspot", 1}, {"hotspot", 1}}, opts);
+    for (const auto &t : rep.tenants) {
+        EXPECT_GT(t.soloCycles, 0u);
+        EXPECT_GE(t.slowdown, 1.0);
+    }
+    // Two identical tenants, quantum >= workload epochs: the first
+    // finishes at solo speed, the second after both ran — slowdowns
+    // {1, 2}, so STP = 1.5 and Jain fairness = 0.9 exactly.
+    EXPECT_NEAR(rep.tenants[0].slowdown, 1.0, 1e-9);
+    EXPECT_NEAR(rep.tenants[1].slowdown, 2.0, 1e-9);
+    EXPECT_NEAR(rep.weightedSpeedup, 1.5, 1e-9);
+    EXPECT_NEAR(rep.fairness, 0.9, 1e-9);
+}
+
+// -------------------------------------------------- cross-tenant audit
+
+TEST(CorunAudit, ForeignArenaSlotIsDetected)
+{
+    sim::MachineConfig cfg;
+    os::SimOS os(cfg);
+    const std::uint32_t arenaB = os.createArena();
+    ASSERT_EQ(arenaB, 1u);
+    nsc::Machine machine(cfg, os);
+
+    alloc::AllocatorOptions optsB;
+    optsB.arena = arenaB;
+    alloc::AffinityAllocator allocB(machine, optsB);
+
+    // Clean allocator: no violations.
+    EXPECT_TRUE(machine.auditor().collect().empty());
+
+    // Plant a free slot whose simulated address sits inside arena 0's
+    // slice of pool 0 — tenant B holding tenant A's memory.
+    std::uint64_t backing = 0;
+    allocB.adoptFreeSlotForTest(0, 0, &backing,
+                                os.poolVirtBaseOf(0, 0));
+    const auto violations = machine.auditor().collect();
+    ASSERT_FALSE(violations.empty());
+    bool found = false;
+    for (const auto &v : violations)
+        found = found || v.message.find("cross-tenant") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(CorunAudit, OwnArenaSlotOutOfRangeStillCaught)
+{
+    // The arena check must not mask the existing range check: a slot
+    // in this allocator's own arena but beyond the pool's bump pointer
+    // is still a violation.
+    sim::MachineConfig cfg;
+    os::SimOS os(cfg);
+    nsc::Machine machine(cfg, os);
+    alloc::AffinityAllocator alloc0(machine, {});
+
+    std::uint64_t backing = 0;
+    alloc0.adoptFreeSlotForTest(0, 0, &backing,
+                                os.poolVirtBaseOf(0, 0));
+    const auto violations = machine.auditor().collect();
+    ASSERT_FALSE(violations.empty());
+    bool found = false;
+    for (const auto &v : violations)
+        found = found ||
+                v.message.find("outside the pool") != std::string::npos;
+    EXPECT_TRUE(found);
+}

@@ -25,6 +25,8 @@
 #include "obs/heatmap.hh"
 #include "sim/simcheck.hh"
 #include "harness/trace.hh"
+#include "tenant/qos.hh"
+#include "tenant/scheduler.hh"
 #include "workloads/affine_workloads.hh"
 #include "workloads/graph_workloads.hh"
 #include "workloads/pointer_workloads.hh"
@@ -63,13 +65,19 @@ struct Options
     std::string heatmap;
     std::string explainOut;
     std::string obsCsv;
+    // Multi-tenant co-runs (the corun command).
+    std::string tenants;
+    tenant::SchedPolicy sched = tenant::SchedPolicy::roundRobin;
+    std::uint32_t quantum = 8;
+    bool quick = false;
+    bool noSolo = false;
 };
 
 [[noreturn]] void
 usage()
 {
     std::fprintf(stderr,
-                 "usage: affalloc_cli topo|layout|run [options]\n"
+                 "usage: affalloc_cli topo|layout|run|corun [options]\n"
                  "  run <workload> --mode aff|near|core --policy "
                  "rnd|lnr|minhop|hybrid --h N\n"
                  "      --numbering rowmajor|snake|block2 --scale N "
@@ -86,7 +94,13 @@ usage()
                  "      --explain-placement FILE (Eq. 4 decision log)\n"
                  "      --obs-csv PREFIX (per-bank/per-link counter "
                  "CSVs)\n"
-                 "  layout --intrlv BYTES --bytes BYTES --start-bank N\n");
+                 "  layout --intrlv BYTES --bytes BYTES --start-bank N\n"
+                 "  corun --tenants NAME[:COUNT[:WEIGHT]],... (e.g. "
+                 "--tenants=bfs:2,vecadd:1)\n"
+                 "      --sched rr|weighted --quantum N (epochs per "
+                 "turn) --quick --no-solo\n"
+                 "      [--mode/--policy/--h/--csv/--simcheck*/--heatmap "
+                 "banks as for run]\n");
     std::exit(2);
 }
 
@@ -188,6 +202,17 @@ parse(int argc, char **argv)
             o.simcheckWatchdog = std::uint32_t(
                 std::atoi(next("--simcheck-watchdog").c_str()));
             o.simcheckWatchdogSet = true;
+        } else if (a == "--tenants") {
+            o.tenants = next("--tenants");
+        } else if (a == "--sched") {
+            o.sched = tenant::parseSchedPolicy(next("--sched"));
+        } else if (a == "--quantum") {
+            o.quantum =
+                std::uint32_t(std::atoi(next("--quantum").c_str()));
+        } else if (a == "--quick") {
+            o.quick = true;
+        } else if (a == "--no-solo") {
+            o.noSolo = true;
         } else {
             std::fprintf(stderr, "unknown option %s\n", a.c_str());
             usage();
@@ -393,6 +418,68 @@ cmdRun(const Options &o)
     return result.valid ? 0 : 1;
 }
 
+int
+cmdCorun(const Options &o)
+{
+    if (o.tenants.empty()) {
+        std::fprintf(stderr,
+                     "corun requires --tenants; available workloads: ");
+        for (const auto &n : tenant::workloadNames())
+            std::fprintf(stderr, "%s ", n.c_str());
+        std::fprintf(stderr, "\n");
+        usage();
+    }
+
+    tenant::CorunOptions copts;
+    copts.mode = o.mode;
+    copts.allocOpts.policy = o.policy;
+    copts.allocOpts.hybridH = o.h;
+    copts.machine.bankNumbering = o.numbering;
+    copts.machine.faults.seed = o.faultSeed;
+    copts.machine.faults.offlineBanks = o.offlineBanks;
+    copts.machine.faults.offloadRejectRate = o.offloadRejectRate;
+    if (o.simcheck)
+        copts.machine.simcheck.audit = true;
+    if (o.simcheckWatchdogSet)
+        copts.machine.simcheck.watchdogStallEpochs = o.simcheckWatchdog;
+    copts.policy = o.sched;
+    copts.quantumEpochs = o.quantum;
+    copts.quick = o.quick;
+    copts.solo = !o.noSolo;
+    copts.obs.metrics = o.heatmap == "banks";
+    copts.obs.tracePath = o.traceOut;
+
+    // parseTenantSpecs rejects unknown workloads with the full list of
+    // valid names; surface that as a clean CLI error, not a backtrace.
+    tenant::CorunReport report;
+    try {
+        const std::vector<tenant::TenantSpec> specs =
+            tenant::parseTenantSpecs(o.tenants);
+        report = tenant::runCorun(specs, copts);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+
+    tenant::printCorunReport(report);
+    if (o.simcheckDigest) {
+        std::printf("digest     %s\n",
+                    simcheck::digestToString(report.digest()).c_str());
+    }
+    if (!o.csv.empty()) {
+        tenant::writeQosCsv(o.csv, report, execModeName(o.mode));
+        std::printf("QoS csv    written to %s\n", o.csv.c_str());
+    }
+    if (o.heatmap == "banks") {
+        std::fputs(obs::renderTenantBankHeatmaps(report.obsSnapshot)
+                       .c_str(),
+                   stdout);
+    }
+    if (!o.traceOut.empty())
+        std::printf("trace      written to %s\n", o.traceOut.c_str());
+    return report.allValid ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -405,5 +492,7 @@ main(int argc, char **argv)
         return cmdLayout(o);
     if (o.command == "run")
         return cmdRun(o);
+    if (o.command == "corun")
+        return cmdCorun(o);
     usage();
 }
