@@ -64,7 +64,8 @@ for b in fig04_affine_offset fig17_bfs_iters fig14_timeline \
          fig18_push_pull fig15_affine_scale fig12_overall \
          fig06_irregular_potential fig19_degree fig13_policy \
          fig20_real_graphs fig16_graph_scale \
-         ablation_codesign ablation_numbering micro_benchmarks; do
+         ablation_codesign ablation_numbering serve_availability \
+         micro_benchmarks; do
     echo "################ $b"
     if [ "$b" = micro_benchmarks ]; then
         # google-benchmark rejects the figure benches' flags; map
@@ -88,12 +89,21 @@ for b in fig04_affine_offset fig17_bfs_iters fig14_timeline \
             esac
         done
         t0=$(date +%s.%N)
-        "$here/build/bench/$b" ${args[@]+"${args[@]}"}
+        rc=0
+        "$here/build/bench/$b" ${args[@]+"${args[@]}"} || rc=$?
         t1=$(date +%s.%N)
     else
         t0=$(date +%s.%N)
-        "$here/build/bench/$b" ${fwd[@]+"${fwd[@]}"}
+        rc=0
+        "$here/build/bench/$b" ${fwd[@]+"${fwd[@]}"} || rc=$?
         t1=$(date +%s.%N)
+    fi
+    # A bench exiting non-zero (validation or digest failure) fails
+    # the whole run, loudly and with the offending bench named --
+    # `set -e` alone would die silently inside the timing capture.
+    if [ "$rc" -ne 0 ]; then
+        echo "FAILED: bench $b exited with code $rc" >&2
+        exit "$rc"
     fi
     dt=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')
     names+=("$b")

@@ -35,6 +35,16 @@ AddressSpace::unregisterRange(const void *host_ptr)
     mru_.fill(nullptr);
 }
 
+std::size_t
+AddressSpace::numRangesInSimWindow(Addr sim_lo, Addr sim_hi) const
+{
+    std::size_t n = 0;
+    for (const auto &[host, range] : ranges_)
+        if (range.simStart >= sim_lo && range.simStart < sim_hi)
+            ++n;
+    return n;
+}
+
 const HostRange *
 AddressSpace::rangeContaining(const void *host_ptr) const
 {

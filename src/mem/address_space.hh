@@ -65,6 +65,16 @@ class AddressSpace
     std::size_t size() const { return ranges_.size(); }
 
     /**
+     * Number of registered ranges whose simulated start address lies
+     * in [sim_lo, sim_hi). Linear in the number of ranges (the map is
+     * keyed by host address) — meant for hygiene assertions at slot
+     * recycle boundaries, not hot paths. The serving front-end uses it
+     * to prove a freed tenant arena left no host ranges behind before
+     * the arena is handed to the next request.
+     */
+    std::size_t numRangesInSimWindow(Addr sim_lo, Addr sim_hi) const;
+
+    /**
      * Resolve every lookup through the sorted map, bypassing the MRU
      * cache (reference mode). The digest-equivalence regression test
      * runs both ways and asserts identical results.

@@ -633,6 +633,23 @@ Machine::injectBankFault(BankId b)
     }
 }
 
+void
+Machine::injectLinkDegrade(std::uint32_t link, std::uint32_t factor)
+{
+    if (os_.faultPlan().degradeLink(link, factor) && tracer_) {
+        tracer_->machineInstant(
+            "link-degrade", stats_.cycles,
+            detail::formatMessage("\"link\":%u,\"factor\":%u", link,
+                                  factor));
+    }
+}
+
+void
+Machine::advanceIdle(Cycles cycles)
+{
+    stats_.cycles += cycles;
+}
+
 Cycles
 Machine::offloadNack(CoreId core, BankId bank)
 {

@@ -159,6 +159,19 @@ class Machine
      */
     void injectBankFault(BankId b);
     /**
+     * Dynamically degrade directed link @p link to @p factor x flit
+     * occupancy (mid-run fault injection); routes through the fault
+     * plan, which every subsequent link charge consults.
+     */
+    void injectLinkDegrade(std::uint32_t link, std::uint32_t factor);
+    /**
+     * Advance the shared clock by @p cycles with the machine idle —
+     * the open-system front-end uses this to fast-forward between a
+     * drained machine and the next request arrival or fault event.
+     * Pure time: no occupancy, traffic, or energy is charged.
+     */
+    void advanceIdle(Cycles cycles);
+    /**
      * Model one NACKed offload attempt: the rejected configuration
      * message plus the NACK response. Returns the round-trip latency
      * (the stream engine's retry backoff is added by the caller).

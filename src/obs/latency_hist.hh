@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Log-scale latency histogram (HdrHistogram-style): power-of-two
+ * octaves split into 8 linear sub-buckets, so any recorded value lands
+ * in a bucket whose upper edge is within 12.5% of the value, with O(1)
+ * record and O(buckets) quantile. The serving front-end records one
+ * end-to-end latency per completed request and reads p50/p99/p999
+ * upper bounds out; everything is integer arithmetic, so two
+ * deterministic runs produce bit-identical quantiles regardless of
+ * host threading.
+ */
+
+#ifndef AFFALLOC_OBS_LATENCY_HIST_HH
+#define AFFALLOC_OBS_LATENCY_HIST_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace affalloc::obs
+{
+
+/** Fixed-precision log-scale histogram over uint64 samples. */
+class LatencyHistogram
+{
+  public:
+    /** Record one sample. */
+    void
+    record(std::uint64_t value)
+    {
+        const std::uint32_t idx = bucketOf(value);
+        if (idx >= counts_.size())
+            counts_.resize(idx + 1, 0);
+        counts_[idx] += 1;
+        total_ += 1;
+    }
+
+    /** Samples recorded so far. */
+    std::uint64_t count() const { return total_; }
+
+    /**
+     * Upper bound of the bucket containing the @p q quantile
+     * (0 < q <= 1) of the recorded samples; 0 when empty. The bound
+     * over-estimates the true quantile by at most 12.5%.
+     */
+    std::uint64_t
+    quantileUpperBound(double q) const
+    {
+        if (total_ == 0)
+            return 0;
+        std::uint64_t target =
+            static_cast<std::uint64_t>(q * static_cast<double>(total_));
+        if (target < 1)
+            target = 1;
+        if (target > total_)
+            target = total_;
+        std::uint64_t seen = 0;
+        for (std::uint32_t i = 0; i < counts_.size(); ++i) {
+            seen += counts_[i];
+            if (seen >= target)
+                return bucketUpper(i);
+        }
+        return bucketUpper(
+            static_cast<std::uint32_t>(counts_.size()) - 1);
+    }
+
+    /** Fold another histogram's samples into this one. */
+    void
+    merge(const LatencyHistogram &other)
+    {
+        if (other.counts_.size() > counts_.size())
+            counts_.resize(other.counts_.size(), 0);
+        for (std::size_t i = 0; i < other.counts_.size(); ++i)
+            counts_[i] += other.counts_[i];
+        total_ += other.total_;
+    }
+
+    /**
+     * Bucket index of @p value: values below 16 are exact; larger
+     * values map to (octave, 3-bit mantissa) pairs.
+     */
+    static std::uint32_t
+    bucketOf(std::uint64_t value)
+    {
+        if (value < 16)
+            return static_cast<std::uint32_t>(value);
+        std::uint32_t octave = 0;
+        for (std::uint64_t v = value; v > 1; v >>= 1)
+            ++octave;
+        const std::uint32_t sub = static_cast<std::uint32_t>(
+            (value >> (octave - 3)) & 7);
+        return octave * 8 + sub;
+    }
+
+    /** Largest value mapping to bucket @p idx. */
+    static std::uint64_t
+    bucketUpper(std::uint32_t idx)
+    {
+        if (idx < 16)
+            return idx;
+        const std::uint32_t octave = idx / 8;
+        const std::uint32_t sub = idx % 8;
+        const std::uint64_t base = std::uint64_t(1) << octave;
+        return base + (std::uint64_t(sub) + 1) * (base >> 3) - 1;
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace affalloc::obs
+
+#endif // AFFALLOC_OBS_LATENCY_HIST_HH

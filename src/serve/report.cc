@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Serving report surfaces: the determinism digest, the availability
+ * CSV, and the human-readable stdout table.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "serve/serve.hh"
+#include "sim/log.hh"
+
+namespace affalloc::serve
+{
+
+const char *
+requestOutcomeName(RequestOutcome o)
+{
+    switch (o) {
+      case RequestOutcome::pending:
+        return "pending";
+      case RequestOutcome::completed:
+        return "ok";
+      case RequestOutcome::shed:
+        return "shed";
+      case RequestOutcome::timedOut:
+        return "timeout";
+    }
+    return "?";
+}
+
+std::uint64_t
+ServeReport::digest() const
+{
+    constexpr std::uint64_t prime = 0x100000001b3ULL;
+    std::uint64_t d = 0xcbf29ce484222325ULL;
+    const auto fold = [&](std::uint64_t v) {
+        d ^= v;
+        d *= prime;
+    };
+    for (const RequestRecord &r : requests) {
+        fold(r.id + 1);
+        fold(r.classIdx);
+        fold(r.arrival);
+        fold(r.enqueue);
+        fold(r.admit);
+        fold(r.finish);
+        fold(r.retries);
+        fold(static_cast<std::uint64_t>(r.outcome));
+        fold(r.valid ? 1 : 0);
+    }
+    fold(corunDigest);
+    fold(endCycle);
+    fold(banksKilled);
+    fold(linksDegraded);
+    fold(reaffinityMoves);
+    return d;
+}
+
+std::string
+serveCsvHeader()
+{
+    return "config,class,offered,completed,shed,timeout,retries,"
+           "availability,unloaded_cycles,p50_cycles,p99_cycles,"
+           "p999_cycles,p50_slowdown,p99_slowdown,p999_slowdown,"
+           "goodput_per_mcycle,peak_queue,banks_killed,"
+           "links_degraded,reaffinity_moves,end_cycle,valid,digest";
+}
+
+namespace
+{
+
+void
+appendRow(std::ostream &os, const ServeReport &r,
+          const std::string &config, const ClassSummary &c)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s,%s,%u,%u,%u,%u,%" PRIu64
+        ",%.4f,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+        ",%.3f,%.3f,%.3f,%.4f,%u,%u,%u,%u,%" PRIu64 ",%d,0x%016" PRIx64,
+        config.c_str(), c.workload.c_str(), c.offered, c.completed,
+        c.shed, c.timedOut, c.retries, c.availability,
+        c.unloadedCycles, c.p50, c.p99, c.p999, c.p50Slowdown,
+        c.p99Slowdown, c.p999Slowdown, r.goodputPerMcycle,
+        r.peakQueueDepth, r.banksKilled, r.linksDegraded,
+        r.reaffinityMoves, r.endCycle, r.allValid ? 1 : 0,
+        r.digest());
+    os << buf << '\n';
+}
+
+} // namespace
+
+void
+appendServeCsv(std::ostream &os, const ServeReport &report,
+               const std::string &config)
+{
+    for (const ClassSummary &c : report.classes)
+        appendRow(os, report, config, c);
+    // One aggregate row so each config is a single grep away.
+    ClassSummary total;
+    total.workload = "total";
+    total.offered = report.offered;
+    total.completed = report.completed;
+    total.shed = report.shed;
+    total.timedOut = report.timedOut;
+    total.retries = report.retries;
+    total.availability = report.availability;
+    total.p99Slowdown = report.worstP99Slowdown;
+    appendRow(os, report, config, total);
+    SIM_REQUIRE("serve", static_cast<bool>(os),
+                "availability CSV write failed");
+}
+
+void
+printServeReport(const ServeReport &report, const std::string &config)
+{
+    if (!config.empty())
+        std::printf("serve config %s\n", config.c_str());
+    std::printf("  %-12s %7s %5s %5s %5s %7s %6s %12s %12s %8s %8s\n",
+                "class", "offered", "ok", "shed", "tmo", "retries",
+                "avail", "p50(cyc)", "p99(cyc)", "p50x", "p99x");
+    for (const ClassSummary &c : report.classes) {
+        std::printf("  %-12s %7u %5u %5u %5u %7" PRIu64
+                    " %5.1f%% %12" PRIu64 " %12" PRIu64
+                    " %8.2f %8.2f\n",
+                    c.workload.c_str(), c.offered, c.completed, c.shed,
+                    c.timedOut, c.retries, 100.0 * c.availability,
+                    c.p50, c.p99, c.p50Slowdown, c.p99Slowdown);
+    }
+    std::printf("  total offered %u ok %u shed %u timeout %u "
+                "availability %.1f%% goodput %.3f/Mcyc "
+                "worst p99 slowdown %.2fx\n",
+                report.offered, report.completed, report.shed,
+                report.timedOut, 100.0 * report.availability,
+                report.goodputPerMcycle, report.worstP99Slowdown);
+    std::printf("  faults: banks killed %u links degraded %u "
+                "reaffinity moves %u | peak queue %u | end cycle %"
+                PRIu64 " | valid %s | digest 0x%016" PRIx64 "\n",
+                report.banksKilled, report.linksDegraded,
+                report.reaffinityMoves, report.peakQueueDepth,
+                report.endCycle, report.allValid ? "yes" : "NO",
+                report.digest());
+}
+
+} // namespace affalloc::serve

@@ -36,7 +36,116 @@ realMeshLinks(std::uint32_t mesh_x, std::uint32_t mesh_y)
     return links;
 }
 
+/**
+ * Whether directed link id @p link is a real link of the mesh (per the
+ * Mesh::linkOf numbering; edge slots excluded).
+ */
+bool
+isRealMeshLink(std::uint32_t link, std::uint32_t mesh_x,
+               std::uint32_t mesh_y)
+{
+    const std::uint32_t tile = link / 4;
+    if (tile >= mesh_x * mesh_y)
+        return false;
+    const std::uint32_t x = tile % mesh_x;
+    const std::uint32_t y = tile / mesh_x;
+    switch (link % 4) {
+      case 0: return x + 1 < mesh_x; // east
+      case 1: return x > 0;          // west
+      case 2: return y > 0;          // north
+      default: return y + 1 < mesh_y; // south
+    }
+}
+
 } // namespace
+
+std::vector<TimedFault>
+parseFaultSchedule(const std::string &spec)
+{
+    std::vector<TimedFault> schedule;
+    std::istringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        TimedFault ev;
+        const std::size_t colon = item.find(':');
+        const std::size_t at = item.find('@');
+        if (colon == std::string::npos || at == std::string::npos ||
+            at < colon)
+            SIM_FATAL("fault",
+                      "malformed fault event '%s' (want bank:<id>@<cycle> "
+                      "or link:<id>@<cycle>[x<factor>])",
+                      item.c_str());
+        const std::string kind = item.substr(0, colon);
+        if (kind == "bank")
+            ev.kind = FaultKind::killBank;
+        else if (kind == "link")
+            ev.kind = FaultKind::degradeLink;
+        else
+            SIM_FATAL("fault",
+                      "unknown fault event kind '%s' in '%s' (bank, link)",
+                      kind.c_str(), item.c_str());
+        std::string when = item.substr(at + 1);
+        if (ev.kind == FaultKind::degradeLink) {
+            const std::size_t xpos = when.find('x');
+            if (xpos != std::string::npos) {
+                try {
+                    ev.factor = static_cast<std::uint32_t>(
+                        std::stoul(when.substr(xpos + 1)));
+                } catch (const std::exception &) {
+                    SIM_FATAL("fault", "bad degrade factor in '%s'",
+                              item.c_str());
+                }
+                when = when.substr(0, xpos);
+            }
+        }
+        try {
+            ev.target = static_cast<std::uint32_t>(
+                std::stoul(item.substr(colon + 1, at - colon - 1)));
+            ev.atCycle = static_cast<Cycles>(std::stoull(when));
+        } catch (const std::exception &) {
+            SIM_FATAL("fault", "bad number in fault event '%s'",
+                      item.c_str());
+        }
+        schedule.push_back(ev);
+    }
+    return schedule;
+}
+
+void
+validateFaultSchedule(const std::vector<TimedFault> &schedule,
+                      std::uint32_t mesh_x, std::uint32_t mesh_y,
+                      Cycles max_cycles)
+{
+    const std::uint32_t num_banks = mesh_x * mesh_y;
+    for (const TimedFault &ev : schedule) {
+        if (ev.kind == FaultKind::killBank) {
+            if (ev.target >= num_banks)
+                SIM_FATAL("fault",
+                          "fault event kills bank %u but the %ux%u mesh "
+                          "has banks 0..%u",
+                          ev.target, mesh_x, mesh_y, num_banks - 1);
+        } else {
+            if (!isRealMeshLink(ev.target, mesh_x, mesh_y))
+                SIM_FATAL("fault",
+                          "fault event degrades link %u, which is not a "
+                          "real link of the %ux%u mesh",
+                          ev.target, mesh_x, mesh_y);
+            if (ev.factor == 0)
+                SIM_FATAL("fault",
+                          "fault event on link %u has degrade factor 0 "
+                          "(must be >= 1)",
+                          ev.target);
+        }
+        if (max_cycles != 0 && ev.atCycle > max_cycles)
+            SIM_FATAL("fault",
+                      "fault event at cycle %llu is beyond the %llu-cycle "
+                      "horizon and would never fire",
+                      static_cast<unsigned long long>(ev.atCycle),
+                      static_cast<unsigned long long>(max_cycles));
+    }
+}
 
 FaultPlan::FaultPlan(const FaultConfig &cfg, std::uint32_t mesh_x,
                      std::uint32_t mesh_y)
@@ -54,6 +163,10 @@ FaultPlan::FaultPlan(const FaultConfig &cfg, std::uint32_t mesh_x,
               cfg.offlineBanks, num_banks);
     if (cfg.linkDegradeFactor == 0)
         SIM_FATAL("fault", "link degrade factor must be >= 1");
+    // Target ids are checked here; event *times* are re-checked by the
+    // driver that knows the horizon (validateFaultSchedule with
+    // max_cycles), since the plan itself has no notion of a run length.
+    validateFaultSchedule(cfg.schedule, mesh_x, mesh_y, 0);
 
     liveMask_.assign(num_banks, 1);
     for (std::uint32_t picked = 0; picked < cfg.offlineBanks;) {
@@ -110,6 +223,42 @@ FaultPlan::offlineBank(BankId b)
     liveMask_[b] = 0;
     ++offlineCount_;
     rebuildRedirect();
+    return true;
+}
+
+void
+FaultPlan::setRedirect(BankId dead, BankId target)
+{
+    if (liveMask_.empty() || dead >= liveMask_.size() ||
+        target >= liveMask_.size())
+        SIM_FATAL("fault", "setRedirect: bank %u -> %u out of range", dead,
+                  target);
+    if (liveMask_[dead])
+        SIM_FATAL("fault", "setRedirect: bank %u is still live", dead);
+    if (!liveMask_[target])
+        SIM_FATAL("fault", "setRedirect: target bank %u is offline",
+                  target);
+    redirect_[dead] = target;
+}
+
+bool
+FaultPlan::degradeLink(std::uint32_t link, std::uint32_t factor)
+{
+    const std::uint32_t num_links =
+        static_cast<std::uint32_t>(liveMask_.size()) * 4;
+    if (liveMask_.empty() || link >= num_links)
+        SIM_FATAL("fault", "degradeLink: link %u out of range", link);
+    if (factor == 0)
+        SIM_FATAL("fault", "degradeLink: factor must be >= 1");
+    if (linkMult_.empty())
+        linkMult_.assign(num_links, 1);
+    if (linkMult_[link] == factor)
+        return false;
+    if (linkMult_[link] == 1 && factor > 1)
+        ++degradedCount_;
+    else if (linkMult_[link] > 1 && factor == 1)
+        --degradedCount_;
+    linkMult_[link] = factor;
     return true;
 }
 

@@ -36,6 +36,54 @@
 namespace affalloc::sim
 {
 
+/** Kind of one scheduled mid-run fault event. */
+enum class FaultKind : std::uint8_t
+{
+    /** Mark an L3 bank offline at the scheduled cycle. */
+    killBank,
+    /** Degrade a directed mesh link at the scheduled cycle. */
+    degradeLink
+};
+
+/**
+ * One scheduled fault event of a mid-run campaign: at simulated cycle
+ * @p atCycle, kill bank @p target or degrade link @p target. Applied
+ * by open-system drivers (the serving front-end) at the first
+ * scheduling round whose clock has reached the event.
+ */
+struct TimedFault
+{
+    /** Simulated cycle at (or after) which the event fires. */
+    Cycles atCycle = 0;
+    FaultKind kind = FaultKind::killBank;
+    /** Bank id (killBank) or directed link id (degradeLink). */
+    std::uint32_t target = 0;
+    /** Flit multiplier for degradeLink events (>= 1). */
+    std::uint32_t factor = 4;
+};
+
+/**
+ * Parse a fault-campaign schedule such as
+ * "bank:3@50000,link:12@80000x8" into TimedFault events. Grammar:
+ * comma-separated `bank:<id>@<cycle>` and `link:<id>@<cycle>[x<f>]`
+ * (f = flit multiplier, default 4). Malformed specs SIM_FATAL; target
+ * ids are validated separately (validateFaultSchedule) once the mesh
+ * is known.
+ */
+std::vector<TimedFault> parseFaultSchedule(const std::string &spec);
+
+/**
+ * Validate a fault schedule against an @p mesh_x by @p mesh_y
+ * machine: bank targets must be real banks, link targets real mesh
+ * links (edge slots that would leave the mesh are rejected), degrade
+ * factors >= 1, and — when @p max_cycles is nonzero — every event
+ * must fire within the horizon. SIM_FATALs with the offending event
+ * instead of letting a typo'd campaign silently never fire.
+ */
+void validateFaultSchedule(const std::vector<TimedFault> &schedule,
+                           std::uint32_t mesh_x, std::uint32_t mesh_y,
+                           Cycles max_cycles = 0);
+
 /**
  * Fault-campaign configuration, carried inside MachineConfig so a
  * whole experiment (machine + faults) is one value. All fields
@@ -57,13 +105,19 @@ struct FaultConfig
     std::uint32_t maxOffloadRetries = 4;
     /** Base backoff in cycles; doubles per retry (capped). */
     std::uint32_t offloadRetryBackoff = 16;
+    /**
+     * Scheduled mid-run fault events (empty: none). Boot-time faults
+     * above fire before cycle 0; these fire while work is in flight,
+     * applied by the driver that owns the clock (serving front-end).
+     */
+    std::vector<TimedFault> schedule;
 
     /** Whether any fault class is active. */
     bool
     any() const
     {
         return offlineBanks > 0 || offloadRejectRate > 0.0 ||
-               degradedLinks > 0;
+               degradedLinks > 0 || !schedule.empty();
     }
 };
 
@@ -90,7 +144,11 @@ class FaultPlan
               std::uint32_t mesh_y);
 
     /** Whether any fault is (or became) active. */
-    bool any() const { return cfg_.any() || offlineCount_ > 0; }
+    bool
+    any() const
+    {
+        return cfg_.any() || offlineCount_ > 0 || degradedCount_ > 0;
+    }
     /** The configuration the plan was drawn from. */
     const FaultConfig &config() const { return cfg_; }
 
@@ -134,6 +192,16 @@ class FaultPlan
      */
     bool offlineBank(BankId b);
 
+    /**
+     * Re-target dead bank @p dead's spare to live bank @p target
+     * (re-affinity recovery: spread dead banks' lines over the least
+     * contended survivors instead of the default next-in-order spare).
+     * fatal() when @p dead is still live or @p target is not live.
+     * Note offlineBank() rebuilds the default map, clobbering custom
+     * redirects — recovery re-runs its assignment after every kill.
+     */
+    void setRedirect(BankId dead, BankId target);
+
     // ------------------------------------------------------------ links
     /** Flit multiplier of directed link @p link (1 = healthy). */
     std::uint32_t
@@ -143,6 +211,13 @@ class FaultPlan
     }
     /** Number of degraded links in the plan. */
     std::uint32_t numDegradedLinks() const { return degradedCount_; }
+    /**
+     * Dynamically degrade directed link @p link to @p factor x flit
+     * occupancy (mid-run fault injection). fatal() on out-of-range
+     * links or a zero factor. Returns true when the multiplier
+     * changed (false: link already at that factor).
+     */
+    bool degradeLink(std::uint32_t link, std::uint32_t factor);
 
     // --------------------------------------------------------- offloads
     /** Whether offload requests can ever be rejected. */

@@ -68,8 +68,35 @@ TenantScheduler::TenantScheduler(std::vector<TenantSpec> specs,
         t->fn = workloadRunner(specs[i].workload);
         t->binding.id = t->id;
         t->binding.name = t->name;
+        t->arena = t->id;
+        t->seedIndex = t->id;
         tenants_.push_back(std::move(t));
     }
+}
+
+TenantScheduler::TenantScheduler(CorunOptions opts,
+                                 std::uint32_t num_slots)
+    : opts_(std::move(opts))
+{
+    SIM_REQUIRE("tenant", num_slots > 0,
+                "open-system run needs >= 1 arena slot");
+    openSlots_ = num_slots;
+    // The IOT is sized for the recycled slots, not the (unbounded)
+    // job count: each slot adds one entry per interleave pool.
+    const std::uint32_t needed = static_cast<std::uint32_t>(
+        mem::numInterleavePools * num_slots + 2);
+    opts_.machine.iotEntries = std::max(opts_.machine.iotEntries, needed);
+
+    os_ = std::make_unique<os::SimOS>(opts_.machine, opts_.heapPolicy);
+    machine_ = std::make_unique<nsc::Machine>(opts_.machine, *os_);
+    if (opts_.obs.any()) {
+        observer_ = std::make_unique<obs::Observer>(opts_.obs);
+        machine_->attachObserver(observer_.get());
+    }
+    // Arena 0 is implicit; create the remaining slots now so the IOT
+    // layout is fixed before the first job runs.
+    for (std::uint32_t i = 1; i < num_slots; ++i)
+        os_->createArena();
 }
 
 TenantScheduler::~TenantScheduler()
@@ -86,9 +113,10 @@ TenantScheduler::tenantRunConfig(const Tenant &t)
     rc.machine = opts_.machine;
     rc.heapPolicy = opts_.heapPolicy;
     rc.allocOpts = opts_.allocOpts;
-    rc.allocOpts.arena = t.id;
+    rc.allocOpts.arena = t.arena;
     rc.allocOpts.sharedLoads = &board_;
-    rc.allocOpts.seed = Rng::substreamSeed(opts_.allocOpts.seed, t.id);
+    rc.allocOpts.seed =
+        Rng::substreamSeed(opts_.allocOpts.seed, t.seedIndex);
     return rc;
 }
 
@@ -147,7 +175,8 @@ TenantScheduler::tenantMain(Tenant &t)
     try {
         const workloads::RunConfig rc = tenantRunConfig(t);
         workloads::RunContext ctx(rc, *machine_, &t.binding);
-        const std::uint64_t seed = Rng::substreamSeed(opts_.seed, t.id);
+        const std::uint64_t seed =
+            Rng::substreamSeed(opts_.seed, t.seedIndex);
         t.result = t.fn(ctx, seed, opts_.quick);
     } catch (...) {
         t.error = std::current_exception();
@@ -160,58 +189,37 @@ TenantScheduler::tenantMain(Tenant &t)
     cv_.notify_all();
 }
 
-CorunReport
-TenantScheduler::run()
+void
+TenantScheduler::grantQuantum(int next)
 {
-    SIM_REQUIRE("tenant", !ran_, "TenantScheduler::run() is one-shot");
-    ran_ = true;
-
-    // Tenant 0 uses the boot arena; every further tenant gets its own.
-    for (std::size_t i = 1; i < tenants_.size(); ++i)
-        os_->createArena();
-    machine_->setEpochHook([this] { onEpoch(); });
-
+    Tenant &t = *tenants_[next];
     obs::SpatialMetrics *metrics =
         observer_ ? observer_->metrics() : nullptr;
     obs::ChromeTracer *tracer = observer_ ? observer_->tracer() : nullptr;
-    if (metrics) {
-        std::vector<std::string> names;
-        for (const auto &t : tenants_)
-            names.push_back(t->name);
-        metrics->setTenants(std::move(names));
-    }
-
-    for (auto &t : tenants_) {
-        Tenant *tp = t.get();
-        t->thread = std::thread([this, tp] { tenantMain(*tp); });
-    }
-
+    const Cycles grantCycle = machine_->now();
     {
         std::unique_lock<std::mutex> lk(mu_);
-        while (true) {
-            const int next = pickNext();
-            if (next < 0)
-                break;
-            Tenant &t = *tenants_[next];
-            current_ = static_cast<std::uint32_t>(next);
-            quantum_ = quantumFor(t);
-            if (metrics)
-                metrics->setCurrentTenant(t.id);
-            const Cycles grantCycle = machine_->now();
-            running_ = next;
-            cv_.notify_all();
-            cv_.wait(lk, [&] { return running_ == -1; });
-            const Cycles yieldCycle = machine_->now();
-            if (tracer && yieldCycle > grantCycle)
-                tracer->tenantSpan(t.id, t.name, grantCycle, yieldCycle);
-        }
+        current_ = static_cast<std::uint32_t>(next);
+        quantum_ = quantumFor(t);
+        // The per-tenant metrics overlay needs the full tenant list
+        // up front (closed co-runs declare it); open-system jobs are
+        // dynamic, so the overlay stays off there.
+        if (metrics && openSlots_ == 0)
+            metrics->setCurrentTenant(t.id);
+        running_ = next;
+        cv_.notify_all();
+        cv_.wait(lk, [&] { return running_ == -1; });
     }
-    for (auto &t : tenants_)
-        t->thread.join();
-    machine_->setEpochHook(nullptr);
-    for (auto &t : tenants_)
-        if (t->error)
-            std::rethrow_exception(t->error);
+    const Cycles yieldCycle = machine_->now();
+    if (tracer && yieldCycle > grantCycle)
+        tracer->tenantSpan(t.id, t.name, grantCycle, yieldCycle);
+}
+
+CorunReport
+TenantScheduler::buildReport()
+{
+    obs::SpatialMetrics *metrics =
+        observer_ ? observer_->metrics() : nullptr;
 
     CorunReport report;
     if (metrics) {
@@ -238,6 +246,139 @@ TenantScheduler::run()
         report.tenants.push_back(std::move(r));
     }
     return report;
+}
+
+CorunReport
+TenantScheduler::run()
+{
+    SIM_REQUIRE("tenant", !ran_, "TenantScheduler::run() is one-shot");
+    SIM_REQUIRE("tenant", openSlots_ == 0,
+                "open-system schedulers run through runOpen()");
+    ran_ = true;
+
+    // Tenant 0 uses the boot arena; every further tenant gets its own.
+    for (std::size_t i = 1; i < tenants_.size(); ++i)
+        os_->createArena();
+    machine_->setEpochHook([this] { onEpoch(); });
+
+    obs::SpatialMetrics *metrics =
+        observer_ ? observer_->metrics() : nullptr;
+    if (metrics) {
+        std::vector<std::string> names;
+        for (const auto &t : tenants_)
+            names.push_back(t->name);
+        metrics->setTenants(std::move(names));
+    }
+
+    for (auto &t : tenants_) {
+        Tenant *tp = t.get();
+        t->thread = std::thread([this, tp] { tenantMain(*tp); });
+    }
+
+    while (true) {
+        const int next = pickNext();
+        if (next < 0)
+            break;
+        grantQuantum(next);
+    }
+    for (auto &t : tenants_)
+        t->thread.join();
+    machine_->setEpochHook(nullptr);
+    for (auto &t : tenants_)
+        if (t->error)
+            std::rethrow_exception(t->error);
+
+    return buildReport();
+}
+
+TenantScheduler::Tenant &
+TenantScheduler::spawnJob(const AdmittedJob &job)
+{
+    SIM_REQUIRE("tenant", job.arena < openSlots_,
+                "admitted job '%s' names arena %u but the run has %u "
+                "slots",
+                job.workload.c_str(), job.arena, openSlots_);
+    auto t = std::make_unique<Tenant>();
+    t->id = static_cast<std::uint32_t>(tenants_.size());
+    t->name = job.name.empty()
+                  ? job.workload + "#" + std::to_string(job.requestId)
+                  : job.name;
+    t->spec.workload = job.workload;
+    t->spec.weight = job.weight;
+    t->fn = workloadRunner(job.workload);
+    t->binding.id = t->id;
+    t->binding.name = t->name;
+    t->arena = job.arena;
+    t->seedIndex = job.requestId;
+    t->job = job;
+    tenants_.push_back(std::move(t));
+    Tenant *tp = tenants_.back().get();
+    tp->thread = std::thread([this, tp] { tenantMain(*tp); });
+    return *tp;
+}
+
+CorunReport
+TenantScheduler::runOpen(AdmissionControl &adm)
+{
+    SIM_REQUIRE("tenant", !ran_, "TenantScheduler::runOpen() is one-shot");
+    SIM_REQUIRE("tenant", openSlots_ > 0,
+                "runOpen needs the open-system constructor");
+    ran_ = true;
+    machine_->setEpochHook([this] { onEpoch(); });
+
+    // On a job error: stop admitting, drain the jobs already in
+    // flight (their threads must be granted to finish), then rethrow.
+    std::exception_ptr firstError;
+    while (true) {
+        // An admission hook that throws must not unwind past parked
+        // job threads (their std::thread dtors would terminate); fold
+        // the error into the drain path instead.
+        if (!firstError) {
+            try {
+                for (const AdmittedJob &job : adm.admit(machine_->now()))
+                    spawnJob(job);
+            } catch (...) {
+                firstError = std::current_exception();
+            }
+        }
+        const int next = pickNext();
+        if (next < 0) {
+            if (firstError)
+                break;
+            Cycles dt = 0;
+            try {
+                dt = adm.idleAdvance(machine_->now());
+            } catch (...) {
+                firstError = std::current_exception();
+                break; // nothing in flight: pickNext() was negative
+            }
+            if (dt == 0)
+                break;
+            machine_->advanceIdle(dt);
+            continue;
+        }
+        grantQuantum(next);
+        Tenant &t = *tenants_[next];
+        if (t.finished && !t.joined) {
+            // Join eagerly so at most openSlots_ threads exist.
+            t.thread.join();
+            t.joined = true;
+            if (t.error && !firstError) {
+                firstError = t.error;
+            } else if (!t.error && !firstError) {
+                try {
+                    adm.onFinish(t.job, t.result,
+                                 t.binding.finishCycle);
+                } catch (...) {
+                    firstError = std::current_exception();
+                }
+            }
+        }
+    }
+    machine_->setEpochHook(nullptr);
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return buildReport();
 }
 
 CorunReport

@@ -65,6 +65,62 @@ struct CorunOptions
     obs::ObsConfig obs{};
 };
 
+/**
+ * One job admitted into the open-system scheduler (see
+ * AdmissionControl). Jobs are the dynamic analogue of boot-time
+ * TenantSpecs: each runs one registry workload in a recycled arena
+ * slot and reports back through AdmissionControl::onFinish.
+ */
+struct AdmittedJob
+{
+    /** Caller's request id; also the job's RNG substream index. */
+    std::uint64_t requestId = 0;
+    /** Registry workload name. */
+    std::string workload;
+    /** Instance label, e.g. "bfs#17". */
+    std::string name;
+    /** Arena slot the job allocates from (recycled across jobs). */
+    std::uint32_t arena = 0;
+    /** Scheduling weight under the weighted policy. */
+    std::uint32_t weight = 1;
+};
+
+/**
+ * Driver of an open-system run (TenantScheduler::runOpen): decides
+ * which jobs enter the machine and when, and is told when they leave.
+ * All three hooks run on the scheduler thread while every job thread
+ * is parked, so implementations need no locking; they must be
+ * deterministic functions of the simulated clock for the run to be
+ * digest-stable.
+ */
+class AdmissionControl
+{
+  public:
+    virtual ~AdmissionControl() = default;
+
+    /**
+     * Called at every scheduling round with the shared clock. Returns
+     * the jobs to admit now (possibly none). Each returned job must
+     * name a free arena slot in [0, numSlots).
+     */
+    virtual std::vector<AdmittedJob> admit(Cycles now) = 0;
+
+    /**
+     * Called when no admitted job is runnable. Returns how many
+     * cycles to fast-forward the idle machine (to the next arrival,
+     * retry, or fault event), or 0 to end the run.
+     */
+    virtual Cycles idleAdvance(Cycles now) = 0;
+
+    /**
+     * Called after @p job's thread finished and was joined.
+     * @p finish_cycle is the shared-clock cycle of its last epoch.
+     */
+    virtual void onFinish(const AdmittedJob &job,
+                          const workloads::RunResult &result,
+                          Cycles finish_cycle) = 0;
+};
+
 /** One tenant's outcome inside a co-run. */
 struct TenantResult
 {
@@ -123,6 +179,15 @@ class TenantScheduler
 {
   public:
     TenantScheduler(std::vector<TenantSpec> specs, CorunOptions opts);
+
+    /**
+     * Open-system mode: no boot-time tenants; jobs are admitted
+     * dynamically by an AdmissionControl into @p num_slots recycled
+     * arena slots (the machine's IOT is sized for the slots, not the
+     * job count). Drive with runOpen().
+     */
+    TenantScheduler(CorunOptions opts, std::uint32_t num_slots);
+
     ~TenantScheduler();
 
     TenantScheduler(const TenantScheduler &) = delete;
@@ -131,8 +196,22 @@ class TenantScheduler
     /** Execute the co-run (once) and return the report. */
     CorunReport run();
 
+    /**
+     * Execute an open-system run (once): repeatedly ask @p adm for
+     * new jobs, interleave the admitted ones under the quantum
+     * policy, fast-forward the idle machine between arrivals, and
+     * report each completion back. Finished job threads are joined
+     * eagerly so at most num_slots threads exist at a time. Ends when
+     * no job is running and @p adm.idleAdvance returns 0.
+     */
+    CorunReport runOpen(AdmissionControl &adm);
+
     /** The shared machine (valid for the scheduler's lifetime). */
     nsc::Machine &machine() { return *machine_; }
+
+    /** Shared cross-tenant bank-load board (Eq. 4's load input; the
+     *  serving front-end's recovery ranking reads it too). */
+    alloc::BankLoadBoard &loadBoard() { return board_; }
 
   private:
     struct Tenant
@@ -147,6 +226,14 @@ class TenantScheduler
         std::uint64_t epochsRun = 0;
         workloads::RunResult result;
         std::exception_ptr error;
+        /** Arena the tenant allocates from (== id in closed co-runs). */
+        std::uint32_t arena = 0;
+        /** RNG substream index (== id in closed co-runs). */
+        std::uint64_t seedIndex = 0;
+        /** The admission record (open-system mode only). */
+        AdmittedJob job;
+        /** Whether the finished thread was already joined. */
+        bool joined = false;
     };
 
     /** Tenant-thread body: wait for the grant, run the workload. */
@@ -159,6 +246,12 @@ class TenantScheduler
     std::uint64_t quantumFor(const Tenant &t) const;
     /** Build the tenant's RunConfig (arena, board, substream seed). */
     workloads::RunConfig tenantRunConfig(const Tenant &t);
+    /** Spawn one admitted job as a tenant thread (open mode). */
+    Tenant &spawnJob(const AdmittedJob &job);
+    /** Grant one quantum to tenant @p next and wait for its yield. */
+    void grantQuantum(int next);
+    /** Package tenants_ into a CorunReport (shared by both modes). */
+    CorunReport buildReport();
 
     CorunOptions opts_;
     std::unique_ptr<os::SimOS> os_;
@@ -167,6 +260,8 @@ class TenantScheduler
     alloc::BankLoadBoard board_;
     std::vector<std::unique_ptr<Tenant>> tenants_;
     bool ran_ = false;
+    /** Arena slots in open-system mode (0: closed co-run). */
+    std::uint32_t openSlots_ = 0;
 
     // Cooperative handoff state. `running_` is the tenant id granted
     // the machine (-1: the scheduler thread). All transitions happen

@@ -331,3 +331,231 @@ TEST(MachineFault, EmptyPlanIsDeterministicAcrossSeeds)
     EXPECT_EQ(a.stats.offloadRetries, 0u);
     EXPECT_EQ(a.stats.offlineBanks, 0u);
 }
+
+// ---------------------------------------------- timed fault campaigns
+
+TEST(FaultSchedule, ParsesBankAndLinkEvents)
+{
+    const auto sched = sim::parseFaultSchedule(
+        "bank:3@50000,link:12@80000x8,link:13@90000");
+    ASSERT_EQ(sched.size(), 3u);
+    EXPECT_EQ(sched[0].kind, sim::FaultKind::killBank);
+    EXPECT_EQ(sched[0].target, 3u);
+    EXPECT_EQ(sched[0].atCycle, 50000u);
+    EXPECT_EQ(sched[1].kind, sim::FaultKind::degradeLink);
+    EXPECT_EQ(sched[1].target, 12u);
+    EXPECT_EQ(sched[1].factor, 8u);
+    EXPECT_EQ(sched[2].factor, 4u); // default degrade factor
+    EXPECT_TRUE(sim::parseFaultSchedule("").empty());
+}
+
+TEST(FaultSchedule, MalformedSpecsAreFatal)
+{
+    EXPECT_THROW(sim::parseFaultSchedule("bank:3"), FatalError);
+    EXPECT_THROW(sim::parseFaultSchedule("core:1@5"), FatalError);
+    EXPECT_THROW(sim::parseFaultSchedule("bank:x@5"), FatalError);
+    EXPECT_THROW(sim::parseFaultSchedule("link:1@z"), FatalError);
+    EXPECT_THROW(sim::parseFaultSchedule("link:1@5xq"), FatalError);
+}
+
+TEST(FaultSchedule, ValidationRejectsBadTargetsAndLateEvents)
+{
+    auto one = [](sim::FaultKind k, std::uint32_t tgt, Cycles at,
+                  std::uint32_t factor = 4) {
+        sim::TimedFault f;
+        f.kind = k;
+        f.target = tgt;
+        f.atCycle = at;
+        f.factor = factor;
+        return std::vector<sim::TimedFault>{f};
+    };
+    using sim::FaultKind;
+    // In-range events pass (bank 63 east link does not exist; its
+    // west link 63*4+1 does).
+    sim::validateFaultSchedule(one(FaultKind::killBank, kBanks - 1, 10),
+                               kMeshX, kMeshY, 100);
+    sim::validateFaultSchedule(
+        one(FaultKind::degradeLink, (kBanks - 1) * 4 + 1, 10), kMeshX,
+        kMeshY, 100);
+    // Bank id outside the mesh.
+    EXPECT_THROW(sim::validateFaultSchedule(
+                     one(FaultKind::killBank, kBanks, 10), kMeshX,
+                     kMeshY),
+                 FatalError);
+    // Edge slot: the top-right tile has no east link.
+    EXPECT_THROW(sim::validateFaultSchedule(
+                     one(FaultKind::degradeLink, (kMeshX - 1) * 4 + 0,
+                         10),
+                     kMeshX, kMeshY),
+                 FatalError);
+    // Link id past the link table entirely.
+    EXPECT_THROW(sim::validateFaultSchedule(
+                     one(FaultKind::degradeLink, kBanks * 4, 10),
+                     kMeshX, kMeshY),
+                 FatalError);
+    // Factor 0 can never be a flit multiplier.
+    EXPECT_THROW(sim::validateFaultSchedule(
+                     one(FaultKind::degradeLink, 1, 10, 0), kMeshX,
+                     kMeshY),
+                 FatalError);
+    // An event beyond the horizon would silently never fire.
+    EXPECT_THROW(sim::validateFaultSchedule(
+                     one(FaultKind::killBank, 0, 101), kMeshX, kMeshY,
+                     100),
+                 FatalError);
+    // ... but with no horizon given, any time is acceptable.
+    sim::validateFaultSchedule(one(FaultKind::killBank, 0, 101), kMeshX,
+                               kMeshY, 0);
+}
+
+TEST(FaultSchedule, PlanCtorValidatesScheduleTargets)
+{
+    sim::FaultConfig fc;
+    sim::TimedFault ev;
+    ev.kind = sim::FaultKind::killBank;
+    ev.target = kBanks; // out of range
+    fc.schedule.push_back(ev);
+    EXPECT_THROW(sim::FaultPlan(fc, kMeshX, kMeshY), FatalError);
+}
+
+TEST(FaultPlan, SetRedirectRetargetsDeadBanksOnly)
+{
+    sim::FaultPlan plan(sim::FaultConfig{}, kMeshX, kMeshY);
+    // Only dead banks can be re-targeted, and only to live banks.
+    EXPECT_THROW(plan.setRedirect(3, 10), FatalError); // 3 still live
+    EXPECT_TRUE(plan.offlineBank(3));
+    EXPECT_EQ(plan.redirect(3), 4u); // default next-in-order spare
+    plan.setRedirect(3, 42);
+    EXPECT_EQ(plan.redirect(3), 42u);
+    EXPECT_TRUE(plan.offlineBank(42));
+    EXPECT_THROW(plan.setRedirect(3, 42), FatalError); // target dead
+    EXPECT_THROW(plan.setRedirect(3, kBanks), FatalError);
+    // A later kill rebuilds the default map: custom targets are gone
+    // (recovery re-runs its assignment after every kill batch).
+    EXPECT_EQ(plan.redirect(3), 4u);
+}
+
+TEST(FaultPlan, DynamicLinkDegradeTracksCount)
+{
+    sim::FaultPlan plan(sim::FaultConfig{}, kMeshX, kMeshY);
+    EXPECT_FALSE(plan.any());
+    EXPECT_TRUE(plan.degradeLink(5, 4));
+    EXPECT_EQ(plan.linkFlitMultiplier(5), 4u);
+    EXPECT_EQ(plan.numDegradedLinks(), 1u);
+    EXPECT_TRUE(plan.any());
+    EXPECT_FALSE(plan.degradeLink(5, 4)); // unchanged
+    EXPECT_TRUE(plan.degradeLink(5, 1));  // healed
+    EXPECT_EQ(plan.numDegradedLinks(), 0u);
+    EXPECT_THROW(plan.degradeLink(kBanks * 4, 2), FatalError);
+    EXPECT_THROW(plan.degradeLink(5, 0), FatalError);
+}
+
+TEST(MachineFault, InjectLinkDegradeInflatesTraffic)
+{
+    MachineFixture healthy, degraded;
+    // Degrade every real link of the mesh (E/W/N/S = 0..3) so the
+    // route taken by the payload below is certainly affected.
+    for (std::uint32_t y = 0; y < kMeshY; ++y) {
+        for (std::uint32_t x = 0; x < kMeshX; ++x) {
+            const std::uint32_t tile = y * kMeshX + x;
+            if (x + 1 < kMeshX)
+                degraded.machine->injectLinkDegrade(tile * 4 + 0, 4);
+            if (x > 0)
+                degraded.machine->injectLinkDegrade(tile * 4 + 1, 4);
+            if (y > 0)
+                degraded.machine->injectLinkDegrade(tile * 4 + 2, 4);
+            if (y + 1 < kMeshY)
+                degraded.machine->injectLinkDegrade(tile * 4 + 3, 4);
+        }
+    }
+    healthy.machine->beginEpoch();
+    degraded.machine->beginEpoch();
+    healthy.machine->forwardData(0, kBanks - 1, 4096);
+    degraded.machine->forwardData(0, kBanks - 1, 4096);
+    const Cycles h = healthy.machine->endEpoch();
+    const Cycles d = degraded.machine->endEpoch();
+    EXPECT_GT(d, h);
+}
+
+// --------------------------------------- transient-NACK boundaries
+
+TEST(StreamFault, BackoffCapReachedExactlyOnceThenInCore)
+{
+    // With a 100% reject rate the executor burns its full retry
+    // budget exactly once per admission attempt: R+1 NACKs (attempts
+    // 0..R inclusive), then one fallback, then pure in-core execution
+    // with no further retries.
+    constexpr std::uint32_t kRetries = 3;
+    sim::MachineConfig cfg;
+    cfg.faults.offloadRejectRate = 1.0;
+    cfg.faults.maxOffloadRetries = kRetries;
+    cfg.faults.offloadRetryBackoff = 16;
+    os::SimOS sim_os(cfg);
+    nsc::Machine machine(cfg, sim_os);
+    alloc::AffinityAllocator allocator(machine, {});
+    nsc::StreamExecutor exec(machine, ExecMode::nearL3);
+
+    char *p = static_cast<char *>(allocator.allocInterleaved(4096, 64, 0));
+    ASSERT_NE(p, nullptr);
+    const Addr sim = machine.addressSpace().simAddrOf(p);
+
+    nsc::MigratingStream s(0);
+    machine.beginEpoch();
+    exec.configure(s, sim);
+    EXPECT_TRUE(s.fellBackInCore());
+    EXPECT_EQ(machine.stats().offloadRetries, kRetries + 1);
+    EXPECT_EQ(machine.stats().offloadFallbacks, 1u);
+    // The accumulated chain carries the full exponential backoff:
+    // 16 * (2^0 + ... + 2^kRetries) plus the NACK round-trips.
+    const double backoff_floor =
+        16.0 * static_cast<double>((1u << (kRetries + 1)) - 1);
+    EXPECT_GE(s.chainLatency(), backoff_floor);
+
+    // In-core execution afterwards never touches the retry path.
+    exec.streamStep(s, sim, 64, AccessType::read);
+    exec.streamStep(s, sim + 64, 64, AccessType::read);
+    EXPECT_EQ(machine.stats().offloadRetries, kRetries + 1);
+    EXPECT_EQ(machine.stats().offloadFallbacks, 1u);
+    machine.endEpoch();
+
+    // Reconfiguration starts a fresh admission attempt: the cap is
+    // reached exactly once more, not carried over.
+    machine.beginEpoch();
+    exec.configure(s, sim);
+    EXPECT_TRUE(s.fellBackInCore());
+    EXPECT_EQ(machine.stats().offloadRetries, 2 * (kRetries + 1));
+    EXPECT_EQ(machine.stats().offloadFallbacks, 2u);
+    machine.endEpoch();
+}
+
+TEST(StreamFault, BackoffExponentIsCappedAtEight)
+{
+    // Past attempt 8 the backoff stops doubling (2^min(attempt, 8)):
+    // with 12 retries the chain grows by the capped geometric sum.
+    constexpr std::uint32_t kRetries = 12;
+    sim::MachineConfig cfg;
+    cfg.faults.offloadRejectRate = 1.0;
+    cfg.faults.maxOffloadRetries = kRetries;
+    cfg.faults.offloadRetryBackoff = 16;
+    os::SimOS sim_os(cfg);
+    nsc::Machine machine(cfg, sim_os);
+    alloc::AffinityAllocator allocator(machine, {});
+    nsc::StreamExecutor exec(machine, ExecMode::nearL3);
+
+    char *p = static_cast<char *>(allocator.allocInterleaved(4096, 64, 0));
+    const Addr sim = machine.addressSpace().simAddrOf(p);
+    nsc::MigratingStream s(0);
+    machine.beginEpoch();
+    exec.configure(s, sim);
+    machine.endEpoch();
+    EXPECT_TRUE(s.fellBackInCore());
+    EXPECT_EQ(machine.stats().offloadRetries, kRetries + 1);
+    EXPECT_EQ(machine.stats().offloadFallbacks, 1u);
+    // Exponents: 0..8 then 8, 8, 8, 8 -> sum = (2^9 - 1) + 4 * 2^8.
+    const double capped_sum =
+        16.0 * (511.0 + 4.0 * 256.0);
+    EXPECT_GE(s.chainLatency(), capped_sum);
+    // An uncapped exponent would add 16*(2^9+2^10+2^11+2^12 - 4*2^8)
+    // = 112640 more; make sure we are nowhere near that.
+    EXPECT_LT(s.chainLatency(), capped_sum + 112640.0);
+}

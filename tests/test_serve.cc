@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Tests for the open-system serving front-end: determinism of the
+ * whole request ledger, overload shedding/timeout accounting, arena
+ * recycle hygiene under churn, mid-flight fault campaigns with
+ * re-affinity recovery, and the latency histogram underneath the
+ * quantile reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/latency_hist.hh"
+#include "serve/serve.hh"
+#include "sim/log.hh"
+
+using namespace affalloc;
+
+namespace
+{
+
+/** A small CI-scale serving config: one cheap class, two slots. */
+serve::ServeOptions
+quickOptions()
+{
+    serve::ServeOptions o;
+    o.quick = true;
+    o.seed = 7;
+    o.numRequests = 12;
+    o.slots = 2;
+    o.queueCapacity = 4;
+    o.arrivalsPerMcycle = 1.0;
+    o.maxCycles = 2'000'000'000ULL;
+    serve::ServeClass cls;
+    cls.workload = "vecadd";
+    o.classes.push_back(cls);
+    return o;
+}
+
+} // namespace
+
+// ------------------------------------------------- latency histogram
+
+TEST(LatencyHistogram, SmallValuesAreExact)
+{
+    obs::LatencyHistogram h;
+    for (std::uint64_t v = 0; v < 16; ++v)
+        EXPECT_EQ(obs::LatencyHistogram::bucketOf(v), v);
+    h.record(7);
+    EXPECT_EQ(h.quantileUpperBound(0.5), 7u);
+    EXPECT_EQ(h.quantileUpperBound(1.0), 7u);
+}
+
+TEST(LatencyHistogram, UpperBoundWithinTwelveAndAHalfPercent)
+{
+    for (std::uint64_t v : {16ull, 17ull, 100ull, 1000ull, 123456ull,
+                            87654321ull, (1ull << 40) + 12345ull}) {
+        obs::LatencyHistogram h;
+        h.record(v);
+        const std::uint64_t ub = h.quantileUpperBound(0.99);
+        EXPECT_GE(ub, v);
+        EXPECT_LE(static_cast<double>(ub),
+                  static_cast<double>(v) * 1.125 + 1.0)
+            << "value " << v;
+    }
+}
+
+TEST(LatencyHistogram, QuantilesWalkTheDistribution)
+{
+    obs::LatencyHistogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.record(v * 1000);
+    EXPECT_EQ(h.count(), 1000u);
+    const std::uint64_t p50 = h.quantileUpperBound(0.5);
+    const std::uint64_t p99 = h.quantileUpperBound(0.99);
+    const std::uint64_t p999 = h.quantileUpperBound(0.999);
+    EXPECT_LE(p50, p99);
+    EXPECT_LE(p99, p999);
+    EXPECT_GE(p50, 500'000u);
+    EXPECT_GE(p99, 990'000u);
+    EXPECT_LE(p999, static_cast<std::uint64_t>(1000'000 * 1.125));
+
+    obs::LatencyHistogram other;
+    other.record(5);
+    other.merge(h);
+    EXPECT_EQ(other.count(), 1001u);
+}
+
+// --------------------------------------------------- option validation
+
+TEST(ServeOptions, InvalidConfigsAreFatal)
+{
+    {
+        serve::ServeOptions o = quickOptions();
+        o.maxCycles = 0;
+        EXPECT_THROW(serve::runServe(o), FatalError);
+    }
+    {
+        serve::ServeOptions o = quickOptions();
+        o.classes[0].workload = "no_such_workload";
+        EXPECT_THROW(serve::runServe(o), FatalError);
+    }
+    {
+        serve::ServeOptions o = quickOptions();
+        o.burstiness = 2.0;
+        EXPECT_THROW(serve::runServe(o), FatalError);
+    }
+    {
+        // A campaign event beyond the horizon would never fire.
+        serve::ServeOptions o = quickOptions();
+        sim::TimedFault ev;
+        ev.atCycle = o.maxCycles + 1;
+        o.faultSchedule.push_back(ev);
+        EXPECT_THROW(serve::runServe(o), FatalError);
+    }
+    {
+        // ... as would a kill aimed at a bank outside the mesh.
+        serve::ServeOptions o = quickOptions();
+        sim::TimedFault ev;
+        ev.target = o.machine.numBanks();
+        o.faultSchedule.push_back(ev);
+        EXPECT_THROW(serve::runServe(o), FatalError);
+    }
+}
+
+// ------------------------------------------------------- determinism
+
+TEST(ServeOpen, LedgerIsDeterministicAcrossReruns)
+{
+    const serve::ServeOptions o = quickOptions();
+    const serve::ServeReport a = serve::runServe(o);
+    const serve::ServeReport b = serve::runServe(o);
+    EXPECT_EQ(a.digest(), b.digest());
+    EXPECT_EQ(a.endCycle, b.endCycle);
+    EXPECT_EQ(a.corunDigest, b.corunDigest);
+
+    EXPECT_EQ(a.offered, o.numRequests);
+    EXPECT_EQ(a.offered, a.completed + a.shed + a.timedOut);
+    EXPECT_GT(a.completed, 0u);
+    EXPECT_TRUE(a.allValid);
+    EXPECT_GT(a.goodputPerMcycle, 0.0);
+    EXPECT_GT(a.worstP99Slowdown, 0.0);
+
+    // A different seed produces a different arrival pattern.
+    serve::ServeOptions o2 = o;
+    o2.seed = 8;
+    EXPECT_NE(serve::runServe(o2).digest(), a.digest());
+}
+
+TEST(ServeOpen, ReportAccountingIsConsistent)
+{
+    const serve::ServeReport r = serve::runServe(quickOptions());
+    std::uint32_t ok = 0, shed = 0, tmo = 0;
+    for (const serve::RequestRecord &q : r.requests) {
+        EXPECT_NE(q.outcome, serve::RequestOutcome::pending);
+        switch (q.outcome) {
+          case serve::RequestOutcome::completed:
+            ok += 1;
+            EXPECT_GE(q.admit, q.enqueue);
+            EXPECT_GE(q.finish, q.admit);
+            EXPECT_GE(q.enqueue, q.arrival);
+            break;
+          case serve::RequestOutcome::shed:
+            shed += 1;
+            break;
+          default:
+            tmo += 1;
+            break;
+        }
+    }
+    EXPECT_EQ(ok, r.completed);
+    EXPECT_EQ(shed, r.shed);
+    EXPECT_EQ(tmo, r.timedOut);
+    std::uint32_t class_offered = 0;
+    for (const serve::ClassSummary &c : r.classes)
+        class_offered += c.offered;
+    EXPECT_EQ(class_offered, r.offered);
+    // Every rejection either scheduled a retry or finalized a shed.
+    EXPECT_EQ(r.shedAttempts, r.retries + r.shed);
+}
+
+// ------------------------------------------------ overload shedding
+
+TEST(ServeOpen, OverloadShedsDeterministically)
+{
+    // Arrivals far faster than service with a tiny queue and little
+    // patience: the controller must shed and/or time out, terminate
+    // at the horizon, and account every request exactly once.
+    serve::ServeOptions o = quickOptions();
+    o.numRequests = 60;
+    o.arrivalsPerMcycle = 20'000.0; // mean gap 50 cycles: a flood
+    o.burstiness = 0.5;
+    o.queueCapacity = 2;
+    o.slots = 1;
+    o.classes[0].maxRetries = 1;
+    o.classes[0].retryBackoff = 30'000;
+    o.classes[0].giveUpAfter = 100'000;
+    o.maxCycles = 40'000'000;
+
+    const serve::ServeReport a = serve::runServe(o);
+    const serve::ServeReport b = serve::runServe(o);
+    EXPECT_EQ(a.digest(), b.digest());
+    EXPECT_EQ(a.offered, a.completed + a.shed + a.timedOut);
+    EXPECT_GT(a.shed + a.timedOut, 0u);
+    EXPECT_GT(a.retries, 0u);
+    EXPECT_GT(a.peakQueueDepth, 0u);
+    EXPECT_LE(a.peakQueueDepth, o.queueCapacity);
+    EXPECT_LT(a.availability, 1.0);
+}
+
+TEST(ServeOpen, HorizonFlushBoundsTheRun)
+{
+    // Arrivals trickle in far apart while the horizon is tiny: the
+    // run must terminate at the horizon with everything still
+    // pending marked timed out, not idle-loop forever.
+    serve::ServeOptions o = quickOptions();
+    o.numRequests = 20;
+    o.arrivalsPerMcycle = 0.05; // mean gap 20M cycles
+    o.maxCycles = 500'000;
+
+    const serve::ServeReport a = serve::runServe(o);
+    const serve::ServeReport b = serve::runServe(o);
+    EXPECT_EQ(a.digest(), b.digest());
+    EXPECT_EQ(a.offered, a.completed + a.shed + a.timedOut);
+    EXPECT_GT(a.timedOut, 0u);
+}
+
+// ------------------------------------------- arena recycle hygiene
+
+TEST(ServeOpen, ArenaRecycleHygieneUnderChurn)
+{
+    // 120 admit/run/free cycles through 2 recycled slots. The
+    // engine's onFinish asserts, at every recycle, that the finished
+    // job unregistered all of its host ranges and leaked no IOT
+    // entries — the dtor/range-reuse bug class caught red-handed
+    // instead of as cross-request aliasing three jobs later.
+    serve::ServeOptions o = quickOptions();
+    o.numRequests = 120;
+    o.arrivalsPerMcycle = 50.0;
+    o.queueCapacity = 120; // nothing sheds: every request runs
+    o.classes[0].giveUpAfter = 2'000'000'000ULL;
+    o.classes[0].maxRetries = 0;
+    o.maxCycles = 2'000'000'000ULL;
+
+    const serve::ServeReport r = serve::runServe(o);
+    EXPECT_EQ(r.completed, 120u);
+    EXPECT_EQ(r.shed, 0u);
+    EXPECT_EQ(r.timedOut, 0u);
+    EXPECT_TRUE(r.allValid);
+}
+
+// ------------------------------------------- mid-flight fault drill
+
+TEST(ServeOpen, MidFlightBankKillWithReaffinityRecovery)
+{
+    serve::ServeOptions base = quickOptions();
+    base.numRequests = 16;
+    base.arrivalsPerMcycle = 4.0;
+    base.maxCycles = 2'000'000'000ULL;
+    // Kill two banks early enough that most requests run degraded.
+    sim::TimedFault k1, k2;
+    k1.kind = sim::FaultKind::killBank;
+    k1.target = 9;
+    k1.atCycle = 200'000;
+    k2.kind = sim::FaultKind::killBank;
+    k2.target = 10;
+    k2.atCycle = 400'000;
+    base.faultSchedule = {k1, k2};
+    sim::TimedFault dl;
+    dl.kind = sim::FaultKind::degradeLink;
+    dl.target = 4 * 4 + 0; // tile 4 east
+    dl.atCycle = 300'000;
+    dl.factor = 4;
+    base.faultSchedule.push_back(dl);
+
+    serve::ServeOptions rec = base;
+    rec.reaffinity = true;
+    serve::ServeOptions norec = base;
+    norec.reaffinity = false;
+
+    const serve::ServeReport a = serve::runServe(rec);
+    const serve::ServeReport a2 = serve::runServe(rec);
+    const serve::ServeReport b = serve::runServe(norec);
+
+    // The campaign fired on both runs, deterministically.
+    EXPECT_EQ(a.digest(), a2.digest());
+    EXPECT_EQ(a.banksKilled, 2u);
+    EXPECT_EQ(b.banksKilled, 2u);
+    EXPECT_EQ(a.linksDegraded, 1u);
+    // Recovery re-targeted every dead bank at least once (the second
+    // kill re-runs the assignment for both dead banks).
+    EXPECT_GE(a.reaffinityMoves, 3u);
+    EXPECT_EQ(b.reaffinityMoves, 0u);
+
+    // Both runs keep serving: the system degrades, it does not stop.
+    EXPECT_EQ(a.offered, a.completed + a.shed + a.timedOut);
+    EXPECT_EQ(b.offered, b.completed + b.shed + b.timedOut);
+    EXPECT_GT(a.completed, 0u);
+    EXPECT_GT(b.completed, 0u);
+    EXPECT_TRUE(a.allValid);
+
+    // The recovery decision changes placement, hence the ledger.
+    EXPECT_NE(a.digest(), b.digest());
+    // And availability with recovery is at least as good.
+    EXPECT_GE(a.availability, b.availability);
+}

@@ -17,10 +17,12 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
 #include "graph/generators.hh"
+#include "serve/serve.hh"
 #include "harness/report.hh"
 #include "obs/heatmap.hh"
 #include "sim/simcheck.hh"
@@ -71,13 +73,25 @@ struct Options
     std::uint32_t quantum = 8;
     bool quick = false;
     bool noSolo = false;
+    // Open-system serving (the serve command).
+    std::string mix;
+    std::uint32_t requests = 48;
+    double rate = 2.0;
+    double burstiness = 0.0;
+    std::uint32_t slots = 4;
+    std::uint32_t queueCap = 8;
+    std::uint64_t serveMaxCycles = 0; // 0: ServeOptions default
+    std::uint64_t serveSeed = 0;      // 0: ServeOptions default
+    std::string faultSchedule;
+    bool noReaffinity = false;
 };
 
 [[noreturn]] void
 usage()
 {
     std::fprintf(stderr,
-                 "usage: affalloc_cli topo|layout|run|corun [options]\n"
+                 "usage: affalloc_cli topo|layout|run|corun|serve "
+                 "[options]\n"
                  "  run <workload> --mode aff|near|core --policy "
                  "rnd|lnr|minhop|hybrid --h N\n"
                  "      --numbering rowmajor|snake|block2 --scale N "
@@ -100,7 +114,18 @@ usage()
                  "      --sched rr|weighted --quantum N (epochs per "
                  "turn) --quick --no-solo\n"
                  "      [--mode/--policy/--h/--csv/--simcheck*/--heatmap "
-                 "banks as for run]\n");
+                 "banks as for run]\n"
+                 "  serve --requests N --rate R (arrivals per Mcycle) "
+                 "--burstiness F\n"
+                 "      --slots N --queue N --max-cycles N "
+                 "--mix wl[:weight],... \n"
+                 "      --fault-schedule bank:<id>@<cycle>,"
+                 "link:<id>@<cycle>[x<f>],...\n"
+                 "      --no-reaffinity (keep default next-in-order "
+                 "spares on bank kills)\n"
+                 "      --seed N (arrival schedule seed)\n"
+                 "      [--mode/--sched/--quantum/--quick/--csv/"
+                 "--simcheck* as for corun]\n");
     std::exit(2);
 }
 
@@ -213,6 +238,30 @@ parse(int argc, char **argv)
             o.quick = true;
         } else if (a == "--no-solo") {
             o.noSolo = true;
+        } else if (a == "--mix") {
+            o.mix = next("--mix");
+        } else if (a == "--requests") {
+            o.requests =
+                std::uint32_t(std::atoi(next("--requests").c_str()));
+        } else if (a == "--rate") {
+            o.rate = std::atof(next("--rate").c_str());
+        } else if (a == "--burstiness") {
+            o.burstiness = std::atof(next("--burstiness").c_str());
+        } else if (a == "--slots") {
+            o.slots = std::uint32_t(std::atoi(next("--slots").c_str()));
+        } else if (a == "--queue") {
+            o.queueCap =
+                std::uint32_t(std::atoi(next("--queue").c_str()));
+        } else if (a == "--max-cycles") {
+            o.serveMaxCycles =
+                std::strtoull(next("--max-cycles").c_str(), nullptr, 0);
+        } else if (a == "--seed") {
+            o.serveSeed =
+                std::strtoull(next("--seed").c_str(), nullptr, 0);
+        } else if (a == "--fault-schedule") {
+            o.faultSchedule = next("--fault-schedule");
+        } else if (a == "--no-reaffinity") {
+            o.noReaffinity = true;
         } else {
             std::fprintf(stderr, "unknown option %s\n", a.c_str());
             usage();
@@ -480,6 +529,93 @@ cmdCorun(const Options &o)
     return report.allValid ? 0 : 1;
 }
 
+/** Parse "wl[:weight],..." into serving classes (empty: defaults). */
+std::vector<serve::ServeClass>
+parseServeMix(const std::string &spec)
+{
+    std::vector<serve::ServeClass> classes;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        serve::ServeClass cls;
+        if (const std::size_t colon = item.find(':');
+            colon != std::string::npos) {
+            cls.weight = std::atof(item.substr(colon + 1).c_str());
+            item.resize(colon);
+        }
+        cls.workload = item;
+        classes.push_back(cls);
+    }
+    return classes;
+}
+
+int
+cmdServe(const Options &o)
+{
+    serve::ServeOptions sopts;
+    sopts.mode = o.mode;
+    sopts.allocOpts.policy = o.policy;
+    sopts.allocOpts.hybridH = o.h;
+    sopts.machine.bankNumbering = o.numbering;
+    if (o.simcheck)
+        sopts.machine.simcheck.audit = true;
+    if (o.simcheckWatchdogSet)
+        sopts.machine.simcheck.watchdogStallEpochs = o.simcheckWatchdog;
+    sopts.policy = o.sched;
+    sopts.quantumEpochs = o.quantum;
+    sopts.quick = o.quick;
+    if (o.serveSeed)
+        sopts.seed = o.serveSeed;
+    sopts.numRequests = o.requests;
+    sopts.arrivalsPerMcycle = o.rate;
+    sopts.burstiness = o.burstiness;
+    sopts.slots = o.slots;
+    sopts.queueCapacity = o.queueCap;
+    if (o.serveMaxCycles)
+        sopts.maxCycles = o.serveMaxCycles;
+    sopts.reaffinity = !o.noReaffinity;
+    sopts.obs.tracePath = o.traceOut;
+    sopts.obs.explainPath = o.explainOut;
+
+    // Bad mixes, rates and fault targets are config errors: surface
+    // them as clean CLI errors, not backtraces.
+    serve::ServeReport report;
+    try {
+        if (!o.faultSchedule.empty())
+            sopts.faultSchedule =
+                sim::parseFaultSchedule(o.faultSchedule);
+        if (!o.mix.empty())
+            sopts.classes = parseServeMix(o.mix);
+        report = serve::runServe(sopts);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+
+    serve::printServeReport(report, execModeName(o.mode));
+    if (o.simcheckDigest) {
+        std::printf("digest     %s\n",
+                    simcheck::digestToString(report.digest()).c_str());
+    }
+    if (!o.csv.empty()) {
+        std::ofstream out(o.csv);
+        out << serve::serveCsvHeader() << '\n';
+        serve::appendServeCsv(out, report, execModeName(o.mode));
+        std::printf("serve csv  written to %s\n", o.csv.c_str());
+    }
+    if (!o.traceOut.empty())
+        std::printf("trace      written to %s\n", o.traceOut.c_str());
+    if (!o.explainOut.empty())
+        std::printf("explain    written to %s\n", o.explainOut.c_str());
+    return report.allValid ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -494,5 +630,7 @@ main(int argc, char **argv)
         return cmdRun(o);
     if (o.command == "corun")
         return cmdCorun(o);
+    if (o.command == "serve")
+        return cmdServe(o);
     usage();
 }
