@@ -92,6 +92,7 @@ AffinityAllocator::AffinityAllocator(nsc::Machine &machine,
     }
     for (auto &pool : freeSlots_)
         pool.assign(numBanks_, {});
+    faultVersion_ = machine.faultPlan().redirectVersion();
     canaries_ = machine.config().simcheck.audit;
     auditId_ = machine.auditor().registerCheck(
         "alloc", "freelist-integrity",
@@ -577,6 +578,38 @@ AffinityAllocator::carveStripe(int k)
     return true;
 }
 
+void
+AffinityAllocator::maybeReconcileFreeLists()
+{
+    const sim::FaultPlan &plan = machine_.faultPlan();
+    if (opts_.legacySpareKeying ||
+        plan.redirectVersion() == faultVersion_)
+        return;
+    faultVersion_ = plan.redirectVersion();
+    // Deterministic sweep in (pool, bank, slot) order: every slot
+    // moves to the bank now serving its lines, so dead banks' lists
+    // drain (their capacity un-strands) and the keying audit holds an
+    // exact served == keyed invariant. Slots pushed forward to a
+    // higher-numbered bank are re-examined there and kept; the sweep
+    // touches each slot at most twice.
+    for (int k = 0; k < mem::numInterleavePools; ++k) {
+        for (std::uint32_t b = 0; b < numBanks_; ++b) {
+            auto &list = freeSlots_[k][b];
+            std::size_t kept = 0;
+            for (std::size_t i = 0; i < list.size(); ++i) {
+                const BankId served = machine_.bankOfSim(list[i].sim);
+                if (served == b) {
+                    list[kept++] = list[i];
+                } else {
+                    freeSlots_[k][served].push_back(list[i]);
+                    stats_.rekeyedSlots += 1;
+                }
+            }
+            list.resize(kept);
+        }
+    }
+}
+
 BankId
 AffinityAllocator::selectBank(const std::vector<BankId> &affinity_banks)
 {
@@ -749,6 +782,7 @@ AffinityAllocator::mallocAff(std::size_t size, int num_aff_addrs,
     const std::uint64_t intrlv =
         pow2Ceil(std::max<std::uint64_t>(size, lineSize_));
     const int k = mem::poolIndexFor(intrlv);
+    maybeReconcileFreeLists();
 
     std::vector<BankId> banks;
     const std::uint32_t limit =
@@ -804,6 +838,7 @@ AffinityAllocator::allocSlotAtBank(std::size_t size, BankId bank)
         SIM_FATAL("alloc", "allocSlotAtBank: size %zu unsupported", size);
     if (bank >= numBanks_)
         SIM_FATAL("alloc", "allocSlotAtBank: bank %u out of range", bank);
+    maybeReconcileFreeLists();
     const sim::FaultPlan &plan = machine_.faultPlan();
     if (!plan.bankLive(bank)) {
         // The requested bank is offline: its spare serves its lines,
@@ -815,18 +850,37 @@ AffinityAllocator::allocSlotAtBank(std::size_t size, BankId bank)
     const std::uint64_t intrlv =
         pow2Ceil(std::max<std::uint64_t>(size, lineSize_));
     const int k = mem::poolIndexFor(intrlv);
-    auto &list = freeSlots_[k][bank];
-    if (list.empty() && !carveStripe(k))
-        SIM_FATAL("alloc", "allocSlotAtBank: pool %d exhausted (capacity %llu "
-              "bytes)",
-              k, (unsigned long long)poolCapacity_);
-    const Slot slot = list.back();
-    list.pop_back();
-    addLoad(bank);
-    irregular_.emplace(slot.host, std::make_pair(k, bank));
-    stats_.irregularAllocs += 1;
-    foldPlacement(slot.sim, intrlv, intrlv, bank);
-    return slot.host;
+    // Same degradation ladder as the policy-driven path: the pinned
+    // bank's pool, then coarser pools at that bank, then the
+    // conventional heap. Exhausted spare capacity degrades with
+    // counters; it never crashes the run.
+    for (int kk = k; kk < mem::numInterleavePools; ++kk) {
+        auto &list = freeSlots_[kk][bank];
+        if (list.empty() && !carveStripe(kk))
+            continue; // this pool is at capacity; try a coarser one
+        if (list.empty())
+            SIM_PANIC("alloc",
+                      "carveStripe did not produce a slot for bank %u",
+                      bank);
+        const Slot slot = list.back();
+        list.pop_back();
+        if (kk != k) {
+            machine_.stats().allocFallbacks += 1;
+            stats_.fallbacks += 1;
+        }
+        addLoad(bank);
+        irregular_.emplace(slot.host, std::make_pair(kk, bank));
+        stats_.irregularAllocs += 1;
+        foldPlacement(slot.sim, mem::poolInterleave(kk),
+                      mem::poolInterleave(kk), bank);
+        return slot.host;
+    }
+    warn("allocSlotAtBank: every pool >= %zu bytes exhausted at bank "
+         "%u; falling back to the conventional heap",
+         size, bank);
+    machine_.stats().allocFallbacks += 1;
+    stats_.fallbacks += 1;
+    return allocPlain(size);
 }
 
 // ---------------------------------------------------------------- free
@@ -837,12 +891,18 @@ AffinityAllocator::freeAff(void *ptr)
     if (auto it = irregular_.find(ptr); it != irregular_.end()) {
         const auto [k, bank] = it->second;
         const Addr sim = machine_.addressSpace().simAddrOf(ptr);
+        maybeReconcileFreeLists();
         // Return the slot to the free list of the bank that actually
-        // serves it now — if the stored bank went offline since the
-        // allocation, that is its spare.
+        // serves it now. The legacy keying approximated that with the
+        // alloc-time bank's spare, which goes stale the moment a
+        // re-affinity re-target (or a second kill) moves the raw home
+        // bank's service elsewhere; the hardened path asks the mapper
+        // directly.
         const sim::FaultPlan &plan = machine_.faultPlan();
         const BankId home =
-            plan.bankLive(bank) ? bank : plan.redirect(bank);
+            opts_.legacySpareKeying
+                ? (plan.bankLive(bank) ? bank : plan.redirect(bank))
+                : machine_.bankOfSim(sim);
         if (canaries_) {
             const std::uint64_t canary = canaryFor(sim);
             std::memcpy(ptr, &canary, sizeof(canary));
@@ -953,6 +1013,7 @@ AffinityAllocator::migrateVictims()
     std::vector<std::pair<void *, void *>> moved;
     if (plan.numOfflineBanks() == 0)
         return moved;
+    maybeReconcileFreeLists();
 
     // Collect first: the migration below mutates irregular_.
     struct Victim
@@ -1019,8 +1080,12 @@ AffinityAllocator::foldPlacement(Addr sim, std::uint64_t bytes,
 }
 
 void
-AffinityAllocator::auditFreeLists(simcheck::CheckContext &ctx) const
+AffinityAllocator::auditFreeLists(simcheck::CheckContext &ctx)
 {
+    // The audit point doubles as a reconcile point so a fault landing
+    // between allocator calls cannot leave a transiently stale keying
+    // for the strict check below to trip over.
+    maybeReconcileFreeLists();
     const sim::FaultPlan &plan = machine_.faultPlan();
     std::unordered_set<const void *> free_hosts;
 
@@ -1076,9 +1141,20 @@ AffinityAllocator::auditFreeLists(simcheck::CheckContext &ctx) const
                     continue;
                 }
                 const BankId served = machine_.bankOfSim(slot.sim);
-                if (served != b && served != plan.redirect(b)) {
-                    ctx.failf("pool %d: slot sim %llx on bank %u's free "
-                              "list but served by bank %u",
+                if (opts_.legacySpareKeying) {
+                    // Legacy keying tolerates slots keyed at a dead
+                    // bank's current spare; a redirect change after the
+                    // free leaves them stranded and trips this.
+                    if (served != b && served != plan.redirect(b)) {
+                        ctx.failf("pool %d: slot sim %llx on bank %u's "
+                                  "free list but served by bank %u",
+                                  k, (unsigned long long)slot.sim, b,
+                                  served);
+                    }
+                } else if (served != b) {
+                    ctx.failf("pool %d: stale spare keying — slot sim "
+                              "%llx keyed at bank %u but served by bank "
+                              "%u after redirect change",
                               k, (unsigned long long)slot.sim, b, served);
                 }
                 if (canaries_) {

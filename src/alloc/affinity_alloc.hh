@@ -123,6 +123,17 @@ struct AllocatorOptions
      * allocator). Null: Eq. 4 sees only this allocator's own loads.
      */
     BankLoadBoard *sharedLoads = nullptr;
+    /**
+     * Keep the historical free-list keying behaviour: slots stay
+     * keyed by the bank that served them when they were carved or
+     * freed, even after later bank kills or re-affinity re-targets
+     * move their service elsewhere. This reproduces the
+     * spare-exhaustion defect the chaos fuzzer surfaced (stranded
+     * capacity on dead banks, stale-keying audit failures) and exists
+     * only so regressions and repro bundles can replay it; production
+     * paths re-key lazily against FaultPlan::redirectVersion().
+     */
+    bool legacySpareKeying = false;
 };
 
 /** Metadata the runtime records per affine/plain allocation. */
@@ -169,6 +180,8 @@ struct AllocStats
     std::uint64_t regionReuses = 0;
     /** Bytes currently sitting in pool free regions. */
     std::uint64_t freeRegionBytes = 0;
+    /** Free slots re-keyed after a bank kill / re-affinity re-target. */
+    std::uint64_t rekeyedSlots = 0;
 };
 
 /**
@@ -269,9 +282,10 @@ class AffinityAllocator
      * SimCheck audit: free-list integrity (canaries, bank keying,
      * duplicate/misaligned slots), free-region accounting, and
      * irregular load reconciliation. Registered with the machine's
-     * Auditor at construction.
+     * Auditor at construction. Re-keys stale free lists first (the
+     * audit point doubles as a reconcile point), hence non-const.
      */
-    void auditFreeLists(simcheck::CheckContext &ctx) const;
+    void auditFreeLists(simcheck::CheckContext &ctx);
     /** The policy in use. */
     BankPolicy policy() const { return opts_.policy; }
     /** Hybrid weight in use. */
@@ -345,6 +359,16 @@ class AffinityAllocator
                               BankId start_bank);
     /** The @p n-th live bank in numbering order (fault degradation). */
     BankId nthLiveBank(std::uint32_t n) const;
+    /**
+     * Re-key free slots to the bank now serving them when the fault
+     * plan's bank -> served-bank mapping changed since the last call
+     * (bank kill, re-affinity re-target). Without this, slots carved
+     * or freed before a fault stay keyed at their old spare: capacity
+     * strands on dead banks and the keying audit reports stale
+     * entries. No-op (and the defect preserved) under
+     * AllocatorOptions::legacySpareKeying.
+     */
+    void maybeReconcileFreeLists();
     /** Large page-multiple interleaving via page-at-bank remapping. */
     void *largeAlloc(std::size_t bytes, std::uint64_t intrlv,
                      BankId start_bank, bool partitioned,
@@ -421,6 +445,8 @@ class AffinityAllocator
     void foldPlacement(Addr sim, std::uint64_t bytes, std::uint64_t intrlv,
                        std::uint64_t bank);
 
+    /** FaultPlan::redirectVersion() at the last free-list reconcile. */
+    std::uint64_t faultVersion_ = 0;
     /** Stamp canaries on free slots (simcheck audit mode only). */
     bool canaries_ = false;
     /** Auditor registration id (unregistered in the destructor). */

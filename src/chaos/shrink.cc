@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Repro minimization. Two stages, both driven by the predicate "the
+ * candidate still fails with the same coarse failure class":
+ *
+ *  1. ddmin over the fault-event list — remove complements at a
+ *     doubling granularity, then a greedy single-event pass to a
+ *     fixpoint. Events are the usual culprit, so they shrink first.
+ *  2. scalar shrink — halve numRequests, then halve the horizon down
+ *     to just past the last surviving event.
+ *
+ * The predicate matches on Verdict::klass (not the full signature)
+ * because removing an event perturbs timing, which can renumber the
+ * banks and cycles embedded in the failure message without changing
+ * the defect. Oracle results are memoized on the candidate's
+ * (schedule, requests, horizon) key, so re-visited candidates are
+ * free and the run count stays deterministic.
+ */
+
+#include <algorithm>
+#include <map>
+
+#include "chaos/chaos.hh"
+#include "sim/log.hh"
+
+namespace affalloc::chaos
+{
+
+namespace
+{
+
+/** Memoized "does this candidate still fail the same way" oracle. */
+class Predicate
+{
+  public:
+    Predicate(std::string klass) : klass_(std::move(klass)) {}
+
+    bool
+    stillFails(const serve::ServeOptions &o)
+    {
+        const std::string key =
+            sim::formatFaultSchedule(o.faultSchedule) + "|" +
+            std::to_string(o.numRequests) + "|" +
+            std::to_string(o.maxCycles);
+        const auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+        ++runs_;
+        const Verdict v = runOracle(o);
+        const bool same = v.failed && v.klass == klass_;
+        cache_.emplace(key, same);
+        return same;
+    }
+
+    std::uint32_t runs() const { return runs_; }
+
+  private:
+    std::string klass_;
+    std::map<std::string, bool> cache_;
+    std::uint32_t runs_ = 0;
+};
+
+} // namespace
+
+Campaign
+shrinkCampaign(const Campaign &failing, const Verdict &verdict,
+               std::uint32_t *oracle_runs)
+{
+    if (!verdict.failed)
+        SIM_FATAL("chaos", "shrinkCampaign on a passing campaign");
+    Predicate pred(verdict.klass);
+    Campaign best = failing;
+
+    const auto withEvents =
+        [&best](const std::vector<sim::TimedFault> &ev) {
+            serve::ServeOptions o = best.opts;
+            o.faultSchedule = ev;
+            return o;
+        };
+
+    // Stage 1a: ddmin complement removal.
+    std::vector<sim::TimedFault> events = failing.opts.faultSchedule;
+    std::size_t n = 2;
+    while (events.size() >= 2 && n <= events.size()) {
+        bool reduced = false;
+        const std::size_t chunk = (events.size() + n - 1) / n;
+        for (std::size_t i = 0; i < n && i * chunk < events.size();
+             ++i) {
+            std::vector<sim::TimedFault> cand;
+            cand.reserve(events.size());
+            for (std::size_t j = 0; j < events.size(); ++j) {
+                if (j < i * chunk || j >= (i + 1) * chunk)
+                    cand.push_back(events[j]);
+            }
+            if (cand.size() < events.size() &&
+                pred.stillFails(withEvents(cand))) {
+                events = std::move(cand);
+                n = std::max<std::size_t>(2, n - 1);
+                reduced = true;
+                break;
+            }
+        }
+        if (!reduced) {
+            if (n >= events.size())
+                break;
+            n = std::min(events.size(), n * 2);
+        }
+    }
+
+    // Stage 1b: greedy single-event removal to a fixpoint (catches
+    // what the chunked pass misses; may shrink to an empty schedule
+    // if the failure needs no faults at all).
+    bool changed = true;
+    while (changed && !events.empty()) {
+        changed = false;
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            std::vector<sim::TimedFault> cand = events;
+            cand.erase(cand.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+            if (pred.stillFails(withEvents(cand))) {
+                events = std::move(cand);
+                changed = true;
+                break;
+            }
+        }
+    }
+    best.opts.faultSchedule = events;
+
+    // Stage 2: scalar shrink — fewer requests, shorter horizon.
+    while (best.opts.numRequests > 1) {
+        serve::ServeOptions o = best.opts;
+        o.numRequests = best.opts.numRequests / 2;
+        if (!pred.stillFails(o))
+            break;
+        best.opts.numRequests = o.numRequests;
+    }
+    Cycles lastEvent = 0;
+    for (const sim::TimedFault &ev : best.opts.faultSchedule)
+        lastEvent = std::max(lastEvent, ev.atCycle);
+    while (best.opts.maxCycles > 2'000'000 &&
+           best.opts.maxCycles / 2 > lastEvent) {
+        serve::ServeOptions o = best.opts;
+        o.maxCycles = best.opts.maxCycles / 2;
+        if (!pred.stillFails(o))
+            break;
+        best.opts.maxCycles = o.maxCycles;
+    }
+
+    if (oracle_runs)
+        *oracle_runs = pred.runs();
+    return best;
+}
+
+} // namespace affalloc::chaos

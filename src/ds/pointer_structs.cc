@@ -42,6 +42,22 @@ AffinityList::append(std::uint64_t key, std::uint64_t value)
     return node;
 }
 
+std::uint64_t
+AffinityList::removeFront(std::uint64_t count)
+{
+    std::uint64_t removed = 0;
+    while (removed < count && head_) {
+        ListNode *next = head_->next;
+        allocator_.freeAff(head_);
+        head_ = next;
+        ++removed;
+    }
+    if (!head_)
+        tail_ = nullptr;
+    size_ -= removed;
+    return removed;
+}
+
 const ListNode *
 AffinityList::find(std::uint64_t key) const
 {

@@ -52,6 +52,15 @@ class AffinityList
     ListNode *head() const { return head_; }
     std::uint64_t size() const { return size_; }
 
+    /**
+     * Pop and free the first @p count nodes (clamped to the size).
+     * Returns the number removed. Freed slots return to the
+     * allocator's per-bank free lists and may be recycled by later
+     * appends — the churn pattern that keeps free lists populated
+     * while the structure lives.
+     */
+    std::uint64_t removeFront(std::uint64_t count);
+
     /** Find the first node with @p key (host-functional). */
     const ListNode *find(std::uint64_t key) const;
 

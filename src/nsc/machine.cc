@@ -172,18 +172,29 @@ Machine::beginEpoch()
     net_.resetEpoch();
     dram_.resetEpoch();
     epochStartStats_ = stats_;
+    inEpoch_ = true;
 }
 
 void
 Machine::abortEpoch()
 {
+    if (!inEpoch_)
+        return;
+    // The restore rewinds every counter to the beginEpoch() snapshot;
+    // carry the abort count itself across it so degradation stays
+    // observable.
+    const std::uint64_t aborted = stats_.abortedEpochs + 1;
     stats_ = epochStartStats_;
+    stats_.abortedEpochs = aborted;
     std::fill(bankBusy_.begin(), bankBusy_.end(), 0.0);
     std::fill(coreBusy_.begin(), coreBusy_.end(), 0.0);
     std::fill(seBusy_.begin(), seBusy_.end(), 0.0);
     std::fill(epochAtomics_.begin(), epochAtomics_.end(), 0u);
     net_.resetEpoch();
     dram_.resetEpoch();
+    inEpoch_ = false;
+    if (tracer_)
+        tracer_->machineInstant("epoch-abort", stats_.cycles, "");
 }
 
 Cycles
@@ -203,6 +214,10 @@ Machine::endEpoch(double latency_floor, const std::string &phase)
         static_cast<Cycles>(busiest + tp_.epochOverheadCycles);
     stats_.cycles += duration;
     stats_.epochs += 1;
+    // Cleared before the watchdog/audit throw points below: once the
+    // clock has advanced the epoch is committed, and a later
+    // abortEpoch() must not rewind it.
+    inEpoch_ = false;
 
     sim::EpochRecord rec;
     rec.endCycle = stats_.cycles;
@@ -641,6 +656,20 @@ Machine::injectLinkDegrade(std::uint32_t link, std::uint32_t factor)
             "link-degrade", stats_.cycles,
             detail::formatMessage("\"link\":%u,\"factor\":%u", link,
                                   factor));
+    }
+}
+
+void
+Machine::injectNackStorm(std::uint32_t permille)
+{
+    if (permille > 1000)
+        SIM_FATAL("nsc", "injectNackStorm: rate %u permille outside 0..1000",
+                  permille);
+    os_.faultPlan().setOffloadRejectRate(permille / 1000.0);
+    if (tracer_) {
+        tracer_->machineInstant(
+            "nack-storm", stats_.cycles,
+            detail::formatMessage("\"permille\":%u", permille));
     }
 }
 

@@ -165,6 +165,12 @@ class Machine
      */
     void injectLinkDegrade(std::uint32_t link, std::uint32_t factor);
     /**
+     * Dynamically set the offload NACK rate to @p permille / 1000
+     * (mid-run nackStorm event; 0 ends the storm). Every subsequent
+     * stream configuration draws against the new rate.
+     */
+    void injectNackStorm(std::uint32_t permille);
+    /**
      * Advance the shared clock by @p cycles with the machine idle —
      * the open-system front-end uses this to fast-forward between a
      * drained machine and the next request arrival or fault event.
@@ -193,8 +199,13 @@ class Machine
      * the Stats counters to their beginEpoch() snapshot and clears
      * all per-epoch occupancy, so a caught PanicError does not leave
      * stale link/DRAM/bank state corrupting the next run's timing.
+     * Counts into Stats::abortedEpochs. A no-op when no epoch is open
+     * (the error unwound from between epochs), so error paths can call
+     * it unconditionally.
      */
     void abortEpoch();
+    /** Whether a beginEpoch() is open (no endEpoch()/abortEpoch() yet). */
+    bool inEpoch() const { return inEpoch_; }
 
     /**
      * Hook invoked at the very end of every endEpoch() (after the
@@ -330,6 +341,8 @@ class Machine
 
     /** Stats snapshot taken at beginEpoch() (abortEpoch() restores). */
     sim::Stats epochStartStats_;
+    /** Between beginEpoch() and endEpoch()/abortEpoch(). */
+    bool inEpoch_ = false;
 
     sim::Timeline timeline_;
 

@@ -298,11 +298,23 @@ ServeEngine::applyFaultsUpTo(Cycles now)
            schedule_[nextFault_].atCycle <= now) {
         const sim::TimedFault &ev = schedule_[nextFault_++];
         if (ev.kind == sim::FaultKind::killBank) {
-            if (m.bankLive(ev.target)) {
-                m.injectBankFault(ev.target);
-                report_.banksKilled += 1;
-                killed = true;
+            if (!m.bankLive(ev.target))
+                continue;
+            if (m.faultPlan().numLiveBanks() <= 1) {
+                // Spare capacity is exhausted: killing the last live
+                // bank would leave nowhere to serve from. Degrade
+                // gracefully instead of crashing the run.
+                report_.killsSuppressed += 1;
+                traceInstant("bank-kill-suppressed", now,
+                             jsonPair("bank", ev.target, "live", 1));
+                continue;
             }
+            m.injectBankFault(ev.target);
+            report_.banksKilled += 1;
+            killed = true;
+        } else if (ev.kind == sim::FaultKind::nackStorm) {
+            m.injectNackStorm(ev.target);
+            report_.nackStorms += 1;
         } else {
             m.injectLinkDegrade(ev.target, ev.factor);
             report_.linksDegraded += 1;

@@ -55,6 +55,8 @@ ServeReport::digest() const
     fold(banksKilled);
     fold(linksDegraded);
     fold(reaffinityMoves);
+    fold(killsSuppressed);
+    fold(nackStorms);
     return d;
 }
 
@@ -136,10 +138,12 @@ printServeReport(const ServeReport &report, const std::string &config)
                 report.offered, report.completed, report.shed,
                 report.timedOut, 100.0 * report.availability,
                 report.goodputPerMcycle, report.worstP99Slowdown);
-    std::printf("  faults: banks killed %u links degraded %u "
-                "reaffinity moves %u | peak queue %u | end cycle %"
-                PRIu64 " | valid %s | digest 0x%016" PRIx64 "\n",
-                report.banksKilled, report.linksDegraded,
+    std::printf("  faults: banks killed %u (suppressed %u) links "
+                "degraded %u nack storms %u reaffinity moves %u | "
+                "peak queue %u | end cycle %" PRIu64
+                " | valid %s | digest 0x%016" PRIx64 "\n",
+                report.banksKilled, report.killsSuppressed,
+                report.linksDegraded, report.nackStorms,
                 report.reaffinityMoves, report.peakQueueDepth,
                 report.endCycle, report.allValid ? "yes" : "NO",
                 report.digest());

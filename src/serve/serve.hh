@@ -178,6 +178,14 @@ struct ServeReport
     std::uint32_t linksDegraded = 0;
     /** Re-affinity redirect re-targets performed. */
     std::uint32_t reaffinityMoves = 0;
+    /**
+     * Scheduled bank kills that would have taken the last live bank
+     * offline and were suppressed instead of crashing the run. The
+     * system keeps serving on the surviving bank in degraded mode.
+     */
+    std::uint32_t killsSuppressed = 0;
+    /** NACK-storm rate changes applied from the fault schedule. */
+    std::uint32_t nackStorms = 0;
 
     /** Shared-clock cycle at which the system drained. */
     Cycles endCycle = 0;

@@ -59,6 +59,17 @@ isRealMeshLink(std::uint32_t link, std::uint32_t mesh_x,
 
 } // namespace
 
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::killBank: return "bank";
+      case FaultKind::degradeLink: return "link";
+      case FaultKind::nackStorm: return "nack";
+    }
+    return "?";
+}
+
 std::vector<TimedFault>
 parseFaultSchedule(const std::string &spec)
 {
@@ -74,17 +85,21 @@ parseFaultSchedule(const std::string &spec)
         if (colon == std::string::npos || at == std::string::npos ||
             at < colon)
             SIM_FATAL("fault",
-                      "malformed fault event '%s' (want bank:<id>@<cycle> "
-                      "or link:<id>@<cycle>[x<factor>])",
+                      "malformed fault event '%s' (want bank:<id>@<cycle>, "
+                      "link:<id>@<cycle>[x<factor>], or "
+                      "nack:<permille>@<cycle>)",
                       item.c_str());
         const std::string kind = item.substr(0, colon);
         if (kind == "bank")
             ev.kind = FaultKind::killBank;
         else if (kind == "link")
             ev.kind = FaultKind::degradeLink;
+        else if (kind == "nack")
+            ev.kind = FaultKind::nackStorm;
         else
             SIM_FATAL("fault",
-                      "unknown fault event kind '%s' in '%s' (bank, link)",
+                      "unknown fault event kind '%s' in '%s' (bank, link, "
+                      "nack)",
                       kind.c_str(), item.c_str());
         std::string when = item.substr(at + 1);
         if (ev.kind == FaultKind::degradeLink) {
@@ -113,6 +128,23 @@ parseFaultSchedule(const std::string &spec)
     return schedule;
 }
 
+std::string
+formatFaultSchedule(const std::vector<TimedFault> &schedule)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const TimedFault &ev : schedule) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << faultKindName(ev.kind) << ':' << ev.target << '@'
+           << ev.atCycle;
+        if (ev.kind == FaultKind::degradeLink)
+            os << 'x' << ev.factor;
+    }
+    return os.str();
+}
+
 void
 validateFaultSchedule(const std::vector<TimedFault> &schedule,
                       std::uint32_t mesh_x, std::uint32_t mesh_y,
@@ -126,6 +158,11 @@ validateFaultSchedule(const std::vector<TimedFault> &schedule,
                           "fault event kills bank %u but the %ux%u mesh "
                           "has banks 0..%u",
                           ev.target, mesh_x, mesh_y, num_banks - 1);
+        } else if (ev.kind == FaultKind::nackStorm) {
+            if (ev.target > 1000)
+                SIM_FATAL("fault",
+                          "nack storm rate %u permille outside 0..1000",
+                          ev.target);
         } else {
             if (!isRealMeshLink(ev.target, mesh_x, mesh_y))
                 SIM_FATAL("fault",
@@ -137,6 +174,11 @@ validateFaultSchedule(const std::vector<TimedFault> &schedule,
                           "fault event on link %u has degrade factor 0 "
                           "(must be >= 1)",
                           ev.target);
+            if (ev.factor > maxLinkDegradeFactor)
+                SIM_FATAL("fault",
+                          "fault event on link %u has degrade factor %u "
+                          "past the sanity bound %u",
+                          ev.target, ev.factor, maxLinkDegradeFactor);
         }
         if (max_cycles != 0 && ev.atCycle > max_cycles)
             SIM_FATAL("fault",
@@ -163,6 +205,9 @@ FaultPlan::FaultPlan(const FaultConfig &cfg, std::uint32_t mesh_x,
               cfg.offlineBanks, num_banks);
     if (cfg.linkDegradeFactor == 0)
         SIM_FATAL("fault", "link degrade factor must be >= 1");
+    if (cfg.linkDegradeFactor > maxLinkDegradeFactor)
+        SIM_FATAL("fault", "link degrade factor %u past the sanity bound %u",
+                  cfg.linkDegradeFactor, maxLinkDegradeFactor);
     // Target ids are checked here; event *times* are re-checked by the
     // driver that knows the horizon (validateFaultSchedule with
     // max_cycles), since the plan itself has no notion of a run length.
@@ -223,6 +268,7 @@ FaultPlan::offlineBank(BankId b)
     liveMask_[b] = 0;
     ++offlineCount_;
     rebuildRedirect();
+    ++redirectVersion_;
     return true;
 }
 
@@ -238,7 +284,18 @@ FaultPlan::setRedirect(BankId dead, BankId target)
     if (!liveMask_[target])
         SIM_FATAL("fault", "setRedirect: target bank %u is offline",
                   target);
-    redirect_[dead] = target;
+    if (redirect_[dead] != target) {
+        redirect_[dead] = target;
+        ++redirectVersion_;
+    }
+}
+
+void
+FaultPlan::setOffloadRejectRate(double rate)
+{
+    if (rate < 0.0 || rate > 1.0)
+        SIM_FATAL("fault", "offload reject rate %g outside [0, 1]", rate);
+    cfg_.offloadRejectRate = rate;
 }
 
 bool
@@ -250,6 +307,9 @@ FaultPlan::degradeLink(std::uint32_t link, std::uint32_t factor)
         SIM_FATAL("fault", "degradeLink: link %u out of range", link);
     if (factor == 0)
         SIM_FATAL("fault", "degradeLink: factor must be >= 1");
+    if (factor > maxLinkDegradeFactor)
+        SIM_FATAL("fault", "degradeLink: factor %u past the sanity bound %u",
+                  factor, maxLinkDegradeFactor);
     if (linkMult_.empty())
         linkMult_.assign(num_links, 1);
     if (linkMult_[link] == factor)

@@ -42,8 +42,20 @@ enum class FaultKind : std::uint8_t
     /** Mark an L3 bank offline at the scheduled cycle. */
     killBank,
     /** Degrade a directed mesh link at the scheduled cycle. */
-    degradeLink
+    degradeLink,
+    /**
+     * Set the offload NACK rate at the scheduled cycle (a controller
+     * brown-out rejecting stream configuration requests). target is
+     * the reject probability in permille (0..1000); 0 ends the storm.
+     */
+    nackStorm
 };
+
+/** Short event-kind name matching the schedule grammar. */
+const char *faultKindName(FaultKind k);
+
+/** Largest accepted link flit multiplier (sanity bound on configs). */
+inline constexpr std::uint32_t maxLinkDegradeFactor = 1024;
 
 /**
  * One scheduled fault event of a mid-run campaign: at simulated cycle
@@ -56,21 +68,38 @@ struct TimedFault
     /** Simulated cycle at (or after) which the event fires. */
     Cycles atCycle = 0;
     FaultKind kind = FaultKind::killBank;
-    /** Bank id (killBank) or directed link id (degradeLink). */
+    /** Bank id (killBank), directed link id (degradeLink), or the
+     *  reject rate in permille (nackStorm). */
     std::uint32_t target = 0;
     /** Flit multiplier for degradeLink events (>= 1). */
     std::uint32_t factor = 4;
+
+    bool
+    operator==(const TimedFault &o) const
+    {
+        return atCycle == o.atCycle && kind == o.kind &&
+               target == o.target &&
+               (kind != FaultKind::degradeLink || factor == o.factor);
+    }
 };
 
 /**
  * Parse a fault-campaign schedule such as
- * "bank:3@50000,link:12@80000x8" into TimedFault events. Grammar:
- * comma-separated `bank:<id>@<cycle>` and `link:<id>@<cycle>[x<f>]`
- * (f = flit multiplier, default 4). Malformed specs SIM_FATAL; target
- * ids are validated separately (validateFaultSchedule) once the mesh
- * is known.
+ * "bank:3@50000,link:12@80000x8,nack:800@90000" into TimedFault
+ * events. Grammar: comma-separated `bank:<id>@<cycle>`,
+ * `link:<id>@<cycle>[x<f>]` (f = flit multiplier, default 4), and
+ * `nack:<permille>@<cycle>` (offload reject rate; 0 ends a storm).
+ * Malformed specs SIM_FATAL; target ids are validated separately
+ * (validateFaultSchedule) once the mesh is known.
  */
 std::vector<TimedFault> parseFaultSchedule(const std::string &spec);
+
+/**
+ * Render a schedule back into the parseFaultSchedule grammar (the
+ * canonical form round-trips: parse(format(s)) == s). Used by repro
+ * bundles and the chaos CLI so a shrunk campaign is copy-pasteable.
+ */
+std::string formatFaultSchedule(const std::vector<TimedFault> &schedule);
 
 /**
  * Validate a fault schedule against an @p mesh_x by @p mesh_y
@@ -219,9 +248,23 @@ class FaultPlan
      */
     bool degradeLink(std::uint32_t link, std::uint32_t factor);
 
+    /**
+     * Monotonic counter bumped whenever the bank -> served-bank
+     * mapping may have changed (offlineBank, setRedirect). Consumers
+     * that cache bank-keyed state (the allocator's free lists)
+     * compare against it to re-key lazily and deterministically.
+     */
+    std::uint64_t redirectVersion() const { return redirectVersion_; }
+
     // --------------------------------------------------------- offloads
     /** Whether offload requests can ever be rejected. */
     bool rejectsOffloads() const { return cfg_.offloadRejectRate > 0.0; }
+    /**
+     * Dynamically set the offload NACK rate (a nackStorm event).
+     * fatal() outside [0, 1]. Draw determinism is preserved: the Rng
+     * is still only consulted while the rate is nonzero.
+     */
+    void setOffloadRejectRate(double rate);
     /**
      * Draw one offload admission decision. Never touches the Rng
      * when the reject rate is zero (determinism guarantee).
@@ -249,6 +292,7 @@ class FaultPlan
     std::vector<std::uint32_t> linkMult_;
     std::uint32_t offlineCount_ = 0;
     std::uint32_t degradedCount_ = 0;
+    std::uint64_t redirectVersion_ = 0;
 };
 
 } // namespace affalloc::sim

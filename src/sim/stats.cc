@@ -69,6 +69,8 @@ statsCounters()
              +[](const Stats &s) { return s.victimMigrations; }},
             {"degradedLinkFlits",
              +[](const Stats &s) { return s.degradedLinkFlits; }},
+            {"abortedEpochs",
+             +[](const Stats &s) { return s.abortedEpochs; }},
             {"cycles",
              +[](const Stats &s) {
                  return static_cast<std::uint64_t>(s.cycles);
@@ -131,6 +133,7 @@ operator-(Stats a, const Stats &b)
     a.allocFallbacks -= b.allocFallbacks;
     a.victimMigrations -= b.victimMigrations;
     a.degradedLinkFlits -= b.degradedLinkFlits;
+    a.abortedEpochs -= b.abortedEpochs;
     a.cycles -= b.cycles;
     a.epochs -= b.epochs;
     return a;
@@ -165,6 +168,7 @@ Stats::operator+=(const Stats &o)
     allocFallbacks += o.allocFallbacks;
     victimMigrations += o.victimMigrations;
     degradedLinkFlits += o.degradedLinkFlits;
+    abortedEpochs += o.abortedEpochs;
     cycles += o.cycles;
     epochs += o.epochs;
     return *this;
@@ -190,12 +194,14 @@ Stats::toString() const
        << "stream configs " << streamConfigs << " migrations "
        << streamMigrations;
     if (offlineBanks || offloadRetries || offloadFallbacks ||
-        allocFallbacks || victimMigrations || degradedLinkFlits) {
+        allocFallbacks || victimMigrations || degradedLinkFlits ||
+        abortedEpochs) {
         os << "\ndegradation: offline banks " << offlineBanks
            << " offload retries " << offloadRetries << " fallbacks "
            << offloadFallbacks << " alloc fallbacks " << allocFallbacks
            << " victim migrations " << victimMigrations
-           << " degraded flits " << degradedLinkFlits;
+           << " degraded flits " << degradedLinkFlits
+           << " aborted epochs " << abortedEpochs;
     }
     return os.str();
 }

@@ -74,6 +74,8 @@ struct Stats
     std::uint64_t victimMigrations = 0;
     /** Extra flit-link occupancy charged on degraded links. */
     std::uint64_t degradedLinkFlits = 0;
+    /** Epochs abandoned mid-flight after an error (abortEpoch). */
+    std::uint64_t abortedEpochs = 0;
 
     /** Total simulated cycles. */
     Cycles cycles = 0;

@@ -180,6 +180,11 @@ TenantScheduler::tenantMain(Tenant &t)
         t.result = t.fn(ctx, seed, opts_.quick);
     } catch (...) {
         t.error = std::current_exception();
+        // The error may have unwound from mid-epoch while this tenant
+        // held the machine. Abandon the half-built epoch so its stale
+        // occupancy cannot corrupt the tenants still draining on the
+        // shared machine (no-op if the epoch already closed).
+        machine_->abortEpoch();
     }
     {
         std::lock_guard<std::mutex> lk(mu_);

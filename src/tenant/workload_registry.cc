@@ -135,6 +135,17 @@ registry()
              p.seed = seed;
              return runLinkList(ctx, p);
          }},
+        {"churn_list",
+         [](RunContext &ctx, std::uint64_t seed, bool quick) {
+             ChurnListParams p;
+             if (quick) {
+                 p.numLists = 192;
+                 p.nodesPerList = 96;
+                 p.rounds = 12;
+             }
+             p.seed = seed;
+             return runChurnList(ctx, p);
+         }},
         {"hash_join",
          [](RunContext &ctx, std::uint64_t seed, bool quick) {
              HashJoinParams p;

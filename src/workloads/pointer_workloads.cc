@@ -153,6 +153,100 @@ runLinkList(RunContext &ctx, const LinkListParams &p)
     return ctx.finish("link_list", valid);
 }
 
+// ---------------------------------------------------------- churn_list
+
+RunResult
+runChurnList(const RunConfig &rc, const ChurnListParams &p)
+{
+    RunContext ctx(rc);
+    return runChurnList(ctx, p);
+}
+
+RunResult
+runChurnList(RunContext &ctx, const ChurnListParams &p)
+{
+    Rng rng(p.seed);
+    const std::uint32_t slices = ctx.config.machine.numTiles();
+    const auto valueOf = [](std::uint64_t key) {
+        return key * 0x9e3779b97f4a7c15ULL + 1;
+    };
+
+    // Build phase, identical in shape to link_list.
+    std::vector<std::unique_ptr<AffinityList>> lists;
+    lists.reserve(p.numLists);
+    std::uint64_t next_key = 0;
+    for (std::uint32_t l = 0; l < p.numLists; ++l) {
+        auto list =
+            std::make_unique<AffinityList>(ctx.allocator, ctx.affinity());
+        for (std::uint32_t i = 0; i < p.nodesPerList; ++i, ++next_key)
+            list->append(next_key, valueOf(next_key));
+        lists.push_back(std::move(list));
+    }
+    for (const auto &list : lists) {
+        for (const ListNode *n = list->head(); n; n = n->next)
+            ctx.machine.preloadL3Range(simOf(ctx, n), sizeof(ListNode));
+    }
+
+    const double conc =
+        ctx.offloaded()
+            ? std::max<double>(1.0, double(p.numLists) / slices)
+            : ctx.config.machine.robEntries > 0
+                  ? ctx.machine.timing().coreMaxMlp
+                  : 1.0;
+    const std::uint32_t drop = std::min<std::uint32_t>(
+        p.nodesPerList,
+        static_cast<std::uint32_t>(p.churnFraction * p.nodesPerList));
+
+    bool valid = true;
+    for (std::uint32_t round = 0; round < p.rounds; ++round) {
+        // Search epoch over the lists' current membership.
+        ChaseEpoch epoch(ctx, conc);
+        for (std::uint32_t l = 0; l < p.numLists; ++l) {
+            const std::uint32_t slice = l % slices;
+            const std::uint32_t pos = static_cast<std::uint32_t>(
+                rng.below(lists[l]->size()));
+            const ListNode *pick = lists[l]->head();
+            for (std::uint32_t i = 0; i < pos; ++i)
+                pick = pick->next;
+            const std::uint64_t target = pick->key;
+            const std::uint64_t expect = pick->value;
+
+            MigratingStream st(slice);
+            const ListNode *n = lists[l]->head();
+            std::uint64_t found = ~0ull;
+            while (n) {
+                ctx.exec.streamStep(st, simOf(ctx, n), sizeof(ListNode),
+                                    AccessType::read,
+                                    /*sequential=*/false);
+                ctx.exec.compute(st, 2.0);
+                if (n->key == target) {
+                    found = n->value;
+                    break;
+                }
+                n = n->next;
+            }
+            valid &= found == expect;
+            epoch.addChain(slice, st.chainLatency());
+        }
+        epoch.finish("churn-search");
+
+        // Replace cycle: the oldest nodes leave (their slots join the
+        // allocator's free lists), fresh ones append and recycle them.
+        // No churn after the last search so the final membership is
+        // what the epoch above validated.
+        if (round + 1 == p.rounds)
+            break;
+        for (std::uint32_t l = 0; l < p.numLists; ++l) {
+            valid &= lists[l]->removeFront(drop) == drop;
+            for (std::uint32_t i = 0; i < drop; ++i, ++next_key)
+                lists[l]->append(next_key, valueOf(next_key));
+        }
+    }
+    for (std::uint32_t l = 0; l < p.numLists; ++l)
+        valid &= lists[l]->size() == p.nodesPerList;
+    return ctx.finish("churn_list", valid);
+}
+
 // ----------------------------------------------------------- hash_join
 
 RunResult

@@ -40,6 +40,29 @@ struct HashJoinParams
 RunResult runHashJoin(const RunConfig &rc, const HashJoinParams &p);
 RunResult runHashJoin(RunContext &ctx, const HashJoinParams &p);
 
+/**
+ * churn_list parameters: a linked-list search workload whose lists
+ * live through repeated replace cycles — each round removes a
+ * fraction of every list's front and appends fresh nodes, so freed
+ * irregular slots sit on (and recycle through) the allocator's
+ * per-bank free lists while epochs keep running. This is the one
+ * workload whose free lists are populated mid-run, which makes it
+ * the natural prey for fault-keying defects and the backbone of the
+ * chaos engine's planted regressions.
+ */
+struct ChurnListParams
+{
+    std::uint32_t numLists = 512;
+    std::uint32_t nodesPerList = 192;
+    /** Query + churn rounds; one search epoch per round. */
+    std::uint32_t rounds = 8;
+    /** Fraction of each list replaced per round. */
+    double churnFraction = 0.5;
+    std::uint64_t seed = 34;
+};
+RunResult runChurnList(const RunConfig &rc, const ChurnListParams &p);
+RunResult runChurnList(RunContext &ctx, const ChurnListParams &p);
+
 /** bin_tree parameters (Table 3: 128k nodes, 512k lookups). */
 struct BinTreeParams
 {

@@ -14,6 +14,7 @@
 
 #include "sim/fault.hh"
 #include "sim/log.hh"
+#include "sim/simcheck.hh"
 #include "workloads/affine_workloads.hh"
 
 #include "test_helpers.hh"
@@ -526,6 +527,276 @@ TEST(StreamFault, BackoffCapReachedExactlyOnceThenInCore)
     EXPECT_EQ(machine.stats().offloadRetries, 2 * (kRetries + 1));
     EXPECT_EQ(machine.stats().offloadFallbacks, 2u);
     machine.endEpoch();
+}
+
+TEST(FaultSchedule, NackStormParsesAndRoundTrips)
+{
+    const auto sched = sim::parseFaultSchedule(
+        "bank:3@50000,link:12@80000x8,nack:800@90000,nack:0@120000");
+    ASSERT_EQ(sched.size(), 4u);
+    EXPECT_EQ(sched[2].kind, sim::FaultKind::nackStorm);
+    EXPECT_EQ(sched[2].target, 800u);
+    EXPECT_EQ(sched[2].atCycle, 90000u);
+    EXPECT_EQ(sched[3].target, 0u); // rate 0 ends the storm
+
+    // format -> parse is the identity: the chaos repro bundles rely
+    // on the grammar round-tripping every event kind.
+    const std::string text = sim::formatFaultSchedule(sched);
+    const auto again = sim::parseFaultSchedule(text);
+    ASSERT_EQ(again.size(), sched.size());
+    for (std::size_t i = 0; i < sched.size(); ++i) {
+        EXPECT_EQ(again[i].kind, sched[i].kind);
+        EXPECT_EQ(again[i].target, sched[i].target);
+        EXPECT_EQ(again[i].atCycle, sched[i].atCycle);
+        EXPECT_EQ(again[i].factor, sched[i].factor);
+    }
+    EXPECT_EQ(sim::formatFaultSchedule(again), text);
+}
+
+TEST(FaultSchedule, DegradeFactorAndNackRateBoundsAreEnforced)
+{
+    auto one = [](sim::FaultKind k, std::uint32_t tgt,
+                  std::uint32_t factor = 4) {
+        sim::TimedFault f;
+        f.kind = k;
+        f.target = tgt;
+        f.atCycle = 10;
+        f.factor = factor;
+        return std::vector<sim::TimedFault>{f};
+    };
+    using sim::FaultKind;
+    // Degrade factor: 1 (heal) and the sanity bound itself pass ...
+    sim::validateFaultSchedule(one(FaultKind::degradeLink, 5, 1), kMeshX,
+                               kMeshY);
+    sim::validateFaultSchedule(
+        one(FaultKind::degradeLink, 5, sim::maxLinkDegradeFactor), kMeshX,
+        kMeshY);
+    // ... one past the bound is rejected at validation time.
+    EXPECT_THROW(
+        sim::validateFaultSchedule(
+            one(FaultKind::degradeLink, 5, sim::maxLinkDegradeFactor + 1),
+            kMeshX, kMeshY),
+        FatalError);
+    // The dynamic injection path enforces the same bounds.
+    sim::FaultPlan plan(sim::FaultConfig{}, kMeshX, kMeshY);
+    EXPECT_TRUE(plan.degradeLink(5, sim::maxLinkDegradeFactor));
+    EXPECT_THROW(plan.degradeLink(6, sim::maxLinkDegradeFactor + 1),
+                 FatalError);
+
+    // NACK rate: 1000 permille is a full storm, 1001 is nonsense.
+    sim::validateFaultSchedule(one(FaultKind::nackStorm, 1000), kMeshX,
+                               kMeshY);
+    EXPECT_THROW(sim::validateFaultSchedule(one(FaultKind::nackStorm, 1001),
+                                            kMeshX, kMeshY),
+                 FatalError);
+    MachineFixture f;
+    EXPECT_THROW(f.machine->injectNackStorm(1001), FatalError);
+}
+
+TEST(FaultPlan, OverlappingLinkDegradesAreLastWriterWins)
+{
+    // Two degradations of the same link do not compound: the second
+    // event overwrites the multiplier (last-writer-wins), and the
+    // degraded-link count tracks distinct degraded links, not events.
+    sim::FaultPlan plan(sim::FaultConfig{}, kMeshX, kMeshY);
+    EXPECT_TRUE(plan.degradeLink(9, 4));
+    EXPECT_TRUE(plan.degradeLink(9, 8));
+    EXPECT_EQ(plan.linkFlitMultiplier(9), 8u) << "overwrite, not 4*8";
+    EXPECT_EQ(plan.numDegradedLinks(), 1u);
+    // Re-degrading to the same factor is a no-op ...
+    EXPECT_FALSE(plan.degradeLink(9, 8));
+    EXPECT_EQ(plan.numDegradedLinks(), 1u);
+    // ... a weaker overwrite still wins ...
+    EXPECT_TRUE(plan.degradeLink(9, 2));
+    EXPECT_EQ(plan.linkFlitMultiplier(9), 2u);
+    EXPECT_EQ(plan.numDegradedLinks(), 1u);
+    // ... and factor 1 heals the link exactly once.
+    EXPECT_TRUE(plan.degradeLink(9, 1));
+    EXPECT_EQ(plan.numDegradedLinks(), 0u);
+    EXPECT_FALSE(plan.any());
+}
+
+TEST(StreamFault, NackStormEveryOffloadNacksOnceThenHeals)
+{
+    // During a full-rate storm with a zero retry budget, every
+    // offload admission NACKs exactly once and falls back in-core;
+    // after the storm ends, admissions succeed with no new retries.
+    sim::MachineConfig cfg;
+    cfg.faults.maxOffloadRetries = 0;
+    cfg.faults.offloadRetryBackoff = 16;
+    os::SimOS sim_os(cfg);
+    nsc::Machine machine(cfg, sim_os);
+    alloc::AffinityAllocator allocator(machine, {});
+    nsc::StreamExecutor exec(machine, ExecMode::nearL3);
+
+    char *p = static_cast<char *>(allocator.allocInterleaved(8192, 64, 0));
+    ASSERT_NE(p, nullptr);
+    const Addr sim = machine.addressSpace().simAddrOf(p);
+
+    machine.injectNackStorm(1000);
+    constexpr std::uint32_t kStreams = 8;
+    machine.beginEpoch();
+    for (std::uint32_t i = 0; i < kStreams; ++i) {
+        nsc::MigratingStream s(i);
+        exec.configure(s, sim + i * 512);
+        EXPECT_TRUE(s.fellBackInCore());
+    }
+    machine.endEpoch();
+    EXPECT_EQ(machine.stats().offloadRetries, kStreams);
+    EXPECT_EQ(machine.stats().offloadFallbacks, kStreams);
+
+    machine.injectNackStorm(0);
+    machine.beginEpoch();
+    nsc::MigratingStream healed(kStreams);
+    exec.configure(healed, sim);
+    EXPECT_FALSE(healed.fellBackInCore());
+    machine.endEpoch();
+    EXPECT_EQ(machine.stats().offloadRetries, kStreams);
+    EXPECT_EQ(machine.stats().offloadFallbacks, kStreams);
+}
+
+// ------------------------------------------- spare-exhaustion keying
+
+namespace
+{
+
+/** Machine stack with free-list auditing on, per-test keying mode. */
+struct KeyingFixture
+{
+    explicit KeyingFixture(bool legacy)
+        : allocator(machine, [legacy] {
+              alloc::AllocatorOptions ao;
+              ao.legacySpareKeying = legacy;
+              return ao;
+          }())
+    {
+    }
+
+    static sim::MachineConfig
+    auditedConfig()
+    {
+        sim::MachineConfig cfg;
+        cfg.simcheck.audit = true;
+        cfg.simcheck.auditPeriodEpochs = 1;
+        return cfg;
+    }
+
+    sim::MachineConfig cfg = auditedConfig();
+    os::SimOS os{cfg};
+    nsc::Machine machine{cfg, os};
+    alloc::AffinityAllocator allocator;
+
+    /** Park one freed slot on every bank's free list; returns the
+     *  bank of the first slot and its affinity anchor. */
+    std::pair<BankId, const void *>
+    parkSlots()
+    {
+        alloc::AffineArray req;
+        req.elem_size = 64;
+        req.num_elem = kBanks * 4;
+        req.partition = true;
+        anchor = static_cast<char *>(allocator.mallocAff(req));
+        std::vector<void *> slots;
+        for (std::uint64_t i = 0; i < req.num_elem; ++i) {
+            const void *aff = anchor + i * 64;
+            slots.push_back(allocator.mallocAff(64, 1, &aff));
+        }
+        const BankId victim = machine.bankOfHost(slots[0]);
+        for (void *s : slots)
+            allocator.freeAff(s);
+        return {victim, anchor};
+    }
+
+    char *anchor = nullptr;
+};
+
+} // namespace
+
+TEST(MachineFault, SpareOfSpareKillRekeysFreeLists)
+{
+    // Directed regression for the chaos engine's headline defect:
+    // kill a bank whose freed slots sit on the free lists, then kill
+    // the spare those slots were re-keyed to. The hardened keying
+    // reconciles at each redirect change (counted in rekeyedSlots)
+    // and the audit stays green; nothing asserts or crashes.
+    KeyingFixture f(/*legacy=*/false);
+    const auto parked = f.parkSlots();
+    const BankId victim = parked.first;
+    const void *aff = parked.second;
+    f.machine.audit(); // clean baseline
+
+    f.machine.injectBankFault(victim);
+    f.machine.audit();
+    const std::uint64_t first = f.allocator.allocStats().rekeyedSlots;
+    EXPECT_GT(first, 0u);
+
+    // The designated spare is already carrying the victim's slots;
+    // now it dies too (spare-of-spare exhaustion).
+    const BankId spare = f.machine.faultPlan().redirect(victim);
+    ASSERT_TRUE(f.machine.bankLive(spare));
+    f.machine.injectBankFault(spare);
+    f.machine.audit();
+    EXPECT_GT(f.allocator.allocStats().rekeyedSlots, first);
+
+    // Allocation aimed at the doubly-dead neighbourhood degrades to
+    // a live bank instead of failing an internal check.
+    void *slot = f.allocator.mallocAff(64, 1, &aff);
+    ASSERT_NE(slot, nullptr);
+    EXPECT_TRUE(f.machine.bankLive(f.machine.bankOfHost(slot)));
+    f.allocator.freeAff(slot);
+    f.machine.audit();
+}
+
+TEST(MachineFault, LegacySpareKeyingStrandsSlotsOnRetarget)
+{
+    // The defect class the planted chaos campaign reproduces end to
+    // end: under the legacy keying, slots freed while their home
+    // bank is dead are keyed at the *current* redirect target; the
+    // re-affinity re-target that follows a later kill wave moves the
+    // service elsewhere and strands them, which the free-list audit
+    // reports (and the hardened keying above survives).
+    KeyingFixture f(/*legacy=*/true);
+
+    alloc::AffineArray req;
+    req.elem_size = 64;
+    req.num_elem = kBanks * 4;
+    req.partition = true;
+    char *anchor = static_cast<char *>(f.allocator.mallocAff(req));
+    std::vector<void *> slots;
+    for (std::uint64_t i = 0; i < req.num_elem; ++i) {
+        const void *aff = anchor + i * 64;
+        slots.push_back(f.allocator.mallocAff(64, 1, &aff));
+    }
+    const BankId victim = f.machine.bankOfHost(slots[0]);
+
+    // Kill first, free afterwards: legacy keys the victim's slots at
+    // its redirect-of-the-moment.
+    f.machine.injectBankFault(victim);
+    for (void *s : slots)
+        f.allocator.freeAff(s);
+    f.machine.audit(); // still self-consistent at this instant
+
+    // Re-affinity recovery re-targets the dead bank, as the serve
+    // engine does after every kill wave. The keyed slots go stale.
+    const BankId keyed = f.machine.faultPlan().redirect(victim);
+    BankId other = kBanks;
+    for (BankId b = 0; b < kBanks; ++b) {
+        if (b != keyed && b != victim && f.machine.bankLive(b)) {
+            other = b;
+            break;
+        }
+    }
+    ASSERT_LT(other, kBanks);
+    f.machine.faultPlan().setRedirect(victim, other);
+
+    try {
+        f.machine.audit();
+        ADD_FAILURE() << "legacy keying audit unexpectedly clean";
+    } catch (const simcheck::AuditError &e) {
+        ASSERT_FALSE(e.report().empty());
+        EXPECT_EQ(e.report().front().component, "alloc");
+        EXPECT_EQ(e.report().front().check, "freelist-integrity");
+    }
 }
 
 TEST(StreamFault, BackoffExponentIsCappedAtEight)

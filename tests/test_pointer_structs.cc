@@ -79,6 +79,38 @@ TEST(AffinityList, HybridKeepsChainNearby)
         << "hybrid chains should average well below mesh diameter";
 }
 
+TEST(AffinityList, RemoveFrontFreesAndKeepsOrder)
+{
+    MachineFixture f;
+    AffinityList list(*f.allocator);
+    for (std::uint64_t k = 0; k < 20; ++k)
+        list.append(k, k * 7);
+    const std::uint64_t frees_before = f.allocator->allocStats().frees;
+
+    // Drop the first quarter: the freed slots return to the per-bank
+    // free lists (the churn_list workload leans on this mid-run).
+    EXPECT_EQ(list.removeFront(5), 5u);
+    EXPECT_EQ(list.size(), 15u);
+    EXPECT_EQ(f.allocator->allocStats().frees, frees_before + 5);
+    std::uint64_t expect = 5;
+    for (const auto *n = list.head(); n; n = n->next)
+        EXPECT_EQ(n->key, expect++);
+    EXPECT_EQ(expect, 20u);
+    EXPECT_EQ(list.find(0), nullptr);
+    ASSERT_NE(list.find(5), nullptr);
+
+    // Over-asking clamps at the list length and empties it cleanly.
+    EXPECT_EQ(list.removeFront(100), 15u);
+    EXPECT_EQ(list.size(), 0u);
+    EXPECT_EQ(list.head(), nullptr);
+    EXPECT_EQ(list.removeFront(3), 0u);
+
+    // The emptied list is still usable: tail_ was reset with head_.
+    list.append(42);
+    EXPECT_EQ(list.size(), 1u);
+    ASSERT_NE(list.find(42), nullptr);
+}
+
 // ------------------------------------------------------------ tree
 
 TEST(AffinityTree, InsertAndFind)

@@ -11,6 +11,7 @@
 
 #include "obs/latency_hist.hh"
 #include "serve/serve.hh"
+#include "sim/fault.hh"
 #include "sim/log.hh"
 
 using namespace affalloc;
@@ -302,4 +303,53 @@ TEST(ServeOpen, MidFlightBankKillWithReaffinityRecovery)
     EXPECT_NE(a.digest(), b.digest());
     // And availability with recovery is at least as good.
     EXPECT_GE(a.availability, b.availability);
+}
+
+TEST(ServeOpen, SpareExhaustionCascadeIsSuppressedNotFatal)
+{
+    // A cascade that schedules the death of every bank in the mesh:
+    // the engine must clamp the cascade at the last live bank
+    // (counting the suppression) and keep serving in terminal
+    // degradation instead of crashing or asserting.
+    serve::ServeOptions o = quickOptions();
+    o.numRequests = 8;
+    o.arrivalsPerMcycle = 4.0;
+    o.reaffinity = true;
+    for (std::uint32_t b = 0; b < 64; ++b) {
+        sim::TimedFault k;
+        k.kind = sim::FaultKind::killBank;
+        k.target = b;
+        k.atCycle = 50'000 + 10'000ULL * b;
+        o.faultSchedule.push_back(k);
+    }
+    const serve::ServeReport r = serve::runServe(o);
+    EXPECT_EQ(r.banksKilled, 63u);
+    EXPECT_EQ(r.killsSuppressed, 1u);
+    EXPECT_EQ(r.offered, r.completed + r.shed + r.timedOut);
+    EXPECT_GT(r.completed, 0u);
+    EXPECT_TRUE(r.allValid);
+    // Deterministic, like every other campaign.
+    EXPECT_EQ(serve::runServe(o).digest(), r.digest());
+}
+
+TEST(ServeOpen, NackStormScheduleAppliesAndHeals)
+{
+    serve::ServeOptions o = quickOptions();
+    o.numRequests = 6;
+    o.arrivalsPerMcycle = 4.0;
+    o.faultSchedule =
+        sim::parseFaultSchedule("nack:1000@100000,nack:0@900000");
+    const serve::ServeReport a = serve::runServe(o);
+    const serve::ServeReport b = serve::runServe(o);
+    EXPECT_EQ(a.digest(), b.digest());
+    EXPECT_EQ(a.nackStorms, 2u);
+    EXPECT_EQ(a.offered, a.completed + a.shed + a.timedOut);
+    EXPECT_GT(a.completed, 0u);
+    EXPECT_TRUE(a.allValid);
+
+    // The storm actually bit: requests served during it paid the
+    // NACK/backoff tax, so the ledger differs from a calm run.
+    serve::ServeOptions calm = o;
+    calm.faultSchedule.clear();
+    EXPECT_NE(serve::runServe(calm).digest(), a.digest());
 }

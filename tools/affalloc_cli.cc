@@ -15,12 +15,16 @@
  *            bfs sssp sssp_pq link_list hash_join bin_tree
  */
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
 
+#include "chaos/chaos.hh"
 #include "graph/generators.hh"
 #include "serve/serve.hh"
 #include "harness/report.hh"
@@ -84,13 +88,19 @@ struct Options
     std::uint64_t serveSeed = 0;      // 0: ServeOptions default
     std::string faultSchedule;
     bool noReaffinity = false;
+    // Chaos fuzzing (the chaos command).
+    std::uint32_t campaigns = 8;
+    unsigned jobs = 0; // 0: AFFALLOC_JOBS env, else 1
+    std::string bundleDir;
+    std::string plant;
+    std::string replayPath;
 };
 
 [[noreturn]] void
 usage()
 {
     std::fprintf(stderr,
-                 "usage: affalloc_cli topo|layout|run|corun|serve "
+                 "usage: affalloc_cli topo|layout|run|corun|serve|chaos "
                  "[options]\n"
                  "  run <workload> --mode aff|near|core --policy "
                  "rnd|lnr|minhop|hybrid --h N\n"
@@ -125,8 +135,44 @@ usage()
                  "spares on bank kills)\n"
                  "      --seed N (arrival schedule seed)\n"
                  "      [--mode/--sched/--quantum/--quick/--csv/"
-                 "--simcheck* as for corun]\n");
+                 "--simcheck* as for corun]\n"
+                 "  chaos --campaigns N --seed N --jobs N "
+                 "--bundle-dir DIR\n"
+                 "      --plant spare-keying (known-bad legacy keying "
+                 "regression)\n"
+                 "      --watchdog-cycles N (livelock threshold; also "
+                 "accepted by run/corun/serve;\n"
+                 "       env AFFALLOC_SIMCHECK_WATCHDOG)\n"
+                 "  chaos --replay BUNDLE.json (re-run a shrunk repro "
+                 "bundle)\n");
     std::exit(2);
+}
+
+/**
+ * Strict decimal parse for count-valued flags: the whole value must
+ * be digits and fit in [0, max]. Rejecting "10x", "-1" and overflow
+ * here turns silent atoi truncation into a clean config error.
+ */
+std::uint64_t
+parseCount(const char *flag, const std::string &v, std::uint64_t max)
+{
+    bool ok = !v.empty();
+    for (const char c : v)
+        ok = ok && c >= '0' && c <= '9';
+    std::uint64_t n = 0;
+    if (ok) {
+        char *end = nullptr;
+        errno = 0;
+        n = std::strtoull(v.c_str(), &end, 10);
+        ok = errno == 0 && end == v.c_str() + v.size() && n <= max;
+    }
+    if (!ok) {
+        std::fprintf(stderr,
+                     "%s=%s: expected an integer in [0, %llu]\n", flag,
+                     v.c_str(), (unsigned long long)max);
+        usage();
+    }
+    return n;
 }
 
 Options
@@ -223,9 +269,10 @@ parse(int argc, char **argv)
             o.explainOut = next("--explain-placement");
         } else if (a == "--obs-csv") {
             o.obsCsv = next("--obs-csv");
-        } else if (a == "--simcheck-watchdog") {
-            o.simcheckWatchdog = std::uint32_t(
-                std::atoi(next("--simcheck-watchdog").c_str()));
+        } else if (a == "--simcheck-watchdog" ||
+                   a == "--watchdog-cycles") {
+            o.simcheckWatchdog = std::uint32_t(parseCount(
+                a.c_str(), next(a.c_str()), UINT32_MAX));
             o.simcheckWatchdogSet = true;
         } else if (a == "--tenants") {
             o.tenants = next("--tenants");
@@ -262,9 +309,40 @@ parse(int argc, char **argv)
             o.faultSchedule = next("--fault-schedule");
         } else if (a == "--no-reaffinity") {
             o.noReaffinity = true;
+        } else if (a == "--campaigns") {
+            o.campaigns = std::uint32_t(parseCount(
+                "--campaigns", next("--campaigns"), 100'000));
+        } else if (a == "--jobs") {
+            o.jobs = unsigned(
+                parseCount("--jobs", next("--jobs"), 1024));
+            if (o.jobs == 0) {
+                std::fprintf(stderr, "--jobs needs >= 1 worker\n");
+                usage();
+            }
+        } else if (a == "--bundle-dir") {
+            o.bundleDir = next("--bundle-dir");
+        } else if (a == "--plant") {
+            o.plant = next("--plant");
+            if (o.plant != "spare-keying") {
+                std::fprintf(stderr,
+                             "--plant=%s: only 'spare-keying' is "
+                             "known\n", o.plant.c_str());
+                usage();
+            }
+        } else if (a == "--replay") {
+            o.replayPath = next("--replay");
         } else {
             std::fprintf(stderr, "unknown option %s\n", a.c_str());
             usage();
+        }
+    }
+    // Flag wins; the environment is the fleet-wide fallback so CI can
+    // tighten the livelock threshold without touching every command.
+    if (!o.simcheckWatchdogSet) {
+        if (const char *env = std::getenv("AFFALLOC_SIMCHECK_WATCHDOG")) {
+            o.simcheckWatchdog = std::uint32_t(
+                parseCount("AFFALLOC_SIMCHECK_WATCHDOG", env, UINT32_MAX));
+            o.simcheckWatchdogSet = true;
         }
     }
     return o;
@@ -616,6 +694,91 @@ cmdServe(const Options &o)
     return report.allValid ? 0 : 1;
 }
 
+int
+cmdChaos(const Options &o)
+{
+    // Bundle/config problems are clean CLI errors, not backtraces.
+    try {
+        if (!o.replayPath.empty()) {
+            const chaos::ReplayResult r =
+                chaos::replayBundleFile(o.replayPath);
+            std::printf(
+                "replay     %s\n"
+                "campaign   #%u: %u requests over %llu cycles, "
+                "schedule %s\n"
+                "expected   [%s] %s\n"
+                "got        [%s] %s\n"
+                "reproduced %s\n",
+                o.replayPath.c_str(), r.campaign.index,
+                r.campaign.opts.numRequests,
+                (unsigned long long)r.campaign.opts.maxCycles,
+                sim::formatFaultSchedule(r.campaign.opts.faultSchedule)
+                    .c_str(),
+                r.expected.errorType.c_str(),
+                r.expected.signature.c_str(),
+                r.got.failed ? r.got.errorType.c_str() : "pass",
+                r.got.failed ? r.got.signature.c_str() : "-",
+                r.reproduced ? "yes" : "NO");
+            return r.reproduced ? 0 : 1;
+        }
+
+        chaos::FuzzOptions f;
+        if (o.serveSeed)
+            f.seed = o.serveSeed;
+        f.campaigns = o.campaigns;
+        f.jobs = o.jobs;
+        if (f.jobs == 0) {
+            if (const char *env = std::getenv("AFFALLOC_JOBS"))
+                f.jobs = unsigned(std::strtoul(env, nullptr, 10));
+            if (f.jobs == 0)
+                f.jobs = 1;
+        }
+        f.plantSpareKeying = o.plant == "spare-keying";
+        if (o.simcheckWatchdogSet)
+            f.watchdogStallEpochs = o.simcheckWatchdog;
+        f.bundleDir = o.bundleDir;
+
+        const chaos::FuzzReport rep = chaos::runFuzz(f);
+        std::printf("chaos      seed %llu | %u campaigns | jobs %u%s\n",
+                    (unsigned long long)f.seed, rep.campaigns, f.jobs,
+                    f.plantSpareKeying ? " | planted spare-keying"
+                                       : "");
+        for (const chaos::CampaignResult &r : rep.results) {
+            if (!r.verdict.failed)
+                continue;
+            std::printf("  #%-3u FAIL %s\n"
+                        "       sig    %s\n"
+                        "       was    %s\n"
+                        "       shrunk %s (requests %u, horizon %llu, "
+                        "%u oracle runs)\n",
+                        r.index, r.verdict.klass.c_str(),
+                        r.verdict.signature.c_str(),
+                        r.schedule.empty() ? "(no faults)"
+                                           : r.schedule.c_str(),
+                        sim::formatFaultSchedule(
+                            r.shrunk.opts.faultSchedule)
+                                .empty()
+                            ? "(no faults)"
+                            : sim::formatFaultSchedule(
+                                  r.shrunk.opts.faultSchedule)
+                                  .c_str(),
+                        r.shrunk.opts.numRequests,
+                        (unsigned long long)r.shrunk.opts.maxCycles,
+                        r.shrinkOracleRuns);
+            if (!r.bundlePath.empty())
+                std::printf("       bundle %s\n", r.bundlePath.c_str());
+        }
+        std::printf("verdict    %u/%u campaigns clean | digest "
+                    "0x%016llx\n",
+                    rep.campaigns - rep.failures, rep.campaigns,
+                    (unsigned long long)rep.digest);
+        return rep.failures ? 1 : 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+}
+
 } // namespace
 
 int
@@ -632,5 +795,7 @@ main(int argc, char **argv)
         return cmdCorun(o);
     if (o.command == "serve")
         return cmdServe(o);
+    if (o.command == "chaos")
+        return cmdChaos(o);
     usage();
 }
