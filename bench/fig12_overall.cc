@@ -46,6 +46,7 @@ main(int argc, char **argv)
 {
     const bool quick = harness::quickMode(argc, argv);
     const unsigned jobs = harness::parseJobs(argc, argv);
+    harness::applySimThreads(argc, argv);
     simcheckOpts = harness::BenchSimCheck::parse(argc, argv);
     obsOpts = harness::BenchObs::parse(argc, argv);
     sim::MachineConfig cfg;

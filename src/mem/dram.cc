@@ -31,6 +31,22 @@ Dram::access(Addr line_addr, bool is_write)
     return latency_;
 }
 
+void
+Dram::chargeDeferred(const std::vector<std::uint64_t> &counts)
+{
+    if (foldCache_.empty())
+        foldCache_.push_back(0.0);
+    for (std::uint32_t ch = 0; ch < channels_; ++ch) {
+        const std::uint64_t n = counts[ch];
+        while (foldCache_.size() <= n)
+            foldCache_.push_back(foldCache_.back() + cyclesPerLine_);
+        // In a deferred epoch every DRAM access is counted (none are
+        // charged inline), so the accumulator is at its beginEpoch()
+        // 0.0 and this add reproduces the serial sum bit-exactly.
+        epochBusy_[ch] += foldCache_[n];
+    }
+}
+
 double
 Dram::maxChannelBusy() const
 {

@@ -8,6 +8,18 @@
 namespace affalloc::noc
 {
 
+void
+NetDelta::reset(std::size_t num_entries)
+{
+    messages.fill(0);
+    hops.fill(0);
+    flitHops.fill(0);
+    degradedLinkFlits = 0;
+    flits = 0;
+    routeShadow = 0;
+    linkFlits.assign(num_entries, 0);
+}
+
 Network::Network(const sim::MachineConfig &cfg, sim::Stats &stats)
     : cfg_(cfg), stats_(stats), mesh_(cfg.meshX, cfg.meshY),
       epochLinkFlits_(mesh_.numLinks() + 2 * mesh_.numTiles(), 0),
@@ -62,13 +74,60 @@ Network::send(TileId src, TileId dst, std::uint32_t bytes, TrafficClass tc)
         // sinking every response, or a contended tail-pointer bank).
         epochLinkFlits_[injectPort(src)] += flits;
         lifetimeLinkFlits_[injectPort(src)] += flits;
+        noteEpochFlits(injectPort(src));
         epochLinkFlits_[ejectPort(dst)] += flits;
         lifetimeLinkFlits_[ejectPort(dst)] += flits;
+        noteEpochFlits(ejectPort(dst));
         epochFlits_ += flits;
     }
     // Unloaded latency: route traversal plus serialization of the
     // remaining flits behind the head flit.
     return Cycles(hop_count) * cfg_.hopLatency + (flits - 1);
+}
+
+Cycles
+Network::sendDelta(TileId src, TileId dst, std::uint32_t bytes,
+                   TrafficClass tc, NetDelta &d) const
+{
+    const int c = static_cast<int>(tc);
+    const std::uint32_t hop_count = mesh_.distance(src, dst);
+    const std::uint32_t flits = flitsFor(bytes);
+
+    d.messages[c] += 1;
+    d.hops[c] += hop_count;
+    d.flitHops[c] += std::uint64_t(flits) * hop_count;
+
+    if (hop_count != 0) {
+        chargeRouteDelta(src, dst, flits, d);
+        d.linkFlits[injectPort(src)] += flits;
+        d.linkFlits[ejectPort(dst)] += flits;
+        d.flits += flits;
+    }
+    return Cycles(hop_count) * cfg_.hopLatency + (flits - 1);
+}
+
+void
+Network::mergeDelta(const NetDelta &d)
+{
+    for (int c = 0; c < numTrafficClasses; ++c) {
+        stats_.messages[c] += d.messages[c];
+        stats_.hops[c] += d.hops[c];
+        stats_.flitHops[c] += d.flitHops[c];
+    }
+    stats_.degradedLinkFlits += d.degradedLinkFlits;
+    for (std::size_t i = 0; i < epochLinkFlits_.size(); ++i) {
+        epochLinkFlits_[i] += d.linkFlits[i];
+        lifetimeLinkFlits_[i] += d.linkFlits[i];
+    }
+    epochFlits_ += d.flits;
+    epochRouteFlitsShadow_ += d.routeShadow;
+}
+
+void
+Network::refreshEpochMax()
+{
+    epochMaxLinkFlits_ =
+        *std::max_element(epochLinkFlits_.begin(), epochLinkFlits_.end());
 }
 
 void
@@ -84,7 +143,58 @@ Network::chargeLink(LinkId link, std::uint32_t flits)
     }
     epochLinkFlits_[link] += charged;
     lifetimeLinkFlits_[link] += charged;
+    noteEpochFlits(link);
     epochRouteFlitsShadow_ += charged;
+}
+
+void
+Network::chargeLinkDelta(LinkId link, std::uint32_t flits,
+                         NetDelta &d) const
+{
+    std::uint64_t charged = flits;
+    if (faults_ != nullptr) {
+        const std::uint32_t mult = faults_->linkFlitMultiplier(link);
+        if (mult > 1) {
+            charged = std::uint64_t(flits) * mult;
+            d.degradedLinkFlits += charged - flits;
+        }
+    }
+    d.linkFlits[link] += charged;
+    d.routeShadow += charged;
+}
+
+void
+Network::chargeRouteDelta(TileId src, TileId dst, std::uint32_t flits,
+                          NetDelta &d) const
+{
+    if (referenceMode_ || routeOffset_.empty()) {
+        chargeRouteWalkDelta(src, dst, flits, d);
+        return;
+    }
+    const std::size_t pair = std::size_t(src) * mesh_.numTiles() + dst;
+    const std::uint32_t end = routeOffset_[pair + 1];
+    for (std::uint32_t i = routeOffset_[pair]; i < end; ++i)
+        chargeLinkDelta(routeLinks_[i], flits, d);
+}
+
+void
+Network::chargeRouteWalkDelta(TileId src, TileId dst, std::uint32_t flits,
+                              NetDelta &d) const
+{
+    std::uint32_t x = mesh_.xOf(src);
+    std::uint32_t y = mesh_.yOf(src);
+    const std::uint32_t tx = mesh_.xOf(dst);
+    const std::uint32_t ty = mesh_.yOf(dst);
+    while (x != tx) {
+        const Direction dir = x < tx ? Direction::east : Direction::west;
+        chargeLinkDelta(Mesh::linkOf(mesh_.tileAt(x, y), dir), flits, d);
+        x = x < tx ? x + 1 : x - 1;
+    }
+    while (y != ty) {
+        const Direction dir = y < ty ? Direction::south : Direction::north;
+        chargeLinkDelta(Mesh::linkOf(mesh_.tileAt(x, y), dir), flits, d);
+        y = y < ty ? y + 1 : y - 1;
+    }
 }
 
 void
@@ -120,12 +230,6 @@ Network::chargeRouteWalk(TileId src, TileId dst, std::uint32_t flits)
 }
 
 std::uint64_t
-Network::maxLinkFlits() const
-{
-    return *std::max_element(epochLinkFlits_.begin(), epochLinkFlits_.end());
-}
-
-std::uint64_t
 Network::totalLinkFlits() const
 {
     return std::accumulate(epochLinkFlits_.begin(), epochLinkFlits_.end(),
@@ -137,6 +241,7 @@ Network::resetEpoch()
 {
     std::fill(epochLinkFlits_.begin(), epochLinkFlits_.end(), 0);
     epochFlits_ = 0;
+    epochMaxLinkFlits_ = 0;
     epochRouteFlitsShadow_ = 0;
 }
 
@@ -178,6 +283,9 @@ Network::corruptLinkFlitsForTest(std::uint32_t index, std::int64_t delta)
     epochLinkFlits_[index] =
         static_cast<std::uint64_t>(
             static_cast<std::int64_t>(epochLinkFlits_[index]) + delta);
+    // A corruption may lower the busiest entry; the running max must
+    // track the counters it summarizes.
+    refreshEpochMax();
 }
 
 } // namespace affalloc::noc

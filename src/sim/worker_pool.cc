@@ -1,0 +1,160 @@
+#include "sim/worker_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "sim/log.hh"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace affalloc::sim
+{
+
+namespace
+{
+
+/** Whether workers pin themselves to host CPUs (AFFALLOC_SIM_PIN=1). */
+bool
+pinWorkers()
+{
+    static const bool pin = [] {
+        const char *env = std::getenv("AFFALLOC_SIM_PIN");
+        return env != nullptr && *env != '\0' && *env != '0';
+    }();
+    return pin;
+}
+
+void
+pinToCpu(unsigned role)
+{
+#if defined(__linux__)
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        return;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(role % hw, &set);
+    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+    (void)role;
+#endif
+}
+
+} // namespace
+
+WorkerPool::WorkerPool(unsigned threads)
+    : numThreads_(threads == 0 ? 1 : threads), errors_(numThreads_)
+{
+    workers_.reserve(numThreads_ - 1);
+    for (unsigned role = 0; role + 1 < numThreads_; ++role)
+        workers_.emplace_back([this, role] { workerLoop(role); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+WorkerPool::runRole(unsigned role)
+{
+    try {
+        (*body_)(role);
+    } catch (...) {
+        errors_[role] = std::current_exception();
+    }
+}
+
+void
+WorkerPool::workerLoop(unsigned role)
+{
+    if (pinWorkers())
+        pinToCpu(role);
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(mutex_);
+            wake_.wait(lk, [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+        }
+        runRole(role);
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            if (--pending_ == 0)
+                done_.notify_one();
+        }
+    }
+}
+
+void
+WorkerPool::dispatch(const std::function<void(unsigned)> &body)
+{
+    body_ = &body;
+    std::fill(errors_.begin(), errors_.end(), std::exception_ptr{});
+    if (numThreads_ == 1) {
+        runRole(0);
+    } else {
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            generation_ += 1;
+            pending_ = static_cast<unsigned>(workers_.size());
+        }
+        wake_.notify_all();
+        runRole(numThreads_ - 1);
+        std::unique_lock<std::mutex> lk(mutex_);
+        done_.wait(lk, [&] { return pending_ == 0; });
+    }
+    body_ = nullptr;
+    for (auto &e : errors_) {
+        if (e) {
+            const std::exception_ptr first = e;
+            std::rethrow_exception(first);
+        }
+    }
+}
+
+namespace
+{
+std::atomic<unsigned> defaultSimThreads_{1};
+} // namespace
+
+unsigned
+defaultSimThreads()
+{
+    return defaultSimThreads_.load(std::memory_order_relaxed);
+}
+
+void
+setDefaultSimThreads(unsigned n)
+{
+    if (n == 0)
+        SIM_FATAL("sim", "sim-threads must be >= 1 (0 given)");
+    defaultSimThreads_.store(n, std::memory_order_relaxed);
+}
+
+WorkerPool &
+sharedWorkerPool(unsigned threads)
+{
+    static std::mutex m;
+    static std::unique_ptr<WorkerPool> pool;
+    std::lock_guard<std::mutex> lk(m);
+    if (!pool || pool->threads() < threads)
+        pool = std::make_unique<WorkerPool>(threads);
+    return *pool;
+}
+
+} // namespace affalloc::sim

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Shard-parallel epoch execution: the simulator's acceptance oracle is
+ * that --sim-threads is *invisible* in every observable — determinism
+ * digests, stats, timelines — at any thread count, healthy or faulty,
+ * including mid-epoch aborts and the livelock watchdog. These tests
+ * pin that down across the graph/affine workloads that opt into
+ * deferred epochs, the serving front-end, and the chaos fuzzer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/chaos.hh"
+#include "graph/generators.hh"
+#include "harness/sweep.hh"
+#include "serve/serve.hh"
+#include "sim/simcheck.hh"
+#include "sim/worker_pool.hh"
+#include "workloads/graph_workloads.hh"
+#include "workloads/affine_workloads.hh"
+
+#include "test_helpers.hh"
+
+using namespace affalloc;
+using namespace affalloc::workloads;
+
+namespace
+{
+
+const graph::Csr &
+testGraph()
+{
+    static const graph::Csr g = [] {
+        graph::KroneckerParams p;
+        p.scale = 10;
+        p.edgeFactor = 8;
+        return graph::kronecker(p);
+    }();
+    return g;
+}
+
+GraphParams
+graphParams()
+{
+    GraphParams p;
+    p.graph = &testGraph();
+    p.iters = 2;
+    return p;
+}
+
+/** The thread counts the acceptance criteria call out. */
+const std::vector<std::uint32_t> kThreadCounts = {1, 2, 4, 7};
+
+std::string
+digestAt(const std::string &workload, ExecMode mode,
+         std::uint32_t sim_threads, std::uint32_t offline_banks = 0)
+{
+    RunConfig rc = RunConfig::forMode(mode);
+    rc.machine.simThreads = sim_threads;
+    rc.machine.faults.offlineBanks = offline_banks;
+    RunResult r;
+    if (workload == "pr_push")
+        r = runPageRankPush(rc, graphParams());
+    else if (workload == "bfs")
+        r = runBfs(rc, graphParams(), defaultBfsStrategy(mode)).run;
+    else if (workload == "sssp_pq")
+        r = runSsspPq(rc, graphParams());
+    else if (workload == "hotspot") {
+        HotspotParams p;
+        p.iters = 2;
+        r = runHotspot(rc, p);
+    }
+    EXPECT_TRUE(r.valid) << workload << " sim-threads " << sim_threads;
+    return simcheck::digestToString(r.digest());
+}
+
+} // namespace
+
+// ------------------------------------------- digest thread-invariance
+
+TEST(ParallelEpoch, GraphDigestsIdenticalAcrossThreadCounts)
+{
+    for (const char *wl : {"pr_push", "bfs", "sssp_pq"}) {
+        const std::string base = digestAt(wl, ExecMode::affAlloc, 1);
+        for (const std::uint32_t t : kThreadCounts) {
+            EXPECT_EQ(digestAt(wl, ExecMode::affAlloc, t), base)
+                << wl << " diverged at sim-threads " << t;
+        }
+    }
+}
+
+TEST(ParallelEpoch, AffineDigestsIdenticalAcrossThreadCounts)
+{
+    const std::string base = digestAt("hotspot", ExecMode::affAlloc, 1);
+    for (const std::uint32_t t : kThreadCounts)
+        EXPECT_EQ(digestAt("hotspot", ExecMode::affAlloc, t), base)
+            << "hotspot diverged at sim-threads " << t;
+}
+
+TEST(ParallelEpoch, NearL3ModeDigestsIdentical)
+{
+    const std::string base = digestAt("pr_push", ExecMode::nearL3, 1);
+    for (const std::uint32_t t : kThreadCounts)
+        EXPECT_EQ(digestAt("pr_push", ExecMode::nearL3, t), base)
+            << "near-L3 diverged at sim-threads " << t;
+}
+
+TEST(ParallelEpoch, FaultyMachineDigestsIdentical)
+{
+    // Offline banks reroute homes through spares and trigger offload
+    // NACK retries — the replay must reproduce that traffic exactly.
+    const std::string base =
+        digestAt("pr_push", ExecMode::affAlloc, 1, /*offline_banks=*/3);
+    for (const std::uint32_t t : kThreadCounts)
+        EXPECT_EQ(digestAt("pr_push", ExecMode::affAlloc, t, 3), base)
+            << "faulty run diverged at sim-threads " << t;
+}
+
+// --------------------------------------------------- abort mid-epoch
+
+TEST(ParallelEpoch, AbortMidDeferredEpochRewindsStatsExactly)
+{
+    sim::MachineConfig cfg;
+    cfg.simThreads = 4;
+    os::SimOS sim_os(cfg);
+    nsc::Machine machine(cfg, sim_os);
+    alloc::AffinityAllocator allocator(machine, {});
+
+    void *p = allocator.allocPlain(1 << 14);
+    const Addr sim = machine.addressSpace().simAddrOf(p);
+
+    const sim::Stats pre = machine.stats();
+    machine.beginEpoch(/*deferrable=*/true);
+    ASSERT_TRUE(machine.epochDeferred());
+    for (Addr off = 0; off < (1 << 14); off += 64)
+        machine.coreAccess(0, sim + off, 64, AccessType::read);
+    machine.l3StreamAccess(0, sim, 256, AccessType::write);
+    machine.abortEpoch();
+
+    sim::Stats post = machine.stats();
+    EXPECT_EQ(post.abortedEpochs, pre.abortedEpochs + 1);
+    post.abortedEpochs = pre.abortedEpochs;
+    EXPECT_EQ(simcheck::digestOfStats(post), simcheck::digestOfStats(pre));
+    EXPECT_FALSE(machine.inEpoch());
+}
+
+TEST(ParallelEpoch, AbortLeavesSameCacheStateAsClassic)
+{
+    // Abort keeps cache/TLB state and lifetime NoC counters exactly as
+    // classic inline execution would have left them; a follow-up epoch
+    // of identical work must therefore produce identical stats.
+    auto runOne = [](std::uint32_t sim_threads) {
+        sim::MachineConfig cfg;
+        cfg.simThreads = sim_threads;
+        os::SimOS sim_os(cfg);
+        nsc::Machine machine(cfg, sim_os);
+        alloc::AffinityAllocator allocator(machine, {});
+        void *p = allocator.allocPlain(1 << 14);
+        const Addr sim = machine.addressSpace().simAddrOf(p);
+
+        machine.beginEpoch(/*deferrable=*/true);
+        for (Addr off = 0; off < (1 << 14); off += 64)
+            machine.coreAccess(0, sim + off, 64, AccessType::read);
+        machine.abortEpoch();
+
+        machine.beginEpoch(/*deferrable=*/true);
+        for (Addr off = 0; off < (1 << 14); off += 64)
+            machine.coreAccess(0, sim + off, 64, AccessType::read);
+        machine.l3StreamAccess(5, sim, 512, AccessType::atomic);
+        machine.endEpoch();
+        return simcheck::digestOfStats(machine.stats());
+    };
+    const auto classic = runOne(1);
+    EXPECT_EQ(runOne(2), classic);
+    EXPECT_EQ(runOne(4), classic);
+}
+
+// ------------------------------------------------------------ watchdog
+
+TEST(ParallelEpoch, WatchdogFiresOnStalledDeferredEpochs)
+{
+    sim::MachineConfig cfg;
+    cfg.simThreads = 4;
+    cfg.simcheck.watchdogStallEpochs = 3;
+    os::SimOS sim_os(cfg);
+    nsc::Machine machine(cfg, sim_os);
+
+    for (int i = 0; i < 2; ++i) {
+        machine.beginEpoch(/*deferrable=*/true);
+        EXPECT_NO_THROW(machine.endEpoch());
+    }
+    machine.beginEpoch(/*deferrable=*/true);
+    EXPECT_THROW(machine.endEpoch(), simcheck::LivelockError);
+}
+
+// ----------------------------------------------- serve + chaos parity
+
+TEST(ParallelEpoch, ServeReportDigestIdentical)
+{
+    auto runOne = [](std::uint32_t sim_threads) {
+        serve::ServeOptions sopts;
+        sopts.quick = true;
+        sopts.numRequests = 16;
+        sopts.machine.simThreads = sim_threads;
+        const serve::ServeReport rep = serve::runServe(sopts);
+        return simcheck::digestToString(rep.digest());
+    };
+    const std::string base = runOne(1);
+    EXPECT_EQ(runOne(4), base);
+}
+
+TEST(ParallelEpoch, ChaosSmokeVerdictsIdentical)
+{
+    // FuzzOptions carries no MachineConfig; campaigns pick up the
+    // process-wide default, so flip it the way the CLI flag would.
+    auto runOne = [](unsigned sim_threads) {
+        sim::setDefaultSimThreads(sim_threads);
+        chaos::FuzzOptions f;
+        f.campaigns = 8;
+        f.jobs = 1;
+        const chaos::FuzzReport rep = chaos::runFuzz(f);
+        sim::setDefaultSimThreads(1);
+        return rep;
+    };
+    const chaos::FuzzReport base = runOne(1);
+    const chaos::FuzzReport par = runOne(4);
+    EXPECT_EQ(par.failures, base.failures);
+    EXPECT_EQ(par.digest, base.digest);
+}
+
+// -------------------------------------------------- flag validation
+
+TEST(ParallelEpoch, ApplySimThreadsRejectsZero)
+{
+    char prog[] = "bench";
+    char flag[] = "--sim-threads";
+    char val[] = "0";
+    char *argv[] = {prog, flag, val};
+    EXPECT_THROW(harness::applySimThreads(3, argv), FatalError);
+}
+
+TEST(ParallelEpoch, ApplySimThreadsRejectsGarbageAndAbsurd)
+{
+    char prog[] = "bench";
+    {
+        char flag[] = "--sim-threads=12potatoes";
+        char *argv[] = {prog, flag};
+        EXPECT_THROW(harness::applySimThreads(2, argv), FatalError);
+    }
+    {
+        char flag[] = "--sim-threads=4096";
+        char *argv[] = {prog, flag};
+        EXPECT_THROW(harness::applySimThreads(2, argv), FatalError);
+    }
+}
+
+TEST(ParallelEpoch, ApplySimThreadsRejectsMoreThanHardwareThreads)
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        GTEST_SKIP() << "hardware_concurrency unknown on this host";
+    unsetenv("AFFALLOC_SIM_OVERSUBSCRIBE");
+    const std::string v = "--sim-threads=" + std::to_string(hw + 1);
+    char prog[] = "bench";
+    std::vector<char> flag(v.begin(), v.end());
+    flag.push_back('\0');
+    char *argv[] = {prog, flag.data()};
+    EXPECT_THROW(harness::applySimThreads(2, argv), FatalError);
+    // The documented escape hatch for cgroup-limited containers.
+    setenv("AFFALLOC_SIM_OVERSUBSCRIBE", "1", 1);
+    EXPECT_EQ(harness::applySimThreads(2, argv), hw + 1);
+    unsetenv("AFFALLOC_SIM_OVERSUBSCRIBE");
+    sim::setDefaultSimThreads(1);
+}
+
+TEST(ParallelEpoch, ApplySimThreadsInstallsTheDefault)
+{
+    char prog[] = "bench";
+    char flag[] = "--sim-threads=1";
+    char *argv[] = {prog, flag};
+    EXPECT_EQ(harness::applySimThreads(2, argv), 1u);
+    EXPECT_EQ(sim::defaultSimThreads(), 1u);
+    // Unset: falls back to the environment, then to 1.
+    unsetenv("AFFALLOC_SIM_THREADS");
+    EXPECT_EQ(harness::applySimThreads(1, argv), 1u);
+    setenv("AFFALLOC_SIM_THREADS", "1", 1);
+    EXPECT_EQ(harness::applySimThreads(1, argv), 1u);
+    unsetenv("AFFALLOC_SIM_THREADS");
+    sim::setDefaultSimThreads(1);
+}

@@ -28,6 +28,7 @@
 #include "graph/generators.hh"
 #include "serve/serve.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "obs/heatmap.hh"
 #include "sim/simcheck.hh"
 #include "harness/trace.hh"
@@ -143,6 +144,10 @@ usage()
                  "      --watchdog-cycles N (livelock threshold; also "
                  "accepted by run/corun/serve;\n"
                  "       env AFFALLOC_SIMCHECK_WATCHDOG)\n"
+                 "  --sim-threads N (any command: shard-parallel epoch "
+                 "replay; results are\n"
+                 "       bit-identical at any N; env "
+                 "AFFALLOC_SIM_THREADS; default 1)\n"
                  "  chaos --replay BUNDLE.json (re-run a shrunk repro "
                  "bundle)\n");
     std::exit(2);
@@ -329,8 +334,11 @@ parse(int argc, char **argv)
                              "known\n", o.plant.c_str());
                 usage();
             }
-        } else if (a == "--replay") {
-            o.replayPath = next("--replay");
+        } else if (a == "--sim-threads") {
+            // Validated and applied by harness::applySimThreads in
+            // main() (it needs the raw argv either way for the env
+            // fallback); consume the value here.
+            (void)next("--sim-threads");
         } else {
             std::fprintf(stderr, "unknown option %s\n", a.c_str());
             usage();
@@ -784,6 +792,15 @@ cmdChaos(const Options &o)
 int
 main(int argc, char **argv)
 {
+    // Install the process-wide sim-threads default before any
+    // MachineConfig is constructed; invalid values are clean CLI
+    // errors, not backtraces.
+    try {
+        harness::applySimThreads(argc, argv);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
     const Options o = parse(argc, argv);
     if (o.command == "topo")
         return cmdTopo(o);
