@@ -52,6 +52,7 @@ main(int argc, char **argv)
     const bool quick = harness::quickMode(argc, argv);
     const unsigned jobs = harness::parseJobs(argc, argv);
     harness::applySimThreads(argc, argv);
+    harness::applyProfFlags(argc, argv);
     const harness::BenchSimCheck simcheckOpts =
         harness::BenchSimCheck::parse(argc, argv);
     const harness::BenchObs obsOpts = harness::BenchObs::parse(argc, argv);

@@ -24,6 +24,7 @@ main(int argc, char **argv)
     const bool quick = harness::quickMode(argc, argv);
     const unsigned jobs = harness::parseJobs(argc, argv);
     harness::applySimThreads(argc, argv);
+    harness::applyProfFlags(argc, argv);
     const harness::BenchObs obs = harness::BenchObs::parse(argc, argv);
     sim::MachineConfig cfg;
     harness::printMachineBanner(cfg,

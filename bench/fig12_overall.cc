@@ -47,6 +47,7 @@ main(int argc, char **argv)
     const bool quick = harness::quickMode(argc, argv);
     const unsigned jobs = harness::parseJobs(argc, argv);
     harness::applySimThreads(argc, argv);
+    harness::applyProfFlags(argc, argv);
     simcheckOpts = harness::BenchSimCheck::parse(argc, argv);
     obsOpts = harness::BenchObs::parse(argc, argv);
     sim::MachineConfig cfg;

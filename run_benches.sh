@@ -18,10 +18,16 @@
 #                shard-parallel epoch replay). Digests and bench output
 #                are bit-identical at any count; only wall-clock
 #                changes. Filtered out for micro_benchmarks.
+#   --no-prof    with --timings, skip the per-bench --prof-out export
+#                (used by CI to measure the profiler's own overhead:
+#                two --timings runs, one with --no-prof, diffed by
+#                tools/perf_diff.py). Bench output is byte-identical
+#                either way; profiling is digest/stdout-neutral.
 set -euo pipefail
 
 here="$(dirname "$0")"
 timings=0
+no_prof=0
 jobs=""
 sim_threads=""
 quick=0
@@ -33,6 +39,9 @@ while [ $i -lt $# ]; do
     case "$a" in
     --timings)
         timings=1
+        ;;
+    --no-prof)
+        no_prof=1
         ;;
     --jobs)
         i=$((i + 1))
@@ -74,6 +83,16 @@ declare -a names=()
 declare -a seconds=()
 total=0
 
+# With --timings, each figure bench also exports its host-side
+# self-profile (phase tree, worker utilization, peak RSS) so
+# BENCH_overall.json can carry per-bench breakdowns, not just totals.
+prof_dir="$here/build/prof"
+with_prof=0
+if [ "$timings" = 1 ] && [ "$no_prof" = 0 ]; then
+    with_prof=1
+    mkdir -p "$prof_dir"
+fi
+
 for b in fig04_affine_offset fig17_bfs_iters fig14_timeline \
          fig18_push_pull fig15_affine_scale fig12_overall \
          fig06_irregular_potential fig19_degree fig13_policy \
@@ -101,6 +120,8 @@ for b in fig04_affine_offset fig17_bfs_iters fig14_timeline \
             --simcheck | --simcheck-digest | --faulty) ;;
             --trace-out=* | --heatmap=* | --obs-csv=*) ;;
             --explain-placement | --explain-placement=*) ;;
+            --prof-out) skip_next=1 ;;
+            --prof-out=* | --progress | --progress=*) ;;
             *) args+=("$a") ;;
             esac
         done
@@ -109,9 +130,14 @@ for b in fig04_affine_offset fig17_bfs_iters fig14_timeline \
         "$here/build/bench/$b" ${args[@]+"${args[@]}"} || rc=$?
         t1=$(date +%s.%N)
     else
+        prof_args=()
+        if [ "$with_prof" = 1 ]; then
+            prof_args=(--prof-out="$prof_dir/$b.prof.json")
+        fi
         t0=$(date +%s.%N)
         rc=0
-        "$here/build/bench/$b" ${fwd[@]+"${fwd[@]}"} || rc=$?
+        "$here/build/bench/$b" ${fwd[@]+"${fwd[@]}"} \
+            ${prof_args[@]+"${prof_args[@]}"} || rc=$?
         t1=$(date +%s.%N)
     fi
     # A bench exiting non-zero (validation or digest failure) fails
@@ -154,8 +180,57 @@ if [ "$timings" = 1 ]; then
             echo "    \"${names[$k]}\": ${seconds[$k]}$sep"
         done
         echo "  },"
+        echo "  \"prof\": $([ "$with_prof" = 1 ] && echo true || echo false),"
         echo "  \"total_seconds\": $total"
         echo "}"
     } > "$out"
+    # Fold the per-bench self-profiles in: top-level phase breakdown
+    # (inclusive/exclusive ns) and peak RSS per bench, so the perf gate
+    # sees *where* a regression lives, not just that one happened.
+    if [ "$with_prof" = 1 ]; then
+        python3 - "$out" "$prof_dir" <<'PYEOF'
+import json, os, sys
+
+out_path, prof_dir = sys.argv[1], sys.argv[2]
+with open(out_path) as f:
+    overall = json.load(f)
+
+profiles = {}
+for bench in overall.get("benches", {}):
+    path = os.path.join(prof_dir, bench + ".prof.json")
+    if not os.path.exists(path):
+        continue
+    with open(path) as f:
+        prof = json.load(f)
+    # Flatten the nested phase tree, merging repeats by name (the
+    # same phase can appear under several parents/threads), so the
+    # per-bench breakdown is one row per phase.
+    flat = {}
+
+    def walk(nodes):
+        for p in nodes:
+            row = flat.setdefault(
+                p["name"],
+                {"inclusive_ns": 0, "exclusive_ns": 0, "count": 0})
+            row["inclusive_ns"] += p["inclusive_ns"]
+            row["exclusive_ns"] += p["exclusive_ns"]
+            row["count"] += p["count"]
+            walk(p.get("children", []))
+
+    walk(prof.get("phases", []))
+    profiles[bench] = {
+        "schema": prof.get("schema"),
+        "wall_ns": prof.get("wall_ns", 0),
+        "peak_rss_kb": prof.get("rss", {}).get("peak_kb", 0),
+        "phases": [
+            {"name": name, **row} for name, row in sorted(flat.items())
+        ],
+    }
+overall["profiles"] = profiles
+with open(out_path, "w") as f:
+    json.dump(overall, f, indent=2)
+    f.write("\n")
+PYEOF
+    fi
     echo "wrote $out"
 fi

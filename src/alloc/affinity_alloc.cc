@@ -6,6 +6,7 @@
 #include <new>
 
 #include "sim/log.hh"
+#include "sim/prof.hh"
 
 namespace affalloc::alloc
 {
@@ -388,6 +389,7 @@ AffinityAllocator::chooseIntraInterleave(std::uint64_t row_bytes) const
 void *
 AffinityAllocator::mallocAff(const AffineArray &req)
 {
+    PROF_SCOPE_SAMPLED("alloc/malloc_aff.affine");
     if (req.num_elem == 0 || req.elem_size <= 0)
         SIM_FATAL("alloc", "mallocAff: empty affine request");
     const std::uint64_t elem = static_cast<std::uint64_t>(req.elem_size);
@@ -613,6 +615,7 @@ AffinityAllocator::maybeReconcileFreeLists()
 BankId
 AffinityAllocator::selectBank(const std::vector<BankId> &affinity_banks)
 {
+    PROF_SCOPE_SAMPLED("alloc/select_bank");
     // Unscored decision (random/linear policies, or Min-Hop with no
     // affinity info): the explain log still gets a line so the
     // decision stream is complete, but there is no Eq. 4
@@ -770,6 +773,7 @@ void *
 AffinityAllocator::mallocAff(std::size_t size, int num_aff_addrs,
                              const void *const *aff_addrs)
 {
+    PROF_SCOPE_SAMPLED("alloc/malloc_aff.irregular");
     if (size == 0)
         SIM_FATAL("alloc", "mallocAff: zero-size irregular request");
     if (size > mem::maxPoolInterleave) {
@@ -888,6 +892,7 @@ AffinityAllocator::allocSlotAtBank(std::size_t size, BankId bank)
 void
 AffinityAllocator::freeAff(void *ptr)
 {
+    PROF_SCOPE_SAMPLED("alloc/free_aff");
     if (auto it = irregular_.find(ptr); it != irregular_.end()) {
         const auto [k, bank] = it->second;
         const Addr sim = machine_.addressSpace().simAddrOf(ptr);

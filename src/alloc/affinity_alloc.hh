@@ -310,6 +310,21 @@ class AffinityAllocator
     std::uint32_t arena() const { return opts_.arena; }
 
     /**
+     * Total bytes claimed from the interleave pool segments (bump
+     * offsets summed across pools). This is the arena's pool
+     * footprint high-watermark: bump offsets never rewind, freed
+     * regions are recycled in place. Host-side telemetry only.
+     */
+    std::uint64_t
+    footprintBytes() const
+    {
+        std::uint64_t total = 0;
+        for (const Addr bump : poolBump_)
+            total += bump;
+        return total;
+    }
+
+    /**
      * Test-only corruption injection: plant a free slot claiming a
      * simulated address (typically inside *another* tenant's arena) so
      * the cross-tenant audit can prove it detects foreign pointers.

@@ -14,6 +14,7 @@
 #include "chaos/chaos.hh"
 #include "harness/sweep.hh"
 #include "sim/log.hh"
+#include "sim/prof.hh"
 #include "sim/rng.hh"
 #include "sim/simcheck.hh"
 
@@ -323,10 +324,16 @@ runFuzz(const FuzzOptions &f)
 
     // Phase 1: judge every campaign. runSweep delivers verdicts in
     // campaign order at any job count.
+    prof::progressSetGoal(f.campaigns);
     std::vector<std::function<Verdict()>> points;
     points.reserve(camps.size());
-    for (const Campaign &c : camps)
-        points.push_back([&c] { return runOracle(c.opts); });
+    for (const Campaign &c : camps) {
+        points.push_back([&c] {
+            Verdict v = runOracle(c.opts);
+            prof::progressAdvance(1);
+            return v;
+        });
+    }
     const std::vector<Verdict> verdicts =
         harness::runSweep<Verdict>(jobs, points);
 

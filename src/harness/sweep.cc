@@ -1,13 +1,17 @@
 #include "harness/sweep.hh"
 
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <string>
 #include <thread>
 
 #include "sim/config.hh"
 #include "sim/log.hh"
+#include "sim/prof.hh"
 #include "sim/worker_pool.hh"
 
 namespace affalloc::harness
@@ -108,12 +112,126 @@ applySimThreads(int argc, char **argv)
     return threads;
 }
 
+namespace
+{
+
+/** The --prof-out destination, held open from parse time to exit. */
+std::FILE *profOut_ = nullptr;
+std::string profOutPath_;
+
+void
+writeProfAtExit()
+{
+    if (!profOut_)
+        return;
+    const prof::Snapshot snap = prof::harvest();
+    const bool wrote = prof::writeJson(profOut_, snap);
+    const bool closed = std::fclose(profOut_) == 0;
+    profOut_ = nullptr;
+    if (!wrote || !closed) {
+        // atexit context: throwing SIM_FATAL here would terminate();
+        // report and fail the process directly.
+        std::fprintf(stderr,
+                     "fatal: [harness] failed writing profile to '%s': "
+                     "%s\n",
+                     profOutPath_.c_str(), std::strerror(errno));
+        std::_Exit(1);
+    }
+}
+
+void
+openProfOut(const char *path)
+{
+    if (!path || *path == '\0')
+        SIM_FATAL("harness", "--prof-out: empty path");
+    if (profOut_)
+        SIM_FATAL("harness", "--prof-out given twice");
+    profOut_ = std::fopen(path, "w");
+    if (!profOut_) {
+        SIM_FATAL("harness", "--prof-out: cannot open '%s': %s", path,
+                  std::strerror(errno));
+    }
+    profOutPath_ = path;
+    std::atexit(&writeProfAtExit);
+    prof::setEnabled(true);
+}
+
+double
+validateProgressInterval(const char *text, const char *origin)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        SIM_FATAL("harness", "%s: '%s' is not a number", origin, text);
+    if (!(v > 0.0) || v > 86400.0) {
+        SIM_FATAL("harness",
+                  "%s: %g is not a usable heartbeat interval (need "
+                  "0 < seconds <= 86400)",
+                  origin, v);
+    }
+    return v;
+}
+
+} // namespace
+
+bool
+applyProfFlags(int argc, char **argv)
+{
+    const char *prof_path = nullptr;
+    bool progress = false;
+    double interval = 5.0;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--prof-out") == 0) {
+            if (i + 1 >= argc)
+                SIM_FATAL("harness", "--prof-out requires a value");
+            prof_path = argv[++i];
+        } else if (std::strncmp(arg, "--prof-out=", 11) == 0) {
+            prof_path = arg + 11;
+        } else if (std::strcmp(arg, "--progress") == 0) {
+            progress = true;
+        } else if (std::strncmp(arg, "--progress=", 11) == 0) {
+            progress = true;
+            interval = validateProgressInterval(arg + 11, "--progress");
+        }
+    }
+    if (!prof_path) {
+        if (const char *env = std::getenv("AFFALLOC_PROF_OUT");
+            env && *env)
+            prof_path = env;
+    }
+    if (!progress) {
+        if (const char *env = std::getenv("AFFALLOC_PROGRESS");
+            env && *env && std::strcmp(env, "0") != 0) {
+            progress = true;
+            if (std::strcmp(env, "1") != 0)
+                interval =
+                    validateProgressInterval(env, "AFFALLOC_PROGRESS");
+        }
+    }
+    if (prof_path) {
+        openProfOut(prof_path);
+        if (!prof::compiledIn) {
+            std::fprintf(stderr,
+                         "warning: [harness] this build has "
+                         "AFFALLOC_PROF=OFF; '%s' will carry an empty "
+                         "profile\n",
+                         prof_path);
+        }
+    }
+    if (progress)
+        prof::progressEnable(interval);
+    return prof_path != nullptr;
+}
+
 void
 runSweepTasks(unsigned jobs, std::vector<std::function<void()>> tasks)
 {
     const std::size_t n = tasks.size();
     if (n == 0)
         return;
+    PROF_SCOPE("harness/sweep");
+    prof::counterMax("sweep/max_batch_tasks", n);
     if (jobs <= 1 || n == 1) {
         // Inline execution: identical to the pre-parallel bench loops.
         for (auto &task : tasks)
@@ -146,6 +264,7 @@ runSweepTasks(unsigned jobs, std::vector<std::function<void()>> tasks)
     static std::atomic<bool> poolBusy{false};
     bool expected = false;
     if (poolBusy.compare_exchange_strong(expected, true)) {
+        prof::counterAdd("sweep/pool_batches", 1);
         sim::WorkerPool &pool = sim::sharedWorkerPool(workers);
         pool.dispatch([&](unsigned role) {
             // The shared pool only ever grows; excess roles from a
@@ -155,6 +274,7 @@ runSweepTasks(unsigned jobs, std::vector<std::function<void()>> tasks)
         });
         poolBusy.store(false);
     } else {
+        prof::counterAdd("sweep/adhoc_batches", 1);
         std::vector<std::thread> pool;
         pool.reserve(workers);
         for (unsigned w = 0; w < workers; ++w)

@@ -43,6 +43,25 @@ unsigned parseJobs(int argc, char **argv);
 unsigned applySimThreads(int argc, char **argv);
 
 /**
+ * Parse and apply the shared host-telemetry flags:
+ *
+ *   --prof-out FILE / --prof-out=FILE (or AFFALLOC_PROF_OUT): enable
+ *   the self-profiler and write its JSON export to FILE at process
+ *   exit. FILE is opened immediately — an empty or unwritable path is
+ *   fatal at parse time, not at harvest time after a long run.
+ *
+ *   --progress[=SECONDS] (or AFFALLOC_PROGRESS): emit a `[progress]`
+ *   heartbeat line to stderr roughly every SECONDS (default 5).
+ *   SECONDS must be a positive number; the separate-argument form is
+ *   deliberately not accepted (a bare `--progress` is valid, so a
+ *   following value would be ambiguous).
+ *
+ * Returns true when --prof-out was given. Unknown flags are left for
+ * the caller; benches ignore them, affalloc_cli rejects them.
+ */
+bool applyProfFlags(int argc, char **argv);
+
+/**
  * Execute every task, spreading them over @p jobs worker threads
  * (inline on the calling thread when jobs <= 1 or there is only one
  * task). Tasks are claimed in index order. If any task throws, the

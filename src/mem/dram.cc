@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.hh"
+#include "sim/prof.hh"
 
 namespace affalloc::mem
 {
@@ -34,6 +35,7 @@ Dram::access(Addr line_addr, bool is_write)
 void
 Dram::chargeDeferred(const std::vector<std::uint64_t> &counts)
 {
+    PROF_SCOPE("mem/dram.charge_deferred");
     if (foldCache_.empty())
         foldCache_.push_back(0.0);
     for (std::uint32_t ch = 0; ch < channels_; ++ch) {

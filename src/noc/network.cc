@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "sim/log.hh"
+#include "sim/prof.hh"
 
 namespace affalloc::noc
 {
@@ -109,6 +110,7 @@ Network::sendDelta(TileId src, TileId dst, std::uint32_t bytes,
 void
 Network::mergeDelta(const NetDelta &d)
 {
+    PROF_SCOPE("noc/net.merge_delta");
     for (int c = 0; c < numTrafficClasses; ++c) {
         stats_.messages[c] += d.messages[c];
         stats_.hops[c] += d.hops[c];

@@ -177,6 +177,7 @@ Machine::beginEpoch(bool deferrable)
     dram_.resetEpoch();
     epochStartStats_ = stats_;
     inEpoch_ = true;
+    epochProfT0_ = prof::nowNsIfEnabled();
     deferActive_ = deferrable && cfg_.simThreads > 1;
     if (deferActive_) {
         if (!log_) {
@@ -192,6 +193,10 @@ Machine::abortEpoch()
 {
     if (!inEpoch_)
         return;
+    if (epochProfT0_) {
+        prof::addTimed("machine/epoch.record", prof::nowNs() - epochProfT0_);
+        epochProfT0_ = 0;
+    }
     // A deferred epoch still replays its bank events: classic inline
     // execution would already have moved the L3/SE-TLB state and the
     // lifetime NoC counters, and abortEpoch() deliberately keeps those
@@ -222,6 +227,12 @@ Machine::abortEpoch()
 Cycles
 Machine::endEpoch(double latency_floor, const std::string &phase)
 {
+    // Close the record phase before replay starts so "record" and
+    // "replay" partition the epoch's host time cleanly.
+    if (epochProfT0_) {
+        prof::addTimed("machine/epoch.record", prof::nowNs() - epochProfT0_);
+        epochProfT0_ = 0;
+    }
     if (deferActive_)
         replayDeferred(/*commit=*/true);
     // The busy maxima are maintained at charge time (and by the replay
@@ -288,7 +299,12 @@ Machine::endEpoch(double latency_floor, const std::string &phase)
             cfg_.numBanks()));
     }
 
-    auditor_.onEpochEnd(stats_.epochs);
+    {
+        PROF_SCOPE("machine/epoch.audit");
+        auditor_.onEpochEnd(stats_.epochs);
+    }
+    prof::rssEpochTick();
+    prof::progressTick(stats_.epochs, stats_.cycles);
     if (epochHook_)
         epochHook_();
     return duration;
@@ -1126,6 +1142,7 @@ Machine::replayCoreEvents(CoreId c)
 void
 Machine::replayDeferred(bool commit)
 {
+    PROF_SCOPE("machine/epoch.replay");
     deferActive_ = false;
     const std::uint32_t banks = cfg_.numBanks();
     const std::uint32_t cores = cfg_.numTiles();
@@ -1142,37 +1159,44 @@ Machine::replayDeferred(bool commit)
     // and a stable home if AFFALLOC_SIM_PIN pins workers to CPUs).
     const std::size_t net_entries = net_.numLinkEntries();
     const std::uint32_t channels = cfg_.dramChannels;
-    pool_->dispatch([&](unsigned w) {
-        ReplayDelta &d = replayDeltas_[w];
-        d.reset(net_entries, channels);
-        const auto b0 = static_cast<std::uint32_t>(
-            std::uint64_t(banks) * w / T);
-        const auto b1 = static_cast<std::uint32_t>(
-            std::uint64_t(banks) * (w + 1) / T);
-        for (std::uint32_t b = b0; b < b1; ++b)
-            replayBankEvents(b, d);
-    });
+    {
+        PROF_SCOPE("machine/epoch.replay/wave1");
+        pool_->dispatch([&](unsigned w) {
+            ReplayDelta &d = replayDeltas_[w];
+            d.reset(net_entries, channels);
+            const auto b0 = static_cast<std::uint32_t>(
+                std::uint64_t(banks) * w / T);
+            const auto b1 = static_cast<std::uint32_t>(
+                std::uint64_t(banks) * (w + 1) / T);
+            for (std::uint32_t b = b0; b < b1; ++b)
+                replayBankEvents(b, d);
+        });
+    }
 
     // Fold the worker deltas in fixed worker order. Everything here is
     // an integer counter, so the fold is exact at any thread count.
-    if (dramDeferred_.size() != channels)
-        dramDeferred_.assign(channels, 0);
-    else
-        std::fill(dramDeferred_.begin(), dramDeferred_.end(), 0);
-    for (unsigned w = 0; w < T; ++w) {
-        const ReplayDelta &d = replayDeltas_[w];
-        stats_ += d.stats;
-        net_.mergeDelta(d.net);
-        for (std::uint32_t ch = 0; ch < channels; ++ch)
-            dramDeferred_[ch] += d.dramChannel[ch];
+    {
+        PROF_SCOPE("machine/epoch.replay/fold");
+        if (dramDeferred_.size() != channels)
+            dramDeferred_.assign(channels, 0);
+        else
+            std::fill(dramDeferred_.begin(), dramDeferred_.end(), 0);
+        for (unsigned w = 0; w < T; ++w) {
+            const ReplayDelta &d = replayDeltas_[w];
+            stats_ += d.stats;
+            net_.mergeDelta(d.net);
+            for (std::uint32_t ch = 0; ch < channels; ++ch)
+                dramDeferred_[ch] += d.dramChannel[ch];
+        }
+        net_.refreshEpochMax();
+        dram_.chargeDeferred(dramDeferred_);
     }
-    net_.refreshEpochMax();
-    dram_.chargeDeferred(dramDeferred_);
 
     if (commit) {
         // Wave two: per-core busy replays need wave one's hit bits.
         // Events replay in record order, so the floating-point
         // accumulation matches classic execution exactly.
+        PROF_SCOPE("machine/epoch.replay/wave2");
         pool_->dispatch([&](unsigned w) {
             const auto c0 = static_cast<std::uint32_t>(
                 std::uint64_t(cores) * w / T);

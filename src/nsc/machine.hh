@@ -431,6 +431,10 @@ class Machine
     sim::Stats epochStartStats_;
     /** Between beginEpoch() and endEpoch()/abortEpoch(). */
     bool inEpoch_ = false;
+    /** Host ns at beginEpoch() when the profiler is enabled, else 0.
+     *  The record phase spans the whole open epoch, so it cannot be an
+     *  RAII scope; endEpoch()/abortEpoch() close it via addTimed(). */
+    std::uint64_t epochProfT0_ = 0;
 
     sim::Timeline timeline_;
 

@@ -15,6 +15,7 @@
 #include "obs/latency_hist.hh"
 #include "serve/serve.hh"
 #include "sim/log.hh"
+#include "sim/prof.hh"
 #include "sim/rng.hh"
 
 namespace affalloc::serve
@@ -91,6 +92,8 @@ class ServeEngine final : public tenant::AdmissionControl
     std::set<std::uint32_t> freeSlots_;
     std::uint32_t resolved_ = 0;
     std::uint32_t iotCap_ = 0;
+    /** resolved_ value last reported to the progress heartbeat. */
+    std::uint32_t progressReported_ = 0;
 
     tenant::TenantScheduler *sched_ = nullptr; // valid during run()
     ServeReport report_;
@@ -230,8 +233,10 @@ ServeEngine::attemptAdmission(RequestRecord &r, Cycles now)
     report_.shedAttempts += 1;
     const ServeClass &cls = opts_.classes[r.classIdx];
     if (r.retries < cls.maxRetries) {
+        PROF_SCOPE("serve/retry");
         r.retries += 1;
         report_.retries += 1;
+        prof::counterAdd("serve/retries", 1);
         const Cycles backoff =
             cls.retryBackoff
             << std::min<std::uint32_t>(r.retries - 1, 6);
@@ -400,6 +405,7 @@ ServeEngine::reassignRedirects()
 std::vector<tenant::AdmittedJob>
 ServeEngine::admit(Cycles now)
 {
+    PROF_SCOPE("serve/admit");
     applyFaultsUpTo(now);
 
     // Collect every arrival attempt due by now — fresh arrivals and
@@ -452,6 +458,11 @@ ServeEngine::admit(Cycles now)
         jobs.push_back(std::move(job));
         traceInstant("request-admit", now,
                      jsonPair("req", id, "arena", arena));
+    }
+    prof::progressNoteAdmitted(jobs.size());
+    if (prof::progressEnabled() && resolved_ != progressReported_) {
+        prof::progressAdvance(resolved_ - progressReported_);
+        progressReported_ = resolved_;
     }
     return jobs;
 }
@@ -587,6 +598,7 @@ ServeEngine::summarize(const tenant::CorunReport &corun)
 ServeReport
 ServeEngine::run()
 {
+    prof::progressSetGoal(opts_.numRequests);
     generateArrivals();
     measureUnloadedBaselines();
 

@@ -11,6 +11,7 @@
 #ifndef AFFALLOC_SIM_WORKER_POOL_HH
 #define AFFALLOC_SIM_WORKER_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -18,6 +19,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sim/prof.hh"
 
 namespace affalloc::sim
 {
@@ -52,6 +55,14 @@ class WorkerPool
      */
     void dispatch(const std::function<void(unsigned)> &body);
 
+    /**
+     * Utilization telemetry accumulated since construction (all zeros
+     * unless the profiler was runtime-enabled during dispatches).
+     * Safe to call between dispatches; a concurrent dispatch can only
+     * make the snapshot slightly stale, never torn.
+     */
+    prof::PoolTelemetry telemetrySnapshot() const;
+
   private:
     void workerLoop(unsigned role);
     void runRole(unsigned role);
@@ -59,6 +70,14 @@ class WorkerPool
     unsigned numThreads_;
     std::vector<std::thread> workers_;
     std::vector<std::exception_ptr> errors_;
+    /** Per-role busy ns inside dispatched bodies (profiler-enabled
+     *  dispatches only). */
+    std::vector<std::atomic<std::uint64_t>> busyNs_;
+    /** Per-role duration of the body in the current/last dispatch. */
+    std::vector<std::atomic<std::uint64_t>> lastTaskNs_;
+    std::atomic<std::uint64_t> dispatches_{0};
+    std::atomic<std::uint64_t> sumMaxTaskNs_{0};
+    std::atomic<std::uint64_t> sumTaskNs_{0};
     const std::function<void(unsigned)> *body_ = nullptr;
 
     std::mutex mutex_;

@@ -5,6 +5,7 @@
 #include "obs/chrome_trace.hh"
 #include "obs/spatial_metrics.hh"
 #include "sim/log.hh"
+#include "sim/prof.hh"
 #include "sim/rng.hh"
 #include "tenant/qos.hh"
 
@@ -197,6 +198,9 @@ TenantScheduler::tenantMain(Tenant &t)
 void
 TenantScheduler::grantQuantum(int next)
 {
+    // One scope per scheduling quantum: inclusive time covers the
+    // handoff plus everything the tenant ran before yielding back.
+    PROF_SCOPE("tenant/quantum");
     Tenant &t = *tenants_[next];
     obs::SpatialMetrics *metrics =
         observer_ ? observer_->metrics() : nullptr;

@@ -17,6 +17,7 @@
 #include "obs/observer.hh"
 #include "os/sim_os.hh"
 #include "sim/energy.hh"
+#include "sim/prof.hh"
 
 namespace affalloc::workloads
 {
@@ -197,6 +198,11 @@ struct RunContext
         r.nocUtilization = machine.nocUtilization();
         r.valid = valid;
         r.placementDigest = allocator.placementDigest();
+        // Host-side memory telemetry: this run's arena pool footprint
+        // high-watermark, plus a fresh RSS sample at run teardown.
+        prof::noteArenaFootprint(allocator.arena(),
+                                 allocator.footprintBytes());
+        prof::rssEpochTick();
         if (observer) {
             if (obs::SpatialMetrics *m = observer->metrics()) {
                 m->setLinkFlits(machine.network().lifetimeLinkFlits(),

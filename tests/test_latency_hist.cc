@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "obs/latency_hist.hh"
+
+using affalloc::obs::LatencyHistogram;
+
+TEST(LatencyHistogram, EmptyReportsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantileUpperBound(0.5), 0u);
+    EXPECT_EQ(h.quantileUpperBound(1.0), 0u);
+}
+
+TEST(LatencyHistogram, SmallValuesBelowSixteenAreExact)
+{
+    // Values below 16 get one bucket each: no quantisation at all.
+    LatencyHistogram h;
+    for (std::uint64_t v = 0; v < 16; ++v) {
+        EXPECT_EQ(LatencyHistogram::bucketOf(v), v);
+        EXPECT_EQ(
+            LatencyHistogram::bucketUpper(LatencyHistogram::bucketOf(v)),
+            v);
+        h.record(v);
+    }
+    EXPECT_EQ(h.count(), 16u);
+    // 16 samples 0..15: the q-quantile target is ceil-free
+    // (target = floor(16q), clamped to [1,16]), so p50 lands on the
+    // 8th sample = value 7.
+    EXPECT_EQ(h.quantileUpperBound(0.5), 7u);
+    EXPECT_EQ(h.quantileUpperBound(1.0), 15u);
+}
+
+TEST(LatencyHistogram, SingleSampleAnyQuantile)
+{
+    LatencyHistogram h;
+    h.record(1000);
+    EXPECT_EQ(h.count(), 1u);
+    for (const double q : {0.001, 0.5, 0.99, 1.0}) {
+        const std::uint64_t ub = h.quantileUpperBound(q);
+        EXPECT_GE(ub, 1000u) << "q=" << q;
+        EXPECT_LE(ub, 1000u + 1000u / 8u) << "q=" << q;
+    }
+}
+
+TEST(LatencyHistogram, BucketBoundariesExactAtSubBucketEdges)
+{
+    // A sub-bucket's upper edge maps to its own bucket; the next
+    // value starts the next bucket.
+    for (std::uint32_t octave = 4; octave < 40; ++octave) {
+        const std::uint64_t base = std::uint64_t(1) << octave;
+        const std::uint64_t step = base >> 3;
+        for (std::uint32_t sub = 0; sub < 8; ++sub) {
+            const std::uint64_t lo = base + sub * step;
+            const std::uint64_t hi = base + (sub + 1) * step - 1;
+            const std::uint32_t idx = LatencyHistogram::bucketOf(lo);
+            EXPECT_EQ(idx, octave * 8 + sub);
+            EXPECT_EQ(LatencyHistogram::bucketOf(hi), idx);
+            EXPECT_EQ(LatencyHistogram::bucketUpper(idx), hi);
+            EXPECT_EQ(LatencyHistogram::bucketOf(hi + 1), idx + 1);
+        }
+    }
+}
+
+TEST(LatencyHistogram, UpperBoundWithinTwelvePointFivePercent)
+{
+    // The documented contract: the reported bound never under-states
+    // and over-states by at most 12.5% (one sub-bucket width).
+    std::vector<std::uint64_t> probes;
+    for (std::uint64_t v = 0; v < 4096; ++v)
+        probes.push_back(v);
+    for (std::uint32_t octave = 12; octave < 62; ++octave) {
+        const std::uint64_t base = std::uint64_t(1) << octave;
+        probes.push_back(base);
+        probes.push_back(base + 1);
+        probes.push_back(base + (base >> 3) - 1);
+        probes.push_back(base + 3 * (base >> 3) + 17);
+        probes.push_back(2 * base - 1);
+    }
+    for (const std::uint64_t v : probes) {
+        const std::uint64_t ub =
+            LatencyHistogram::bucketUpper(LatencyHistogram::bucketOf(v));
+        EXPECT_GE(ub, v);
+        EXPECT_LE(ub - v, v / 8) << "value " << v;
+    }
+}
+
+TEST(LatencyHistogram, OverflowBucketHoldsMaxValue)
+{
+    const std::uint64_t top = std::numeric_limits<std::uint64_t>::max();
+    const std::uint32_t idx = LatencyHistogram::bucketOf(top);
+    EXPECT_EQ(idx, 63u * 8u + 7u);
+    EXPECT_EQ(LatencyHistogram::bucketUpper(idx), top);
+
+    LatencyHistogram h;
+    h.record(top);
+    h.record(1);
+    EXPECT_EQ(h.quantileUpperBound(1.0), top);
+    EXPECT_EQ(h.quantileUpperBound(0.5), 1u);
+}
+
+TEST(LatencyHistogram, QuantilesMonotoneInQ)
+{
+    LatencyHistogram h;
+    std::uint64_t v = 17;
+    for (int i = 0; i < 4096; ++i) {
+        h.record(v);
+        v = v * 2862933555777941757ull + 3037000493ull;
+        v = (v >> 24) + 1; // spread over several octaves
+    }
+    std::uint64_t prev = 0;
+    for (const double q :
+         {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+        const std::uint64_t ub = h.quantileUpperBound(q);
+        EXPECT_GE(ub, prev) << "q=" << q;
+        prev = ub;
+    }
+}
+
+TEST(LatencyHistogram, QuantileBoundsTrueQuantile)
+{
+    // Against a known distribution 1..N the bound must bracket the
+    // exact order statistic from above within the 12.5% contract.
+    const std::uint64_t n = 10000;
+    LatencyHistogram h;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        h.record(i);
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+        std::uint64_t target = static_cast<std::uint64_t>(
+            q * static_cast<double>(n));
+        if (target < 1)
+            target = 1;
+        const std::uint64_t ub = h.quantileUpperBound(q);
+        EXPECT_GE(ub, target) << "q=" << q;
+        EXPECT_LE(ub - target, target / 8) << "q=" << q;
+    }
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording)
+{
+    LatencyHistogram a, b, combined;
+    for (std::uint64_t i = 0; i < 500; ++i) {
+        const std::uint64_t va = 31 * i + 7;
+        const std::uint64_t vb = (i * i) % 100000 + 1;
+        a.record(va);
+        combined.record(va);
+        b.record(vb);
+        combined.record(vb);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    for (const double q : {0.01, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_EQ(a.quantileUpperBound(q), combined.quantileUpperBound(q))
+            << "q=" << q;
+}

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Host-side self-profiler tests: enabling profiling must be invisible
+ * to the simulation (identical determinism digests at any sim-thread
+ * count), and the harvested phase tree must obey the structural
+ * invariants tools/perf_diff.py and the JSON export rely on (child
+ * inclusive time bounded by the parent, exclusive = inclusive minus
+ * children, counters monotone).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hh"
+#include "harness/sweep.hh"
+#include "sim/prof.hh"
+#include "sim/simcheck.hh"
+#include "sim/worker_pool.hh"
+#include "workloads/graph_workloads.hh"
+
+#include "test_helpers.hh"
+
+using namespace affalloc;
+using namespace affalloc::workloads;
+
+namespace
+{
+
+/** Re-arm a clean profiler for one test and clean up afterwards. */
+struct ProfFixture : ::testing::Test {
+    void
+    SetUp() override
+    {
+        prof::setEnabled(false);
+        prof::resetForTest();
+    }
+    void
+    TearDown() override
+    {
+        prof::setEnabled(false);
+        prof::resetForTest();
+    }
+};
+
+const graph::Csr &
+testGraph()
+{
+    static const graph::Csr g = [] {
+        graph::KroneckerParams p;
+        p.scale = 10;
+        p.edgeFactor = 8;
+        return graph::kronecker(p);
+    }();
+    return g;
+}
+
+std::string
+digestAt(std::uint32_t sim_threads)
+{
+    RunConfig rc = RunConfig::forMode(ExecMode::affAlloc);
+    rc.machine.simThreads = sim_threads;
+    GraphParams p;
+    p.graph = &testGraph();
+    p.iters = 2;
+    const RunResult r = runPageRankPush(rc, p);
+    EXPECT_TRUE(r.valid);
+    return simcheck::digestToString(r.digest());
+}
+
+/** Sum of the children's inclusive ns for one harvested node. */
+std::uint64_t
+childrenInclusive(const prof::PhaseNode &n)
+{
+    std::uint64_t sum = 0;
+    for (const prof::PhaseNode &c : n.children)
+        sum += c.inclusiveNs;
+    return sum;
+}
+
+void
+checkTreeInvariants(const prof::PhaseNode &n)
+{
+    EXPECT_GT(n.count, 0u) << n.name;
+    // A child's time is contained in the parent's: children can never
+    // sum past the parent's inclusive time.
+    EXPECT_LE(childrenInclusive(n), n.inclusiveNs) << n.name;
+    EXPECT_EQ(n.exclusiveNs, n.inclusiveNs - childrenInclusive(n))
+        << n.name;
+    for (const prof::PhaseNode &c : n.children)
+        checkTreeInvariants(c);
+}
+
+const prof::PhaseNode *
+findPhase(const std::vector<prof::PhaseNode> &nodes, const char *name)
+{
+    for (const prof::PhaseNode &n : nodes) {
+        if (n.name == name)
+            return &n;
+        if (const prof::PhaseNode *hit = findPhase(n.children, name))
+            return hit;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+// ----------------------------------------------------- digest neutrality
+
+using ProfNeutrality = ProfFixture;
+
+TEST_F(ProfNeutrality, DigestsIdenticalProfOnAndOff)
+{
+    const std::string off = digestAt(1);
+    prof::setEnabled(true);
+    const std::string on = digestAt(1);
+    EXPECT_EQ(on, off);
+}
+
+TEST_F(ProfNeutrality, DigestsIdenticalUnderShardedReplay)
+{
+    // The acceptance criterion: profiling changes nothing observable
+    // at any --sim-threads count.
+    const std::string base = digestAt(1);
+    prof::setEnabled(true);
+    for (const std::uint32_t t : {1u, 4u})
+        EXPECT_EQ(digestAt(t), base) << "sim-threads " << t;
+}
+
+// --------------------------------------------------------- phase trees
+
+using ProfPhases = ProfFixture;
+
+TEST_F(ProfPhases, ScopesNestIntoATree)
+{
+    if (!prof::compiledIn)
+        GTEST_SKIP() << "built with -DAFFALLOC_PROF=OFF";
+    prof::setEnabled(true);
+    for (int i = 0; i < 3; ++i) {
+        PROF_SCOPE("test/outer");
+        {
+            PROF_SCOPE("test/inner");
+        }
+        {
+            PROF_SCOPE("test/inner");
+        }
+    }
+    const prof::Snapshot snap = prof::harvest();
+    const prof::PhaseNode *outer = findPhase(snap.phases, "test/outer");
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(outer->count, 3u);
+    ASSERT_EQ(outer->children.size(), 1u);
+    EXPECT_EQ(outer->children[0].name, "test/inner");
+    EXPECT_EQ(outer->children[0].count, 6u);
+    checkTreeInvariants(*outer);
+}
+
+TEST_F(ProfPhases, AddTimedRecordsARetroactivePhase)
+{
+    if (!prof::compiledIn)
+        GTEST_SKIP() << "built with -DAFFALLOC_PROF=OFF";
+    prof::setEnabled(true);
+    prof::addTimed("test/record", 1000);
+    prof::addTimed("test/record", 500);
+    const prof::Snapshot snap = prof::harvest();
+    const prof::PhaseNode *rec = findPhase(snap.phases, "test/record");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->count, 2u);
+    EXPECT_EQ(rec->inclusiveNs, 1500u);
+    EXPECT_EQ(rec->exclusiveNs, 1500u);
+}
+
+TEST_F(ProfPhases, RealRunSatisfiesTreeInvariants)
+{
+    if (!prof::compiledIn)
+        GTEST_SKIP() << "built with -DAFFALLOC_PROF=OFF";
+    prof::setEnabled(true);
+    digestAt(4);
+    const prof::Snapshot snap = prof::harvest();
+    ASSERT_FALSE(snap.phases.empty());
+    for (const prof::PhaseNode &root : snap.phases)
+        checkTreeInvariants(root);
+    // The epoch loop's signature phases must be present: the record
+    // phase (addTimed) and the replay phase with its wave children.
+    ASSERT_NE(findPhase(snap.phases, "machine/epoch.record"), nullptr);
+    const prof::PhaseNode *replay =
+        findPhase(snap.phases, "machine/epoch.replay");
+    ASSERT_NE(replay, nullptr);
+    EXPECT_NE(findPhase(replay->children, "machine/epoch.replay/wave1"),
+              nullptr);
+    EXPECT_NE(findPhase(replay->children, "machine/epoch.replay/wave2"),
+              nullptr);
+    EXPECT_NE(findPhase(snap.phases, "alloc/malloc_aff.affine"), nullptr);
+}
+
+TEST_F(ProfPhases, DisabledScopesRecordNothing)
+{
+    if (!prof::compiledIn)
+        GTEST_SKIP() << "built with -DAFFALLOC_PROF=OFF";
+    {
+        PROF_SCOPE("test/should-not-exist");
+    }
+    prof::addTimed("test/should-not-exist", 42);
+    const prof::Snapshot snap = prof::harvest();
+    EXPECT_EQ(findPhase(snap.phases, "test/should-not-exist"), nullptr);
+    EXPECT_EQ(snap.wallNs, 0u);
+}
+
+// ------------------------------------------------- counters & telemetry
+
+using ProfTelemetry = ProfFixture;
+
+TEST_F(ProfTelemetry, CountersAddAndMax)
+{
+    if (!prof::compiledIn)
+        GTEST_SKIP() << "built with -DAFFALLOC_PROF=OFF";
+    prof::setEnabled(true);
+    prof::counterAdd("test/adds", 2);
+    prof::counterAdd("test/adds", 3);
+    prof::counterMax("test/hwm", 7);
+    prof::counterMax("test/hwm", 4);
+    const prof::Snapshot snap = prof::harvest();
+    std::uint64_t adds = 0, hwm = 0;
+    for (const auto &kv : snap.counters) {
+        if (kv.first == "test/adds")
+            adds = kv.second;
+        if (kv.first == "test/hwm")
+            hwm = kv.second;
+    }
+    EXPECT_EQ(adds, 5u);
+    EXPECT_EQ(hwm, 7u);
+}
+
+TEST_F(ProfTelemetry, RetiredPoolTelemetrySurvivesThePool)
+{
+    if (!prof::compiledIn)
+        GTEST_SKIP() << "built with -DAFFALLOC_PROF=OFF";
+    prof::setEnabled(true);
+    {
+        sim::WorkerPool pool(4);
+        for (int wave = 0; wave < 8; ++wave) {
+            pool.dispatch([](unsigned role) {
+                volatile std::uint64_t sink = 0;
+                for (std::uint64_t i = 0; i < 20000 * (role + 1); ++i)
+                    sink = sink + i;
+            });
+        }
+    }
+    const prof::Snapshot snap = prof::harvest();
+    bool found = false;
+    for (const prof::PoolTelemetry &p : snap.pools) {
+        if (p.threads != 4)
+            continue;
+        found = true;
+        EXPECT_GT(p.dispatches, 0u);
+        EXPECT_EQ(p.busyNs.size(), 4u);
+        for (const std::uint64_t b : p.busyNs)
+            EXPECT_GT(b, 0u);
+        // Critical path can never exceed total work, and total work
+        // can never exceed threads * critical path.
+        EXPECT_LE(p.sumMaxTaskNs, p.sumTaskNs);
+        EXPECT_LE(p.sumTaskNs, p.sumMaxTaskNs * p.threads);
+    }
+    EXPECT_TRUE(found) << "no retired 4-thread pool telemetry";
+}
+
+TEST_F(ProfTelemetry, ArenaFootprintsKeepTheHighWatermark)
+{
+    if (!prof::compiledIn)
+        GTEST_SKIP() << "built with -DAFFALLOC_PROF=OFF";
+    prof::setEnabled(true);
+    prof::noteArenaFootprint(2, 1000);
+    prof::noteArenaFootprint(2, 500);
+    prof::noteArenaFootprint(9, 42);
+    const prof::Snapshot snap = prof::harvest();
+    ASSERT_EQ(snap.arenas.size(), 2u);
+    EXPECT_EQ(snap.arenas[0].first, 2u);
+    EXPECT_EQ(snap.arenas[0].second, 1000u);
+    EXPECT_EQ(snap.arenas[1].first, 9u);
+    EXPECT_EQ(snap.arenas[1].second, 42u);
+}
+
+// ------------------------------------------------------------ export
+
+using ProfExport = ProfFixture;
+
+TEST_F(ProfExport, WriteJsonEmitsTheVersionedSchema)
+{
+    if (!prof::compiledIn)
+        GTEST_SKIP() << "built with -DAFFALLOC_PROF=OFF";
+    prof::setEnabled(true);
+    {
+        PROF_SCOPE("test/export");
+    }
+    prof::counterAdd("test/counter", 11);
+    const prof::Snapshot snap = prof::harvest();
+
+    std::string buf(1 << 16, '\0');
+    std::FILE *mem = fmemopen(buf.data(), buf.size(), "w");
+    ASSERT_NE(mem, nullptr);
+    EXPECT_TRUE(prof::writeJson(mem, snap));
+    std::fclose(mem);
+    const std::string json = buf.c_str();
+
+    EXPECT_NE(json.find("\"schema\": \"affalloc-prof-1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"test/export\""), std::string::npos);
+    EXPECT_NE(json.find("\"test/counter\": 11"), std::string::npos);
+    EXPECT_NE(json.find("\"rss\""), std::string::npos);
+    // Crude structural check; CI round-trips the real file through
+    // python3 -m json.tool.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(ProfExport, ResetForTestClearsEverything)
+{
+    if (!prof::compiledIn)
+        GTEST_SKIP() << "built with -DAFFALLOC_PROF=OFF";
+    prof::setEnabled(true);
+    {
+        PROF_SCOPE("test/reset");
+    }
+    prof::counterAdd("test/reset", 1);
+    prof::noteArenaFootprint(0, 1);
+    prof::resetForTest();
+    const prof::Snapshot snap = prof::harvest();
+    EXPECT_EQ(findPhase(snap.phases, "test/reset"), nullptr);
+    EXPECT_TRUE(snap.counters.empty());
+    EXPECT_TRUE(snap.arenas.empty());
+    EXPECT_TRUE(snap.pools.empty());
+}
+
+// ------------------------------------------------------ flag validation
+
+TEST(ProfFlags, ProgressRejectsGarbageAndOutOfRange)
+{
+    char prog[] = "bench";
+    for (const char *bad :
+         {"--progress=0", "--progress=-1", "--progress=potato",
+          "--progress=1e9", "--progress="}) {
+        std::vector<char> flag(bad, bad + std::strlen(bad) + 1);
+        char *argv[] = {prog, flag.data()};
+        EXPECT_THROW(harness::applyProfFlags(2, argv), FatalError)
+            << bad;
+    }
+}
+
+TEST(ProfFlags, ProfOutRejectsUnwritablePathUpFront)
+{
+    char prog[] = "bench";
+    char flag[] = "--prof-out=/nonexistent-dir/prof.json";
+    char *argv[] = {prog, flag};
+    EXPECT_THROW(harness::applyProfFlags(2, argv), FatalError);
+}
+
+TEST(ProfFlags, ProfOutRejectsEmptyPath)
+{
+    char prog[] = "bench";
+    char flag[] = "--prof-out=";
+    char *argv[] = {prog, flag};
+    EXPECT_THROW(harness::applyProfFlags(2, argv), FatalError);
+}

@@ -30,6 +30,7 @@
 #include "harness/report.hh"
 #include "harness/sweep.hh"
 #include "obs/heatmap.hh"
+#include "sim/prof.hh"
 #include "sim/simcheck.hh"
 #include "harness/trace.hh"
 #include "tenant/qos.hh"
@@ -149,8 +150,35 @@ usage()
                  "       bit-identical at any N; env "
                  "AFFALLOC_SIM_THREADS; default 1)\n"
                  "  chaos --replay BUNDLE.json (re-run a shrunk repro "
-                 "bundle)\n");
+                 "bundle)\n"
+                 "  --prof-out FILE (any command: host-side self-profile "
+                 "JSON at exit;\n"
+                 "       digest/stdout-neutral; env AFFALLOC_PROF_OUT)\n"
+                 "  --progress[=SECONDS] (any command: stderr heartbeat "
+                 "for long runs;\n"
+                 "       default 5s; env AFFALLOC_PROGRESS)\n"
+                 "  --version (print git revision, build type, and "
+                 "compiled feature flags)\n");
     std::exit(2);
+}
+
+#ifndef AFFALLOC_GIT_REVISION
+#define AFFALLOC_GIT_REVISION "unknown"
+#endif
+#ifndef AFFALLOC_BUILD_TYPE
+#define AFFALLOC_BUILD_TYPE "unknown"
+#endif
+
+/** Artifact provenance: which build produced this CSV/profile. */
+[[noreturn]] void
+printVersion()
+{
+    std::printf("affalloc_cli %s (%s)\n", AFFALLOC_GIT_REVISION,
+                AFFALLOC_BUILD_TYPE);
+    std::printf("features: simcheck=%s prof=%s\n",
+                simcheck::compiledIn ? "on" : "off",
+                prof::compiledIn ? "on" : "off");
+    std::exit(0);
 }
 
 /**
@@ -339,6 +367,14 @@ parse(int argc, char **argv)
             // main() (it needs the raw argv either way for the env
             // fallback); consume the value here.
             (void)next("--sim-threads");
+        } else if (a == "--prof-out") {
+            // Validated (path opened) by harness::applyProfFlags in
+            // main(); consume the value here.
+            (void)next("--prof-out");
+        } else if (a == "--progress") {
+            // Applied by harness::applyProfFlags in main(). Only the
+            // inline =SECONDS form carries a value, so there is
+            // nothing to consume here.
         } else {
             std::fprintf(stderr, "unknown option %s\n", a.c_str());
             usage();
@@ -792,11 +828,18 @@ cmdChaos(const Options &o)
 int
 main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--version") == 0 ||
+            std::strcmp(argv[i], "version") == 0)
+            printVersion();
+    }
     // Install the process-wide sim-threads default before any
-    // MachineConfig is constructed; invalid values are clean CLI
-    // errors, not backtraces.
+    // MachineConfig is constructed, and open --prof-out up front;
+    // invalid values/paths are clean CLI errors, not backtraces (or
+    // worse, harvest-time failures after a long run).
     try {
         harness::applySimThreads(argc, argv);
+        harness::applyProfFlags(argc, argv);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 2;
