@@ -89,7 +89,9 @@ main(int argc, char **argv)
                 pt.label = mixName + "-x" + std::to_string(n);
                 pt.mode = mode;
                 for (std::size_t i = 0; i < n; ++i)
-                    pt.specs.push_back({mix[i % mix.size()], 1});
+                    pt.specs.push_back(
+                        {.workload = mix[i % mix.size()],
+                         .weight = 1});
                 points.push_back(std::move(pt));
             }
         }

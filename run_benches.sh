@@ -98,7 +98,7 @@ for b in fig04_affine_offset fig17_bfs_iters fig14_timeline \
          fig06_irregular_potential fig19_degree fig13_policy \
          fig20_real_graphs fig16_graph_scale \
          ablation_codesign ablation_numbering serve_availability \
-         micro_benchmarks; do
+         host_interference micro_benchmarks; do
     echo "################ $b"
     if [ "$b" = micro_benchmarks ]; then
         # google-benchmark rejects the figure benches' flags; map

@@ -58,18 +58,21 @@ writeComparisonCsv(const Comparison &cmp,
                    const std::string &path)
 {
     std::FILE *f = openChecked(path);
+    // `class` is appended last (default "ndc") so existing positional
+    // parsers of the original columns keep working.
     std::fprintf(f, "workload,config,cycles,joules,hops,offload_hops,"
                     "data_hops,control_hops,l3_miss_rate,"
                     "noc_utilization,offline_banks,offload_retries,"
                     "offload_fallbacks,alloc_fallbacks,"
-                    "victim_migrations,degraded_link_flits,valid\n");
+                    "victim_migrations,degraded_link_flits,valid,"
+                    "class\n");
     for (const auto &row : cmp.rows()) {
         for (std::size_t c = 0; c < row.byConfig.size(); ++c) {
             const auto &r = row.byConfig[c];
             std::fprintf(
                 f,
                 "%s,%s,%llu,%.9g,%llu,%llu,%llu,%llu,%.6f,%.6f,"
-                "%llu,%llu,%llu,%llu,%llu,%llu,%d\n",
+                "%llu,%llu,%llu,%llu,%llu,%llu,%d,%s\n",
                 row.name.c_str(),
                 c < config_labels.size() ? config_labels[c].c_str()
                                          : "?",
@@ -88,7 +91,7 @@ writeComparisonCsv(const Comparison &cmp,
                 (unsigned long long)r.stats.allocFallbacks,
                 (unsigned long long)r.stats.victimMigrations,
                 (unsigned long long)r.stats.degradedLinkFlits,
-                r.valid ? 1 : 0);
+                r.valid ? 1 : 0, agentClassName(r.cls));
         }
     }
     closeChecked(f, path);

@@ -64,6 +64,56 @@ CacheModel::access(Addr line, bool is_write)
     return res;
 }
 
+CacheAccessResult
+CacheModel::accessCapped(Addr line, bool is_write, std::uint32_t max_ways)
+{
+    if (max_ways >= assoc_)
+        return access(line, is_write);
+    if (max_ways == 0)
+        SIM_FATAL("mem", "accessCapped needs at least one way");
+
+    CacheAccessResult res;
+    std::uint64_t *set = &ways_[std::uint64_t(setIndexOf(line)) * assoc_];
+    const std::uint64_t clean = entryOf(line, false);
+
+    std::uint32_t w = 0;
+    for (; w < assoc_; ++w) {
+        const std::uint64_t e = set[w];
+        if ((e & ~std::uint64_t(1)) == clean) {
+            // Hit in place: no recency promotion, so the capped
+            // stream's footprint stays pinned to the low ways.
+            set[w] = e | (is_write ? 1 : 0);
+            res.hit = true;
+            return res;
+        }
+        if (e == invalidEntry)
+            break;
+    }
+
+    // Miss: fill at recency position base = assoc - max_ways, leaving
+    // the max_ways - 1 younger capped slots plus this fill as the only
+    // ways this stream can ever occupy. Positions [0, base) — the
+    // protected tenant ways — are never displaced.
+    const std::uint32_t base = assoc_ - max_ways;
+    if (w == assoc_) {
+        const std::uint64_t victim = set[assoc_ - 1];
+        if (dirtyOf(victim)) {
+            res.writeback = true;
+            res.victimLine = lineOf(victim);
+        }
+        for (std::uint32_t k = assoc_ - 1; k > base; --k)
+            set[k] = set[k - 1];
+        set[base] = entryOf(line, is_write);
+    } else {
+        const std::uint32_t pos = w < base ? w : base;
+        for (std::uint32_t k = w; k > pos; --k)
+            set[k] = set[k - 1];
+        set[pos] = entryOf(line, is_write);
+        ++residentLines_;
+    }
+    return res;
+}
+
 bool
 CacheModel::contains(Addr line) const
 {

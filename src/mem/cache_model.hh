@@ -62,6 +62,18 @@ class CacheModel
      */
     CacheAccessResult access(Addr line, bool is_write);
 
+    /**
+     * Access @p line while confining the line's *footprint* to at most
+     * @p max_ways ways of the set: fills insert at recency position
+     * assoc - max_ways instead of the front, so at most the max_ways
+     * least-recent ways are ever evicted by this access stream, and a
+     * hit does not promote the line. Models DDIO-style way-restricted
+     * I/O allocation (A4): lines in positions [0, assoc - max_ways)
+     * are never displaced. max_ways >= assoc degenerates to access().
+     */
+    CacheAccessResult accessCapped(Addr line, bool is_write,
+                                   std::uint32_t max_ways);
+
     /** Probe without modifying state. */
     bool contains(Addr line) const;
 

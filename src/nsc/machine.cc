@@ -112,6 +112,97 @@ Machine::Machine(const sim::MachineConfig &cfg, os::SimOS &os,
                            [this](simcheck::CheckContext &ctx) {
                                auditMapping(ctx);
                            });
+    auditor_.registerCheck("traffic", "class-conservation",
+                           [this](simcheck::CheckContext &ctx) {
+                               // The per-class side counters and their
+                               // snapshot only move together in the
+                               // attribution flush, so the class slices
+                               // must always sum to exactly the
+                               // attributed total — no charge may leak
+                               // out of (or be double-counted into) a
+                               // class.
+                               for (const auto &ref : sim::statsCounters()) {
+                                   std::uint64_t sum = 0;
+                                   for (int c = 0; c < numAgentClasses; ++c)
+                                       sum += ref.get(classStats_[c]);
+                                   const std::uint64_t want =
+                                       ref.get(classAttribSnap_);
+                                   if (sum != want) {
+                                       ctx.failf(
+                                           "per-class %s sums to %llu, "
+                                           "attributed total is %llu",
+                                           ref.name,
+                                           (unsigned long long)sum,
+                                           (unsigned long long)want);
+                                       return;
+                                   }
+                               }
+                           });
+}
+
+void
+Machine::setActiveClass(AgentClass c)
+{
+    // Flush everything charged since the last flush to the class that
+    // was active while it accrued, then switch.
+    classStats_[static_cast<int>(activeClass_)] +=
+        stats_ - classAttribSnap_;
+    classAttribSnap_ = stats_;
+    if (c != activeClass_) {
+        activeClass_ = c;
+        refreshArbScale();
+    }
+}
+
+void
+Machine::setPresentClasses(std::uint32_t mask)
+{
+    SIM_REQUIRE("nsc", mask != 0 &&
+                mask < (1u << numAgentClasses),
+                "present-class mask %#x invalid", mask);
+    presentClasses_ = mask;
+    refreshArbScale();
+}
+
+void
+Machine::refreshArbScale()
+{
+    arbScale_ = 1.0;
+    const int a = static_cast<int>(activeClass_);
+    if (!(presentClasses_ & (1u << a)))
+        return;
+    int present = 0;
+    for (int c = 0; c < numAgentClasses; ++c)
+        if (presentClasses_ & (1u << c))
+            ++present;
+    if (present <= 1)
+        return;
+    const sim::ClassArbConfig &arb = cfg_.classArb;
+    switch (arb.mode) {
+      case sim::ClassArbMode::none:
+        break;
+      case sim::ClassArbMode::partition: {
+        // Fluid weighted round-robin: a class holding share s out of
+        // the present total serves its queue at s/total speed, so its
+        // occupancy stretches by total/s.
+        double total = 0.0;
+        for (int c = 0; c < numAgentClasses; ++c)
+            if (presentClasses_ & (1u << c))
+                total += arb.share[c];
+        arbScale_ = total / arb.share[a];
+        break;
+      }
+      case sim::ClassArbMode::priority: {
+        // Strict priority by class order: each higher-priority class
+        // present steals yieldPenalty of this class's queue time.
+        int higher = 0;
+        for (int c = 0; c < a; ++c)
+            if (presentClasses_ & (1u << c))
+                ++higher;
+        arbScale_ = 1.0 + arb.yieldPenalty * higher;
+        break;
+      }
+    }
 }
 
 void
@@ -210,6 +301,13 @@ Machine::abortEpoch()
     const std::uint64_t aborted = stats_.abortedEpochs + 1;
     stats_ = epochStartStats_;
     stats_.abortedEpochs = aborted;
+    // The rewind can only move counters back toward (never below) the
+    // last attribution snapshot — snapshots are taken outside open
+    // epochs — so attributing the post-restore delta keeps the
+    // per-class slices conserved.
+    classStats_[static_cast<int>(activeClass_)] +=
+        stats_ - classAttribSnap_;
+    classAttribSnap_ = stats_;
     std::fill(bankBusy_.begin(), bankBusy_.end(), 0.0);
     std::fill(coreBusy_.begin(), coreBusy_.end(), 0.0);
     std::fill(seBusy_.begin(), seBusy_.end(), 0.0);
@@ -237,12 +335,21 @@ Machine::endEpoch(double latency_floor, const std::string &phase)
         replayDeferred(/*commit=*/true);
     // The busy maxima are maintained at charge time (and by the replay
     // barrier), so closing the epoch no longer rescans every per-bank
-    // accumulator and link counter.
+    // accumulator and link counter. Class arbitration stretches only
+    // the bank and link terms (the shared queues classes contend on);
+    // the guard keeps single-class runs on the exact classic
+    // arithmetic.
+    double bankTerm = bankBusyMax_;
+    double linkTerm = static_cast<double>(net_.maxLinkFlits());
+    if (arbScale_ != 1.0) {
+        bankTerm *= arbScale_;
+        linkTerm *= arbScale_;
+    }
     double busiest = latency_floor;
-    busiest = std::max(busiest, bankBusyMax_);
+    busiest = std::max(busiest, bankTerm);
     busiest = std::max(busiest, coreBusyMax_);
     busiest = std::max(busiest, seBusyMax_);
-    busiest = std::max(busiest, static_cast<double>(net_.maxLinkFlits()));
+    busiest = std::max(busiest, linkTerm);
     busiest = std::max(busiest, dram_.maxChannelBusy());
 
     const Cycles duration =
@@ -253,6 +360,12 @@ Machine::endEpoch(double latency_floor, const std::string &phase)
     // clock has advanced the epoch is committed, and a later
     // abortEpoch() must not rewind it.
     inEpoch_ = false;
+
+    // Attribute the epoch's charges (including its duration) to the
+    // active class before the audit below checks conservation.
+    classStats_[static_cast<int>(activeClass_)] +=
+        stats_ - classAttribSnap_;
+    classAttribSnap_ = stats_;
 
     sim::EpochRecord rec;
     rec.endCycle = stats_.cycles;
@@ -461,6 +574,67 @@ Machine::probeL3Line(BankId home, Addr pline, bool is_write, bool &out_hit)
         dram_.access(res.victimLine, true);
     }
     return extra;
+}
+
+Cycles
+Machine::ioWrite(TileId ingress, Addr vaddr, std::uint32_t bytes)
+{
+    SIM_REQUIRE("nsc", !deferActive_,
+                "ioWrite is not supported inside deferred epochs "
+                "(I/O injector epochs must be classic)");
+    SIM_REQUIRE("nsc", ingress < cfg_.numTiles(),
+                "I/O ingress tile %u outside the %u-tile mesh", ingress,
+                cfg_.numTiles());
+    Cycles total = 0;
+    const Addr first = vaddr / cfg_.lineSize;
+    const Addr last = (vaddr + bytes - 1) / cfg_.lineSize;
+    for (Addr vline = first; vline <= last; ++vline) {
+        // Device-side translation (IOMMU/direct segment): no core TLB
+        // is charged; the pool segments translate by range check.
+        const Addr paddr =
+            os_.pageTable().translate(vline * cfg_.lineSize);
+        const Addr pline = paddr / cfg_.lineSize;
+
+        if (cfg_.llcIoPolicy == sim::LlcIoPolicy::bypass) {
+            // Straight to DRAM: the LLC never sees the line, so tenant
+            // occupancy is untouched.
+            const std::uint32_t ch = dram_.channelOf(pline);
+            const TileId ctrl = dram_.controllerTile(ch);
+            total += net_.send(ingress, ctrl,
+                               cfg_.lineSize + tp_.controlBytes,
+                               TrafficClass::data);
+            total += dram_.access(pline, true);
+            continue;
+        }
+
+        // DDIO-style allocate into the line's home L3 bank. A write
+        // allocation needs no DRAM fill (the device supplies the full
+        // line); only dirty victims travel to memory.
+        const BankId home = mapper_.bankOf(paddr);
+        total += net_.send(ingress, bankTile_[home],
+                           cfg_.lineSize + tp_.controlBytes,
+                           TrafficClass::data);
+        stats_.l3Accesses += 1;
+        chargeBankBusy(home, tp_.l3ServiceCycles);
+        const auto res =
+            cfg_.llcIoPolicy == sim::LlcIoPolicy::wayRestrict
+                ? l3Banks_[home].accessCapped(pline, true, cfg_.llcIoWays)
+                : l3Banks_[home].access(pline, true);
+        if (metrics_)
+            metrics_->bankAccess(home, res.hit);
+        if (!res.hit)
+            stats_.l3Misses += 1;
+        total += cfg_.l3Latency;
+        if (res.writeback) {
+            const std::uint32_t ch = dram_.channelOf(res.victimLine);
+            const TileId ctrl = dram_.controllerTile(ch);
+            net_.send(bankTile_[home], ctrl,
+                      cfg_.lineSize + tp_.controlBytes,
+                      TrafficClass::data);
+            dram_.access(res.victimLine, true);
+        }
+    }
+    return total;
 }
 
 AccessOutcome

@@ -19,6 +19,7 @@
 #ifndef AFFALLOC_NSC_MACHINE_HH
 #define AFFALLOC_NSC_MACHINE_HH
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -222,6 +223,45 @@ class Machine
     /** Whether a beginEpoch() is open (no endEpoch()/abortEpoch() yet). */
     bool inEpoch() const { return inEpoch_; }
 
+    // ------------------------------------------------- traffic classes
+    /**
+     * Declare which agent class the *currently executing* agent
+     * belongs to. The tenant scheduler calls this at every quantum
+     * grant; everything charged to Stats until the next call is
+     * attributed to this class (per-class side counters, outside the
+     * digest). Also refreshes the arbitration scale applied to bank
+     * and link occupancy in endEpoch(). Defaults to AgentClass::ndc,
+     * and with a single present class the scale is exactly 1.0, so
+     * classic runs are untouched.
+     */
+    void setActiveClass(AgentClass c);
+    /** The class charged for current activity. */
+    AgentClass activeClass() const { return activeClass_; }
+    /**
+     * Declare the set of classes sharing the machine this run, as a
+     * bit mask over AgentClass values. Arbitration (partition /
+     * priority scaling) only engages between *present* classes, so a
+     * mask with one bit set always yields scale 1.0.
+     */
+    void setPresentClasses(std::uint32_t mask);
+    /** Exact per-class slice of the global Stats (side counters). */
+    const sim::Stats &classStats(AgentClass c) const
+    {
+        return classStats_[static_cast<int>(c)];
+    }
+
+    /**
+     * A DMA/NIC-style I/O write of @p bytes at @p vaddr injected at
+     * mesh tile @p ingress (no core, no TLB charge — device-side
+     * IOMMU translation is off the critical path). Where the data
+     * lands follows cfg.llcIoPolicy: ddio allocates freely into the
+     * home L3 bank, wayRestrict confines allocation to cfg.llcIoWays
+     * ways per set, bypass sends the line straight to DRAM. Returns
+     * the injection latency. Not supported inside deferred epochs
+     * (I/O injector epochs are classic).
+     */
+    Cycles ioWrite(TileId ingress, Addr vaddr, std::uint32_t bytes);
+
     /**
      * Hook invoked at the very end of every endEpoch() (after the
      * audit). The tenant scheduler uses this as its preemption point:
@@ -372,6 +412,14 @@ class Machine
      */
     void replayDeferred(bool commit);
 
+    /**
+     * Recompute the arbitration occupancy scale for the active class
+     * from the configured mode, the per-class shares, and the set of
+     * present classes. 1.0 whenever arbitration is off or the active
+     * class runs alone.
+     */
+    void refreshArbScale();
+
     /** SimCheck audit: every cache model's internal consistency. */
     void auditCaches(simcheck::CheckContext &ctx) const;
     /**
@@ -426,6 +474,18 @@ class Machine
     std::vector<ReplayDelta> replayDeltas_;
     /** Per-channel deferred DRAM access totals (merge scratch). */
     std::vector<std::uint64_t> dramDeferred_;
+
+    // Per-class attribution (side counters; never in the digest).
+    /** Class charged for current activity. */
+    AgentClass activeClass_ = AgentClass::ndc;
+    /** Bit mask of classes sharing the machine this run (bit 0=ndc). */
+    std::uint32_t presentClasses_ = 1u << 0;
+    /** Occupancy scale applied to bank/link terms for activeClass_. */
+    double arbScale_ = 1.0;
+    /** Exact per-class slices of stats_ (sum == attributed total). */
+    std::array<sim::Stats, numAgentClasses> classStats_;
+    /** stats_ snapshot at the last attribution flush. */
+    sim::Stats classAttribSnap_;
 
     /** Stats snapshot taken at beginEpoch() (abortEpoch() restores). */
     sim::Stats epochStartStats_;

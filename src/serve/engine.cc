@@ -29,6 +29,13 @@ namespace
 constexpr std::uint64_t arrivalStream = 0x0a22117a1ULL;
 constexpr std::uint64_t baselineStreamBase = 0x0ba5e11eULL;
 
+/**
+ * Request-id base for background interference jobs. Far above any
+ * request id, so onFinish can tell the two apart without extra state
+ * and the seed substreams stay clear of the request streams.
+ */
+constexpr std::uint64_t bgIdBase = 1ULL << 60;
+
 std::string
 jsonPair(const char *a, std::uint64_t av, const char *b, std::uint64_t bv)
 {
@@ -92,6 +99,10 @@ class ServeEngine final : public tenant::AdmissionControl
     std::set<std::uint32_t> freeSlots_;
     std::uint32_t resolved_ = 0;
     std::uint32_t iotCap_ = 0;
+    /** Background interference jobs spawned (first admit() only). */
+    bool backgroundAdmitted_ = false;
+    /** Drain request already sent to the scheduler. */
+    bool drainRequested_ = false;
     /** resolved_ value last reported to the progress heartbeat. */
     std::uint32_t progressReported_ = 0;
 
@@ -125,6 +136,12 @@ ServeEngine::ServeEngine(ServeOptions opts) : opts_(std::move(opts))
         totalWeight += c.weight;
     }
     SIM_REQUIRE("serve", totalWeight > 0.0, "empty workload mix");
+    for (const tenant::TenantSpec &b : opts_.background)
+        SIM_REQUIRE("serve",
+                    b.runner || tenant::isWorkloadName(b.workload),
+                    "background spec '%s' has neither a runner nor a "
+                    "registered workload",
+                    b.workload.c_str());
 
     // Merge the explicit campaign with any schedule carried inside
     // the machine's fault config, and fix the firing order.
@@ -141,8 +158,13 @@ ServeEngine::ServeEngine(ServeOptions opts) : opts_(std::move(opts))
     // (events fire through this engine, not the FaultPlan ctor).
     opts_.machine.faults.schedule.clear();
 
+    // Background agents hold dedicated arenas past the request slots,
+    // so the IOT budget covers both populations.
+    const std::uint32_t totalSlots =
+        opts_.slots +
+        static_cast<std::uint32_t>(opts_.background.size());
     iotCap_ = static_cast<std::uint32_t>(mem::numInterleavePools) *
-                  opts_.slots + 2;
+                  totalSlots + 2;
     for (std::uint32_t s = 0; s < opts_.slots; ++s)
         freeSlots_.insert(s);
 }
@@ -408,6 +430,29 @@ ServeEngine::admit(Cycles now)
     PROF_SCOPE("serve/admit");
     applyFaultsUpTo(now);
 
+    // Background interference agents enter once, before any request:
+    // they hold the arenas past the request slots for the whole run
+    // and are drained (below) once every request resolves.
+    std::vector<tenant::AdmittedJob> jobs;
+    if (!backgroundAdmitted_) {
+        backgroundAdmitted_ = true;
+        for (std::size_t i = 0; i < opts_.background.size(); ++i) {
+            const tenant::TenantSpec &spec = opts_.background[i];
+            tenant::AdmittedJob job;
+            job.requestId = bgIdBase + i;
+            job.workload = spec.workload;
+            job.name = spec.workload + "#bg" + std::to_string(i);
+            job.weight = spec.weight;
+            job.cls = spec.cls;
+            job.runner = spec.runner;
+            job.arena = opts_.slots + static_cast<std::uint32_t>(i);
+            jobs.push_back(std::move(job));
+            traceInstant("background-admit", now,
+                         jsonPair("bg", i, "arena",
+                                  opts_.slots + i));
+        }
+    }
+
     // Collect every arrival attempt due by now — fresh arrivals and
     // retried ones — and replay them in (cycle, id) order so the
     // admission sequence is a pure function of the simulated clock.
@@ -441,7 +486,6 @@ ServeEngine::admit(Cycles now)
     }
 
     // Dispatch from the queue into free slots, FIFO.
-    std::vector<tenant::AdmittedJob> jobs;
     while (!queue_.empty() && !freeSlots_.empty()) {
         const std::uint64_t id = queue_.front();
         queue_.pop_front();
@@ -463,6 +507,12 @@ ServeEngine::admit(Cycles now)
     if (prof::progressEnabled() && resolved_ != progressReported_) {
         prof::progressAdvance(resolved_ - progressReported_);
         progressReported_ = resolved_;
+    }
+    // Every request resolved: ask the open-ended background agents to
+    // wrap up at their next epoch boundary so the run can drain.
+    if (allResolved() && !drainRequested_) {
+        drainRequested_ = true;
+        sched_->requestBackgroundDrain();
     }
     return jobs;
 }
@@ -491,6 +541,19 @@ ServeEngine::onFinish(const tenant::AdmittedJob &job,
                       const workloads::RunResult &result,
                       Cycles finish_cycle)
 {
+    if (job.requestId >= bgIdBase) {
+        // Background interference agent: not a request — no record,
+        // no slot to recycle (its arena is dedicated), no resolution
+        // bookkeeping. It must still have validated its own run.
+        SIM_REQUIRE("serve", result.valid,
+                    "background agent '%s' failed validation",
+                    job.name.c_str());
+        traceInstant("background-finish", finish_cycle,
+                     jsonPair("bg", job.requestId - bgIdBase, "arena",
+                              job.arena));
+        return;
+    }
+
     RequestRecord &r = requests_[job.requestId];
     r.finish = finish_cycle;
     r.outcome = RequestOutcome::completed;
@@ -614,7 +677,12 @@ ServeEngine::run()
     copts.solo = false;
     copts.obs = opts_.obs;
 
-    tenant::TenantScheduler sched(copts, opts_.slots);
+    // Arena layout: [0, slots) recycle across requests; one dedicated
+    // slot per background agent follows at [slots, slots + bg).
+    const std::uint32_t totalSlots =
+        opts_.slots +
+        static_cast<std::uint32_t>(opts_.background.size());
+    tenant::TenantScheduler sched(copts, totalSlots);
     sched_ = &sched;
     const tenant::CorunReport corun = sched.runOpen(*this);
 

@@ -92,6 +92,14 @@ struct ServeOptions
     std::vector<sim::TimedFault> faultSchedule;
     /** Re-target dead banks' spares to least-contended survivors. */
     bool reaffinity = true;
+    /**
+     * Background interference agents (host traffic / I/O injectors
+     * from src/traffic) admitted at run start alongside the request
+     * stream. They occupy dedicated arena slots beyond `slots`, never
+     * consume request slots, and are drained once every request
+     * resolves.
+     */
+    std::vector<tenant::TenantSpec> background;
 };
 
 /** The workload mix used when ServeOptions::classes is empty. */

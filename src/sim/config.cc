@@ -96,6 +96,48 @@ MachineConfig::validate() const
               faults.offlineBanks, numTiles());
     if (faults.linkDegradeFactor == 0)
         SIM_FATAL("config", "link degrade factor must be >= 1");
+    if (llcIoPolicy == LlcIoPolicy::wayRestrict &&
+        (llcIoWays == 0 || llcIoWays >= l3Assoc))
+        SIM_FATAL("config", "way-restricted I/O allocation needs llcIoWays in "
+              "[1, %u), got %u", l3Assoc, llcIoWays);
+    for (int c = 0; c < numAgentClasses; ++c)
+        if (classArb.share[c] <= 0.0)
+            SIM_FATAL("config", "class bandwidth share for %s must be positive "
+                  "(%g)", agentClassName(static_cast<AgentClass>(c)),
+                  classArb.share[c]);
+    if (classArb.yieldPenalty < 0.0)
+        SIM_FATAL("config", "class yield penalty must be >= 0 (%g)",
+              classArb.yieldPenalty);
+}
+
+const char *
+llcIoPolicyName(LlcIoPolicy p)
+{
+    switch (p) {
+      case LlcIoPolicy::ddio:
+        return "ddio";
+      case LlcIoPolicy::wayRestrict:
+        return "way";
+      case LlcIoPolicy::bypass:
+        return "bypass";
+      default:
+        return "?";
+    }
+}
+
+const char *
+classArbModeName(ClassArbMode m)
+{
+    switch (m) {
+      case ClassArbMode::none:
+        return "none";
+      case ClassArbMode::partition:
+        return "part";
+      case ClassArbMode::priority:
+        return "prio";
+      default:
+        return "?";
+    }
 }
 
 } // namespace affalloc::sim
@@ -113,6 +155,21 @@ trafficClassName(TrafficClass tc)
         return "Data";
       case TrafficClass::offload:
         return "Offload";
+      default:
+        return "?";
+    }
+}
+
+const char *
+agentClassName(AgentClass c)
+{
+    switch (c) {
+      case AgentClass::ndc:
+        return "ndc";
+      case AgentClass::host:
+        return "host";
+      case AgentClass::io:
+        return "io";
       default:
         return "?";
     }

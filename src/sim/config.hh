@@ -49,6 +49,61 @@ enum class BankNumbering : std::uint8_t
 const char *bankNumberingName(BankNumbering n);
 
 /**
+ * LLC management policy for I/O-class writes (the A4-style ablation).
+ * Decides where a DMA/NIC write lands and how much tenant data it may
+ * evict.
+ */
+enum class LlcIoPolicy : std::uint8_t
+{
+    /** Unrestricted DDIO: I/O writes allocate anywhere in the set. */
+    ddio,
+    /** Way-restricted: I/O allocation confined to llcIoWays ways. */
+    wayRestrict,
+    /** Bypass: I/O writes go straight to DRAM, never touch L3. */
+    bypass
+};
+
+/** Human-readable LLC I/O policy name ("ddio"/"way"/"bypass"). */
+const char *llcIoPolicyName(LlcIoPolicy p);
+
+/**
+ * How bank/link queue time is arbitrated between concurrently present
+ * agent classes (the ROADMAP's per-class bank-bandwidth partitioning
+ * and priority arbitration).
+ */
+enum class ClassArbMode : std::uint8_t
+{
+    /** No arbitration: classes share queues freely (classic model). */
+    none,
+    /** Weighted bandwidth partitioning by per-class shares. */
+    partition,
+    /** Strict priority by AgentClass order (ndc > host > io), with a
+     *  yield penalty per higher-priority class present. */
+    priority
+};
+
+/** Human-readable arbitration mode name. */
+const char *classArbModeName(ClassArbMode m);
+
+/**
+ * Per-class arbitration configuration. With partition mode, a class
+ * holding share s_c out of the total share of *present* classes sees
+ * its bank/link service time scaled by (sum of present shares)/s_c —
+ * the fluid model of a weighted round-robin queue. With priority
+ * mode, a class is slowed by yieldPenalty for every higher-priority
+ * class present. Both collapse to 1.0 when a class runs alone, so
+ * single-class runs are digest-identical to the classic model.
+ */
+struct ClassArbConfig
+{
+    ClassArbMode mode = ClassArbMode::none;
+    /** Bandwidth shares, indexed by AgentClass (ndc, host, io). */
+    double share[numAgentClasses] = {1.0, 1.0, 1.0};
+    /** Priority mode: fractional slowdown per higher class present. */
+    double yieldPenalty = 0.5;
+};
+
+/**
  * Full system configuration (Table 2). All sizes in bytes, all
  * latencies in core cycles at the configured frequency.
  */
@@ -131,6 +186,14 @@ struct MachineConfig
     std::uint32_t iotEntries = 16;
     /** Bank-id-to-tile numbering scheme. */
     BankNumbering bankNumbering = BankNumbering::rowMajor;
+
+    // ------------------------------------------------- traffic classes
+    /** LLC management policy for I/O-class (DMA/NIC) writes. */
+    LlcIoPolicy llcIoPolicy = LlcIoPolicy::ddio;
+    /** Ways per set an I/O write may allocate under wayRestrict. */
+    std::uint32_t llcIoWays = 2;
+    /** Bank/link queue arbitration between agent classes. */
+    ClassArbConfig classArb;
 
     // ------------------------------------------------- simulation control
     /** Elements simulated per epoch for bulk kernels. */

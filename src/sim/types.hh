@@ -56,6 +56,32 @@ inline constexpr int numTrafficClasses =
 const char *trafficClassName(TrafficClass tc);
 
 /**
+ * Class of agent sharing the machine. NDC tenants are the paper's
+ * near-data workloads; host agents issue ordinary cacheline traffic
+ * from the cores (CHoNDA-style co-location), and io agents model
+ * DMA/NIC injectors whose writes land directly in L3 (DDIO/A4-style).
+ * The enumeration order doubles as arbitration priority: lower values
+ * are served first under priority arbitration.
+ */
+enum class AgentClass : std::uint8_t
+{
+    /** Near-data-computing tenant (default; the classic agents). */
+    ndc,
+    /** Host core issuing plain cacheline reads/writes, no offload. */
+    host,
+    /** DMA/NIC-style I/O injector writing into the LLC. */
+    io,
+    numClasses
+};
+
+/** Number of distinct agent classes. */
+inline constexpr int numAgentClasses =
+    static_cast<int>(AgentClass::numClasses);
+
+/** Human-readable name of an agent class ("ndc"/"host"/"io"). */
+const char *agentClassName(AgentClass c);
+
+/**
  * Execution paradigm of a workload run, matching the paper's three
  * evaluated configurations (Fig. 12).
  */

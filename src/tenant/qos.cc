@@ -52,15 +52,18 @@ writeQosCsv(const std::string &path, const CorunReport &report,
         SIM_FATAL("tenant", "cannot open QoS csv %s for writing",
                   path.c_str());
     // Aggregates (weighted speedup, fairness, makespan) repeat on
-    // every row so each line is a self-contained observation.
+    // every row so each line is a self-contained observation. The
+    // class column is appended last so existing positional parsers of
+    // the original columns keep working; classic NDC tenants write the
+    // backward-compatible default "ndc".
     std::fprintf(f, "tenant,workload,weight,config,policy,epochs,"
                     "service_cycles,finish_cycle,solo_cycles,slowdown,"
                     "weighted_speedup,fairness,makespan,joules,hops,"
-                    "valid\n");
+                    "valid,class\n");
     for (const auto &t : report.tenants) {
         std::fprintf(f,
                      "%s,%s,%u,%s,%s,%llu,%llu,%llu,%llu,%.6f,%.6f,"
-                     "%.6f,%llu,%.6f,%llu,%d\n",
+                     "%.6f,%llu,%.6f,%llu,%d,%s\n",
                      t.name.c_str(), t.workload.c_str(), t.weight,
                      config.c_str(), schedPolicyName(report.policy),
                      (unsigned long long)t.epochs,
@@ -70,7 +73,7 @@ writeQosCsv(const std::string &path, const CorunReport &report,
                      report.weightedSpeedup, report.fairness,
                      (unsigned long long)report.makespan, t.run.joules,
                      (unsigned long long)t.run.hops(),
-                     t.run.valid ? 1 : 0);
+                     t.run.valid ? 1 : 0, agentClassName(t.cls));
     }
     if (std::fclose(f) != 0)
         SIM_FATAL("tenant", "error closing QoS csv %s", path.c_str());

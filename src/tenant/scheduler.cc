@@ -66,13 +66,33 @@ TenantScheduler::TenantScheduler(std::vector<TenantSpec> specs,
         t->id = static_cast<std::uint32_t>(i);
         t->spec = specs[i];
         t->name = specs[i].workload + "#" + std::to_string(i);
-        t->fn = workloadRunner(specs[i].workload);
+        t->fn = specs[i].runner ? specs[i].runner
+                                : workloadRunner(specs[i].workload);
         t->binding.id = t->id;
         t->binding.name = t->name;
         t->arena = t->id;
         t->seedIndex = t->id;
+        notePresentClass(specs[i].cls);
         tenants_.push_back(std::move(t));
     }
+}
+
+void
+TenantScheduler::notePresentClass(AgentClass cls)
+{
+    presentMask_ |= 1u << static_cast<int>(cls);
+    if (cls == AgentClass::ndc)
+        haveForeground_ = true;
+    machine_->setPresentClasses(presentMask_);
+}
+
+bool
+TenantScheduler::allForegroundDone() const
+{
+    for (const auto &t : tenants_)
+        if (t->spec.cls == AgentClass::ndc && !t->finished)
+            return false;
+    return true;
 }
 
 TenantScheduler::TenantScheduler(CorunOptions opts,
@@ -118,6 +138,7 @@ TenantScheduler::tenantRunConfig(const Tenant &t)
     rc.allocOpts.sharedLoads = &board_;
     rc.allocOpts.seed =
         Rng::substreamSeed(opts_.allocOpts.seed, t.seedIndex);
+    rc.stopRequested = &drainBackground_;
     return rc;
 }
 
@@ -206,6 +227,9 @@ TenantScheduler::grantQuantum(int next)
         observer_ ? observer_->metrics() : nullptr;
     obs::ChromeTracer *tracer = observer_ ? observer_->tracer() : nullptr;
     const Cycles grantCycle = machine_->now();
+    // Everything until the yield is this agent's activity: per-class
+    // attribution and the arbitration scale follow the grant.
+    machine_->setActiveClass(t.spec.cls);
     {
         std::unique_lock<std::mutex> lk(mu_);
         current_ = static_cast<std::uint32_t>(next);
@@ -247,6 +271,7 @@ TenantScheduler::buildReport()
         r.name = t->name;
         r.workload = t->spec.workload;
         r.weight = t->spec.weight;
+        r.cls = t->spec.cls;
         r.run = t->result;
         r.finishCycle = t->binding.finishCycle;
         r.epochs = t->epochsRun;
@@ -289,6 +314,11 @@ TenantScheduler::run()
         if (next < 0)
             break;
         grantQuantum(next);
+        // Once every foreground tenant finished, ask the open-ended
+        // background agents to wrap up at their next epoch boundary
+        // (they would otherwise run to their own epoch caps).
+        if (haveForeground_ && !drainBackground_ && allForegroundDone())
+            drainBackground_ = true;
     }
     for (auto &t : tenants_)
         t->thread.join();
@@ -314,7 +344,9 @@ TenantScheduler::spawnJob(const AdmittedJob &job)
                   : job.name;
     t->spec.workload = job.workload;
     t->spec.weight = job.weight;
-    t->fn = workloadRunner(job.workload);
+    t->spec.cls = job.cls;
+    t->fn = job.runner ? job.runner : workloadRunner(job.workload);
+    notePresentClass(job.cls);
     t->binding.id = t->id;
     t->binding.name = t->name;
     t->arena = job.arena;
@@ -400,6 +432,11 @@ runCorun(const std::vector<TenantSpec> &specs, const CorunOptions &opts)
         // inputs) alone on an identical machine. Sequential on
         // purpose — baselines must not perturb the co-run.
         for (auto &t : report.tenants) {
+            // Background interference agents have no solo baseline:
+            // they exist to perturb the foreground, and computeQos
+            // already excludes soloCycles == 0 rows from aggregates.
+            if (t.cls != AgentClass::ndc)
+                continue;
             workloads::RunConfig rc;
             rc.mode = opts.mode;
             rc.machine = opts.machine;

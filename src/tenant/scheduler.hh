@@ -83,6 +83,10 @@ struct AdmittedJob
     std::uint32_t arena = 0;
     /** Scheduling weight under the weighted policy. */
     std::uint32_t weight = 1;
+    /** Traffic class of the job (ndc = classic request). */
+    AgentClass cls = AgentClass::ndc;
+    /** Explicit runner for non-registry agents; null = registry. */
+    RunnerFn runner = nullptr;
 };
 
 /**
@@ -129,6 +133,8 @@ struct TenantResult
     std::string name;
     std::string workload;
     std::uint32_t weight = 1;
+    /** Traffic class of the agent (ndc = classic tenant). */
+    AgentClass cls = AgentClass::ndc;
     /** Attributed run record (stats = this tenant's share only). */
     workloads::RunResult run;
     /** Shared-clock cycle at which the tenant finished. */
@@ -209,6 +215,15 @@ class TenantScheduler
     /** The shared machine (valid for the scheduler's lifetime). */
     nsc::Machine &machine() { return *machine_; }
 
+    /**
+     * Ask open-ended background agents (host traffic / I/O injectors)
+     * to finish at their next epoch boundary. Closed co-runs raise
+     * this automatically once every NDC tenant finished; open-system
+     * admission controls call it (on the scheduler thread, e.g. from
+     * admit()) once all real requests resolved.
+     */
+    void requestBackgroundDrain() { drainBackground_ = true; }
+
     /** Shared cross-tenant bank-load board (Eq. 4's load input; the
      *  serving front-end's recovery ranking reads it too). */
     alloc::BankLoadBoard &loadBoard() { return board_; }
@@ -252,6 +267,10 @@ class TenantScheduler
     void grantQuantum(int next);
     /** Package tenants_ into a CorunReport (shared by both modes). */
     CorunReport buildReport();
+    /** Whether every NDC (foreground) tenant has finished. */
+    bool allForegroundDone() const;
+    /** Fold @p cls into the machine's present-class mask. */
+    void notePresentClass(AgentClass cls);
 
     CorunOptions opts_;
     std::unique_ptr<os::SimOS> os_;
@@ -262,6 +281,17 @@ class TenantScheduler
     bool ran_ = false;
     /** Arena slots in open-system mode (0: closed co-run). */
     std::uint32_t openSlots_ = 0;
+    /** Bit mask of agent classes seen on this machine (bit 0 = ndc). */
+    std::uint32_t presentMask_ = 0;
+    /** Whether this run has at least one NDC (foreground) tenant. */
+    bool haveForeground_ = false;
+    /**
+     * Cooperative stop signal handed to background agents through
+     * RunConfig::stopRequested. Written on the scheduler thread while
+     * all tenant threads are parked; the grant handoff mutex orders
+     * the agents' reads.
+     */
+    bool drainBackground_ = false;
 
     // Cooperative handoff state. `running_` is the tenant id granted
     // the machine (-1: the scheduler thread). All transitions happen

@@ -276,7 +276,9 @@ parseTenantSpecs(const std::string &spec)
                       name.c_str(), namesCsv().c_str());
         }
         for (std::uint64_t i = 0; i < count; ++i)
-            out.push_back({name, static_cast<std::uint32_t>(weight)});
+            out.push_back(
+                {.workload = name,
+                 .weight = static_cast<std::uint32_t>(weight)});
         if (comma == std::string::npos)
             break;
     }

@@ -20,15 +20,6 @@
 namespace affalloc::tenant
 {
 
-/** One tenant instance requested on the command line. */
-struct TenantSpec
-{
-    /** Registry workload name (see workloadNames()). */
-    std::string workload;
-    /** Scheduling weight (epochs per round under the weighted policy). */
-    std::uint32_t weight = 1;
-};
-
 /**
  * Run the workload on @p ctx. @p seed is the tenant's RNG substream
  * seed (drives workload-private randomness such as pointer-chase keys
@@ -36,6 +27,23 @@ struct TenantSpec
  */
 using RunnerFn = std::function<workloads::RunResult(
     workloads::RunContext &ctx, std::uint64_t seed, bool quick)>;
+
+/** One tenant instance requested on the command line. */
+struct TenantSpec
+{
+    /** Registry workload name (see workloadNames()). */
+    std::string workload;
+    /** Scheduling weight (epochs per round under the weighted policy). */
+    std::uint32_t weight = 1;
+    /** Traffic class this agent belongs to (ndc = classic tenant). */
+    AgentClass cls = AgentClass::ndc;
+    /**
+     * Explicit runner for non-registry agents (host traffic / I/O
+     * injectors from src/traffic). Null (the default) resolves
+     * `workload` through the registry.
+     */
+    RunnerFn runner = nullptr;
+};
 
 /** All registered workload names, in stable order. */
 const std::vector<std::string> &workloadNames();

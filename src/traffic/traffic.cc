@@ -1,0 +1,250 @@
+#include "traffic/traffic.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/log.hh"
+#include "sim/rng.hh"
+#include "workloads/run_context.hh"
+
+namespace affalloc::traffic
+{
+
+namespace
+{
+
+/** Whether the scheduler asked background agents to wrap up. */
+bool
+drainRequested(const workloads::RunContext &ctx)
+{
+    return ctx.config.stopRequested && *ctx.config.stopRequested;
+}
+
+/** Strictly parse a non-negative real; SIM_FATAL on garbage. */
+double
+parseReal(const char *flag, const std::string &text)
+{
+    if (text.empty())
+        SIM_FATAL("traffic", "%s needs a value", flag);
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        SIM_FATAL("traffic", "%s expects a number, got '%s'", flag,
+                  text.c_str());
+    if (v < 0.0)
+        SIM_FATAL("traffic", "%s must be >= 0, got %g", flag, v);
+    return v;
+}
+
+} // namespace
+
+tenant::RunnerFn
+makeHostAgent(const HostAgentParams &p)
+{
+    return [p](workloads::RunContext &ctx, std::uint64_t seed,
+               bool quick) -> workloads::RunResult {
+        const sim::MachineConfig &mc = ctx.machine.config();
+        const std::uint64_t bytes = std::max<std::uint64_t>(
+            mc.lineSize, quick ? p.footprintBytes / 4 : p.footprintBytes);
+        void *buf =
+            ctx.allocator.allocPlain(static_cast<std::size_t>(bytes));
+        const Addr base = ctx.machine.addressSpace().simAddrOf(buf);
+        const std::uint64_t lines = std::max<std::uint64_t>(
+            1, bytes / mc.lineSize);
+        const CoreId core = p.index % mc.numTiles();
+        const std::uint32_t cap = std::max<std::uint32_t>(
+            1, quick ? p.maxEpochs / 16 : p.maxEpochs);
+
+        Rng rng(seed);
+        std::uint64_t cursor = 0;
+        for (std::uint32_t e = 0; e < cap && !drainRequested(ctx); ++e) {
+            // Plain cacheline traffic tolerates deferral: the agent
+            // never reads latencies back, so its epochs shard-replay
+            // under --sim-threads like the bulk kernels do.
+            ctx.machine.beginEpoch(/*deferrable=*/true);
+            for (std::uint32_t op = 0; op < p.opsPerEpoch; ++op) {
+                const bool strided = rng.chance(p.strideFraction);
+                const bool write = rng.chance(p.writeFraction);
+                const std::uint64_t line =
+                    strided ? (cursor++ % lines) : rng.below(lines);
+                ctx.machine.coreAccess(
+                    core, base + line * mc.lineSize, 8,
+                    write ? AccessType::write : AccessType::read,
+                    /*prefetch_friendly=*/strided);
+            }
+            ctx.machine.endEpoch(0.0, "host");
+        }
+        workloads::RunResult res = ctx.finish("host_agent", true);
+        res.cls = AgentClass::host;
+        return res;
+    };
+}
+
+tenant::RunnerFn
+makeIoStream(const IoStreamParams &p)
+{
+    return [p](workloads::RunContext &ctx, std::uint64_t seed,
+               bool quick) -> workloads::RunResult {
+        const sim::MachineConfig &mc = ctx.machine.config();
+        const std::uint64_t bytes = std::max<std::uint64_t>(
+            mc.lineSize, quick ? p.windowBytes / 4 : p.windowBytes);
+        void *buf =
+            ctx.allocator.allocPlain(static_cast<std::size_t>(bytes));
+        const Addr base = ctx.machine.addressSpace().simAddrOf(buf);
+        const std::uint64_t lines = std::max<std::uint64_t>(
+            1, bytes / mc.lineSize);
+        // NIC/DMA engines sit at the mesh corners, like the memory
+        // controllers.
+        const TileId corners[4] = {0, mc.meshX - 1,
+                                   mc.numTiles() - mc.meshX,
+                                   mc.numTiles() - 1};
+        const TileId ingress = corners[p.index % 4];
+        const std::uint32_t cap = std::max<std::uint32_t>(
+            1, quick ? p.maxEpochs / 16 : p.maxEpochs);
+
+        Rng rng(seed);
+        for (std::uint32_t e = 0; e < cap && !drainRequested(ctx); ++e) {
+            // I/O epochs stay classic (ioWrite has no deferred twin).
+            ctx.machine.beginEpoch(/*deferrable=*/false);
+            // One DMA burst per epoch: a seeded start, then
+            // consecutive lines — the sequential pattern real
+            // descriptor rings produce.
+            std::uint64_t line = rng.below(lines);
+            for (std::uint32_t k = 0; k < p.linesPerEpoch; ++k) {
+                ctx.machine.ioWrite(ingress,
+                                    base + (line % lines) * mc.lineSize,
+                                    mc.lineSize);
+                ++line;
+            }
+            ctx.machine.endEpoch(0.0, "io");
+        }
+        workloads::RunResult res = ctx.finish("io_stream", true);
+        res.cls = AgentClass::io;
+        return res;
+    };
+}
+
+std::vector<tenant::TenantSpec>
+makeBackgroundSpecs(const TrafficConfig &cfg)
+{
+    std::vector<tenant::TenantSpec> specs;
+    for (std::uint32_t i = 0; i < cfg.hostAgents; ++i) {
+        HostAgentParams p;
+        p.index = i;
+        tenant::TenantSpec s;
+        s.workload = "host_agent";
+        s.cls = AgentClass::host;
+        s.runner = makeHostAgent(p);
+        specs.push_back(std::move(s));
+    }
+    for (std::uint32_t i = 0; i < cfg.ioStreams; ++i) {
+        IoStreamParams p;
+        p.index = i;
+        tenant::TenantSpec s;
+        s.workload = "io_stream";
+        s.cls = AgentClass::io;
+        s.runner = makeIoStream(p);
+        specs.push_back(std::move(s));
+    }
+    return specs;
+}
+
+std::uint32_t
+parseAgentCount(const char *flag, const std::string &text,
+                std::uint32_t max)
+{
+    if (text.empty())
+        SIM_FATAL("traffic", "%s needs a value", flag);
+    if (text.size() > 9)
+        SIM_FATAL("traffic", "%s value '%s' is out of range (1..%u)", flag,
+                  text.c_str(), max);
+    std::uint64_t v = 0;
+    for (const char ch : text) {
+        if (ch < '0' || ch > '9')
+            SIM_FATAL("traffic",
+                      "%s expects a positive integer, got '%s'", flag,
+                      text.c_str());
+        v = v * 10 + static_cast<std::uint64_t>(ch - '0');
+    }
+    if (v == 0)
+        SIM_FATAL("traffic", "%s must be >= 1 (omit the flag for none)",
+                  flag);
+    if (v > max)
+        SIM_FATAL("traffic", "%s value %llu exceeds the limit of %u "
+                  "(one agent per mesh tile at most)", flag,
+                  (unsigned long long)v, max);
+    return static_cast<std::uint32_t>(v);
+}
+
+sim::LlcIoPolicy
+parseLlcPolicy(const std::string &text, std::uint32_t *io_ways,
+               std::uint32_t l3_assoc)
+{
+    if (text == "ddio")
+        return sim::LlcIoPolicy::ddio;
+    if (text == "bypass")
+        return sim::LlcIoPolicy::bypass;
+    if (text == "way" || text.rfind("way:", 0) == 0) {
+        if (text.size() > 4) {
+            *io_ways = parseAgentCount("--llc-policy way share",
+                                       text.substr(4), l3_assoc - 1);
+        }
+        if (*io_ways == 0 || *io_ways >= l3_assoc)
+            SIM_FATAL("traffic", "--llc-policy=way:K needs K in [1, %u), "
+                      "got %u", l3_assoc, *io_ways);
+        return sim::LlcIoPolicy::wayRestrict;
+    }
+    SIM_FATAL("traffic", "unknown LLC I/O policy '%s' (ddio, way[:K], "
+              "bypass)", text.c_str());
+    return sim::LlcIoPolicy::ddio;
+}
+
+sim::ClassArbConfig
+parseClassBw(const std::string &text)
+{
+    sim::ClassArbConfig arb;
+    if (text == "none")
+        return arb;
+    if (text == "prio" || text.rfind("prio:", 0) == 0) {
+        arb.mode = sim::ClassArbMode::priority;
+        if (text.size() > 5)
+            arb.yieldPenalty =
+                parseReal("--class-bw=prio yield penalty",
+                          text.substr(5));
+        return arb;
+    }
+    if (text.rfind("part:", 0) == 0) {
+        arb.mode = sim::ClassArbMode::partition;
+        const std::string rest = text.substr(5);
+        std::vector<std::string> pieces;
+        std::size_t pos = 0;
+        while (true) {
+            const std::size_t comma = rest.find(',', pos);
+            pieces.push_back(rest.substr(
+                pos, comma == std::string::npos ? std::string::npos
+                                                : comma - pos));
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+        if (pieces.size() != static_cast<std::size_t>(numAgentClasses))
+            SIM_FATAL("traffic", "--class-bw=part needs exactly %d "
+                      "comma-separated shares (ndc,host,io), got '%s'",
+                      numAgentClasses, text.c_str());
+        for (int idx = 0; idx < numAgentClasses; ++idx) {
+            const double share =
+                parseReal("--class-bw=part share", pieces[idx]);
+            if (share <= 0.0)
+                SIM_FATAL("traffic", "--class-bw=part shares must be "
+                          "positive, got %g for %s", share,
+                          agentClassName(static_cast<AgentClass>(idx)));
+            arb.share[idx] = share;
+        }
+        return arb;
+    }
+    SIM_FATAL("traffic", "unknown class bandwidth spec '%s' (none, "
+              "part:NDC,HOST,IO, prio[:PENALTY])", text.c_str());
+    return arb;
+}
+
+} // namespace affalloc::traffic

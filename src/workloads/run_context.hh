@@ -31,6 +31,13 @@ struct RunConfig
     sim::MachineConfig machine{};
     /** Observability (metrics / tracing / explain); default: all off. */
     obs::ObsConfig obs{};
+    /**
+     * Cooperative stop signal for open-ended background agents (host
+     * traffic / I/O injectors): when non-null and *stopRequested turns
+     * true, the agent finishes at its next epoch boundary. Null (the
+     * default) for classic workloads, which run to completion.
+     */
+    const bool *stopRequested = nullptr;
 
     /** Convenience: a named baseline/evaluated configuration. */
     static RunConfig
@@ -53,6 +60,11 @@ struct RunResult
     double l3MissRate = 0.0;
     double nocUtilization = 0.0;
     bool valid = false;
+    /**
+     * Agent class this result belongs to (report labeling only —
+     * deliberately outside digest() so classic digests are stable).
+     */
+    AgentClass cls = AgentClass::ndc;
     sim::Timeline timeline;
     /** Order-insensitive digest of the allocator's placement decisions. */
     std::uint64_t placementDigest = 0;

@@ -479,8 +479,8 @@ TEST(Obs, ComparisonCsvCarriesDegradationColumns)
     const std::string csv = slurp(tmp.path);
     EXPECT_NE(csv.find("offload_retries,offload_fallbacks,"
                        "alloc_fallbacks,victim_migrations,"
-                       "degraded_link_flits,valid"),
+                       "degraded_link_flits,valid,class"),
               std::string::npos);
-    // offline,retries,offl_fb,alloc_fb,migr,degraded,valid tail.
-    EXPECT_NE(csv.find(",0,3,0,2,1,7,1\n"), std::string::npos);
+    // offline,retries,offl_fb,alloc_fb,migr,degraded,valid,class tail.
+    EXPECT_NE(csv.find(",0,3,0,2,1,7,1,ndc\n"), std::string::npos);
 }

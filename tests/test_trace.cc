@@ -67,9 +67,9 @@ TEST(Trace, ComparisonCsvRoundTrips)
     EXPECT_NE(csv.find("wl,a,123"), std::string::npos);
     EXPECT_NE(csv.find("wl,b,456"), std::string::npos);
     EXPECT_NE(csv.find(",99,"), std::string::npos);
-    // Valid flags round-trip.
-    EXPECT_NE(csv.find(",1\n"), std::string::npos);
-    EXPECT_NE(csv.find(",0\n"), std::string::npos);
+    // Valid flags round-trip; classic results carry the ndc class.
+    EXPECT_NE(csv.find(",1,ndc\n"), std::string::npos);
+    EXPECT_NE(csv.find(",0,ndc\n"), std::string::npos);
 }
 
 TEST(Trace, UnwritablePathIsFatal)

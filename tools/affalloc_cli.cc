@@ -35,6 +35,7 @@
 #include "harness/trace.hh"
 #include "tenant/qos.hh"
 #include "tenant/scheduler.hh"
+#include "traffic/traffic.hh"
 #include "workloads/affine_workloads.hh"
 #include "workloads/graph_workloads.hh"
 #include "workloads/pointer_workloads.hh"
@@ -79,6 +80,12 @@ struct Options
     std::uint32_t quantum = 8;
     bool quick = false;
     bool noSolo = false;
+    // Background traffic classes (corun and serve commands). Raw flag
+    // text; parsed by src/traffic once the machine config is known.
+    std::string hostAgents;
+    std::string ioStreams;
+    std::string llcPolicy;
+    std::string classBw;
     // Open-system serving (the serve command).
     std::string mix;
     std::uint32_t requests = 48;
@@ -125,6 +132,14 @@ usage()
                  "--tenants=bfs:2,vecadd:1)\n"
                  "      --sched rr|weighted --quantum N (epochs per "
                  "turn) --quick --no-solo\n"
+                 "      --host-agents N --io-streams N (background "
+                 "host / DDIO-style I/O traffic;\n"
+                 "       also accepted by serve)\n"
+                 "      --llc-policy ddio|way[:K]|bypass (how I/O "
+                 "writes allocate in L3)\n"
+                 "      --class-bw none|part:NDC,HOST,IO|prio[:P] "
+                 "(bank/link arbitration between\n"
+                 "       traffic classes)\n"
                  "      [--mode/--policy/--h/--csv/--simcheck*/--heatmap "
                  "banks as for run]\n"
                  "  serve --requests N --rate R (arrivals per Mcycle) "
@@ -318,6 +333,14 @@ parse(int argc, char **argv)
             o.quick = true;
         } else if (a == "--no-solo") {
             o.noSolo = true;
+        } else if (a == "--host-agents") {
+            o.hostAgents = next("--host-agents");
+        } else if (a == "--io-streams") {
+            o.ioStreams = next("--io-streams");
+        } else if (a == "--llc-policy") {
+            o.llcPolicy = next("--llc-policy");
+        } else if (a == "--class-bw") {
+            o.classBw = next("--class-bw");
         } else if (a == "--mix") {
             o.mix = next("--mix");
         } else if (a == "--requests") {
@@ -589,6 +612,29 @@ cmdRun(const Options &o)
     return result.valid ? 0 : 1;
 }
 
+/**
+ * Validate and apply the background-traffic flags against a concrete
+ * machine config (flag limits depend on the mesh and L3 geometry).
+ * Throws FatalError on rejection; callers surface it as a CLI error.
+ */
+traffic::TrafficConfig
+applyTrafficOptions(const Options &o, sim::MachineConfig &mc)
+{
+    traffic::TrafficConfig tc;
+    if (!o.hostAgents.empty())
+        tc.hostAgents = traffic::parseAgentCount(
+            "--host-agents", o.hostAgents, mc.numTiles());
+    if (!o.ioStreams.empty())
+        tc.ioStreams = traffic::parseAgentCount(
+            "--io-streams", o.ioStreams, mc.numTiles());
+    if (!o.llcPolicy.empty())
+        mc.llcIoPolicy = traffic::parseLlcPolicy(
+            o.llcPolicy, &mc.llcIoWays, mc.l3Assoc);
+    if (!o.classBw.empty())
+        mc.classArb = traffic::parseClassBw(o.classBw);
+    return tc;
+}
+
 int
 cmdCorun(const Options &o)
 {
@@ -624,8 +670,12 @@ cmdCorun(const Options &o)
     // valid names; surface that as a clean CLI error, not a backtrace.
     tenant::CorunReport report;
     try {
-        const std::vector<tenant::TenantSpec> specs =
+        std::vector<tenant::TenantSpec> specs =
             tenant::parseTenantSpecs(o.tenants);
+        const traffic::TrafficConfig tc =
+            applyTrafficOptions(o, copts.machine);
+        for (tenant::TenantSpec &s : traffic::makeBackgroundSpecs(tc))
+            specs.push_back(std::move(s));
         report = tenant::runCorun(specs, copts);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "%s\n", e.what());
@@ -714,6 +764,9 @@ cmdServe(const Options &o)
                 sim::parseFaultSchedule(o.faultSchedule);
         if (!o.mix.empty())
             sopts.classes = parseServeMix(o.mix);
+        const traffic::TrafficConfig tc =
+            applyTrafficOptions(o, sopts.machine);
+        sopts.background = traffic::makeBackgroundSpecs(tc);
         report = serve::runServe(sopts);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "%s\n", e.what());
